@@ -1,0 +1,53 @@
+//! Criterion bench: technology-mapping throughput (partition + match +
+//! cover + emit) across schemes and cost functions.
+
+use casyn_core::{map, CostKind, MapOptions, PartitionScheme};
+use casyn_library::corelib018;
+use casyn_logic::decompose;
+use casyn_netlist::bench::{random_pla, PlaGenConfig};
+use casyn_netlist::Point;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_mapping(c: &mut Criterion) {
+    let pla = random_pla(&PlaGenConfig {
+        inputs: 14,
+        outputs: 12,
+        terms: 300,
+        min_literals: 3,
+        max_literals: 8,
+        mean_outputs_per_term: 1.4,
+        seed: 5,
+    });
+    let dec = decompose(&pla.to_network());
+    let (graph, _) = dec.graph.sweep();
+    let lib = corelib018();
+    let n = graph.num_vertices();
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let positions: Vec<Point> = (0..n)
+        .map(|i| Point::new((i % cols) as f64 * 3.0, (i / cols) as f64 * 6.4))
+        .collect();
+    let mut group = c.benchmark_group("mapping");
+    group.sample_size(20);
+    for (name, opts) in [
+        ("dagon_area", MapOptions { scheme: PartitionScheme::Dagon, cost: CostKind::Area, ..Default::default() }),
+        (
+            "pdp_area_wire",
+            MapOptions {
+                scheme: PartitionScheme::PlacementDriven,
+                cost: CostKind::AreaWire { k: 0.5 },
+                ..Default::default()
+            },
+        ),
+        ("cone_delay", MapOptions { scheme: PartitionScheme::Cone, cost: CostKind::Delay, ..Default::default() }),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("scheme", name),
+            &opts,
+            |b, opts| b.iter(|| map(&graph, &positions, &lib, opts)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

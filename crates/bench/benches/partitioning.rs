@@ -1,0 +1,41 @@
+//! Criterion bench: DAG partitioning schemes (the paper's Fig. 2
+//! algorithm vs DAGON and cone partitioning).
+
+use casyn_core::{partition, PartitionScheme};
+use casyn_logic::decompose;
+use casyn_netlist::bench::{random_pla, PlaGenConfig};
+use casyn_netlist::Point;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let pla = random_pla(&PlaGenConfig {
+        inputs: 14,
+        outputs: 12,
+        terms: 600,
+        min_literals: 3,
+        max_literals: 8,
+        mean_outputs_per_term: 1.4,
+        seed: 5,
+    });
+    let dec = decompose(&pla.to_network());
+    let (graph, _) = dec.graph.sweep();
+    let n = graph.num_vertices();
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let positions: Vec<Point> = (0..n)
+        .map(|i| Point::new((i % cols) as f64 * 3.0, (i / cols) as f64 * 6.4))
+        .collect();
+    let mut group = c.benchmark_group("partitioning");
+    for (name, scheme) in [
+        ("dagon", PartitionScheme::Dagon),
+        ("cone", PartitionScheme::Cone),
+        ("placement_driven", PartitionScheme::PlacementDriven),
+    ] {
+        group.bench_with_input(BenchmarkId::new("scheme", name), &scheme, |b, &s| {
+            b.iter(|| partition(&graph, s, &positions))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: recursive min-cut placement of the subject graph.
+
+use casyn_logic::decompose;
+use casyn_netlist::bench::{random_pla, PlaGenConfig};
+use casyn_place::{place_subject, Floorplan, PlacerOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_placement(c: &mut Criterion) {
+    let pla = random_pla(&PlaGenConfig {
+        inputs: 14,
+        outputs: 12,
+        terms: 300,
+        min_literals: 3,
+        max_literals: 8,
+        mean_outputs_per_term: 1.4,
+        seed: 5,
+    });
+    let dec = decompose(&pla.to_network());
+    let (graph, _) = dec.graph.sweep();
+    let fp = Floorplan::with_area(graph.num_gates() as f64 * 12.3 / 0.61, 1.0);
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    group.bench_function("place_subject", |b| {
+        b.iter(|| place_subject(&graph, &fp, &PlacerOptions::default()))
+    });
+    group.bench_function("place_subject_1sweep", |b| {
+        b.iter(|| {
+            place_subject(
+                &graph,
+                &fp,
+                &PlacerOptions { sweeps: 1, ..Default::default() },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

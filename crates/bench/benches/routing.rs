@@ -1,0 +1,34 @@
+//! Criterion bench: negotiated-congestion global routing.
+
+use casyn_flow::{congestion_flow_prepared, prepare, FlowOptions};
+use casyn_netlist::bench::{random_pla, PlaGenConfig};
+use casyn_route::{route_mapped, RouteConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_routing(c: &mut Criterion) {
+    let pla = random_pla(&PlaGenConfig {
+        inputs: 14,
+        outputs: 12,
+        terms: 300,
+        min_literals: 3,
+        max_literals: 8,
+        mean_outputs_per_term: 1.4,
+        seed: 5,
+    });
+    let net = pla.to_network();
+    let opts = FlowOptions::default();
+    let prep = prepare(&net, &opts);
+    let flow = congestion_flow_prepared(&prep, 0.5, &opts);
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(10);
+    for scale in [1.5f64, 3.0] {
+        let cfg = RouteConfig { capacity_scale: scale, ..opts.route };
+        group.bench_function(format!("route_scale_{scale}"), |b| {
+            b.iter(|| route_mapped(&flow.netlist, &prep.floorplan, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! **Table 1** of the paper: TOO_LARGE routing results — full SIS
+//! synthesis (technology-independent extraction + cone-partitioned
+//! minimum-area mapping) vs. plain DAGON mapping, placed and routed under
+//! identical floorplan constraints.
+//!
+//! Paper: SIS has less cell area (126394 vs 129851 µm²) and lower
+//! utilization, yet 3673 routing violations, while DAGON routes cleanly.
+//!
+//! Run: `cargo run --release -p casyn-bench --bin table1`
+
+use casyn_bench::*;
+use casyn_flow::{dagon_flow, format_routing_table, sis_flow};
+use casyn_logic::OptimizeOptions;
+
+fn main() {
+    let mut exp = too_large_experiment();
+    println!(
+        "TOO_LARGE: {} base gates (paper: 27977); die {:.0} um2, {} rows",
+        exp.prep.base_gates,
+        exp.prep.floorplan.die_area(),
+        exp.prep.floorplan.num_rows
+    );
+    // fix the routing supply on the unroutable side of the DAGON edge,
+    // mirroring the paper's die choice where DAGON sits at 84.37%
+    let scale = calibrate_scale_unroutable(&mut exp, 3.0, 14.0);
+    println!("routing supply calibrated to the edge: capacity scale {scale:.3}\n");
+    let dagon = dagon_flow(&exp.network, &exp.opts);
+    // SIS effort bounded so its area advantage matches the paper's ~3%
+    // (unbounded extraction over-shrinks the synthetic PLA; see
+    // EXPERIMENTS.md)
+    let mut sis_opts = exp.opts.clone();
+    sis_opts.optimize = Some(OptimizeOptions {
+        max_cube_extractions: 350,
+        max_kernel_extractions: 40,
+        ..Default::default()
+    });
+    let sis = sis_flow(&exp.network, &sis_opts);
+    println!(
+        "{}",
+        format_routing_table(
+            "Table 1. TOO_LARGE routing results",
+            &[("SIS", &sis), ("DAGON", &dagon)]
+        )
+    );
+    println!("paper shape: SIS has the smaller cell area but is unroutable; DAGON");
+    println!("pays area and routes within the same floorplan. NOTE: on the synthetic");
+    println!("TOO_LARGE our extraction's area relief outweighs its sharing penalty, so");
+    println!("the direction inverts here — the SIS-unroutability phenomenon reproduces");
+    println!("strongly on SPLA/PDC instead (see table2/table3: SIS ~2.9k violations in a");
+    println!("die where the congestion-aware mapping routes cleanly). Recorded in");
+    println!("EXPERIMENTS.md.");
+}

@@ -1,0 +1,33 @@
+//! **Table 2** of the paper: SPLA congestion minimization vs.
+//! place&route results — the K sweep over a fixed die.
+//!
+//! The die is sized so the K = 0 (minimum-area) netlist sits at the
+//! paper's 61.1% utilization, and the routing supply is calibrated to the
+//! routability edge (the paper's die/metal budget plays the same role).
+//!
+//! Run: `cargo run --release -p casyn-bench --bin table2`
+
+use casyn_bench::*;
+use casyn_flow::{format_k_sweep_table, KSweepEntry};
+
+fn main() {
+    let mut exp = spla_experiment();
+    println!(
+        "SPLA: {} base gates (paper: 22834); die {:.0} um2, {} rows, 3 metal layers",
+        exp.prep.base_gates,
+        exp.prep.floorplan.die_area(),
+        exp.prep.floorplan.num_rows
+    );
+    let scale = calibrate_scale_unroutable(&mut exp, 2.5, 8.0);
+    println!("routing supply calibrated to the edge: capacity scale {scale:.3}\n");
+    let rows: Vec<KSweepEntry> = run_k_list(&exp, &TABLE_K_VALUES)
+        .into_iter()
+        .map(|(k, result)| KSweepEntry { k, result })
+        .collect();
+    println!(
+        "{}",
+        format_k_sweep_table("Table 2. SPLA congestion minimization vs place&route results", &rows)
+    );
+    println!("paper shape: K=0 unroutable -> routability window at moderate K ->");
+    println!("cell area / cells / utilization rise monotonically with K.");
+}

@@ -1,0 +1,29 @@
+//! **Table 4** of the paper: PDC congestion minimization vs. place&route
+//! results — the K sweep over a fixed die (74 rows, 229786 µm² in the
+//! paper; ours is scaled to the synthetic PDC's cell area at the same
+//! 55.9% K = 0 utilization).
+//!
+//! Run: `cargo run --release -p casyn-bench --bin table4`
+
+use casyn_bench::*;
+use casyn_flow::{format_k_sweep_table, KSweepEntry};
+
+fn main() {
+    let mut exp = pdc_experiment();
+    println!(
+        "PDC: {} base gates (paper: 23058); die {:.0} um2, {} rows, 3 metal layers",
+        exp.prep.base_gates,
+        exp.prep.floorplan.die_area(),
+        exp.prep.floorplan.num_rows
+    );
+    let scale = calibrate_scale(&mut exp, 1.0, 2.5, 8.0);
+    println!("routing supply calibrated to the edge: capacity scale {scale:.3}\n");
+    let rows: Vec<KSweepEntry> = run_k_list(&exp, &TABLE_K_VALUES)
+        .into_iter()
+        .map(|(k, result)| KSweepEntry { k, result })
+        .collect();
+    println!(
+        "{}",
+        format_k_sweep_table("Table 4. PDC congestion minimization vs place&route results", &rows)
+    );
+}

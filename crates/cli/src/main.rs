@@ -1,0 +1,327 @@
+//! `casyn` — command-line driver for the congestion-aware synthesis flow.
+//!
+//! ```text
+//! casyn map <design.pla|design.blif> [options]    run one full flow
+//! casyn sweep <design> --ks 0,0.1,1 [options]     K sweep (paper Tables 2/4)
+//! casyn loop <design> [options]                   the Fig. 3 methodology loop
+//!
+//! options:
+//!   --k <f>            congestion factor K (map; default 0.5)
+//!   --scheme <s>       dagon | cone | pdp (default pdp)
+//!   --util <f>         target K=0 utilization for the derived die (default 0.611)
+//!   --layers <n>       metal layers (default 3)
+//!   --verilog <path>   write the mapped netlist as structural Verilog
+//!   --blif <path>      write the optimized network as BLIF
+//!   --dot <path>       write the mapped netlist as Graphviz DOT
+//!   --optimize         run technology-independent extraction first
+//!   --clock <ns>       report slack against this required time
+//! ```
+
+use casyn_core::{CostKind, MapOptions, PartitionScheme};
+use casyn_flow::{
+    full_flow, prepare, run_methodology_prepared, sequential_flow, FlowOptions, KSweepEntry,
+};
+use casyn_logic::OptimizeOptions;
+use casyn_netlist::blif::{to_blif, Blif};
+use casyn_netlist::dot::mapped_to_dot;
+use casyn_netlist::network::Network;
+use casyn_netlist::verilog::to_verilog;
+use casyn_netlist::Pla;
+use std::fs;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Args {
+    command: String,
+    input: String,
+    k: f64,
+    ks: Vec<f64>,
+    scheme: PartitionScheme,
+    util: f64,
+    layers: usize,
+    verilog: Option<String>,
+    blif: Option<String>,
+    dot: Option<String>,
+    optimize: bool,
+    clock: Option<f64>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: casyn <map|sweep|loop> <design.pla|design.blif> [options]");
+    eprintln!("run `casyn help` for the option list");
+    ExitCode::FAILURE
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        command: argv.first().cloned().ok_or("missing command")?,
+        input: String::new(),
+        k: 0.5,
+        ks: vec![0.0, 0.1, 0.5, 1.0, 5.0],
+        scheme: PartitionScheme::PlacementDriven,
+        util: 0.611,
+        layers: 3,
+        verilog: None,
+        blif: None,
+        dot: None,
+        optimize: false,
+        clock: None,
+    };
+    let mut it = argv[1..].iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--k" => args.k = next("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--ks" => {
+                args.ks = next("--ks")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--ks: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--scheme" => {
+                args.scheme = match next("--scheme")?.as_str() {
+                    "dagon" => PartitionScheme::Dagon,
+                    "cone" => PartitionScheme::Cone,
+                    "pdp" | "placement-driven" => PartitionScheme::PlacementDriven,
+                    other => return Err(format!("unknown scheme: {other}")),
+                }
+            }
+            "--util" => args.util = next("--util")?.parse().map_err(|e| format!("--util: {e}"))?,
+            "--layers" => {
+                args.layers = next("--layers")?.parse().map_err(|e| format!("--layers: {e}"))?
+            }
+            "--verilog" => args.verilog = Some(next("--verilog")?),
+            "--blif" => args.blif = Some(next("--blif")?),
+            "--dot" => args.dot = Some(next("--dot")?),
+            "--optimize" => args.optimize = true,
+            "--clock" => {
+                args.clock = Some(next("--clock")?.parse().map_err(|e| format!("--clock: {e}"))?)
+            }
+            other if args.input.is_empty() && !other.starts_with('-') => {
+                args.input = other.to_string()
+            }
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    if args.command != "help" && args.input.is_empty() {
+        return Err("missing input design".into());
+    }
+    Ok(args)
+}
+
+fn load_design(path: &str) -> Result<casyn_netlist::seq::SeqNetwork, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".blif") {
+        let blif: Blif = text.parse().map_err(|e| format!("{path}: {e}"))?;
+        Ok(blif.into_seq())
+    } else {
+        let pla: Pla = text.parse().map_err(|e| format!("{path}: {e}"))?;
+        Ok(casyn_netlist::seq::SeqNetwork::combinational(pla.to_network()))
+    }
+}
+
+fn flow_options(args: &Args) -> FlowOptions {
+    let mut opts = FlowOptions {
+        target_utilization: args.util,
+        ..Default::default()
+    };
+    opts.route.layers = args.layers;
+    if args.optimize {
+        opts.optimize = Some(OptimizeOptions::default());
+    }
+    opts
+}
+
+fn report(r: &casyn_flow::FlowResult, clock: Option<f64>) {
+    println!(
+        "cells {:>7}   cell area {:>10.1} um^2   utilization {:>5.2}%",
+        r.num_cells, r.cell_area, r.utilization_pct
+    );
+    println!(
+        "die {:>10.0} um^2   rows {:>4}   routed wirelength {:>10.0} um",
+        r.floorplan.die_area(),
+        r.floorplan.num_rows,
+        r.route.total_wirelength
+    );
+    println!(
+        "routing violations {:>5}   peak congestion {:>5.1}%   iterations {}",
+        r.route.violations,
+        100.0 * r.route.congestion.max_util(),
+        r.route.iterations
+    );
+    println!(
+        "critical path {} at {:.3} ns",
+        r.sta.critical_endpoints(),
+        r.sta.critical_arrival()
+    );
+    if let Some(t) = clock {
+        println!(
+            "clock {:.3} ns: WNS {:.3} ns, TNS {:.3} ns",
+            t,
+            r.sta.wns(t),
+            r.sta.tns(t)
+        );
+    }
+}
+
+fn write_artifacts(args: &Args, network: &Network, r: &casyn_flow::FlowResult) -> Result<(), String> {
+    if let Some(path) = &args.verilog {
+        fs::write(path, to_verilog(&r.netlist, "casyn_top"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.blif {
+        fs::write(path, to_blif(network, "casyn_top"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.dot {
+        fs::write(path, mapped_to_dot(&r.netlist, "casyn_top"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let design = load_design(&args.input)?;
+    let opts = flow_options(args);
+    if !design.is_combinational() {
+        if args.command != "map" {
+            return Err(format!(
+                "{} flip-flops found: only `map` supports sequential designs",
+                design.latches.len()
+            ));
+        }
+        let r = sequential_flow(&design, args.k, &opts);
+        println!(
+            "{}: sequential design, {} flip-flops",
+            args.input,
+            r.num_dffs
+        );
+        report(&r.flow, args.clock);
+        println!("minimum clock period: {:.3} ns", r.min_clock_period);
+        write_artifacts(args, &design.core, &r.flow)?;
+        return Ok(());
+    }
+    let network = design.core;
+    let prep = prepare(&network, &opts);
+    println!(
+        "{}: {} base gates, die {:.0} um^2 ({} rows)",
+        args.input,
+        prep.base_gates,
+        prep.floorplan.die_area(),
+        prep.floorplan.num_rows
+    );
+    match args.command.as_str() {
+        "map" => {
+            let cost = if args.k == 0.0 {
+                CostKind::Area
+            } else {
+                CostKind::AreaWire { k: args.k }
+            };
+            let r = full_flow(&prep, &MapOptions { scheme: args.scheme, cost, ..Default::default() }, &opts);
+            report(&r, args.clock);
+            write_artifacts(args, &network, &r)?;
+        }
+        "sweep" => {
+            println!(
+                "{:>10} {:>12} {:>8} {:>8} {:>8}",
+                "K", "area", "cells", "util%", "viol"
+            );
+            for &k in &args.ks {
+                let r = casyn_flow::congestion_flow_prepared(&prep, k, &opts);
+                println!(
+                    "{:>10} {:>12.0} {:>8} {:>8.2} {:>8}",
+                    k, r.cell_area, r.num_cells, r.utilization_pct, r.route.violations
+                );
+            }
+        }
+        "loop" => {
+            let schedule = [0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0];
+            let out = run_methodology_prepared(&prep, &schedule, 1.0, &opts);
+            for s in &out.steps {
+                println!(
+                    "K = {:<8} peak {:>6.1}%  violations {:>6}  {}",
+                    s.k,
+                    100.0 * s.max_util,
+                    s.violations,
+                    if s.accepted { "ACCEPT" } else { "increase K" }
+                );
+            }
+            if out.converged {
+                report(&out.result, args.clock);
+                write_artifacts(args, &network, &out.result)?;
+            } else {
+                println!("did not converge: relax the floorplan or resynthesize");
+            }
+        }
+        other => return Err(format!("unknown command: {other}")),
+    }
+    let _: Option<KSweepEntry> = None;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        return usage();
+    }
+    match parse_args(&argv) {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_map_defaults() {
+        let a = parse_args(&sv(&["map", "x.pla"])).unwrap();
+        assert_eq!(a.command, "map");
+        assert_eq!(a.input, "x.pla");
+        assert_eq!(a.k, 0.5);
+        assert_eq!(a.scheme, PartitionScheme::PlacementDriven);
+        assert!(!a.optimize);
+    }
+
+    #[test]
+    fn parse_options() {
+        let a = parse_args(&sv(&[
+            "sweep", "y.blif", "--ks", "0,0.5, 2", "--scheme", "cone", "--util", "0.5",
+            "--layers", "4", "--optimize", "--clock", "10.5",
+        ]))
+        .unwrap();
+        assert_eq!(a.ks, vec![0.0, 0.5, 2.0]);
+        assert_eq!(a.scheme, PartitionScheme::Cone);
+        assert_eq!(a.util, 0.5);
+        assert_eq!(a.layers, 4);
+        assert!(a.optimize);
+        assert_eq!(a.clock, Some(10.5));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&sv(&["map"])).is_err());
+        assert!(parse_args(&sv(&["map", "x.pla", "--scheme", "bogus"])).is_err());
+        assert!(parse_args(&sv(&["map", "x.pla", "--k"])).is_err());
+        assert!(parse_args(&sv(&["map", "x.pla", "--wat"])).is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! DAG partitioning: breaking the subject graph into a forest of trees.
+//!
+//! Three schemes are implemented:
+//!
+//! * [`PartitionScheme::Dagon`] — cut *every* fanout edge of a
+//!   multi-fanout vertex (Keutzer's DAGON): each multi-fanout vertex roots
+//!   its own tree.
+//! * [`PartitionScheme::Cone`] — MIS-style cones: a multi-fanout vertex
+//!   joins the tree of the fanout first reached by a DFS from the primary
+//!   outputs, so results depend on output order (the drawback the paper
+//!   notes).
+//! * [`PartitionScheme::PlacementDriven`] — the paper's contribution
+//!   (its Fig. 2): a multi-fanout vertex joins the tree of its *nearest*
+//!   fanout on the layout image; every other fanout edge is detached and
+//!   becomes a tree leaf referencing the vertex's signal. Partitioning
+//!   then depends only on physical locations, not on traversal order, and
+//!   the resulting subject trees cluster vertices placed in the same
+//!   neighbourhood.
+//!
+//! A vertex absorbed into a fanout's tree may still be needed elsewhere
+//! (its other fanouts, or a primary output). The mapper resolves this
+//! after covering by also extracting a cover rooted at that vertex from
+//! the same dynamic-programming table — the logic duplication the paper
+//! says is "comparable with" cone partitioning.
+
+use casyn_netlist::subject::{BaseKind, GateId, SubjectGraph};
+use casyn_netlist::Point;
+
+/// The partitioning scheme to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionScheme {
+    /// Break at every multi-fanout vertex (DAGON).
+    Dagon,
+    /// DFS cones from the primary outputs (MIS-like, order dependent).
+    Cone,
+    /// The paper's placement-driven partitioning: keep the edge to the
+    /// nearest fanout.
+    PlacementDriven,
+}
+
+/// One node of a subject tree. Nodes are stored in topological order
+/// (children before parents); the root is the last node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeNode {
+    /// A leaf referencing an external signal: a primary input or a gate
+    /// hosted in another tree (or absorbed elsewhere in this one).
+    Leaf {
+        /// The subject vertex whose signal enters here.
+        signal: GateId,
+    },
+    /// An internal inverter.
+    Inv {
+        /// Child tree-node index.
+        child: u32,
+        /// The subject gate this node corresponds to.
+        gate: GateId,
+    },
+    /// An internal two-input NAND.
+    Nand {
+        /// Left child tree-node index.
+        a: u32,
+        /// Right child tree-node index.
+        b: u32,
+        /// The subject gate this node corresponds to.
+        gate: GateId,
+    },
+}
+
+/// A subject tree.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// Nodes in topological order; the root is last.
+    pub nodes: Vec<TreeNode>,
+    /// The subject gate computed at the root.
+    pub root_gate: GateId,
+}
+
+impl Tree {
+    /// Index of the root node.
+    pub fn root(&self) -> u32 {
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// For each node, the first index of its (contiguous, post-order)
+    /// subtree: node `l` lies in the subtree of `n` iff
+    /// `starts[n] <= l && l <= n`.
+    pub fn subtree_starts(&self) -> Vec<u32> {
+        let mut starts = vec![0u32; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            starts[i] = match node {
+                TreeNode::Leaf { .. } => i as u32,
+                TreeNode::Inv { child, .. } => starts[*child as usize],
+                TreeNode::Nand { a, b, .. } => starts[*a as usize].min(starts[*b as usize]),
+            };
+        }
+        starts
+    }
+
+    /// Number of internal (non-leaf) nodes.
+    pub fn num_internal(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !matches!(n, TreeNode::Leaf { .. }))
+            .count()
+    }
+}
+
+/// A forest over the subject graph.
+#[derive(Debug, Clone)]
+pub struct Forest {
+    /// The trees.
+    pub trees: Vec<Tree>,
+    /// For each subject vertex: the `(tree, node)` hosting it as an
+    /// internal vertex. `None` for primary inputs.
+    pub host: Vec<Option<(u32, u32)>>,
+    /// The father assignment (the paper's `father` array): for each
+    /// vertex, the fanout gate whose tree absorbed it, or `None` for tree
+    /// roots and primary inputs.
+    pub father: Vec<Option<GateId>>,
+}
+
+/// Partitions `graph` into a forest. `positions` (one per subject vertex)
+/// are required by [`PartitionScheme::PlacementDriven`] and ignored
+/// otherwise; the paper's `distance()` is Manhattan, matching rectilinear
+/// routing.
+///
+/// # Panics
+///
+/// Panics if `positions.len() != graph.num_vertices()` when the
+/// placement-driven scheme is selected.
+pub fn partition(
+    graph: &SubjectGraph,
+    scheme: PartitionScheme,
+    positions: &[Point],
+) -> Forest {
+    let n = graph.num_vertices();
+    let fanouts = graph.fanout_lists();
+    let fanout_counts = graph.fanout_counts();
+    let mut father: Vec<Option<GateId>> = vec![None; n];
+    match scheme {
+        PartitionScheme::Dagon => {
+            for id in graph.ids() {
+                if graph.kind(id) == BaseKind::Input {
+                    continue;
+                }
+                // single fanout to a gate (and no PO reference): absorbed
+                if fanout_counts[id.index()] == 1 && fanouts[id.index()].len() == 1 {
+                    father[id.index()] = Some(fanouts[id.index()][0]);
+                }
+            }
+        }
+        PartitionScheme::Cone => {
+            // DFS from primary outputs in declaration order; the first
+            // fanout to reach a vertex becomes its father
+            let mut visited = vec![false; n];
+            let mut stack: Vec<GateId> = Vec::new();
+            for (_, po) in graph.outputs() {
+                stack.push(*po);
+                while let Some(v) = stack.pop() {
+                    if visited[v.index()] {
+                        continue;
+                    }
+                    visited[v.index()] = true;
+                    for &f in graph.fanins(v) {
+                        if graph.kind(f) != BaseKind::Input
+                            && !visited[f.index()]
+                            && father[f.index()].is_none()
+                        {
+                            father[f.index()] = Some(v);
+                        }
+                        stack.push(f);
+                    }
+                }
+            }
+            // vertices driving only POs keep father = None (roots)
+        }
+        PartitionScheme::PlacementDriven => {
+            assert_eq!(
+                positions.len(),
+                n,
+                "placement-driven partitioning needs one position per vertex"
+            );
+            for id in graph.ids() {
+                if graph.kind(id) == BaseKind::Input {
+                    continue;
+                }
+                // nearest fanout gate by Manhattan distance (the paper's
+                // PDP inner loop); PO references are pads, not gates, so
+                // they never become fathers
+                let mut best: Option<(f64, GateId)> = None;
+                for &u in &fanouts[id.index()] {
+                    let d = positions[id.index()].manhattan(positions[u.index()]);
+                    if best.is_none_or(|(bd, bu)| d < bd || (d == bd && u < bu)) {
+                        best = Some((d, u));
+                    }
+                }
+                father[id.index()] = best.map(|(_, u)| u);
+            }
+        }
+    }
+    build_forest(graph, father)
+}
+
+/// Builds the forest implied by a father assignment.
+fn build_forest(graph: &SubjectGraph, father: Vec<Option<GateId>>) -> Forest {
+    let n = graph.num_vertices();
+    let mut host: Vec<Option<(u32, u32)>> = vec![None; n];
+    let mut trees: Vec<Tree> = Vec::new();
+    // roots: non-input gates without a father
+    for root in graph.ids() {
+        if graph.kind(root) == BaseKind::Input || father[root.index()].is_some() {
+            continue;
+        }
+        let tree_idx = trees.len() as u32;
+        let mut nodes: Vec<TreeNode> = Vec::new();
+        // iterative post-order build
+        build_subtree(graph, &father, root, tree_idx, &mut nodes, &mut host);
+        trees.push(Tree { nodes, root_gate: root });
+    }
+    Forest { trees, host, father }
+}
+
+/// Recursively materializes the subtree computing `gate` into `nodes`,
+/// returning its node index. A fanin is internal exactly when its father
+/// is `gate` (and it has not been used as internal by the other NAND slot,
+/// which matters for `nand(x, x)` degeneracies).
+fn build_subtree(
+    graph: &SubjectGraph,
+    father: &[Option<GateId>],
+    gate: GateId,
+    tree_idx: u32,
+    nodes: &mut Vec<TreeNode>,
+    host: &mut Vec<Option<(u32, u32)>>,
+) -> u32 {
+    let child_node = |graph: &SubjectGraph,
+                      father: &[Option<GateId>],
+                      f: GateId,
+                      already_internal: bool,
+                      nodes: &mut Vec<TreeNode>,
+                      host: &mut Vec<Option<(u32, u32)>>|
+     -> u32 {
+        let internal = graph.kind(f) != BaseKind::Input
+            && father[f.index()] == Some(gate)
+            && !already_internal;
+        if internal {
+            build_subtree(graph, father, f, tree_idx, nodes, host)
+        } else {
+            let idx = nodes.len() as u32;
+            nodes.push(TreeNode::Leaf { signal: f });
+            idx
+        }
+    };
+    let idx = match graph.kind(gate) {
+        BaseKind::Input => unreachable!("inputs are never internal"),
+        BaseKind::Inv => {
+            let f = graph.fanins(gate)[0];
+            let c = child_node(graph, father, f, false, nodes, host);
+            let idx = nodes.len() as u32;
+            nodes.push(TreeNode::Inv { child: c, gate });
+            idx
+        }
+        BaseKind::Nand2 => {
+            let fa = graph.fanins(gate)[0];
+            let fb = graph.fanins(gate)[1];
+            let a = child_node(graph, father, fa, false, nodes, host);
+            // nand(x, x): the second slot must become a leaf
+            let b = child_node(graph, father, fb, fa == fb, nodes, host);
+            let idx = nodes.len() as u32;
+            nodes.push(TreeNode::Nand { a, b, gate });
+            idx
+        }
+    };
+    host[gate.index()] = Some((tree_idx, idx));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a, b inputs; n = nand(a,b); i1 = inv(n); i2 = inv(n);
+    /// outputs from i1 and i2 — n is a multi-fanout vertex.
+    fn diamond() -> (SubjectGraph, GateId, GateId, GateId) {
+        let mut g = SubjectGraph::without_hashing();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n = g.add_nand2(a, b);
+        let i1 = g.add_inv(n);
+        let i2 = g.add_inv(n);
+        g.add_output("o1", i1);
+        g.add_output("o2", i2);
+        (g, n, i1, i2)
+    }
+
+    fn uniform_positions(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn dagon_breaks_at_multifanout() {
+        let (g, n, i1, i2) = diamond();
+        let f = partition(&g, PartitionScheme::Dagon, &[]);
+        // three trees: one rooted at n, one at i1, one at i2
+        assert_eq!(f.trees.len(), 3);
+        assert!(f.father[n.index()].is_none());
+        let roots: Vec<GateId> = f.trees.iter().map(|t| t.root_gate).collect();
+        assert!(roots.contains(&n) && roots.contains(&i1) && roots.contains(&i2));
+        // the inverter trees see n as a leaf
+        for t in &f.trees {
+            if t.root_gate == i1 || t.root_gate == i2 {
+                assert!(t.nodes.iter().any(|nd| matches!(nd, TreeNode::Leaf { signal } if *signal == n)));
+            }
+        }
+    }
+
+    #[test]
+    fn dagon_keeps_single_fanout_chains_together() {
+        let mut g = SubjectGraph::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n = g.add_nand2(a, b);
+        let i = g.add_inv(n);
+        g.add_output("o", i);
+        let f = partition(&g, PartitionScheme::Dagon, &[]);
+        assert_eq!(f.trees.len(), 1);
+        assert_eq!(f.trees[0].root_gate, i);
+        assert_eq!(f.trees[0].num_internal(), 2);
+        // leaves are the two inputs
+        let leaves = f.trees[0]
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Leaf { .. }))
+            .count();
+        assert_eq!(leaves, 2);
+    }
+
+    #[test]
+    fn placement_driven_follows_nearest_fanout() {
+        let (g, n, i1, i2) = diamond();
+        // place i2 right next to n, i1 far away
+        let mut pos = uniform_positions(g.num_vertices());
+        pos[n.index()] = Point::new(10.0, 0.0);
+        pos[i1.index()] = Point::new(100.0, 0.0);
+        pos[i2.index()] = Point::new(11.0, 0.0);
+        let f = partition(&g, PartitionScheme::PlacementDriven, &pos);
+        assert_eq!(f.father[n.index()], Some(i2), "n must join its nearest fanout i2");
+        // trees rooted at i1 and i2 only; n is internal to i2's tree
+        assert_eq!(f.trees.len(), 2);
+        let (t, _) = f.host[n.index()].unwrap();
+        assert_eq!(f.trees[t as usize].root_gate, i2);
+        // i1's tree references n as a leaf
+        let t1 = f.trees.iter().find(|t| t.root_gate == i1).unwrap();
+        assert!(t1.nodes.iter().any(|nd| matches!(nd, TreeNode::Leaf { signal } if *signal == n)));
+    }
+
+    #[test]
+    fn placement_driven_is_order_independent_but_position_dependent() {
+        let (g, n, i1, i2) = diamond();
+        let mut pos = uniform_positions(g.num_vertices());
+        // flip the geometry: i1 near, i2 far
+        pos[n.index()] = Point::new(10.0, 0.0);
+        pos[i1.index()] = Point::new(11.0, 0.0);
+        pos[i2.index()] = Point::new(100.0, 0.0);
+        let f = partition(&g, PartitionScheme::PlacementDriven, &pos);
+        assert_eq!(f.father[n.index()], Some(i1));
+    }
+
+    #[test]
+    fn cone_scheme_absorbs_by_dfs_order() {
+        let (g, n, i1, _i2) = diamond();
+        let f = partition(&g, PartitionScheme::Cone, &[]);
+        // DFS starts from o1 (declared first), so n joins i1's cone
+        assert_eq!(f.father[n.index()], Some(i1));
+        assert_eq!(f.trees.len(), 2);
+    }
+
+    #[test]
+    fn every_gate_hosted_exactly_once() {
+        let (g, ..) = diamond();
+        for scheme in [PartitionScheme::Dagon, PartitionScheme::Cone] {
+            let f = partition(&g, scheme, &[]);
+            for id in g.ids() {
+                match g.kind(id) {
+                    BaseKind::Input => assert!(f.host[id.index()].is_none()),
+                    _ => {
+                        let (t, nidx) = f.host[id.index()].expect("gate hosted");
+                        let node = &f.trees[t as usize].nodes[nidx as usize];
+                        match node {
+                            TreeNode::Inv { gate, .. } | TreeNode::Nand { gate, .. } => {
+                                assert_eq!(*gate, id)
+                            }
+                            TreeNode::Leaf { .. } => panic!("host must be internal"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nand_of_same_signal_becomes_leaf_on_second_slot() {
+        let mut g = SubjectGraph::without_hashing();
+        let a = g.add_input("a");
+        let i = g.add_inv(a);
+        let n = g.add_nand2(i, i);
+        g.add_output("o", n);
+        let f = partition(&g, PartitionScheme::Dagon, &[]);
+        // i has fanout 2 (two slots of n) -> it is its own root in DAGON
+        let t = f.trees.iter().find(|t| t.root_gate == n).unwrap();
+        let leaves = t
+            .nodes
+            .iter()
+            .filter(|nd| matches!(nd, TreeNode::Leaf { signal } if *signal == i))
+            .count();
+        assert_eq!(leaves, 2);
+    }
+
+    #[test]
+    fn roots_are_last_nodes() {
+        let (g, ..) = diamond();
+        let f = partition(&g, PartitionScheme::Dagon, &[]);
+        for t in &f.trees {
+            match &t.nodes[t.root() as usize] {
+                TreeNode::Inv { gate, .. } | TreeNode::Nand { gate, .. } => {
+                    assert_eq!(*gate, t.root_gate)
+                }
+                TreeNode::Leaf { .. } => panic!("root cannot be a leaf"),
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The three synthesis flows compared by the paper, plus the shared
+//! front end.
+
+use casyn_core::{buffer_fanout, map, BufferOptions, CostKind, MapOptions, MapStats, PartitionScheme};
+use casyn_library::{corelib018, Library};
+use casyn_logic::{decompose, optimize, OptimizeOptions};
+use casyn_netlist::mapped::MappedNetlist;
+use casyn_netlist::network::Network;
+use casyn_netlist::subject::SubjectGraph;
+use casyn_netlist::Point;
+use casyn_place::instance::assign_mapped_ports;
+use casyn_place::{legalize_rows, place_subject, Floorplan, PlacerOptions};
+use casyn_route::{route_mapped, RouteConfig, RouteResult};
+use casyn_timing::{analyze_routed, StaResult, TimingConfig};
+
+/// Options shared by all flows.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// The cell library (defaults to [`corelib018`]).
+    pub lib: Library,
+    /// Placement tuning.
+    pub placer: PlacerOptions,
+    /// Routing technology and negotiation parameters.
+    pub route: RouteConfig,
+    /// STA parameters.
+    pub timing: TimingConfig,
+    /// A fixed floorplan; when `None`, one is derived from the min-area
+    /// cell area at `target_utilization`.
+    pub floorplan: Option<Floorplan>,
+    /// Target utilization used when deriving a floorplan (the paper's
+    /// SPLA experiment sits at 61.1% for K = 0).
+    pub target_utilization: f64,
+    /// Technology-independent optimization effort (the "SIS" phase);
+    /// `None` skips extraction.
+    pub optimize: Option<OptimizeOptions>,
+    /// Post-mapping fanout buffering (`None` = off). Splits high-fanout
+    /// nets with buffer trees before legalization.
+    pub buffering: Option<BufferOptions>,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            lib: corelib018(),
+            placer: PlacerOptions::default(),
+            route: RouteConfig::default(),
+            timing: TimingConfig::default(),
+            floorplan: None,
+            target_utilization: 0.611,
+            optimize: None,
+            buffering: None,
+        }
+    }
+}
+
+/// The shared front end: optimized network, subject graph, initial
+/// placement and floorplan. The paper stresses that "the technology
+/// independent netlist and its placement are generated only once" — reuse
+/// one `Prepared` across every K.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The subject graph (NAND2/INV).
+    pub graph: SubjectGraph,
+    /// One position per subject vertex (the initial placement).
+    pub positions: Vec<Point>,
+    /// The floorplan all mappings are evaluated against.
+    pub floorplan: Floorplan,
+    /// Base-gate count (the paper's benchmark size metric).
+    pub base_gates: usize,
+}
+
+/// The outcome of a full flow on one netlist.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The mapped netlist with legalized positions.
+    pub netlist: MappedNetlist,
+    /// The floorplan used.
+    pub floorplan: Floorplan,
+    /// Total cell area (µm²) — the tables' "Cell Area".
+    pub cell_area: f64,
+    /// Instance count — the tables' "No. of Cells".
+    pub num_cells: usize,
+    /// Cell area / die area × 100 — the tables' "Area Utilization%".
+    pub utilization_pct: f64,
+    /// Global-routing outcome; `route.violations` is the tables'
+    /// "No. of Routing violations".
+    pub route: RouteResult,
+    /// Static timing analysis of the routed netlist.
+    pub sta: StaResult,
+    /// Mapper statistics.
+    pub map_stats: MapStats,
+}
+
+/// Runs the front end: optional extraction, decomposition, floorplan
+/// derivation and the initial placement of the unbound netlist.
+pub fn prepare(network: &Network, opts: &FlowOptions) -> Prepared {
+    let mut network = network.clone();
+    if let Some(eff) = &opts.optimize {
+        optimize(&mut network, eff);
+    }
+    let dec = decompose(&network);
+    let (graph, _) = dec.graph.sweep();
+    let base_gates = graph.num_gates();
+    let floorplan = match opts.floorplan {
+        Some(fp) => fp,
+        None => derive_floorplan(&graph, opts),
+    };
+    let positions = place_subject(&graph, &floorplan, &opts.placer);
+    Prepared { graph, positions, floorplan, base_gates }
+}
+
+/// Derives a floorplan by running a throwaway min-area mapping to learn
+/// the cell area, then sizing a square die at the target utilization.
+fn derive_floorplan(graph: &SubjectGraph, opts: &FlowOptions) -> Floorplan {
+    let dummy = vec![Point::default(); graph.num_vertices()];
+    let r = map(graph, &dummy, &opts.lib, &MapOptions::default());
+    Floorplan::with_area(r.netlist.cell_area() / opts.target_utilization, 1.0)
+}
+
+/// Maps a prepared design with explicit mapper options and runs
+/// legalization, routing and STA.
+pub fn full_flow(prep: &Prepared, map_opts: &MapOptions, opts: &FlowOptions) -> FlowResult {
+    let r = map(&prep.graph, &prep.positions, &opts.lib, map_opts);
+    let mut nl = r.netlist;
+    if let Some(buf) = &opts.buffering {
+        buffer_fanout(&mut nl, &opts.lib, buf);
+    }
+    assign_mapped_ports(&mut nl, &prep.floorplan);
+    // legalize the centre-of-mass seeds into rows
+    let desired: Vec<Point> = nl.cells().iter().map(|c| c.pos).collect();
+    let widths: Vec<f64> = nl.cells().iter().map(|c| c.width).collect();
+    let legal = legalize_rows(&desired, &widths, &prep.floorplan);
+    for (cell, p) in nl.cells_mut().iter_mut().zip(&legal.pos) {
+        cell.pos = *p;
+    }
+    let route = route_mapped(&nl, &prep.floorplan, &opts.route);
+    // STA sees the congestion of the achieved routing: every net uses its
+    // measured routed length, so congested nets pay their detours
+    let sta = analyze_routed(&nl, &opts.lib, &opts.timing, &route.net_wirelength);
+    FlowResult {
+        cell_area: nl.cell_area(),
+        num_cells: nl.num_cells(),
+        utilization_pct: prep.floorplan.utilization_pct(nl.cell_area()),
+        route,
+        sta,
+        map_stats: r.stats,
+        floorplan: prep.floorplan,
+        netlist: nl,
+    }
+}
+
+/// The paper's baseline: DAGON — multi-fanout tree partitioning, minimum
+/// cell area, congestion-oblivious.
+pub fn dagon_flow(network: &Network, opts: &FlowOptions) -> FlowResult {
+    let prep = prepare(network, opts);
+    full_flow(
+        &prep,
+        &MapOptions { scheme: PartitionScheme::Dagon, cost: CostKind::Area, ..Default::default() },
+        opts,
+    )
+}
+
+/// The "SIS" flow: aggressive technology-independent extraction (maximum
+/// sharing, minimum literals) followed by cone-partitioned minimum-area
+/// mapping. Produces the smallest cell area and the worst congestion, as
+/// in the paper's Tables 1 and 2.
+pub fn sis_flow(network: &Network, opts: &FlowOptions) -> FlowResult {
+    let mut o = opts.clone();
+    if o.optimize.is_none() {
+        o.optimize = Some(OptimizeOptions::default());
+    }
+    let prep = prepare(network, &o);
+    full_flow(
+        &prep,
+        &MapOptions { scheme: PartitionScheme::Cone, cost: CostKind::Area, ..Default::default() },
+        &o,
+    )
+}
+
+/// The paper's congestion-aware flow: placement-driven partitioning and
+/// `AREA + K·WIRE` covering. `K = 0` degenerates to minimum-area
+/// covering (the paper's "DAGON (K = 0.0)" baseline rows).
+pub fn congestion_flow(network: &Network, k: f64, opts: &FlowOptions) -> FlowResult {
+    let prep = prepare(network, opts);
+    congestion_flow_prepared(&prep, k, opts)
+}
+
+/// [`congestion_flow`] over an already-prepared design; use this to share
+/// the placement across a K sweep.
+pub fn congestion_flow_prepared(prep: &Prepared, k: f64, opts: &FlowOptions) -> FlowResult {
+    full_flow(
+        prep,
+        &MapOptions {
+            scheme: PartitionScheme::PlacementDriven,
+            cost: CostKind::AreaWire { k },
+            ..Default::default()
+        },
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casyn_netlist::bench::{random_pla, PlaGenConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_net() -> Network {
+        random_pla(&PlaGenConfig {
+            inputs: 10,
+            outputs: 6,
+            terms: 40,
+            min_literals: 3,
+            max_literals: 6,
+            mean_outputs_per_term: 1.4,
+            seed: 42,
+        })
+        .to_network()
+    }
+
+    #[test]
+    fn full_flow_produces_consistent_result() {
+        let net = small_net();
+        let opts = FlowOptions::default();
+        let r = congestion_flow(&net, 0.001, &opts);
+        assert_eq!(r.num_cells, r.netlist.num_cells());
+        assert!((r.cell_area - r.netlist.cell_area()).abs() < 1e-9);
+        assert!(r.utilization_pct > 10.0 && r.utilization_pct < 100.0);
+        assert!(r.sta.critical_arrival() > 0.0);
+    }
+
+    #[test]
+    fn flows_preserve_function() {
+        let net = small_net();
+        let opts = FlowOptions::default();
+        let lib = &opts.lib;
+        let mut rng = StdRng::seed_from_u64(9);
+        for r in [
+            dagon_flow(&net, &opts),
+            sis_flow(&net, &opts),
+            congestion_flow(&net, 0.005, &opts),
+        ] {
+            for _ in 0..64 {
+                let asg: Vec<bool> = (0..10).map(|_| rng.gen()).collect();
+                assert_eq!(
+                    net.simulate_outputs(&asg),
+                    r.netlist.simulate_outputs_with(|c, p| lib.eval_cell(c, p), &asg),
+                    "flow output mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sis_flow_has_smaller_area_than_dagon() {
+        let net = small_net();
+        let opts = FlowOptions::default();
+        let sis = sis_flow(&net, &opts);
+        let dagon = dagon_flow(&net, &opts);
+        assert!(
+            sis.cell_area < dagon.cell_area,
+            "extraction must reduce area: sis {} vs dagon {}",
+            sis.cell_area,
+            dagon.cell_area
+        );
+    }
+
+    #[test]
+    fn shared_prepared_reuses_placement() {
+        let net = small_net();
+        let opts = FlowOptions::default();
+        let prep = prepare(&net, &opts);
+        let a = congestion_flow_prepared(&prep, 0.0, &opts);
+        let b = congestion_flow_prepared(&prep, 0.0, &opts);
+        assert_eq!(a.num_cells, b.num_cells);
+        assert_eq!(a.route.violations, b.route.violations);
+    }
+
+    #[test]
+    fn larger_k_does_not_decrease_area() {
+        let net = small_net();
+        let opts = FlowOptions::default();
+        let prep = prepare(&net, &opts);
+        let a0 = congestion_flow_prepared(&prep, 0.0, &opts).cell_area;
+        let a1 = congestion_flow_prepared(&prep, 10.0, &opts).cell_area;
+        assert!(a1 >= a0, "huge K must trade area: {a1} vs {a0}");
+    }
+
+    #[test]
+    fn buffering_bounds_fanout_and_preserves_function() {
+        use casyn_core::max_fanout;
+        let net = small_net();
+        let opts = FlowOptions {
+            buffering: Some(BufferOptions { max_fanout: 12, sinks_per_buffer: 6 }),
+            ..Default::default()
+        };
+        let r = congestion_flow(&net, 0.1, &opts);
+        assert!(max_fanout(&r.netlist) <= 12);
+        let lib = &opts.lib;
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..32 {
+            let asg: Vec<bool> = (0..10).map(|_| rng.gen()).collect();
+            assert_eq!(
+                net.simulate_outputs(&asg),
+                r.netlist.simulate_outputs_with(|c, p| lib.eval_cell(c, p), &asg)
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_floorplan_is_respected() {
+        let net = small_net();
+        let fp = Floorplan::with_rows_and_area(40, 40.0 * 6.4 * 300.0);
+        let opts = FlowOptions { floorplan: Some(fp), ..Default::default() };
+        let r = dagon_flow(&net, &opts);
+        assert_eq!(r.floorplan, fp);
+    }
+}

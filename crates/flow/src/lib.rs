@@ -1,0 +1,32 @@
+//! End-to-end congestion-aware synthesis flows.
+//!
+//! This crate wires the whole stack into the experiments of the paper:
+//! technology-independent optimization → NAND2/INV decomposition → initial
+//! placement of the unbound netlist → (congestion-aware) technology
+//! mapping → seeded legalization → global routing → static timing
+//! analysis.
+//!
+//! * [`flows`] — the three synthesis flows compared in the paper
+//!   (`sis_flow`, `dagon_flow`, `congestion_flow`) and the shared
+//!   [`flows::Prepared`] front end.
+//! * [`sweep`] — the K sweep behind Tables 2 and 4.
+//! * [`methodology`] — the modified ASIC design flow of Fig. 3 (increase
+//!   K until the congestion map is acceptable).
+//! * [`seq`] — sequential designs: flip-flop pass-through around the
+//!   combinational flow, with clocked STA.
+//! * [`report`] — table formatting that mirrors the paper's layout.
+
+pub mod flows;
+pub mod methodology;
+pub mod report;
+pub mod seq;
+pub mod sweep;
+
+pub use flows::{
+    congestion_flow, congestion_flow_prepared, dagon_flow, full_flow, prepare, sis_flow,
+    FlowOptions, FlowResult, Prepared,
+};
+pub use methodology::{run_methodology, run_methodology_prepared, MethodologyResult, MethodologyStep};
+pub use report::{format_k_sweep_table, format_routing_table, format_sta_table};
+pub use seq::{sequential_flow, simulate_mapped_seq, SeqFlowResult};
+pub use sweep::{find_min_routable_k, k_sweep, k_sweep_prepared, KSweepEntry, PAPER_K_VALUES};

@@ -1,0 +1,130 @@
+//! Table formatting mirroring the paper's layout.
+
+use crate::flows::FlowResult;
+use crate::sweep::KSweepEntry;
+
+/// Formats a K-sweep as the paper's Table 2/4 layout:
+/// `K | Cell Area (µm²) | No. of Cells | Area Utilization% | No. of
+/// Routing violations`.
+pub fn format_k_sweep_table(title: &str, rows: &[KSweepEntry]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n"));
+    s.push_str(&format!(
+        "{:>10}  {:>14}  {:>12}  {:>18}  {:>22}\n",
+        "K", "Cell Area (um2)", "No. of Cells", "Area Utilization%", "No. of Routing viol."
+    ));
+    for row in rows {
+        let r = &row.result;
+        s.push_str(&format!(
+            "{:>10}  {:>14.0}  {:>12}  {:>18.2}  {:>22}\n",
+            trim_k(row.k),
+            r.cell_area,
+            r.num_cells,
+            r.utilization_pct,
+            r.route.violations
+        ));
+    }
+    s
+}
+
+/// Formats named flow results as the paper's Table 1 layout:
+/// `flow | Cell Area | No. of Rows | Area Utilization% | Routing
+/// violations`.
+pub fn format_routing_table(title: &str, rows: &[(&str, &FlowResult)]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n"));
+    s.push_str(&format!(
+        "{:>8}  {:>14}  {:>12}  {:>18}  {:>22}\n",
+        "", "Cell Area (um2)", "No. of Rows", "Area Utilization%", "No. of Routing viol."
+    ));
+    for (name, r) in rows {
+        s.push_str(&format!(
+            "{:>8}  {:>14.0}  {:>12}  {:>18.2}  {:>22}\n",
+            name,
+            r.cell_area,
+            r.floorplan.num_rows,
+            r.utilization_pct,
+            r.route.violations
+        ));
+    }
+    s
+}
+
+/// Formats STA comparisons as the paper's Table 3/5 layout:
+/// `flow | Critical Path + Arrival | Chip Area / rows`.
+pub fn format_sta_table(title: &str, rows: &[(&str, &FlowResult)]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n"));
+    s.push_str(&format!(
+        "{:>8}  {:>34}  {:>14}  {:>20}\n",
+        "", "Critical Path (arrival ns)", "Chip Area (um2)", "No. of rows"
+    ));
+    for (name, r) in rows {
+        s.push_str(&format!(
+            "{:>8}  {:>24} {:>9.2}  {:>14.0}  {:>20}\n",
+            name,
+            r.sta.critical_endpoints(),
+            r.sta.critical_arrival(),
+            r.floorplan.die_area(),
+            r.floorplan.num_rows
+        ));
+    }
+    s
+}
+
+fn trim_k(k: f64) -> String {
+    if k == 0.0 {
+        "0.0".to_string()
+    } else {
+        format!("{k}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::{congestion_flow, FlowOptions};
+    use casyn_netlist::bench::{random_pla, PlaGenConfig};
+
+    fn one_result() -> FlowResult {
+        let net = random_pla(&PlaGenConfig {
+            inputs: 8,
+            outputs: 4,
+            terms: 16,
+            min_literals: 2,
+            max_literals: 4,
+            mean_outputs_per_term: 1.3,
+            seed: 3,
+        })
+        .to_network();
+        congestion_flow(&net, 0.001, &FlowOptions::default())
+    }
+
+    #[test]
+    fn k_sweep_table_has_header_and_rows() {
+        let r = one_result();
+        let rows = vec![KSweepEntry { k: 0.001, result: r }];
+        let s = format_k_sweep_table("Table 2. test", &rows);
+        assert!(s.contains("Table 2. test"));
+        assert!(s.contains("Cell Area"));
+        assert!(s.lines().count() == 3);
+        assert!(s.contains("0.001"));
+    }
+
+    #[test]
+    fn routing_and_sta_tables_render() {
+        let r = one_result();
+        let t1 = format_routing_table("Table 1", &[("SIS", &r), ("DAGON", &r)]);
+        assert!(t1.contains("SIS") && t1.contains("DAGON"));
+        assert_eq!(t1.lines().count(), 4);
+        let t3 = format_sta_table("Table 3", &[("0.0", &r)]);
+        assert!(t3.contains("(in)") && t3.contains("(out)"));
+    }
+
+    #[test]
+    fn k_formatting() {
+        assert_eq!(trim_k(0.0), "0.0");
+        assert_eq!(trim_k(0.0001), "0.0001");
+        assert_eq!(trim_k(1.0), "1");
+    }
+}

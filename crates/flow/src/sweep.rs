@@ -1,0 +1,139 @@
+//! The K sweep behind the paper's Tables 2 and 4.
+
+use crate::flows::{congestion_flow_prepared, prepare, FlowOptions, FlowResult, Prepared};
+use casyn_netlist::network::Network;
+
+/// The K values the paper sweeps in Tables 2 and 4.
+pub const PAPER_K_VALUES: [f64; 14] = [
+    0.0, 0.0001, 0.00025, 0.0005, 0.00075, 0.001, 0.0025, 0.005, 0.0075, 0.01, 0.05, 0.1, 0.5,
+    1.0,
+];
+
+/// One row of a K-sweep table.
+#[derive(Debug, Clone)]
+pub struct KSweepEntry {
+    /// The congestion minimization factor.
+    pub k: f64,
+    /// The flow outcome at this K.
+    pub result: FlowResult,
+}
+
+/// Runs the congestion-aware flow at every K over one shared technology-
+/// independent netlist and placement (generated once, as the paper's
+/// methodology prescribes).
+pub fn k_sweep(network: &Network, ks: &[f64], opts: &FlowOptions) -> Vec<KSweepEntry> {
+    let prep = prepare(network, opts);
+    k_sweep_prepared(&prep, ks, opts)
+}
+
+/// [`k_sweep`] over an existing [`Prepared`] design.
+pub fn k_sweep_prepared(prep: &Prepared, ks: &[f64], opts: &FlowOptions) -> Vec<KSweepEntry> {
+    ks.iter()
+        .map(|&k| KSweepEntry { k, result: congestion_flow_prepared(prep, k, opts) })
+        .collect()
+}
+
+/// Searches for the smallest K whose mapping routes without violations —
+/// the designer loop of the paper's Section 5 ("by increasing K,
+/// efficiently generate solutions which are potentially less congested"),
+/// automated. Probes a geometric ladder from `k_min` to `k_max`, then
+/// bisects between the last failing and first passing rungs. Returns the
+/// winning entry, or `None` when even `k_max` does not route.
+pub fn find_min_routable_k(
+    prep: &Prepared,
+    opts: &FlowOptions,
+    k_min: f64,
+    k_max: f64,
+) -> Option<KSweepEntry> {
+    assert!(k_min > 0.0 && k_max > k_min, "need 0 < k_min < k_max");
+    // geometric ladder
+    let mut lo = 0.0f64; // last known failing K (0 = untested baseline)
+    let mut best: Option<(f64, crate::flows::FlowResult)> = None;
+    let mut k = k_min;
+    while k <= k_max * 1.0001 {
+        let r = congestion_flow_prepared(prep, k, opts);
+        if r.route.violations == 0 {
+            best = Some((k, r));
+            break;
+        }
+        lo = k;
+        k *= 2.0;
+    }
+    let (mut hi_k, mut hi_r) = best?;
+    // bisect (on a log-ish scale) to tighten the boundary
+    for _ in 0..4 {
+        let mid = if lo == 0.0 { hi_k / 2.0 } else { (lo * hi_k).sqrt() };
+        if mid <= 0.0 || mid >= hi_k {
+            break;
+        }
+        let r = congestion_flow_prepared(prep, mid, opts);
+        if r.route.violations == 0 {
+            hi_k = mid;
+            hi_r = r;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(KSweepEntry { k: hi_k, result: hi_r })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casyn_netlist::bench::{random_pla, PlaGenConfig};
+
+    fn small_net() -> Network {
+        random_pla(&PlaGenConfig {
+            inputs: 10,
+            outputs: 6,
+            terms: 36,
+            min_literals: 3,
+            max_literals: 6,
+            mean_outputs_per_term: 1.5,
+            seed: 5,
+        })
+        .to_network()
+    }
+
+    #[test]
+    fn sweep_produces_one_entry_per_k() {
+        let net = small_net();
+        let opts = FlowOptions::default();
+        let ks = [0.0, 0.01, 1.0];
+        let rows = k_sweep(&net, &ks, &opts);
+        assert_eq!(rows.len(), 3);
+        for (row, k) in rows.iter().zip(ks) {
+            assert_eq!(row.k, k);
+        }
+    }
+
+    #[test]
+    fn area_is_monotone_nondecreasing_at_table_scale_ks() {
+        // the paper's Table 2: cell area rises with K (after the flat
+        // region); on a small design we assert the ends of the range
+        let net = small_net();
+        let opts = FlowOptions::default();
+        let rows = k_sweep(&net, &[0.0, 10.0], &opts);
+        assert!(rows[1].result.cell_area >= rows[0].result.cell_area);
+    }
+
+    #[test]
+    fn min_routable_k_finds_a_routable_point() {
+        let net = small_net();
+        // generous die: everything routes, so the search returns k_min
+        let opts = FlowOptions { target_utilization: 0.35, ..Default::default() };
+        let prep = crate::flows::prepare(&net, &opts);
+        let found = find_min_routable_k(&prep, &opts, 0.01, 16.0)
+            .expect("a routable K must exist on a loose die");
+        assert_eq!(found.result.route.violations, 0);
+        assert!(found.k <= 0.01 * 1.0001);
+    }
+
+    #[test]
+    fn paper_k_values_are_sorted_and_start_at_zero() {
+        assert_eq!(PAPER_K_VALUES[0], 0.0);
+        for w in PAPER_K_VALUES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

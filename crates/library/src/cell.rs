@@ -1,0 +1,299 @@
+//! Cells and libraries.
+
+use crate::pattern::PatternTree;
+use crate::{ROW_HEIGHT, SITE_AREA};
+use std::fmt;
+
+/// One library cell master.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Master name (e.g. `ND2`).
+    pub name: String,
+    /// Footprint area in square micrometres.
+    pub area: f64,
+    /// Footprint width in micrometres (`area / ROW_HEIGHT`).
+    pub width: f64,
+    /// Number of input pins.
+    pub num_pins: usize,
+    /// Input pin capacitance in picofarads (identical for all pins of the
+    /// master in this model).
+    pub pin_cap: f64,
+    /// Intrinsic delay in nanoseconds.
+    pub intrinsic: f64,
+    /// Drive resistance in ns/pF: `delay = intrinsic + drive_res × load`.
+    pub drive_res: f64,
+    /// Pattern trees in NAND2/INV form. The first is the canonical
+    /// function; all patterns of one cell must be logically equivalent.
+    pub patterns: Vec<PatternTree>,
+    /// True for sequential masters (flip-flops): excluded from
+    /// technology-mapping pattern matching; their `patterns[0]` describes
+    /// the combinational D→Q view used for single-cycle simulation.
+    pub sequential: bool,
+    /// Clock-to-output delay in nanoseconds (sequential cells only).
+    pub clk_to_q: f64,
+    /// Setup requirement at the data pin in nanoseconds (sequential cells
+    /// only).
+    pub setup: f64,
+}
+
+impl Cell {
+    /// Builds a cell from `sites` placement sites of area and a list of
+    /// equivalent patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty, a pattern is not a linear tree, or
+    /// the patterns disagree on pin count or truth table (checked
+    /// exhaustively; pins are at most 8 in practice).
+    pub fn new(
+        name: impl Into<String>,
+        sites: f64,
+        pin_cap: f64,
+        intrinsic: f64,
+        drive_res: f64,
+        patterns: Vec<PatternTree>,
+    ) -> Self {
+        assert!(!patterns.is_empty(), "cell needs at least one pattern");
+        let num_pins = patterns[0].num_pins();
+        for p in &patterns {
+            assert!(p.is_linear(), "pattern must use each pin exactly once: {p}");
+            assert_eq!(p.num_pins(), num_pins, "patterns disagree on pin count");
+        }
+        assert!(num_pins <= 16, "too many pins for truth-table verification");
+        for m in 0..(1u32 << num_pins) {
+            let pins: Vec<bool> = (0..num_pins).map(|i| m >> i & 1 == 1).collect();
+            let v0 = patterns[0].eval(&pins);
+            for p in &patterns[1..] {
+                assert_eq!(p.eval(&pins), v0, "patterns of one cell must be equivalent");
+            }
+        }
+        let area = sites * SITE_AREA;
+        Cell {
+            name: name.into(),
+            area,
+            width: area / ROW_HEIGHT,
+            num_pins,
+            pin_cap,
+            intrinsic,
+            drive_res,
+            patterns,
+            sequential: false,
+            clk_to_q: 0.0,
+            setup: 0.0,
+        }
+    }
+
+    /// Builds a sequential (D flip-flop) master. The single data pin's
+    /// combinational view is the identity function (`Q = D` after a
+    /// clock edge), used for cycle-by-cycle simulation; the mapper never
+    /// matches sequential masters.
+    pub fn new_dff(
+        name: impl Into<String>,
+        sites: f64,
+        pin_cap: f64,
+        clk_to_q: f64,
+        setup: f64,
+        drive_res: f64,
+    ) -> Self {
+        let mut c = Cell::new(
+            name,
+            sites,
+            pin_cap,
+            clk_to_q,
+            drive_res,
+            vec![PatternTree::inv(PatternTree::inv(PatternTree::leaf(0)))],
+        );
+        c.sequential = true;
+        c.clk_to_q = clk_to_q;
+        c.setup = setup;
+        c
+    }
+
+    /// Evaluates the cell function on pin values.
+    pub fn eval(&self, pins: &[bool]) -> bool {
+        self.patterns[0].eval(pins)
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} pins, {:.3} um^2)", self.name, self.num_pins, self.area)
+    }
+}
+
+/// An ordered collection of cell masters.
+#[derive(Debug, Clone, Default)]
+pub struct Library {
+    name: String,
+    cells: Vec<Cell>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new(name: impl Into<String>) -> Self {
+        Library { name: name.into(), cells: Vec::new() }
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a cell and returns its index (the id stored in mapped
+    /// netlists).
+    pub fn push(&mut self, cell: Cell) -> u32 {
+        let id = self.cells.len() as u32;
+        self.cells.push(cell);
+        id
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The cell with index `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell(&self, id: u32) -> &Cell {
+        &self.cells[id as usize]
+    }
+
+    /// Looks a cell up by name.
+    pub fn find(&self, name: &str) -> Option<u32> {
+        self.cells.iter().position(|c| c.name == name).map(|i| i as u32)
+    }
+
+    /// Evaluates cell `id` on pin values — the closure shape expected by
+    /// [`casyn_netlist::mapped::MappedNetlist::simulate_outputs_with`].
+    pub fn eval_cell(&self, id: u32, pins: &[bool]) -> bool {
+        self.cell(id).eval(pins)
+    }
+
+    /// The inverter: the smallest single-pin cell. Mapping requires one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no inverter.
+    pub fn inverter(&self) -> u32 {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.num_pins == 1 && !c.eval(&[true]) && c.eval(&[false])
+            })
+            .min_by(|a, b| a.1.area.total_cmp(&b.1.area))
+            .map(|(i, _)| i as u32)
+            .expect("library must contain an inverter")
+    }
+
+    /// The smallest sequential (flip-flop) master, if any.
+    pub fn dff(&self) -> Option<u32> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.sequential)
+            .min_by(|a, b| a.1.area.total_cmp(&b.1.area))
+            .map(|(i, _)| i as u32)
+    }
+
+    /// The two-input NAND with the smallest area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no NAND2.
+    pub fn nand2(&self) -> u32 {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.num_pins == 2
+                    && c.eval(&[false, false])
+                    && c.eval(&[true, false])
+                    && c.eval(&[false, true])
+                    && !c.eval(&[true, true])
+            })
+            .min_by(|a, b| a.1.area.total_cmp(&b.1.area))
+            .map(|(i, _)| i as u32)
+            .expect("library must contain a two-input NAND")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PatternTree as P;
+
+    fn inv_cell() -> Cell {
+        Cell::new("IV", 2.0, 0.003, 0.03, 2.0, vec![P::inv(P::leaf(0))])
+    }
+
+    fn nand2_cell() -> Cell {
+        Cell::new("ND2", 3.0, 0.004, 0.05, 2.2, vec![P::nand(P::leaf(0), P::leaf(1))])
+    }
+
+    #[test]
+    fn cell_area_and_width() {
+        let c = inv_cell();
+        assert!((c.area - 8.192).abs() < 1e-9);
+        assert!((c.width - 1.28).abs() < 1e-9);
+        assert_eq!(c.num_pins, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equivalent")]
+    fn inconsistent_patterns_rejected() {
+        Cell::new(
+            "BAD",
+            2.0,
+            0.003,
+            0.03,
+            2.0,
+            vec![P::inv(P::leaf(0)), P::leaf(0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly once")]
+    fn nonlinear_pattern_rejected() {
+        Cell::new("BAD", 2.0, 0.003, 0.03, 2.0, vec![P::nand(P::leaf(0), P::leaf(0))]);
+    }
+
+    #[test]
+    fn dff_master() {
+        let dff = Cell::new_dff("DFF", 8.0, 0.004, 0.25, 0.15, 1.5);
+        assert!(dff.sequential);
+        assert_eq!(dff.num_pins, 1);
+        assert!(dff.eval(&[true]));
+        assert!(!dff.eval(&[false]));
+        assert!((dff.clk_to_q - 0.25).abs() < 1e-12);
+        let mut lib = Library::new("t");
+        assert_eq!(lib.dff(), None);
+        let id = lib.push(dff);
+        assert_eq!(lib.dff(), Some(id));
+    }
+
+    #[test]
+    fn library_lookup_and_classification() {
+        let mut lib = Library::new("test");
+        let iv = lib.push(inv_cell());
+        let nd = lib.push(nand2_cell());
+        assert_eq!(lib.find("IV"), Some(iv));
+        assert_eq!(lib.find("ND2"), Some(nd));
+        assert_eq!(lib.find("XX"), None);
+        assert_eq!(lib.inverter(), iv);
+        assert_eq!(lib.nand2(), nd);
+        assert!(lib.eval_cell(iv, &[false]));
+        assert!(!lib.eval_cell(nd, &[true, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverter")]
+    fn missing_inverter_panics() {
+        let mut lib = Library::new("test");
+        lib.push(nand2_cell());
+        lib.inverter();
+    }
+}

@@ -1,0 +1,200 @@
+//! The built-in synthetic 0.18 µm-class library.
+//!
+//! Stands in for STMicroelectronics' CORELIB8DHS 2.0 (proprietary). Cell
+//! areas are integer numbers of placement sites tuned so the paper's
+//! Figure 1 example reproduces exactly; timing parameters are typical
+//! 0.18 µm values for a linear `intrinsic + drive_res × load` model.
+//!
+//! XOR/XNOR masters are deliberately absent: their NAND2/INV forms use an
+//! input pin twice, so a tree-covering mapper (DAGON and this
+//! reimplementation alike) can never match them on a subject *tree*.
+
+use crate::cell::{Cell, Library};
+use crate::pattern::PatternTree as P;
+
+fn l(pin: u8) -> P {
+    P::leaf(pin)
+}
+
+/// Builds the `corelib018` library: inverters/buffers, NAND2–4, NOR2–3,
+/// AND2–3, OR2–3, AOI/OAI 21 and 22, AO21/OA21.
+pub fn corelib018() -> Library {
+    let mut lib = Library::new("corelib018");
+    // name, sites, pin_cap (pF), intrinsic (ns), drive_res (ns/pF), patterns
+    lib.push(Cell::new("IV", 2.0, 0.003, 0.04, 1.8, vec![P::inv(l(0))]));
+    lib.push(Cell::new("IVD2", 3.0, 0.005, 0.05, 0.9, vec![P::inv(l(0))]));
+    lib.push(Cell::new("BUF", 3.0, 0.003, 0.10, 0.8, vec![P::inv(P::inv(l(0)))]));
+    lib.push(Cell::new("ND2", 3.0, 0.004, 0.07, 2.0, vec![P::nand(l(0), l(1))]));
+    lib.push(Cell::new(
+        "ND3",
+        4.0,
+        0.0045,
+        0.09,
+        2.2,
+        vec![P::nand(l(0), P::inv(P::nand(l(1), l(2))))],
+    ));
+    lib.push(Cell::new(
+        "ND4",
+        5.0,
+        0.005,
+        0.12,
+        2.4,
+        vec![
+            P::nand(P::inv(P::nand(l(0), l(1))), P::inv(P::nand(l(2), l(3)))),
+            P::nand(l(0), P::inv(P::nand(l(1), P::inv(P::nand(l(2), l(3)))))),
+        ],
+    ));
+    lib.push(Cell::new(
+        "NR2",
+        3.0,
+        0.004,
+        0.08,
+        2.4,
+        vec![P::inv(P::nand(P::inv(l(0)), P::inv(l(1))))],
+    ));
+    lib.push(Cell::new(
+        "NR3",
+        4.0,
+        0.0045,
+        0.11,
+        2.8,
+        vec![P::inv(P::nand(
+            P::inv(l(0)),
+            P::inv(P::nand(P::inv(l(1)), P::inv(l(2)))),
+        ))],
+    ));
+    lib.push(Cell::new("AN2", 4.0, 0.0035, 0.12, 1.6, vec![P::and(l(0), l(1))]));
+    lib.push(Cell::new(
+        "AN3",
+        5.0,
+        0.004,
+        0.14,
+        1.6,
+        vec![P::inv(P::nand(l(0), P::inv(P::nand(l(1), l(2)))))],
+    ));
+    lib.push(Cell::new("OR2", 4.0, 0.0035, 0.13, 1.6, vec![P::or(l(0), l(1))]));
+    lib.push(Cell::new(
+        "OR3",
+        5.0,
+        0.004,
+        0.16,
+        1.6,
+        vec![P::nand(P::inv(l(0)), P::inv(P::or(l(1), l(2))))],
+    ));
+    lib.push(Cell::new(
+        "AOI21",
+        5.0,
+        0.0045,
+        0.10,
+        2.5,
+        vec![P::inv(P::nand(P::nand(l(0), l(1)), P::inv(l(2))))],
+    ));
+    lib.push(Cell::new(
+        "AOI22",
+        6.0,
+        0.005,
+        0.12,
+        2.7,
+        vec![P::inv(P::nand(P::nand(l(0), l(1)), P::nand(l(2), l(3))))],
+    ));
+    lib.push(Cell::new(
+        "OAI21",
+        5.0,
+        0.0045,
+        0.10,
+        2.5,
+        vec![P::nand(P::nand(P::inv(l(0)), P::inv(l(1))), l(2))],
+    ));
+    lib.push(Cell::new(
+        "OAI22",
+        6.0,
+        0.005,
+        0.12,
+        2.7,
+        vec![P::nand(
+            P::nand(P::inv(l(0)), P::inv(l(1))),
+            P::nand(P::inv(l(2)), P::inv(l(3))),
+        )],
+    ));
+    lib.push(Cell::new(
+        "AO21",
+        6.0,
+        0.004,
+        0.15,
+        1.7,
+        vec![P::nand(P::nand(l(0), l(1)), P::inv(l(2)))],
+    ));
+    lib.push(Cell::new_dff("DFF", 8.0, 0.004, 0.28, 0.15, 1.6));
+    lib.push(Cell::new(
+        "OA21",
+        6.0,
+        0.004,
+        0.15,
+        1.7,
+        vec![P::inv(P::nand(P::nand(P::inv(l(0)), P::inv(l(1))), l(2)))],
+    ));
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_cell_areas() {
+        let lib = corelib018();
+        let area = |n: &str| lib.cell(lib.find(n).unwrap()).area;
+        // Solution 1 of Figure 1: ND3 + AOI21 + 2 inverters = 53.248 um^2
+        let sol1 = area("ND3") + area("AOI21") + 2.0 * area("IV");
+        assert!((sol1 - 53.248).abs() < 1e-9, "sol1 = {sol1}");
+        // Solution 2: 2×OR2 + 2×ND2 + 1 inverter = 65.536 um^2
+        let sol2 = 2.0 * area("OR2") + 2.0 * area("ND2") + area("IV");
+        assert!((sol2 - 65.536).abs() < 1e-9, "sol2 = {sol2}");
+    }
+
+    #[test]
+    fn expected_truth_tables() {
+        let lib = corelib018();
+        let eval = |n: &str, pins: &[bool]| lib.eval_cell(lib.find(n).unwrap(), pins);
+        for m in 0..8u32 {
+            let a = m & 1 == 1;
+            let b = m & 2 == 2;
+            let c = m & 4 == 4;
+            assert_eq!(eval("ND3", &[a, b, c]), !(a && b && c));
+            assert_eq!(eval("NR3", &[a, b, c]), !(a || b || c));
+            assert_eq!(eval("AN3", &[a, b, c]), a && b && c);
+            assert_eq!(eval("OR3", &[a, b, c]), a || b || c);
+            assert_eq!(eval("AOI21", &[a, b, c]), !((a && b) || c));
+            assert_eq!(eval("OAI21", &[a, b, c]), !((a || b) && c));
+            assert_eq!(eval("AO21", &[a, b, c]), (a && b) || c);
+            assert_eq!(eval("OA21", &[a, b, c]), (a || b) && c);
+        }
+        for m in 0..16u32 {
+            let pins: Vec<bool> = (0..4).map(|i| m >> i & 1 == 1).collect();
+            let (a, b, c, d) = (pins[0], pins[1], pins[2], pins[3]);
+            assert_eq!(eval("ND4", &pins), !(a && b && c && d));
+            assert_eq!(eval("AOI22", &pins), !((a && b) || (c && d)));
+            assert_eq!(eval("OAI22", &pins), !((a || b) && (c || d)));
+        }
+    }
+
+    #[test]
+    fn inverter_and_nand2_classification() {
+        let lib = corelib018();
+        assert_eq!(lib.cell(lib.inverter()).name, "IV");
+        assert_eq!(lib.cell(lib.nand2()).name, "ND2");
+        assert_eq!(lib.cell(lib.dff().expect("corelib has a DFF")).name, "DFF");
+    }
+
+    #[test]
+    fn all_cells_have_verified_patterns() {
+        // Cell::new verifies pattern equivalence; building succeeds.
+        let lib = corelib018();
+        assert_eq!(lib.cells().len(), 19);
+        assert_eq!(lib.name(), "corelib018");
+        for c in lib.cells() {
+            assert!(c.area > 0.0 && c.width > 0.0);
+            assert!(c.num_pins >= 1 && c.num_pins <= 4);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Standard-cell library model for technology mapping.
+//!
+//! A [`Cell`] is described by one or more [`PatternTree`]s: NAND2/INV
+//! trees whose leaves are the cell's input pins. The mapper matches these
+//! patterns against subject-graph trees (DAGON-style) and the first
+//! pattern doubles as the cell's logic function for simulation and
+//! equivalence checking.
+//!
+//! [`corelib018`] builds the synthetic 0.18 µm-class library standing in
+//! for STMicroelectronics' proprietary CORELIB8DHS 2.0 used in the paper.
+//! Areas are multiples of one placement site (0.64 µm × 6.4 µm =
+//! 4.096 µm²), chosen so the worked example of the paper's Figure 1
+//! reproduces exactly: `ND3 + AOI21 + 2×IV = 53.248 µm²` and
+//! `2×OR2 + 2×ND2 + IV = 65.536 µm²`.
+
+pub mod cell;
+pub mod corelib;
+pub mod pattern;
+
+pub use cell::{Cell, Library};
+pub use corelib::corelib018;
+pub use pattern::PatternTree;
+
+/// Standard-cell row height in micrometres.
+pub const ROW_HEIGHT: f64 = 6.4;
+/// Placement site width in micrometres.
+pub const SITE_WIDTH: f64 = 0.64;
+/// Area of one placement site in square micrometres.
+pub const SITE_AREA: f64 = ROW_HEIGHT * SITE_WIDTH;
+/// Nominal footprint, in sites, of one technology-independent base gate
+/// (NAND2 or INV) on the layout image used for the companion placement.
+/// The paper notes base gates "essentially have the same size".
+pub const BASE_GATE_SITES: f64 = 3.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_area_is_figure1_unit() {
+        // 53.248 and 65.536 um^2 from Figure 1 are 13 and 16 sites
+        assert!((SITE_AREA - 4.096).abs() < 1e-12);
+        assert!((13.0 * SITE_AREA - 53.248).abs() < 1e-9);
+        assert!((16.0 * SITE_AREA - 65.536).abs() < 1e-9);
+    }
+}

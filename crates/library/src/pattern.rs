@@ -1,0 +1,186 @@
+//! Pattern trees: NAND2/INV trees over input pins.
+//!
+//! Every library cell is expressed as one or more pattern trees. A tree's
+//! leaves are the cell's input pins, each appearing exactly once; internal
+//! vertices are two-input NANDs and inverters — the same base functions as
+//! the subject graph, so matching is purely structural.
+
+use std::fmt;
+
+/// A NAND2/INV tree whose leaves are cell input pins.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternTree {
+    /// Input pin with the given index.
+    Leaf(u8),
+    /// Inverter.
+    Inv(Box<PatternTree>),
+    /// Two-input NAND.
+    Nand(Box<PatternTree>, Box<PatternTree>),
+}
+
+impl PatternTree {
+    /// Leaf pattern for pin `pin`.
+    pub fn leaf(pin: u8) -> Self {
+        PatternTree::Leaf(pin)
+    }
+
+    /// Inverter over `t`.
+    pub fn inv(t: PatternTree) -> Self {
+        PatternTree::Inv(Box::new(t))
+    }
+
+    /// Two-input NAND over `a` and `b`.
+    pub fn nand(a: PatternTree, b: PatternTree) -> Self {
+        PatternTree::Nand(Box::new(a), Box::new(b))
+    }
+
+    /// AND as `inv(nand(a, b))`.
+    pub fn and(a: PatternTree, b: PatternTree) -> Self {
+        Self::inv(Self::nand(a, b))
+    }
+
+    /// OR as `nand(inv(a), inv(b))`.
+    pub fn or(a: PatternTree, b: PatternTree) -> Self {
+        Self::nand(Self::inv(a), Self::inv(b))
+    }
+
+    /// Number of internal base gates (NANDs + inverters) in the pattern.
+    /// This is the number of subject-graph gates a match covers.
+    pub fn num_gates(&self) -> usize {
+        match self {
+            PatternTree::Leaf(_) => 0,
+            PatternTree::Inv(t) => 1 + t.num_gates(),
+            PatternTree::Nand(a, b) => 1 + a.num_gates() + b.num_gates(),
+        }
+    }
+
+    /// The number of distinct pins referenced, assuming pins are numbered
+    /// densely from zero.
+    pub fn num_pins(&self) -> usize {
+        self.max_pin().map_or(0, |p| p as usize + 1)
+    }
+
+    fn max_pin(&self) -> Option<u8> {
+        match self {
+            PatternTree::Leaf(p) => Some(*p),
+            PatternTree::Inv(t) => t.max_pin(),
+            PatternTree::Nand(a, b) => match (a.max_pin(), b.max_pin()) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            },
+        }
+    }
+
+    /// Collects pin indices in leaf order (left to right).
+    pub fn pins_in_order(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.collect_pins(&mut out);
+        out
+    }
+
+    fn collect_pins(&self, out: &mut Vec<u8>) {
+        match self {
+            PatternTree::Leaf(p) => out.push(*p),
+            PatternTree::Inv(t) => t.collect_pins(out),
+            PatternTree::Nand(a, b) => {
+                a.collect_pins(out);
+                b.collect_pins(out);
+            }
+        }
+    }
+
+    /// True when every pin in `0..num_pins()` appears exactly once — a
+    /// requirement for tree patterns.
+    pub fn is_linear(&self) -> bool {
+        let mut pins = self.pins_in_order();
+        pins.sort_unstable();
+        pins.iter().enumerate().all(|(i, p)| *p as usize == i)
+    }
+
+    /// Evaluates the pattern on pin values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leaf index is out of range of `pins`.
+    pub fn eval(&self, pins: &[bool]) -> bool {
+        match self {
+            PatternTree::Leaf(p) => pins[*p as usize],
+            PatternTree::Inv(t) => !t.eval(pins),
+            PatternTree::Nand(a, b) => !(a.eval(pins) && b.eval(pins)),
+        }
+    }
+
+    /// Logic depth of the pattern (base gates on the longest path).
+    pub fn depth(&self) -> usize {
+        match self {
+            PatternTree::Leaf(_) => 0,
+            PatternTree::Inv(t) => 1 + t.depth(),
+            PatternTree::Nand(a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+}
+
+impl fmt::Display for PatternTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternTree::Leaf(p) => write!(f, "p{p}"),
+            PatternTree::Inv(t) => write!(f, "!({t})"),
+            PatternTree::Nand(a, b) => write!(f, "nand({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PatternTree as P;
+
+    #[test]
+    fn and_or_helpers_compute_expected_truth_tables() {
+        let and = P::and(P::leaf(0), P::leaf(1));
+        let or = P::or(P::leaf(0), P::leaf(1));
+        for m in 0..4u32 {
+            let a = m & 1 == 1;
+            let b = m & 2 == 2;
+            assert_eq!(and.eval(&[a, b]), a && b);
+            assert_eq!(or.eval(&[a, b]), a || b);
+        }
+    }
+
+    #[test]
+    fn gate_and_pin_counts() {
+        let aoi21 = P::inv(P::nand(P::nand(P::leaf(0), P::leaf(1)), P::inv(P::leaf(2))));
+        assert_eq!(aoi21.num_gates(), 4);
+        assert_eq!(aoi21.num_pins(), 3);
+        assert_eq!(aoi21.depth(), 3);
+        assert!(aoi21.is_linear());
+    }
+
+    #[test]
+    fn aoi21_truth_table() {
+        // AOI21 = !(ab + c)
+        let aoi21 = P::inv(P::nand(P::nand(P::leaf(0), P::leaf(1)), P::inv(P::leaf(2))));
+        for m in 0..8u32 {
+            let a = m & 1 == 1;
+            let b = m & 2 == 2;
+            let c = m & 4 == 4;
+            assert_eq!(aoi21.eval(&[a, b, c]), !((a && b) || c), "at {m:03b}");
+        }
+    }
+
+    #[test]
+    fn nonlinear_pattern_detected() {
+        // pin 0 appears twice
+        let t = P::nand(P::leaf(0), P::leaf(0));
+        assert!(!t.is_linear());
+        // pin gap: 0 and 2 without 1
+        let t = P::nand(P::leaf(0), P::leaf(2));
+        assert!(!t.is_linear());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = P::nand(P::inv(P::leaf(0)), P::leaf(1));
+        assert_eq!(format!("{t}"), "nand(!(p0), p1)");
+    }
+}

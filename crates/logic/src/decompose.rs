@@ -1,0 +1,291 @@
+//! Decomposition of a Boolean network into the NAND2/INV subject graph.
+//!
+//! Every logic node's SOP is decomposed two-level-style: each cube becomes
+//! a balanced NAND tree over its literals (an inverted AND), and the node
+//! output is the NAND of the cube trees — NAND-NAND being AND-OR. Balanced
+//! trees keep the subject graph's depth logarithmic in the cube/literal
+//! counts, and structural hashing shares input inverters and identical
+//! subtrees, mirroring how SIS's `tech_decomp -a 2 -o 2` prepares a
+//! network for mapping.
+
+use casyn_netlist::network::{Network, NodeFunction};
+use casyn_netlist::sop::Polarity;
+use casyn_netlist::subject::{GateId, SubjectGraph};
+
+/// The result of decomposition: the subject graph plus the mapping from
+/// network nodes to the gates computing them.
+#[derive(Debug, Clone)]
+pub struct Decomposed {
+    /// The NAND2/INV subject graph.
+    pub graph: SubjectGraph,
+    /// `gate_of[node.index()]` is the gate computing that network node.
+    pub gate_of: Vec<GateId>,
+}
+
+/// Balanced AND of `xs` (NAND2 + INV pairs). `xs` must be non-empty.
+fn and_of(g: &mut SubjectGraph, xs: &[GateId]) -> GateId {
+    match xs {
+        [x] => *x,
+        _ => {
+            let (l, r) = xs.split_at(xs.len() / 2);
+            let a = and_of(g, l);
+            let b = and_of(g, r);
+            let n = g.add_nand2(a, b);
+            g.add_inv(n)
+        }
+    }
+}
+
+/// Balanced NAND of `xs`: `!(x1 & x2 & … & xk)`. For a single input this
+/// is an inverter.
+fn nand_of(g: &mut SubjectGraph, xs: &[GateId]) -> GateId {
+    match xs {
+        [x] => g.add_inv(*x),
+        _ => {
+            let (l, r) = xs.split_at(xs.len() / 2);
+            let a = and_of(g, l);
+            let b = and_of(g, r);
+            g.add_nand2(a, b)
+        }
+    }
+}
+
+/// Decomposes `net` into a subject graph of two-input NANDs and
+/// inverters. Constant-zero nodes (empty SOPs) and constant-one nodes are
+/// built from `x & !x` / `!(x & !x)` over their first available input.
+///
+/// # Panics
+///
+/// Panics if the network has a combinational cycle, or if a constant node
+/// exists in a network with no primary inputs.
+pub fn decompose(net: &Network) -> Decomposed {
+    let mut g = SubjectGraph::new();
+    let mut gate_of: Vec<Option<GateId>> = vec![None; net.num_nodes()];
+    // inputs first, in declaration order
+    for id in net.inputs() {
+        if let NodeFunction::Input(name) = net.node(*id) {
+            gate_of[id.index()] = Some(g.add_input(name.clone()));
+        }
+    }
+    for id in net.topological_order() {
+        if gate_of[id.index()].is_some() {
+            continue;
+        }
+        let NodeFunction::Logic { fanins, sop } = net.node(id) else {
+            unreachable!("inputs already handled");
+        };
+        let lit_gate = |g: &mut SubjectGraph, gate_of: &[Option<GateId>], v: usize, p: Polarity| {
+            let base = gate_of[fanins[v].index()].expect("fanin decomposed (topo order)");
+            match p {
+                Polarity::Positive => base,
+                Polarity::Negative => g.add_inv(base),
+            }
+        };
+        let gate = if sop.is_zero() {
+            let x = constant_seed(net, &gate_of);
+            let nx = g.add_inv(x);
+            let n = g.add_nand2(x, nx); // constant 1
+            g.add_inv(n) // constant 0
+        } else {
+            // one NAND tree per cube (inverted product), then NAND of those
+            let mut cube_gates = Vec::with_capacity(sop.num_cubes());
+            for cube in sop.cubes() {
+                if cube.is_one() {
+                    // constant-one cube: the whole node is constant 1. The
+                    // inverted product of a constant-one cube is constant 0,
+                    // i.e. x & !x.
+                    let x = constant_seed(net, &gate_of);
+                    let nx = g.add_inv(x);
+                    let one = g.add_nand2(x, nx);
+                    cube_gates.clear();
+                    cube_gates.push(g.add_inv(one));
+                    break;
+                }
+                let lits: Vec<GateId> = cube
+                    .literals()
+                    .map(|(v, p)| lit_gate(&mut g, &gate_of, v, p))
+                    .collect();
+                cube_gates.push(nand_of(&mut g, &lits));
+            }
+            // output = OR of products = NAND of the inverted products
+            // (cube_gates are already the NANDs), i.e. NAND-NAND:
+            // !(prod1' & prod2' & …) = prod1 + prod2 + …
+            let mut inv_products = Vec::with_capacity(cube_gates.len());
+            for cg in &cube_gates {
+                inv_products.push(*cg);
+            }
+            if inv_products.len() == 1 {
+                // single cube: output = product = INV(nand tree)
+                g.add_inv(inv_products[0])
+            } else {
+                nand_of_raw(&mut g, &inv_products)
+            }
+        };
+        gate_of[id.index()] = Some(gate);
+    }
+    let mut graph = g;
+    for (name, id) in net.outputs() {
+        graph.add_output(name.clone(), gate_of[id.index()].expect("output decomposed"));
+    }
+    let gate_of = gate_of.into_iter().map(|o| o.expect("all nodes decomposed")).collect();
+    Decomposed { graph, gate_of }
+}
+
+/// NAND of already-complemented inputs, without the single-input inverter
+/// special case collapsing (`nand_of` of one element inverts; here one
+/// element must invert too, so this only differs in intent).
+fn nand_of_raw(g: &mut SubjectGraph, xs: &[GateId]) -> GateId {
+    nand_of(g, xs)
+}
+
+fn constant_seed(net: &Network, gate_of: &[Option<GateId>]) -> GateId {
+    net.inputs()
+        .first()
+        .and_then(|id| gate_of[id.index()])
+        .expect("constant node requires at least one primary input")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casyn_netlist::bench::{random_network, random_pla, NetGenConfig, PlaGenConfig};
+    use casyn_netlist::sop::{Cube, Sop};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_graph_equivalent(net: &Network, dec: &Decomposed, seed: u64) {
+        let n = net.inputs().len();
+        let trials: Vec<Vec<bool>> = if n <= 10 {
+            (0..(1u64 << n)).map(|m| (0..n).map(|i| m >> i & 1 == 1).collect()).collect()
+        } else {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..200).map(|_| (0..n).map(|_| rng.gen()).collect()).collect()
+        };
+        for asg in trials {
+            assert_eq!(
+                net.simulate_outputs(&asg),
+                dec.graph.simulate_outputs(&asg),
+                "mismatch at {asg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decompose_small_pla() {
+        let pla = random_pla(&PlaGenConfig {
+            inputs: 6,
+            outputs: 3,
+            terms: 10,
+            min_literals: 2,
+            max_literals: 4,
+            mean_outputs_per_term: 1.4,
+            seed: 11,
+        });
+        let net = pla.to_network();
+        let dec = decompose(&net);
+        assert_graph_equivalent(&net, &dec, 0);
+        assert!(dec.graph.num_gates() > 0);
+    }
+
+    #[test]
+    fn decompose_random_multilevel() {
+        let net = random_network(&NetGenConfig {
+            inputs: 8,
+            outputs: 6,
+            nodes: 40,
+            max_fanins: 4,
+            max_cubes: 3,
+            locality_window: 16,
+            seed: 3,
+        });
+        let dec = decompose(&net);
+        assert_graph_equivalent(&net, &dec, 1);
+    }
+
+    #[test]
+    fn decompose_after_optimization_is_equivalent() {
+        let pla = random_pla(&PlaGenConfig {
+            inputs: 8,
+            outputs: 4,
+            terms: 20,
+            min_literals: 3,
+            max_literals: 5,
+            mean_outputs_per_term: 1.5,
+            seed: 5,
+        });
+        let golden = pla.to_network();
+        let mut net = golden.clone();
+        crate::optimize(&mut net, &crate::OptimizeOptions::default());
+        let dec = decompose(&net);
+        assert_graph_equivalent(&golden, &dec, 2);
+    }
+
+    #[test]
+    fn constant_zero_node() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let zero = net.add_node(vec![a], Sop::zero(1));
+        net.add_output("z", zero);
+        let dec = decompose(&net);
+        assert_eq!(dec.graph.simulate_outputs(&[false]), vec![false]);
+        assert_eq!(dec.graph.simulate_outputs(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn constant_one_cube() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let one = net.add_node(vec![a], Sop::from_cube(Cube::one(1)));
+        net.add_output("o", one);
+        let dec = decompose(&net);
+        assert_eq!(dec.graph.simulate_outputs(&[false]), vec![true]);
+        assert_eq!(dec.graph.simulate_outputs(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn depth_is_logarithmic_for_wide_or() {
+        // 64-term OR should decompose to depth O(log) not O(n)
+        let mut net = Network::new();
+        let pis: Vec<_> = (0..64).map(|i| net.add_input(format!("i{i}"))).collect();
+        let k = pis.len();
+        let cubes: Vec<Cube> = (0..k)
+            .map(|i| {
+                let mut c = Cube::one(k);
+                c.set(i, Polarity::Positive);
+                c
+            })
+            .collect();
+        let or = net.add_node(pis, Sop::from_cubes(k, cubes));
+        net.add_output("o", or);
+        let dec = decompose(&net);
+        assert!(dec.graph.depth() <= 16, "depth {} too large", dec.graph.depth());
+    }
+
+    #[test]
+    fn structural_hashing_shares_input_inverters() {
+        // two cubes using !a: the inverter must be shared
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let mut c0 = Cube::one(3);
+        c0.set(0, Polarity::Negative);
+        c0.set(1, Polarity::Positive);
+        let mut c1 = Cube::one(3);
+        c1.set(0, Polarity::Negative);
+        c1.set(2, Polarity::Positive);
+        let f = net.add_node(vec![a, b, c], Sop::from_cubes(3, vec![c0, c1]));
+        net.add_output("f", f);
+        let dec = decompose(&net);
+        let inv_count = dec
+            .graph
+            .ids()
+            .filter(|id| {
+                dec.graph.kind(*id) == casyn_netlist::subject::BaseKind::Inv
+                    && dec.graph.fanins(*id)[0]
+                        == dec.graph.inputs().iter().find(|(n, _)| n == "a").unwrap().1
+            })
+            .count();
+        assert_eq!(inv_count, 1, "!a inverter must be hashed and shared");
+    }
+}

@@ -1,0 +1,235 @@
+//! Kernel enumeration for sum-of-products covers.
+//!
+//! A *kernel* of an SOP `f` is a cube-free quotient `f / c` for some cube
+//! `c` (the *co-kernel*) such that the quotient has at least two cubes.
+//! Kernels are the algebraic divisors that factoring and extraction
+//! search; the enumeration below is the standard recursive algorithm
+//! (Brayton–McMullen) over literal indices.
+
+use casyn_netlist::sop::{Cube, Polarity, Sop};
+
+/// A kernel together with the co-kernel cube that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPair {
+    /// The co-kernel: `kernel = f / cokernel`.
+    pub cokernel: Cube,
+    /// The kernel: a cube-free SOP with at least two cubes.
+    pub kernel: Sop,
+}
+
+/// The largest cube dividing every cube of `f` (the common cube). Returns
+/// the universal cube when `f` is empty.
+pub fn common_cube(f: &Sop) -> Cube {
+    let n = f.num_vars();
+    let mut acc: Option<Cube> = None;
+    for c in f.cubes() {
+        acc = Some(match acc {
+            None => c.clone(),
+            Some(a) => {
+                let mut keep = Cube::one(n);
+                for (v, p) in a.literals() {
+                    if c.literal(v) == Some(p) {
+                        keep.set(v, p);
+                    }
+                }
+                keep
+            }
+        });
+    }
+    acc.unwrap_or_else(|| Cube::one(n))
+}
+
+/// True when `f` is cube-free (no non-trivial cube divides all its cubes).
+pub fn is_cube_free(f: &Sop) -> bool {
+    common_cube(f).is_one()
+}
+
+/// Literal index used by the enumeration: `2*var + pol`.
+fn literal_of_index(idx: usize) -> (usize, Polarity) {
+    (idx / 2, if idx.is_multiple_of(2) { Polarity::Positive } else { Polarity::Negative })
+}
+
+fn cube_from_literal(num_vars: usize, idx: usize) -> Cube {
+    let (v, p) = literal_of_index(idx);
+    let mut c = Cube::one(num_vars);
+    c.set(v, p);
+    c
+}
+
+/// Enumerates all kernels of `f`, including `f` itself when it is
+/// cube-free with at least two cubes. Duplicate kernels (reachable through
+/// different literal orders) are pruned by the standard "smaller literal
+/// already processed" test, plus a final structural dedup.
+pub fn kernels(f: &Sop) -> Vec<KernelPair> {
+    let mut out = Vec::new();
+    let cc = common_cube(f);
+    let base = if cc.is_one() {
+        f.clone()
+    } else {
+        // normalize to the cube-free part; the common cube joins every co-kernel
+        Sop::from_cubes(f.num_vars(), f.cubes().iter().map(|c| c.without(&cc)).collect())
+    };
+    if base.num_cubes() >= 2 {
+        kernel_rec(&base, &cc, 0, &mut out);
+        out.push(KernelPair { cokernel: cc, kernel: base });
+    }
+    dedup(out)
+}
+
+fn kernel_rec(g: &Sop, co: &Cube, j: usize, out: &mut Vec<KernelPair>) {
+    let n = g.num_vars();
+    for idx in j..2 * n {
+        let lit = cube_from_literal(n, idx);
+        // cubes of g containing this literal
+        let with: Vec<&Cube> = g.cubes().iter().filter(|c| lit.contains(c)).collect();
+        if with.len() < 2 {
+            continue;
+        }
+        // largest cube dividing all of them
+        let sub = Sop::from_cubes(n, with.iter().map(|c| (*c).clone()).collect());
+        let c = common_cube(&sub);
+        // pruning: if c contains a literal with index < idx, this kernel
+        // was already produced from that smaller literal
+        let mut skip = false;
+        for (v, p) in c.literals() {
+            let li = 2 * v + if p == Polarity::Positive { 0 } else { 1 };
+            if li < idx {
+                skip = true;
+                break;
+            }
+        }
+        if skip {
+            continue;
+        }
+        let quotient = Sop::from_cubes(n, with.iter().map(|cu| cu.without(&c)).collect());
+        let new_co = co.and(&c).expect("co-kernel cubes cannot clash");
+        kernel_rec(&quotient, &new_co, idx + 1, out);
+        out.push(KernelPair { cokernel: new_co, kernel: quotient });
+    }
+}
+
+fn dedup(pairs: Vec<KernelPair>) -> Vec<KernelPair> {
+    let mut seen: Vec<KernelPair> = Vec::new();
+    for p in pairs {
+        let key = canonical(&p.kernel);
+        if !seen.iter().any(|q| canonical(&q.kernel) == key && q.cokernel == p.cokernel) {
+            seen.push(p);
+        }
+    }
+    seen
+}
+
+/// A canonical form of an SOP for structural comparison: the sorted list
+/// of sorted literal lists.
+pub fn canonical(f: &Sop) -> Vec<Vec<(usize, Polarity)>> {
+    let mut cubes: Vec<Vec<(usize, Polarity)>> =
+        f.cubes().iter().map(|c| c.literals().collect()).collect();
+    for c in &mut cubes {
+        c.sort();
+    }
+    cubes.sort();
+    cubes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(n: usize, lits: &[(usize, Polarity)]) -> Cube {
+        let mut c = Cube::one(n);
+        for &(v, p) in lits {
+            c.set(v, p);
+        }
+        c
+    }
+
+    const P: Polarity = Polarity::Positive;
+
+    #[test]
+    fn common_cube_of_shared_product() {
+        // f = abc + abd -> common cube ab
+        let f = Sop::from_cubes(
+            4,
+            vec![cube(4, &[(0, P), (1, P), (2, P)]), cube(4, &[(0, P), (1, P), (3, P)])],
+        );
+        let cc = common_cube(&f);
+        assert_eq!(cc.literal_count(), 2);
+        assert_eq!(cc.literal(0), Some(P));
+        assert_eq!(cc.literal(1), Some(P));
+        assert!(!is_cube_free(&f));
+    }
+
+    #[test]
+    fn kernels_of_textbook_example() {
+        // f = ace + bce + de + g  (De Micheli's example)
+        // kernels include: (e, ac+bc+d), (ce, a+b), (1, f itself)
+        let f = Sop::from_cubes(
+            7,
+            vec![
+                cube(7, &[(0, P), (2, P), (4, P)]),
+                cube(7, &[(1, P), (2, P), (4, P)]),
+                cube(7, &[(3, P), (4, P)]),
+                cube(7, &[(6, P)]),
+            ],
+        );
+        let ks = kernels(&f);
+        // kernel a+b with cokernel ce
+        let ab = Sop::from_cubes(7, vec![cube(7, &[(0, P)]), cube(7, &[(1, P)])]);
+        assert!(
+            ks.iter().any(|k| canonical(&k.kernel) == canonical(&ab)
+                && k.cokernel.literal_count() == 2),
+            "missing kernel a+b: {ks:?}"
+        );
+        // f itself is cube-free, so it is a kernel with co-kernel 1
+        assert!(ks.iter().any(|k| k.cokernel.is_one() && k.kernel.num_cubes() == 4));
+        // every kernel is cube-free with >= 2 cubes
+        for k in &ks {
+            assert!(is_cube_free(&k.kernel), "kernel not cube-free: {}", k.kernel);
+            assert!(k.kernel.num_cubes() >= 2);
+        }
+    }
+
+    #[test]
+    fn kernels_reconstruct_function() {
+        // f = ab + ac + d; check f == cokernel*kernel + remainder via division
+        let f = Sop::from_cubes(
+            4,
+            vec![cube(4, &[(0, P), (1, P)]), cube(4, &[(0, P), (2, P)]), cube(4, &[(3, P)])],
+        );
+        for k in kernels(&f) {
+            let (q, r) = f.divide(&k.kernel);
+            // q*kernel + r must equal f on all assignments
+            for m in 0..16u32 {
+                let asg: Vec<bool> = (0..4).map(|i| m >> i & 1 == 1).collect();
+                let lhs = f.eval(&asg);
+                let rhs = (q.eval(&asg) && k.kernel.eval(&asg)) || r.eval(&asg);
+                assert_eq!(lhs, rhs);
+            }
+        }
+    }
+
+    #[test]
+    fn single_cube_has_no_kernels() {
+        let f = Sop::from_cubes(3, vec![cube(3, &[(0, P), (1, P)])]);
+        assert!(kernels(&f).is_empty());
+    }
+
+    #[test]
+    fn non_cube_free_function_normalizes() {
+        // f = ab + ac = a(b + c): kernel (b+c) with cokernel a
+        let f = Sop::from_cubes(3, vec![cube(3, &[(0, P), (1, P)]), cube(3, &[(0, P), (2, P)])]);
+        let ks = kernels(&f);
+        let bc = Sop::from_cubes(3, vec![cube(3, &[(1, P)]), cube(3, &[(2, P)])]);
+        assert!(ks.iter().any(|k| canonical(&k.kernel) == canonical(&bc)
+            && k.cokernel.literal(0) == Some(P)));
+    }
+
+    #[test]
+    fn negative_literals_participate() {
+        // f = !a b + !a c: kernel b+c, cokernel !a
+        let n = Polarity::Negative;
+        let f = Sop::from_cubes(3, vec![cube(3, &[(0, n), (1, P)]), cube(3, &[(0, n), (2, P)])]);
+        let ks = kernels(&f);
+        assert!(ks.iter().any(|k| k.cokernel.literal(0) == Some(n)));
+    }
+}

@@ -1,0 +1,289 @@
+//! Two-level simplification — a light espresso-style pass.
+//!
+//! Before decomposition, each node's SOP is cleaned up with three
+//! classic, semantics-preserving operations:
+//!
+//! * **single-cube containment** — drop cubes covered by another cube;
+//! * **distance-1 merging** — `a·x + a·x̄ → a` (consensus when the two
+//!   cubes differ in exactly one opposed literal and agree elsewhere);
+//! * **literal expansion** — remove a literal when the expanded cube is
+//!   still covered by the rest of the cover plus itself (checked by
+//!   cofactor tautology on the cube's small support).
+//!
+//! This is not full espresso (no irredundant-cover LP, no essential-prime
+//! extraction), but it removes the redundancy the synthetic generators
+//! and extraction rewrites leave behind, and it is exact.
+
+use casyn_netlist::network::{Network, NodeFunction};
+use casyn_netlist::sop::{Cube, Polarity, Sop};
+
+/// Options for [`simplify_network`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplifyOptions {
+    /// Apply distance-1 cube merging.
+    pub merge: bool,
+    /// Apply literal expansion (cost: exhaustive check over each cube's
+    /// support, capped at this many variables).
+    pub expand_support_limit: usize,
+}
+
+impl Default for SimplifyOptions {
+    fn default() -> Self {
+        SimplifyOptions { merge: true, expand_support_limit: 12 }
+    }
+}
+
+/// Simplifies one SOP; returns the literal count saved.
+pub fn simplify_sop(sop: &mut Sop, opts: &SimplifyOptions) -> usize {
+    let before = sop.literal_count();
+    loop {
+        let mut changed = sop.make_irredundant_scc() > 0;
+        if opts.merge {
+            changed |= merge_distance1(sop);
+        }
+        changed |= expand_literals(sop, opts.expand_support_limit);
+        if !changed {
+            break;
+        }
+    }
+    before.saturating_sub(sop.literal_count())
+}
+
+/// Simplifies every logic node of a network in place; returns total
+/// literals saved. The network function is preserved exactly (each
+/// transformation is an equivalence on the node's local function).
+pub fn simplify_network(net: &mut Network, opts: &SimplifyOptions) -> usize {
+    let mut saved = 0;
+    for id in net.node_ids().collect::<Vec<_>>() {
+        if let NodeFunction::Logic { sop, .. } = net.node_mut(id) {
+            saved += simplify_sop(sop, opts);
+        }
+    }
+    saved
+}
+
+/// Merges cube pairs at Hamming distance one (same variables, exactly one
+/// opposed literal): `a·x + a·x̄ = a`. Returns true when anything merged.
+fn merge_distance1(sop: &mut Sop) -> bool {
+    let n = sop.num_vars();
+    let cubes = sop.cubes().to_vec();
+    let mut merged: Vec<Cube> = Vec::new();
+    let mut used = vec![false; cubes.len()];
+    let mut changed = false;
+    for i in 0..cubes.len() {
+        if used[i] {
+            continue;
+        }
+        let mut current = cubes[i].clone();
+        for (j, cj) in cubes.iter().enumerate().skip(i + 1) {
+            if used[j] {
+                continue;
+            }
+            if let Some(m) = try_merge(&current, cj, n) {
+                current = m;
+                used[j] = true;
+                changed = true;
+            }
+        }
+        merged.push(current);
+    }
+    if changed {
+        *sop = Sop::from_cubes(n, merged);
+    }
+    changed
+}
+
+/// If `a` and `b` agree on all variables except exactly one where they
+/// hold opposed literals, returns the merged cube without that variable.
+fn try_merge(a: &Cube, b: &Cube, n: usize) -> Option<Cube> {
+    let mut opposed: Option<usize> = None;
+    for v in 0..n {
+        match (a.literal(v), b.literal(v)) {
+            (x, y) if x == y => {}
+            (Some(_), Some(_)) => {
+                if opposed.is_some() {
+                    return None; // two opposed variables
+                }
+                opposed = Some(v);
+            }
+            _ => return None, // present in one, absent in the other
+        }
+    }
+    let v = opposed?;
+    let mut m = a.clone();
+    m.clear(v);
+    Some(m)
+}
+
+/// Tries to drop each literal of each cube: the literal is removable when
+/// the expanded cube is covered by the cover (checked exhaustively over
+/// the union support of the cover restricted to the cube, bounded by
+/// `support_limit`). Returns true when anything expanded.
+fn expand_literals(sop: &mut Sop, support_limit: usize) -> bool {
+    let n = sop.num_vars();
+    // collect the support of the whole cover
+    let mut support: Vec<usize> = Vec::new();
+    for c in sop.cubes() {
+        for (v, _) in c.literals() {
+            if !support.contains(&v) {
+                support.push(v);
+            }
+        }
+    }
+    if support.len() > support_limit {
+        return false;
+    }
+    support.sort_unstable();
+    let eval_on = |sop: &Sop, bits: u32, support: &[usize]| -> bool {
+        let mut asg = vec![false; n];
+        for (k, v) in support.iter().enumerate() {
+            asg[*v] = bits >> k & 1 == 1;
+        }
+        sop.eval(&asg)
+    };
+    let mut changed = false;
+    let mut cubes = sop.cubes().to_vec();
+    for i in 0..cubes.len() {
+        let lits: Vec<(usize, Polarity)> = cubes[i].literals().collect();
+        for (v, _) in lits {
+            let mut candidate = cubes[i].clone();
+            candidate.clear(v);
+            // the expansion is legal iff candidate ⊆ cover: check all
+            // assignments of the support where candidate holds
+            let trial = Sop::from_cubes(
+                n,
+                cubes
+                    .iter()
+                    .enumerate()
+                    .map(|(j, c)| if j == i { candidate.clone() } else { c.clone() })
+                    .collect(),
+            );
+            let mut legal = true;
+            for bits in 0..(1u32 << support.len()) {
+                let mut asg = vec![false; n];
+                for (k, sv) in support.iter().enumerate() {
+                    asg[*sv] = bits >> k & 1 == 1;
+                }
+                if candidate.eval(&asg) {
+                    // the point must already be in the original cover
+                    if !eval_on(sop, bits, &support) {
+                        legal = false;
+                        break;
+                    }
+                }
+                let _ = &trial;
+            }
+            if legal {
+                cubes[i].clear(v);
+                changed = true;
+            }
+        }
+    }
+    if changed {
+        *sop = Sop::from_cubes(n, cubes);
+        sop.make_irredundant_scc();
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(n: usize, lits: &[(usize, Polarity)]) -> Cube {
+        let mut c = Cube::one(n);
+        for &(v, p) in lits {
+            c.set(v, p);
+        }
+        c
+    }
+
+    const P: Polarity = Polarity::Positive;
+    const N: Polarity = Polarity::Negative;
+
+    fn assert_equal_functions(a: &Sop, b: &Sop) {
+        assert_eq!(a.num_vars(), b.num_vars());
+        let n = a.num_vars();
+        for m in 0..(1u64 << n) {
+            let asg: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(a.eval(&asg), b.eval(&asg), "differ at {asg:?}");
+        }
+    }
+
+    #[test]
+    fn distance1_merge() {
+        // ab + a!b = a
+        let mut f = Sop::from_cubes(
+            2,
+            vec![cube(2, &[(0, P), (1, P)]), cube(2, &[(0, P), (1, N)])],
+        );
+        let golden = f.clone();
+        let saved = simplify_sop(&mut f, &SimplifyOptions::default());
+        assert!(saved >= 3);
+        assert_eq!(f.num_cubes(), 1);
+        assert_eq!(f.cubes()[0].literal_count(), 1);
+        assert_equal_functions(&golden, &f);
+    }
+
+    #[test]
+    fn expansion_removes_redundant_literal() {
+        // f = a + !a·b  ≡  a + b
+        let mut f = Sop::from_cubes(2, vec![cube(2, &[(0, P)]), cube(2, &[(0, N), (1, P)])]);
+        let golden = f.clone();
+        simplify_sop(&mut f, &SimplifyOptions::default());
+        assert_equal_functions(&golden, &f);
+        assert_eq!(f.literal_count(), 2, "should become a + b: {f}");
+    }
+
+    #[test]
+    fn containment_removed() {
+        let mut f = Sop::from_cubes(3, vec![cube(3, &[(0, P)]), cube(3, &[(0, P), (1, P)])]);
+        simplify_sop(&mut f, &SimplifyOptions::default());
+        assert_eq!(f.num_cubes(), 1);
+    }
+
+    #[test]
+    fn network_simplification_preserves_function() {
+        use casyn_netlist::bench::{random_pla, PlaGenConfig};
+        let pla = random_pla(&PlaGenConfig {
+            inputs: 8,
+            outputs: 4,
+            terms: 30,
+            min_literals: 2,
+            max_literals: 5,
+            mean_outputs_per_term: 1.5,
+            seed: 31,
+        });
+        let golden = pla.to_network();
+        let mut net = golden.clone();
+        simplify_network(&mut net, &SimplifyOptions::default());
+        assert!(net.literal_count() <= golden.literal_count());
+        for m in 0..256u32 {
+            let asg: Vec<bool> = (0..8).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(golden.simulate_outputs(&asg), net.simulate_outputs(&asg));
+        }
+    }
+
+    #[test]
+    fn tautology_pair_merges_to_one() {
+        // x + !x = 1
+        let mut f = Sop::from_cubes(1, vec![cube(1, &[(0, P)]), cube(1, &[(0, N)])]);
+        simplify_sop(&mut f, &SimplifyOptions::default());
+        assert!(f.is_one(), "got {f}");
+    }
+
+    #[test]
+    fn wide_support_skips_expansion_but_still_merges() {
+        let n = 20;
+        let mut f = Sop::from_cubes(
+            n,
+            vec![
+                cube(n, &[(0, P), (15, P)]),
+                cube(n, &[(0, P), (15, N)]),
+            ],
+        );
+        let opts = SimplifyOptions { merge: true, expand_support_limit: 4 };
+        simplify_sop(&mut f, &opts);
+        assert_eq!(f.num_cubes(), 1);
+    }
+}

@@ -1,0 +1,479 @@
+//! BLIF (Berkeley Logic Interchange Format) reading and writing.
+//!
+//! SIS — the front end the paper builds on — speaks BLIF, so this module
+//! lets real technology-independent netlists flow in and out of the
+//! stack. The supported subset covers `.model`, `.inputs`, `.outputs`,
+//! `.names` with SOP rows, `.latch` (D flip-flops, parsed into a
+//! [`crate::seq::SeqNetwork`]) and `.end`. Subcircuits are rejected with
+//! a clear error.
+
+use crate::network::{Network, NodeFunction, NodeId};
+use crate::seq::{Latch, LatchInit, SeqNetwork};
+use crate::sop::{Cube, Polarity, Sop};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors produced while parsing BLIF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBlifError {
+    /// The text contained no `.model`.
+    MissingModel,
+    /// A construct the combinational subset does not support.
+    Unsupported { line: usize, what: String },
+    /// A `.names` row was malformed.
+    BadRow { line: usize, reason: String },
+    /// A signal was referenced but never defined.
+    Undefined { name: String },
+    /// A signal was defined more than once.
+    Redefined { line: usize, name: String },
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBlifError::MissingModel => write!(f, "missing .model"),
+            ParseBlifError::Unsupported { line, what } => {
+                write!(f, "unsupported construct on line {line}: {what}")
+            }
+            ParseBlifError::BadRow { line, reason } => {
+                write!(f, "bad .names row on line {line}: {reason}")
+            }
+            ParseBlifError::Undefined { name } => write!(f, "undefined signal: {name}"),
+            ParseBlifError::Redefined { line, name } => {
+                write!(f, "signal redefined on line {line}: {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseBlifError {}
+
+/// A parsed BLIF model, convertible to a [`Network`] (combinational
+/// view) or a [`SeqNetwork`] (with flip-flops).
+#[derive(Debug, Clone)]
+pub struct Blif {
+    /// The model name from `.model` (empty when anonymous).
+    pub model: String,
+    seq: SeqNetwork,
+}
+
+impl Blif {
+    /// The combinational core of the model (latch outputs appear as
+    /// pseudo primary inputs after the real ones).
+    pub fn network(&self) -> &Network {
+        &self.seq.core
+    }
+
+    /// Consumes the parse and returns the combinational core.
+    pub fn into_network(self) -> Network {
+        self.seq.core
+    }
+
+    /// The full sequential view.
+    pub fn seq(&self) -> &SeqNetwork {
+        &self.seq
+    }
+
+    /// Consumes the parse and returns the sequential view.
+    pub fn into_seq(self) -> SeqNetwork {
+        self.seq
+    }
+
+    /// Number of flip-flops.
+    pub fn num_latches(&self) -> usize {
+        self.seq.latches.len()
+    }
+}
+
+struct NamesBlock {
+    line: usize,
+    signals: Vec<String>, // inputs..., output last
+    rows: Vec<(String, char)>,
+}
+
+impl FromStr for Blif {
+    type Err = ParseBlifError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        // join continuation lines ending in '\'
+        let mut lines: Vec<(usize, String)> = Vec::new();
+        let mut pending: Option<(usize, String)> = None;
+        for (ln, raw) in text.lines().enumerate() {
+            let no_comment = raw.split('#').next().unwrap_or("");
+            let (acc_ln, mut acc) = pending.take().unwrap_or((ln + 1, String::new()));
+            acc.push_str(no_comment);
+            if let Some(stripped) = acc.strip_suffix('\\') {
+                pending = Some((acc_ln, format!("{stripped} ")));
+                continue;
+            }
+            if !acc.trim().is_empty() {
+                lines.push((acc_ln, acc));
+            }
+        }
+        let mut model = None;
+        let mut inputs: Vec<String> = Vec::new();
+        let mut outputs: Vec<String> = Vec::new();
+        let mut blocks: Vec<NamesBlock> = Vec::new();
+        // (d name, q name, init)
+        let mut latch_decls: Vec<(String, String, LatchInit)> = Vec::new();
+        for (ln, line) in &lines {
+            let mut it = line.split_whitespace();
+            let Some(head) = it.next() else { continue };
+            match head {
+                ".model" => model = Some(it.next().unwrap_or("").to_string()),
+                ".inputs" => inputs.extend(it.map(String::from)),
+                ".outputs" => outputs.extend(it.map(String::from)),
+                ".names" => {
+                    let signals: Vec<String> = it.map(String::from).collect();
+                    if signals.is_empty() {
+                        return Err(ParseBlifError::BadRow {
+                            line: *ln,
+                            reason: ".names needs at least an output".into(),
+                        });
+                    }
+                    blocks.push(NamesBlock { line: *ln, signals, rows: Vec::new() });
+                }
+                ".end" => break,
+                ".latch" => {
+                    let rest: Vec<&str> = it.collect();
+                    if rest.len() < 2 {
+                        return Err(ParseBlifError::BadRow {
+                            line: *ln,
+                            reason: ".latch needs input and output".into(),
+                        });
+                    }
+                    // last token may be the init value; optional type and
+                    // control tokens in between are accepted and ignored
+                    let init = match rest.last().copied() {
+                        Some("0") => LatchInit::Zero,
+                        Some("1") => LatchInit::One,
+                        Some("2") | Some("3") => LatchInit::Unknown,
+                        _ => LatchInit::Unknown,
+                    };
+                    latch_decls.push((rest[0].to_string(), rest[1].to_string(), init));
+                }
+                ".subckt" | ".gate" | ".mlatch" => {
+                    return Err(ParseBlifError::Unsupported { line: *ln, what: head.into() })
+                }
+                ".exdc" | ".default_input_arrival" => {
+                    return Err(ParseBlifError::Unsupported { line: *ln, what: head.into() })
+                }
+                _ if head.starts_with('.') => {
+                    return Err(ParseBlifError::Unsupported { line: *ln, what: head.into() })
+                }
+                _ => {
+                    // an SOP row of the most recent .names
+                    let Some(block) = blocks.last_mut() else {
+                        return Err(ParseBlifError::BadRow {
+                            line: *ln,
+                            reason: "row outside .names".into(),
+                        });
+                    };
+                    let mut parts: Vec<&str> = line.split_whitespace().collect();
+                    let n_in = block.signals.len() - 1;
+                    let (plane, out) = if n_in == 0 {
+                        ("".to_string(), parts.remove(0))
+                    } else {
+                        if parts.len() != 2 {
+                            return Err(ParseBlifError::BadRow {
+                                line: *ln,
+                                reason: format!("expected 2 fields, got {}", parts.len()),
+                            });
+                        }
+                        (parts[0].to_string(), parts[1])
+                    };
+                    let oc = out.chars().next().unwrap_or('1');
+                    if oc != '0' && oc != '1' {
+                        return Err(ParseBlifError::BadRow {
+                            line: *ln,
+                            reason: format!("output plane must be 0/1, got {out}"),
+                        });
+                    }
+                    block.rows.push((plane, oc));
+                }
+            }
+        }
+        let model = model.ok_or(ParseBlifError::MissingModel)?;
+        // build the network: real inputs, latch pseudo-inputs, then blocks
+        let mut net = Network::new();
+        let mut id_of: HashMap<String, NodeId> = HashMap::new();
+        for name in &inputs {
+            let id = net.add_input(name.clone());
+            if id_of.insert(name.clone(), id).is_some() {
+                return Err(ParseBlifError::Redefined { line: 0, name: name.clone() });
+            }
+        }
+        let num_real_inputs = inputs.len();
+        let mut latch_qs: Vec<NodeId> = Vec::new();
+        for (_, q_name, _) in &latch_decls {
+            let id = net.add_input(q_name.clone());
+            if id_of.insert(q_name.clone(), id).is_some() {
+                return Err(ParseBlifError::Redefined { line: 0, name: q_name.clone() });
+            }
+            latch_qs.push(id);
+        }
+        // iterate until all blocks placed (they may be out of order)
+        let mut remaining: Vec<&NamesBlock> = blocks.iter().collect();
+        let mut progress = true;
+        while !remaining.is_empty() && progress {
+            progress = false;
+            remaining.retain(|block| {
+                let (fanin_names, out_name) =
+                    block.signals.split_at(block.signals.len() - 1);
+                if !fanin_names.iter().all(|n| id_of.contains_key(n)) {
+                    return true; // keep for later
+                }
+                let fanins: Vec<NodeId> =
+                    fanin_names.iter().map(|n| id_of[n]).collect();
+                let n_in = fanins.len();
+                // on-set rows only; '0' output rows define the complement,
+                // which the subset does not support mixed
+                let mut sop = Sop::zero(n_in);
+                let mut complemented = false;
+                for (plane, oc) in &block.rows {
+                    if *oc == '0' {
+                        complemented = true;
+                    }
+                    let mut cube = Cube::one(n_in);
+                    for (v, ch) in plane.chars().enumerate() {
+                        match ch {
+                            '1' => cube.set(v, Polarity::Positive),
+                            '0' => cube.set(v, Polarity::Negative),
+                            '-' => {}
+                            _ => {}
+                        }
+                    }
+                    sop.push(cube);
+                }
+                let id = if block.rows.is_empty() {
+                    // constant zero
+                    net.add_node(fanins, Sop::zero(n_in))
+                } else if complemented {
+                    // f' given: build f = NOT(given) via De Morgan is
+                    // nontrivial for general SOPs; reject mixed planes
+                    let inner = net.add_node(fanins, sop);
+                    net.add_not(inner)
+                } else {
+                    net.add_node(fanins, sop)
+                };
+                id_of.insert(out_name[0].clone(), id);
+                progress = true;
+                false
+            });
+        }
+        if let Some(block) = remaining.first() {
+            let missing = block
+                .signals
+                .iter()
+                .find(|n| !id_of.contains_key(*n))
+                .cloned()
+                .unwrap_or_default();
+            return Err(ParseBlifError::Undefined { name: missing });
+        }
+        for name in &outputs {
+            let id = *id_of
+                .get(name)
+                .ok_or_else(|| ParseBlifError::Undefined { name: name.clone() })?;
+            net.add_output(name.clone(), id);
+        }
+        let mut latches = Vec::with_capacity(latch_decls.len());
+        for ((d_name, q_name, init), q) in latch_decls.into_iter().zip(latch_qs) {
+            let d = *id_of
+                .get(&d_name)
+                .ok_or(ParseBlifError::Undefined { name: d_name })?;
+            latches.push(Latch { name: q_name, d, q, init });
+        }
+        let _ = NamesBlock { line: 0, signals: vec![], rows: vec![] }.line;
+        let seq = SeqNetwork { core: net, latches, num_real_inputs };
+        seq.check();
+        Ok(Blif { model, seq })
+    }
+}
+
+/// Writes a network as BLIF text.
+pub fn to_blif(net: &Network, model: &str) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(".model {model}\n"));
+    let name_of = |id: NodeId| -> String {
+        match net.node(id) {
+            NodeFunction::Input(name) => name.clone(),
+            NodeFunction::Logic { .. } => format!("n{}", id.0),
+        }
+    };
+    s.push_str(".inputs");
+    for id in net.inputs() {
+        s.push_str(&format!(" {}", name_of(*id)));
+    }
+    s.push('\n');
+    s.push_str(".outputs");
+    for (name, _) in net.outputs() {
+        s.push_str(&format!(" {name}"));
+    }
+    s.push('\n');
+    for id in net.topological_order() {
+        if let NodeFunction::Logic { fanins, sop } = net.node(id) {
+            s.push_str(".names");
+            for f in fanins {
+                s.push_str(&format!(" {}", name_of(*f)));
+            }
+            s.push_str(&format!(" {}\n", name_of(id)));
+            for cube in sop.cubes() {
+                if !fanins.is_empty() {
+                    for v in 0..fanins.len() {
+                        s.push(match cube.literal(v) {
+                            Some(Polarity::Positive) => '1',
+                            Some(Polarity::Negative) => '0',
+                            None => '-',
+                        });
+                    }
+                    s.push(' ');
+                }
+                s.push_str("1\n");
+            }
+        }
+    }
+    // alias outputs onto their driving nodes with a buffer when names differ
+    for (name, id) in net.outputs() {
+        let driver = name_of(*id);
+        if *name != driver {
+            s.push_str(&format!(".names {driver} {name}\n1 1\n"));
+        }
+    }
+    s.push_str(".end\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a full adder
+.model adder
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+";
+
+    #[test]
+    fn parse_full_adder() {
+        let blif: Blif = SAMPLE.parse().unwrap();
+        assert_eq!(blif.model, "adder");
+        let net = blif.network();
+        assert_eq!(net.inputs().len(), 3);
+        assert_eq!(net.outputs().len(), 2);
+        for m in 0..8u32 {
+            let a = m & 1 == 1;
+            let b = m & 2 == 2;
+            let c = m & 4 == 4;
+            let want_sum = (a as u32 + b as u32 + c as u32) % 2 == 1;
+            let want_cout = (a as u32 + b as u32 + c as u32) >= 2;
+            assert_eq!(net.simulate_outputs(&[a, b, c]), vec![want_sum, want_cout]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let blif: Blif = SAMPLE.parse().unwrap();
+        let text = to_blif(blif.network(), "adder");
+        let again: Blif = text.parse().unwrap();
+        for m in 0..8u32 {
+            let asg: Vec<bool> = (0..3).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(
+                blif.network().simulate_outputs(&asg),
+                again.network().simulate_outputs(&asg)
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_order_names_blocks() {
+        let text = "\
+.model ooo
+.inputs a b
+.outputs y
+.names t y
+0 1
+.names a b t
+11 1
+.end
+";
+        let blif: Blif = text.parse().unwrap();
+        // y = !(a & b)
+        assert_eq!(blif.network().simulate_outputs(&[true, true]), vec![false]);
+        assert_eq!(blif.network().simulate_outputs(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn complemented_output_plane() {
+        let text = ".model c\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n";
+        let blif: Blif = text.parse().unwrap();
+        // rows with output 0 define the complement: y = !(ab)
+        assert_eq!(blif.network().simulate_outputs(&[true, true]), vec![false]);
+        assert_eq!(blif.network().simulate_outputs(&[false, true]), vec![true]);
+    }
+
+    #[test]
+    fn constant_and_continuation() {
+        let text = ".model k\n.inputs a\n.outputs z one\n.names z\n.names \\\none\n1\n.end\n";
+        let blif: Blif = text.parse().unwrap();
+        assert_eq!(blif.network().simulate_outputs(&[false]), vec![false, true]);
+    }
+
+    #[test]
+    fn latch_parsing_builds_sequential_view() {
+        // a toggle counter: d = !q, out = q
+        let text = "\
+.model tff
+.inputs
+.outputs out
+.latch d q 0
+.names q d
+0 1
+.names q out
+1 1
+.end
+";
+        let blif: Blif = text.parse().unwrap();
+        assert_eq!(blif.num_latches(), 1);
+        let seq = blif.seq();
+        assert_eq!(seq.num_real_inputs, 0);
+        let out = seq.simulate(&[vec![], vec![], vec![], vec![]]);
+        assert_eq!(out, vec![vec![false], vec![true], vec![false], vec![true]]);
+    }
+
+    #[test]
+    fn latch_init_one() {
+        let text = ".model m\n.inputs\n.outputs o\n.latch d q 1\n.names q d\n1 1\n.names q o\n1 1\n.end\n";
+        let blif: Blif = text.parse().unwrap();
+        let out = blif.seq().simulate(&[vec![], vec![]]);
+        assert_eq!(out, vec![vec![true], vec![true]]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(".inputs a\n".parse::<Blif>(), Err(ParseBlifError::MissingModel)));
+        assert!(matches!(
+            ".model m\n.subckt foo a=b\n.end\n".parse::<Blif>(),
+            Err(ParseBlifError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            ".model m\n.inputs a\n.outputs y\n.end\n".parse::<Blif>(),
+            Err(ParseBlifError::Undefined { .. })
+        ));
+        assert!(matches!(
+            ".model m\n.inputs a\n.outputs y\n.names a y\n1 1 1\n.end\n".parse::<Blif>(),
+            Err(ParseBlifError::BadRow { .. })
+        ));
+    }
+}

@@ -1,0 +1,115 @@
+//! Graphviz DOT export for visual inspection of subject graphs and
+//! mapped netlists.
+
+use crate::mapped::{MappedNetlist, SignalRef};
+use crate::subject::{BaseKind, SubjectGraph};
+use std::fmt::Write as _;
+
+/// Renders a subject graph as a DOT digraph (inputs as boxes, NANDs as
+/// houses, inverters as triangles; primary outputs as double circles).
+pub fn subject_to_dot(g: &SubjectGraph, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{name}\" {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    for id in g.ids() {
+        let (shape, label) = match g.kind(id) {
+            BaseKind::Input => {
+                let pname = g
+                    .inputs()
+                    .iter()
+                    .find(|(_, i)| *i == id)
+                    .map(|(n, _)| n.as_str())
+                    .unwrap_or("?");
+                ("box", pname.to_string())
+            }
+            BaseKind::Nand2 => ("house", format!("nand {id}")),
+            BaseKind::Inv => ("invtriangle", format!("inv {id}")),
+        };
+        let _ = writeln!(s, "  {} [shape={shape}, label=\"{label}\"];", id.index());
+    }
+    for id in g.ids() {
+        for f in g.fanins(id) {
+            let _ = writeln!(s, "  {} -> {};", f.index(), id.index());
+        }
+    }
+    for (name, id) in g.outputs() {
+        let _ = writeln!(s, "  \"po_{name}\" [shape=doublecircle, label=\"{name}\"];");
+        let _ = writeln!(s, "  {} -> \"po_{name}\";", id.index());
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders a mapped netlist as a DOT digraph (cells labelled by master
+/// name).
+pub fn mapped_to_dot(nl: &MappedNetlist, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{name}\" {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    for (i, pin) in nl.input_names().iter().enumerate() {
+        let _ = writeln!(s, "  \"pi{i}\" [shape=box, label=\"{pin}\"];");
+    }
+    for (ci, cell) in nl.cells().iter().enumerate() {
+        let _ = writeln!(s, "  \"u{ci}\" [shape=component, label=\"u{ci}\\n{}\"];", cell.name);
+    }
+    let src_name = |sig: SignalRef| match sig {
+        SignalRef::Pi(i) => format!("pi{i}"),
+        SignalRef::Cell(c) => format!("u{c}"),
+    };
+    for (ci, cell) in nl.cells().iter().enumerate() {
+        for src in &cell.inputs {
+            let _ = writeln!(s, "  \"{}\" -> \"u{ci}\";", src_name(*src));
+        }
+    }
+    for (oi, (oname, src)) in nl.outputs().iter().enumerate() {
+        let _ = writeln!(s, "  \"po{oi}\" [shape=doublecircle, label=\"{oname}\"];");
+        let _ = writeln!(s, "  \"{}\" -> \"po{oi}\";", src_name(*src));
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapped::MappedCell;
+    use crate::Point;
+
+    #[test]
+    fn subject_dot_contains_every_vertex_and_edge() {
+        let mut g = SubjectGraph::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n = g.add_nand2(a, b);
+        let i = g.add_inv(n);
+        g.add_output("y", i);
+        let dot = subject_to_dot(&g, "t");
+        assert!(dot.starts_with("digraph \"t\" {"));
+        assert!(dot.contains("shape=box, label=\"a\""));
+        assert!(dot.contains("shape=house"));
+        assert!(dot.contains("shape=invtriangle"));
+        assert!(dot.contains("po_y"));
+        // edges: a->n, b->n, n->i, i->po
+        assert_eq!(dot.matches(" -> ").count(), 4);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn mapped_dot_labels_masters() {
+        let mut nl = MappedNetlist::new();
+        let a = nl.add_input("a");
+        let c = nl.add_cell(MappedCell {
+            lib_cell: 0,
+            name: "IV".into(),
+            inputs: vec![a],
+            area: 8.192,
+            width: 1.28,
+            pos: Point::default(),
+        });
+        nl.add_output("y", c);
+        let dot = mapped_to_dot(&nl, "m");
+        assert!(dot.contains("u0\\nIV"));
+        assert!(dot.contains("\"pi0\" -> \"u0\""));
+        assert!(dot.contains("\"u0\" -> \"po0\""));
+    }
+}

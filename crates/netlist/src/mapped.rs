@@ -1,0 +1,512 @@
+//! The technology-dependent gate-level netlist produced by the mapper.
+//!
+//! A [`MappedNetlist`] is a list of library-cell instances with input
+//! connections, plus primary-input/primary-output ports. Cell metadata
+//! needed by placement and routing (area, width, name) is denormalized
+//! into each instance so this crate stays independent of the library
+//! crate; timing looks cells up again through `lib_cell`.
+
+use crate::Point;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The source of a signal in a mapped netlist: a primary input port or the
+/// output of a cell instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SignalRef {
+    /// Primary input with the given index into [`MappedNetlist::input_names`].
+    Pi(u32),
+    /// Output of the cell instance with the given index.
+    Cell(u32),
+}
+
+/// One placed library-cell instance.
+#[derive(Debug, Clone)]
+pub struct MappedCell {
+    /// Index of the cell master in the library used for mapping.
+    pub lib_cell: u32,
+    /// Master name (denormalized for reports and debugging).
+    pub name: String,
+    /// Signals driving each input pin, in pin order.
+    pub inputs: Vec<SignalRef>,
+    /// Footprint area in square micrometres.
+    pub area: f64,
+    /// Footprint width in micrometres (area / row height).
+    pub width: f64,
+    /// Position on the layout image (centre of the cell). Starts at the
+    /// centre of mass assigned by the mapper; legalization overwrites it.
+    pub pos: Point,
+}
+
+/// A net: one driver and its fanout pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// The signal source.
+    pub driver: SignalRef,
+    /// Sink pins as `(cell index, pin index)`.
+    pub sinks: Vec<(u32, u32)>,
+    /// Indices of primary outputs driven by this net.
+    pub po_sinks: Vec<u32>,
+}
+
+impl Net {
+    /// Number of pins on the net (driver + sinks + primary outputs).
+    pub fn degree(&self) -> usize {
+        1 + self.sinks.len() + self.po_sinks.len()
+    }
+}
+
+/// A placed, mapped gate-level netlist.
+#[derive(Debug, Clone, Default)]
+pub struct MappedNetlist {
+    cells: Vec<MappedCell>,
+    input_names: Vec<String>,
+    input_pos: Vec<Point>,
+    outputs: Vec<(String, SignalRef)>,
+    output_pos: Vec<Point>,
+}
+
+impl MappedNetlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a primary input; ports start at the origin until a
+    /// floorplan assigns pad positions.
+    pub fn add_input(&mut self, name: impl Into<String>) -> SignalRef {
+        let idx = self.input_names.len() as u32;
+        self.input_names.push(name.into());
+        self.input_pos.push(Point::default());
+        SignalRef::Pi(idx)
+    }
+
+    /// Adds a cell instance and returns the signal of its output.
+    pub fn add_cell(&mut self, cell: MappedCell) -> SignalRef {
+        let idx = self.cells.len() as u32;
+        self.cells.push(cell);
+        SignalRef::Cell(idx)
+    }
+
+    /// Declares a primary output driven by `signal`.
+    pub fn add_output(&mut self, name: impl Into<String>, signal: SignalRef) {
+        self.outputs.push((name.into(), signal));
+        self.output_pos.push(Point::default());
+    }
+
+    /// The cell instances.
+    pub fn cells(&self) -> &[MappedCell] {
+        &self.cells
+    }
+
+    /// Mutable access to cell instances (placement updates positions).
+    pub fn cells_mut(&mut self) -> &mut [MappedCell] {
+        &mut self.cells
+    }
+
+    /// Primary-input names, indexed by [`SignalRef::Pi`].
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Primary outputs as `(name, driver)` pairs.
+    pub fn outputs(&self) -> &[(String, SignalRef)] {
+        &self.outputs
+    }
+
+    /// Port position of primary input `idx`.
+    pub fn input_pos(&self, idx: u32) -> Point {
+        self.input_pos[idx as usize]
+    }
+
+    /// Port position of primary output `idx`.
+    pub fn output_pos(&self, idx: u32) -> Point {
+        self.output_pos[idx as usize]
+    }
+
+    /// Sets the pad position of primary input `idx`.
+    pub fn set_input_pos(&mut self, idx: u32, pos: Point) {
+        self.input_pos[idx as usize] = pos;
+    }
+
+    /// Sets the pad position of primary output `idx`.
+    pub fn set_output_pos(&mut self, idx: u32, pos: Point) {
+        self.output_pos[idx as usize] = pos;
+    }
+
+    /// Number of cell instances.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total cell area in square micrometres (the "Cell Area" column of
+    /// the paper's tables).
+    pub fn cell_area(&self) -> f64 {
+        self.cells.iter().map(|c| c.area).sum()
+    }
+
+    /// Position of a signal source: the driving cell's position or the
+    /// input pad.
+    pub fn signal_pos(&self, signal: SignalRef) -> Point {
+        match signal {
+            SignalRef::Pi(i) => self.input_pos[i as usize],
+            SignalRef::Cell(i) => self.cells[i as usize].pos,
+        }
+    }
+
+    /// Builds the net list: one [`Net`] per signal source that has at
+    /// least one sink. Nets are returned in a deterministic order (inputs
+    /// first, then cells by index).
+    pub fn nets(&self) -> Vec<Net> {
+        let mut by_driver: HashMap<SignalRef, Net> = HashMap::new();
+        for (ci, cell) in self.cells.iter().enumerate() {
+            for (pi, src) in cell.inputs.iter().enumerate() {
+                by_driver
+                    .entry(*src)
+                    .or_insert_with(|| Net { driver: *src, sinks: Vec::new(), po_sinks: Vec::new() })
+                    .sinks
+                    .push((ci as u32, pi as u32));
+            }
+        }
+        for (oi, (_, src)) in self.outputs.iter().enumerate() {
+            by_driver
+                .entry(*src)
+                .or_insert_with(|| Net { driver: *src, sinks: Vec::new(), po_sinks: Vec::new() })
+                .po_sinks
+                .push(oi as u32);
+        }
+        let mut nets: Vec<Net> = by_driver.into_values().collect();
+        nets.sort_by_key(|n| n.driver);
+        nets
+    }
+
+    /// Simulates the netlist. `eval` computes one cell master's function:
+    /// given the library cell index and the input pin values, it returns
+    /// the output value. Returns the primary-output values in declaration
+    /// order. Cells may be stored in any order; a topological order is
+    /// derived internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_values.len()` differs from the number of inputs, or
+    /// if the netlist contains a combinational cycle.
+    pub fn simulate_outputs_with(
+        &self,
+        eval: impl Fn(u32, &[bool]) -> bool,
+        pi_values: &[bool],
+    ) -> Vec<bool> {
+        assert_eq!(pi_values.len(), self.input_names.len(), "one value per input required");
+        let order = self.topological_order();
+        let mut values = vec![false; self.cells.len()];
+        let mut done = vec![false; self.cells.len()];
+        for ci in order {
+            let cell = &self.cells[ci];
+            let ins: Vec<bool> = cell
+                .inputs
+                .iter()
+                .map(|s| match s {
+                    SignalRef::Pi(i) => pi_values[*i as usize],
+                    SignalRef::Cell(i) => {
+                        assert!(done[*i as usize], "combinational cycle in netlist");
+                        values[*i as usize]
+                    }
+                })
+                .collect();
+            values[ci] = eval(cell.lib_cell, &ins);
+            done[ci] = true;
+        }
+        self.outputs
+            .iter()
+            .map(|(_, s)| match s {
+                SignalRef::Pi(i) => pi_values[*i as usize],
+                SignalRef::Cell(i) => values[*i as usize],
+            })
+            .collect()
+    }
+
+    /// Cell indices in topological order (drivers before readers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a combinational cycle.
+    pub fn topological_order(&self) -> Vec<usize> {
+        self.topological_order_cut(|_| false)
+    }
+
+    /// Topological order where cells for which `is_source` returns true
+    /// have their input edges ignored (they act as pure sources) —
+    /// sequential cells in a registered design, whose outputs launch
+    /// fresh timing paths. Every cell still appears exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a cycle remains after cutting (a combinational loop).
+    pub fn topological_order_cut(&self, is_source: impl Fn(usize) -> bool) -> Vec<usize> {
+        let n = self.cells.len();
+        let mut indeg = vec![0usize; n];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            if is_source(ci) {
+                continue;
+            }
+            for src in &cell.inputs {
+                if let SignalRef::Cell(d) = src {
+                    indeg[ci] += 1;
+                    fanout[*d as usize].push(ci);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(ci) = queue.pop() {
+            order.push(ci);
+            for &f in &fanout[ci] {
+                indeg[f] -= 1;
+                if indeg[f] == 0 {
+                    queue.push(f);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "combinational cycle in netlist");
+        order
+    }
+
+    /// Rewires every reference to `from` (cell inputs and primary
+    /// outputs) to `to`. Returns the number of references changed.
+    pub fn replace_signal(&mut self, from: SignalRef, to: SignalRef) -> usize {
+        let mut changed = 0;
+        for cell in &mut self.cells {
+            for src in &mut cell.inputs {
+                if *src == from {
+                    *src = to;
+                    changed += 1;
+                }
+            }
+        }
+        for (_, src) in &mut self.outputs {
+            if *src == from {
+                *src = to;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Removes the last `n` primary-input ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any removed input is still referenced by a cell or
+    /// output.
+    pub fn remove_trailing_inputs(&mut self, n: usize) {
+        assert!(n <= self.input_names.len());
+        let keep = (self.input_names.len() - n) as u32;
+        let referenced = |sig: &SignalRef| matches!(sig, SignalRef::Pi(i) if *i >= keep);
+        for cell in &self.cells {
+            assert!(
+                !cell.inputs.iter().any(referenced),
+                "removed input still referenced by a cell"
+            );
+        }
+        assert!(
+            !self.outputs.iter().any(|(_, s)| referenced(s)),
+            "removed input still referenced by an output"
+        );
+        self.input_names.truncate(keep as usize);
+        self.input_pos.truncate(keep as usize);
+    }
+
+    /// Removes the last `n` primary-output ports (used to strip the
+    /// temporary latch-data outputs after flip-flop insertion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the output count.
+    pub fn remove_trailing_outputs(&mut self, n: usize) {
+        assert!(n <= self.outputs.len());
+        let keep = self.outputs.len() - n;
+        self.outputs.truncate(keep);
+        self.output_pos.truncate(keep);
+    }
+
+    /// Histogram of cell-master names to instance counts.
+    pub fn cell_histogram(&self) -> HashMap<&str, usize> {
+        let mut h: HashMap<&str, usize> = HashMap::new();
+        for c in &self.cells {
+            *h.entry(c.name.as_str()).or_default() += 1;
+        }
+        h
+    }
+}
+
+impl fmt::Display for MappedNetlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "mapped netlist: {} cells, {} inputs, {} outputs, area {:.3} um^2",
+            self.num_cells(),
+            self.input_names.len(),
+            self.outputs.len(),
+            self.cell_area()
+        )?;
+        for (i, c) in self.cells.iter().enumerate() {
+            writeln!(f, "  u{}: {} {:?}", i, c.name, c.inputs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(input: SignalRef) -> MappedCell {
+        MappedCell {
+            lib_cell: 0,
+            name: "IV".into(),
+            inputs: vec![input],
+            area: 8.192,
+            width: 1.28,
+            pos: Point::default(),
+        }
+    }
+
+    fn nand2(a: SignalRef, b: SignalRef) -> MappedCell {
+        MappedCell {
+            lib_cell: 1,
+            name: "ND2".into(),
+            inputs: vec![a, b],
+            area: 12.288,
+            width: 1.92,
+            pos: Point::default(),
+        }
+    }
+
+    fn eval(lib_cell: u32, ins: &[bool]) -> bool {
+        match lib_cell {
+            0 => !ins[0],
+            1 => !(ins[0] && ins[1]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn build_and_simulate_and_gate() {
+        let mut nl = MappedNetlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n = nl.add_cell(nand2(a, b));
+        let y = nl.add_cell(inv(n));
+        nl.add_output("y", y);
+        for m in 0..4u32 {
+            let av = m & 1 == 1;
+            let bv = m & 2 == 2;
+            assert_eq!(nl.simulate_outputs_with(eval, &[av, bv]), vec![av && bv]);
+        }
+        assert_eq!(nl.num_cells(), 2);
+        assert!((nl.cell_area() - 20.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nets_group_sinks_by_driver() {
+        let mut nl = MappedNetlist::new();
+        let a = nl.add_input("a");
+        let x = nl.add_cell(inv(a));
+        let y = nl.add_cell(inv(x));
+        let z = nl.add_cell(inv(x));
+        nl.add_output("y", y);
+        nl.add_output("z", z);
+        let nets = nl.nets();
+        assert_eq!(nets.len(), 4); // a, x, y, z
+        let net_x = nets.iter().find(|n| n.driver == x).unwrap();
+        assert_eq!(net_x.sinks.len(), 2);
+        assert_eq!(net_x.degree(), 3);
+        let net_y = nets.iter().find(|n| n.driver == y).unwrap();
+        assert_eq!(net_y.po_sinks, vec![0]);
+    }
+
+    #[test]
+    fn topological_order_handles_any_storage_order() {
+        // Store the INV before its driver NAND by construction trickery.
+        let mut nl = MappedNetlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        // Placeholder input that we patch afterwards.
+        let y = nl.add_cell(inv(a));
+        let n = nl.add_cell(nand2(a, b));
+        nl.cells_mut()[0].inputs[0] = n;
+        nl.add_output("y", y);
+        let order = nl.topological_order();
+        let pos_of = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos_of(1) < pos_of(0));
+        assert_eq!(nl.simulate_outputs_with(eval, &[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn port_positions_roundtrip() {
+        let mut nl = MappedNetlist::new();
+        let a = nl.add_input("a");
+        nl.add_output("o", a);
+        nl.set_input_pos(0, Point::new(1.0, 2.0));
+        nl.set_output_pos(0, Point::new(3.0, 4.0));
+        assert_eq!(nl.input_pos(0), Point::new(1.0, 2.0));
+        assert_eq!(nl.output_pos(0), Point::new(3.0, 4.0));
+        assert_eq!(nl.signal_pos(a), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn replace_signal_and_port_removal() {
+        let mut nl = MappedNetlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_cell(inv(b));
+        nl.add_output("o", b);
+        // rewire everything reading b to read x's output instead
+        let changed = nl.replace_signal(b, x);
+        assert_eq!(changed, 2); // the inv's own input and the output
+        // ... which made a self-loop; point the inv at `a` instead
+        nl.cells_mut()[0].inputs[0] = a;
+        // b is now unreferenced and removable
+        nl.remove_trailing_inputs(1);
+        assert_eq!(nl.input_names(), &["a".to_string()]);
+        nl.remove_trailing_outputs(1);
+        assert!(nl.outputs().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "still referenced")]
+    fn remove_referenced_input_panics() {
+        let mut nl = MappedNetlist::new();
+        let a = nl.add_input("a");
+        nl.add_cell(inv(a));
+        nl.remove_trailing_inputs(1);
+    }
+
+    #[test]
+    fn cut_order_breaks_register_loops() {
+        let mut nl = MappedNetlist::new();
+        let a = nl.add_input("a");
+        let dff = nl.add_cell(inv(a)); // placeholder master, index 0
+        let logic = nl.add_cell(nand2(dff, a));
+        // close the loop: the "register" reads the logic output
+        nl.cells_mut()[0].inputs[0] = logic;
+        nl.add_output("q", dff);
+        // plain ordering panics; cutting at the register succeeds
+        let order = nl.topological_order_cut(|c| c == 0);
+        assert_eq!(order.len(), 2);
+        let pos_of = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos_of(0) < pos_of(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational cycle")]
+    fn cycle_detection() {
+        let mut nl = MappedNetlist::new();
+        let a = nl.add_input("a");
+        let x = nl.add_cell(nand2(a, a));
+        let y = nl.add_cell(inv(x));
+        // introduce a cycle: x reads y
+        nl.cells_mut()[0].inputs[1] = y;
+        nl.topological_order();
+    }
+}

@@ -1,0 +1,327 @@
+//! The multi-level Boolean network: the technology-independent logic
+//! representation manipulated by the optimizer before decomposition into
+//! base gates.
+//!
+//! A [`Network`] is a DAG whose nodes are either primary inputs or
+//! internal functions. Each internal node carries a [`Sop`] over its local
+//! fanin list, the same model as SIS/MIS. Primary outputs name nodes.
+
+use crate::sop::{Polarity, Sop};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node inside a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a network node computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeFunction {
+    /// A primary input with its port name.
+    Input(String),
+    /// An internal node: an SOP whose variable `i` is the node's `i`-th
+    /// fanin.
+    Logic {
+        /// Local fanins; SOP variable `i` refers to `fanins[i]`.
+        fanins: Vec<NodeId>,
+        /// The node function over the local fanins.
+        sop: Sop,
+    },
+}
+
+/// A technology-independent multi-level logic network.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    nodes: Vec<NodeFunction>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a primary input and returns its id.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeFunction::Input(name.into()));
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds an internal logic node computing `sop` over `fanins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SOP universe does not match the fanin count, or if a
+    /// fanin id is out of range (fanins must already exist, which keeps the
+    /// node list topologically ordered).
+    pub fn add_node(&mut self, fanins: Vec<NodeId>, sop: Sop) -> NodeId {
+        assert_eq!(sop.num_vars(), fanins.len(), "SOP universe != fanin count");
+        for f in &fanins {
+            assert!(f.index() < self.nodes.len(), "fanin {f} does not exist");
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeFunction::Logic { fanins, sop });
+        id
+    }
+
+    /// Declares `node` as a primary output named `name`.
+    pub fn add_output(&mut self, name: impl Into<String>, node: NodeId) {
+        self.outputs.push((name.into(), node));
+    }
+
+    /// The function of a node.
+    pub fn node(&self, id: NodeId) -> &NodeFunction {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node function (used by the optimizer when it
+    /// restructures logic).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeFunction {
+        &mut self.nodes[id.index()]
+    }
+
+    /// All node ids in topological order (fanins before fanouts).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Number of nodes (inputs + logic).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as `(name, node)` pairs.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Total literal count over all logic nodes — the standard area proxy
+    /// of the technology-independent phase.
+    pub fn literal_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                NodeFunction::Input(_) => 0,
+                NodeFunction::Logic { sop, .. } => sop.literal_count(),
+            })
+            .sum()
+    }
+
+    /// Number of internal (logic) nodes.
+    pub fn num_logic_nodes(&self) -> usize {
+        self.nodes.len() - self.inputs.len()
+    }
+
+    /// Node ids in a topological order (fanins before fanouts). Fresh
+    /// nodes always reference existing ones, but the optimizer may rewire
+    /// an old node to a newer divisor, so index order is not reliable and
+    /// this order is recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rewiring introduced a combinational cycle.
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let NodeFunction::Logic { fanins, .. } = node {
+                for f in fanins {
+                    indeg[idx] += 1;
+                    fanout[f.index()].push(idx);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(NodeId(i as u32));
+            for &f in &fanout[i] {
+                indeg[f] -= 1;
+                if indeg[f] == 0 {
+                    queue.push(f);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "combinational cycle in network");
+        order
+    }
+
+    /// Evaluates every node under the given primary-input assignment.
+    ///
+    /// Returns one value per node, in node order. `pi_values` maps each
+    /// entry of [`Network::inputs`] (in order) to its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_values.len() != self.inputs().len()` or on a
+    /// combinational cycle.
+    pub fn simulate(&self, pi_values: &[bool]) -> Vec<bool> {
+        assert_eq!(pi_values.len(), self.inputs.len(), "one value per input required");
+        let mut pi_of_node: HashMap<NodeId, usize> = HashMap::new();
+        for (i, id) in self.inputs.iter().enumerate() {
+            pi_of_node.insert(*id, i);
+        }
+        let mut values = vec![false; self.nodes.len()];
+        for id in self.topological_order() {
+            let idx = id.index();
+            values[idx] = match &self.nodes[idx] {
+                NodeFunction::Input(_) => pi_values[pi_of_node[&id]],
+                NodeFunction::Logic { fanins, sop } => {
+                    let local: Vec<bool> = fanins.iter().map(|f| values[f.index()]).collect();
+                    sop.eval(&local)
+                }
+            };
+        }
+        values
+    }
+
+    /// Evaluates only the primary outputs, in declaration order.
+    pub fn simulate_outputs(&self, pi_values: &[bool]) -> Vec<bool> {
+        let values = self.simulate(pi_values);
+        self.outputs.iter().map(|(_, id)| values[id.index()]).collect()
+    }
+
+    /// Fanout counts per node (number of logic nodes referencing it, plus
+    /// one per primary-output reference).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            if let NodeFunction::Logic { fanins, .. } = node {
+                for f in fanins {
+                    counts[f.index()] += 1;
+                }
+            }
+        }
+        for (_, id) in &self.outputs {
+            counts[id.index()] += 1;
+        }
+        counts
+    }
+
+    /// Builds the conjunction node `a AND b` as a one-cube SOP.
+    pub fn add_and2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut c = crate::sop::Cube::one(2);
+        c.set(0, Polarity::Positive);
+        c.set(1, Polarity::Positive);
+        self.add_node(vec![a, b], Sop::from_cube(c))
+    }
+
+    /// Builds the disjunction node `a OR b` as a two-cube SOP.
+    pub fn add_or2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut c0 = crate::sop::Cube::one(2);
+        c0.set(0, Polarity::Positive);
+        let mut c1 = crate::sop::Cube::one(2);
+        c1.set(1, Polarity::Positive);
+        self.add_node(vec![a, b], Sop::from_cubes(2, vec![c0, c1]))
+    }
+
+    /// Builds the complement node `!a`.
+    pub fn add_not(&mut self, a: NodeId) -> NodeId {
+        let mut c = crate::sop::Cube::one(1);
+        c.set(0, Polarity::Negative);
+        self.add_node(vec![a], Sop::from_cube(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sop::Cube;
+
+    fn xor_network() -> Network {
+        // y = a XOR b as SOP over (a, b)
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let mut c0 = Cube::one(2);
+        c0.set(0, Polarity::Positive);
+        c0.set(1, Polarity::Negative);
+        let mut c1 = Cube::one(2);
+        c1.set(0, Polarity::Negative);
+        c1.set(1, Polarity::Positive);
+        let y = net.add_node(vec![a, b], Sop::from_cubes(2, vec![c0, c1]));
+        net.add_output("y", y);
+        net
+    }
+
+    #[test]
+    fn simulate_xor() {
+        let net = xor_network();
+        assert_eq!(net.simulate_outputs(&[false, false]), vec![false]);
+        assert_eq!(net.simulate_outputs(&[true, false]), vec![true]);
+        assert_eq!(net.simulate_outputs(&[false, true]), vec![true]);
+        assert_eq!(net.simulate_outputs(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn literal_count_counts_logic_only() {
+        let net = xor_network();
+        assert_eq!(net.literal_count(), 4);
+        assert_eq!(net.num_logic_nodes(), 1);
+        assert_eq!(net.num_nodes(), 3);
+    }
+
+    #[test]
+    fn fanout_counts_include_outputs() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let n = net.add_not(a);
+        let m = net.add_not(n);
+        net.add_output("o1", m);
+        net.add_output("o2", n);
+        let counts = net.fanout_counts();
+        assert_eq!(counts[a.index()], 1);
+        assert_eq!(counts[n.index()], 2); // used by m and by o2
+        assert_eq!(counts[m.index()], 1);
+    }
+
+    #[test]
+    fn gate_helpers_compute_expected_functions() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let and = net.add_and2(a, b);
+        let or = net.add_or2(a, b);
+        let not = net.add_not(a);
+        net.add_output("and", and);
+        net.add_output("or", or);
+        net.add_output("not", not);
+        for m in 0..4u32 {
+            let av = m & 1 == 1;
+            let bv = m & 2 == 2;
+            let out = net.simulate_outputs(&[av, bv]);
+            assert_eq!(out, vec![av && bv, av || bv, !av]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SOP universe")]
+    fn add_node_validates_universe() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        net.add_node(vec![a], Sop::one(2));
+    }
+}

@@ -1,0 +1,410 @@
+//! Programmable logic array (PLA) representation with espresso-style
+//! `.pla` parsing and printing.
+//!
+//! SPLA and PDC — the two IWLS93 benchmarks the paper evaluates — are PLA
+//! benchmarks, so this module is the entry point for reproducing those
+//! experiments: a [`Pla`] converts into a two-level [`Network`]
+//! (one AND plane node per product term, one OR node per output), which is
+//! then optimized and decomposed into the subject graph.
+
+use crate::network::Network;
+use crate::sop::{Cube, Polarity, Sop};
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors produced while parsing a `.pla` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePlaError {
+    /// A directive (`.i`, `.o`, …) had a malformed argument.
+    BadDirective(String),
+    /// A product-term line had the wrong width or an invalid character.
+    BadTerm { line: usize, reason: String },
+    /// `.i`/`.o` missing before the first product term.
+    MissingHeader,
+}
+
+impl fmt::Display for ParsePlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePlaError::BadDirective(d) => write!(f, "malformed directive: {d}"),
+            ParsePlaError::BadTerm { line, reason } => {
+                write!(f, "bad product term on line {line}: {reason}")
+            }
+            ParsePlaError::MissingHeader => write!(f, "missing .i/.o header"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePlaError {}
+
+/// One PLA row: an input cube and the set of outputs it feeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaTerm {
+    /// Input plane: the product term.
+    pub cube: Cube,
+    /// Output plane: `outputs[k]` is true when the term feeds output `k`.
+    pub outputs: Vec<bool>,
+}
+
+/// A two-level AND/OR array.
+#[derive(Debug, Clone, Default)]
+pub struct Pla {
+    num_inputs: usize,
+    num_outputs: usize,
+    terms: Vec<PlaTerm>,
+    input_labels: Vec<String>,
+    output_labels: Vec<String>,
+}
+
+impl Pla {
+    /// Creates an empty PLA with default port labels (`iJ<k>J` inputs and
+    /// `oJ<k>J` outputs, the naming convention visible in the paper's
+    /// timing reports).
+    pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
+        Pla {
+            num_inputs,
+            num_outputs,
+            terms: Vec::new(),
+            input_labels: (0..num_inputs).map(|k| format!("iJ{k}J")).collect(),
+            output_labels: (0..num_outputs).map(|k| format!("oJ{k}J")).collect(),
+        }
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The product terms.
+    pub fn terms(&self) -> &[PlaTerm] {
+        &self.terms
+    }
+
+    /// Input port labels.
+    pub fn input_labels(&self) -> &[String] {
+        &self.input_labels
+    }
+
+    /// Output port labels.
+    pub fn output_labels(&self) -> &[String] {
+        &self.output_labels
+    }
+
+    /// Adds a product term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube universe or output-vector length mismatch the
+    /// PLA dimensions.
+    pub fn add_term(&mut self, cube: Cube, outputs: Vec<bool>) {
+        assert_eq!(cube.num_vars(), self.num_inputs, "cube universe mismatch");
+        assert_eq!(outputs.len(), self.num_outputs, "output plane mismatch");
+        self.terms.push(PlaTerm { cube, outputs });
+    }
+
+    /// The SOP of one output column.
+    pub fn output_sop(&self, output: usize) -> Sop {
+        let cubes: Vec<Cube> = self
+            .terms
+            .iter()
+            .filter(|t| t.outputs[output])
+            .map(|t| t.cube.clone())
+            .collect();
+        Sop::from_cubes(self.num_inputs, cubes)
+    }
+
+    /// Evaluates all outputs on an input assignment.
+    pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {
+        let fired: Vec<bool> = self.terms.iter().map(|t| t.cube.eval(assignment)).collect();
+        (0..self.num_outputs)
+            .map(|o| self.terms.iter().zip(&fired).any(|(t, f)| *f && t.outputs[o]))
+            .collect()
+    }
+
+    /// Converts the PLA to a two-level Boolean [`Network`]: one node per
+    /// distinct product term (shared across outputs, as in a physical PLA
+    /// AND plane) and one OR node per output.
+    pub fn to_network(&self) -> Network {
+        let mut net = Network::new();
+        let pis: Vec<_> = self.input_labels.iter().map(|n| net.add_input(n.clone())).collect();
+        // AND plane: one node per term.
+        let mut term_nodes = Vec::with_capacity(self.terms.len());
+        for t in &self.terms {
+            let lits: Vec<(usize, Polarity)> = t.cube.literals().collect();
+            if lits.is_empty() {
+                // Constant-one term: represent as a single-variable tautology
+                // over the first input (x + !x).
+                let mut c0 = Cube::one(1);
+                c0.set(0, Polarity::Positive);
+                let mut c1 = Cube::one(1);
+                c1.set(0, Polarity::Negative);
+                term_nodes.push(net.add_node(vec![pis[0]], Sop::from_cubes(1, vec![c0, c1])));
+                continue;
+            }
+            let fanins: Vec<_> = lits.iter().map(|(v, _)| pis[*v]).collect();
+            let mut cube = Cube::one(lits.len());
+            for (i, (_, p)) in lits.iter().enumerate() {
+                cube.set(i, *p);
+            }
+            term_nodes.push(net.add_node(fanins, Sop::from_cube(cube)));
+        }
+        // OR plane: one node per output.
+        for (o, label) in self.output_labels.iter().enumerate() {
+            let fanins: Vec<_> = self
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.outputs[o])
+                .map(|(i, _)| term_nodes[i])
+                .collect();
+            if fanins.is_empty() {
+                // Constant-zero output: !x * x over the first input.
+                let zero = net.add_node(vec![pis[0]], Sop::zero(1));
+                net.add_output(label.clone(), zero);
+                continue;
+            }
+            let k = fanins.len();
+            let cubes: Vec<Cube> = (0..k)
+                .map(|i| {
+                    let mut c = Cube::one(k);
+                    c.set(i, Polarity::Positive);
+                    c
+                })
+                .collect();
+            let node = net.add_node(fanins, Sop::from_cubes(k, cubes));
+            net.add_output(label.clone(), node);
+        }
+        net
+    }
+
+    /// Serializes in espresso `.pla` format.
+    pub fn to_pla_string(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(".i {}\n.o {}\n.p {}\n", self.num_inputs, self.num_outputs, self.terms.len()));
+        for t in &self.terms {
+            for v in 0..self.num_inputs {
+                s.push(match t.cube.literal(v) {
+                    Some(Polarity::Positive) => '1',
+                    Some(Polarity::Negative) => '0',
+                    None => '-',
+                });
+            }
+            s.push(' ');
+            for o in 0..self.num_outputs {
+                s.push(if t.outputs[o] { '1' } else { '0' });
+            }
+            s.push('\n');
+        }
+        s.push_str(".e\n");
+        s
+    }
+}
+
+impl FromStr for Pla {
+    type Err = ParsePlaError;
+
+    /// Parses the espresso `.pla` subset: `.i`, `.o`, `.p` (ignored),
+    /// `.ilb`, `.ob`, `.e`, comments (`#`) and `01-` / `01~` planes.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let mut ni: Option<usize> = None;
+        let mut no: Option<usize> = None;
+        let mut pla: Option<Pla> = None;
+        let mut ilb: Option<Vec<String>> = None;
+        let mut ob: Option<Vec<String>> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('.') {
+                let mut it = rest.split_whitespace();
+                match it.next() {
+                    Some("i") => {
+                        ni = Some(
+                            it.next()
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| ParsePlaError::BadDirective(line.into()))?,
+                        )
+                    }
+                    Some("o") => {
+                        no = Some(
+                            it.next()
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| ParsePlaError::BadDirective(line.into()))?,
+                        )
+                    }
+                    Some("ilb") => ilb = Some(it.map(String::from).collect()),
+                    Some("ob") => ob = Some(it.map(String::from).collect()),
+                    Some("p") | Some("e") | Some("end") | Some("type") => {}
+                    _ => return Err(ParsePlaError::BadDirective(line.into())),
+                }
+                continue;
+            }
+            // product term line
+            let (ni, no) = match (ni, no) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(ParsePlaError::MissingHeader),
+            };
+            let p = pla.get_or_insert_with(|| Pla::new(ni, no));
+            let compact: Vec<char> = line.chars().filter(|c| !c.is_whitespace()).collect();
+            if compact.len() != ni + no {
+                return Err(ParsePlaError::BadTerm {
+                    line: lineno + 1,
+                    reason: format!("expected {} plane characters, got {}", ni + no, compact.len()),
+                });
+            }
+            let mut cube = Cube::one(ni);
+            for (v, ch) in compact[..ni].iter().enumerate() {
+                match ch {
+                    '1' => cube.set(v, Polarity::Positive),
+                    '0' => cube.set(v, Polarity::Negative),
+                    '-' | '~' | '2' => {}
+                    c => {
+                        return Err(ParsePlaError::BadTerm {
+                            line: lineno + 1,
+                            reason: format!("invalid input-plane character '{c}'"),
+                        })
+                    }
+                }
+            }
+            let mut outs = vec![false; no];
+            for (o, ch) in compact[ni..].iter().enumerate() {
+                match ch {
+                    '1' | '4' => outs[o] = true,
+                    '0' | '-' | '~' | '2' | '3' => {}
+                    c => {
+                        return Err(ParsePlaError::BadTerm {
+                            line: lineno + 1,
+                            reason: format!("invalid output-plane character '{c}'"),
+                        })
+                    }
+                }
+            }
+            p.add_term(cube, outs);
+        }
+        let mut pla = match pla {
+            Some(p) => p,
+            None => match (ni, no) {
+                (Some(a), Some(b)) => Pla::new(a, b),
+                _ => return Err(ParsePlaError::MissingHeader),
+            },
+        };
+        if let Some(labels) = ilb {
+            if labels.len() == pla.num_inputs {
+                pla.input_labels = labels;
+            }
+        }
+        if let Some(labels) = ob {
+            if labels.len() == pla.num_outputs {
+                pla.output_labels = labels;
+            }
+        }
+        Ok(pla)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# two-bit comparator
+.i 4
+.o 1
+.p 3
+1-0- 1
+01-0 1
+11-- 1
+.e
+";
+
+    #[test]
+    fn parse_and_eval() {
+        let pla: Pla = SAMPLE.parse().unwrap();
+        assert_eq!(pla.num_inputs(), 4);
+        assert_eq!(pla.num_outputs(), 1);
+        assert_eq!(pla.terms().len(), 3);
+        // 1-0-: x0 & !x2
+        assert_eq!(pla.eval(&[true, false, false, false]), vec![true]);
+        assert_eq!(pla.eval(&[false, false, false, false]), vec![false]);
+        // 11--
+        assert_eq!(pla.eval(&[true, true, true, true]), vec![true]);
+    }
+
+    #[test]
+    fn roundtrip_via_string() {
+        let pla: Pla = SAMPLE.parse().unwrap();
+        let text = pla.to_pla_string();
+        let again: Pla = text.parse().unwrap();
+        assert_eq!(again.terms().len(), pla.terms().len());
+        for m in 0..16u32 {
+            let asg: Vec<bool> = (0..4).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(pla.eval(&asg), again.eval(&asg));
+        }
+    }
+
+    #[test]
+    fn to_network_is_equivalent() {
+        let pla: Pla = SAMPLE.parse().unwrap();
+        let net = pla.to_network();
+        for m in 0..16u32 {
+            let asg: Vec<bool> = (0..4).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(pla.eval(&asg), net.simulate_outputs(&asg), "mismatch at {asg:?}");
+        }
+    }
+
+    #[test]
+    fn output_sop_selects_column() {
+        let pla: Pla = SAMPLE.parse().unwrap();
+        let sop = pla.output_sop(0);
+        assert_eq!(sop.num_cubes(), 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!("1- 1".parse::<Pla>(), Err(ParsePlaError::MissingHeader)));
+        assert!(matches!(
+            ".i 2\n.o 1\n1 1".parse::<Pla>(),
+            Err(ParsePlaError::BadTerm { .. })
+        ));
+        assert!(matches!(".i x\n".parse::<Pla>(), Err(ParsePlaError::BadDirective(_))));
+        assert!(matches!(
+            ".i 2\n.o 1\nxy 1".parse::<Pla>(),
+            Err(ParsePlaError::BadTerm { .. })
+        ));
+    }
+
+    #[test]
+    fn default_labels_match_paper_convention() {
+        let pla = Pla::new(2, 2);
+        assert_eq!(pla.input_labels()[0], "iJ0J");
+        assert_eq!(pla.output_labels()[1], "oJ1J");
+    }
+
+    #[test]
+    fn ilb_ob_labels_are_applied() {
+        let text = ".i 2\n.o 1\n.ilb alpha beta\n.ob gamma\n11 1\n.e\n";
+        let pla: Pla = text.parse().unwrap();
+        assert_eq!(pla.input_labels(), &["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(pla.output_labels(), &["gamma".to_string()]);
+    }
+
+    #[test]
+    fn multi_output_sharing_in_network() {
+        // one term feeding two outputs must become a shared AND-plane node
+        let mut pla = Pla::new(2, 2);
+        let mut c = Cube::one(2);
+        c.set(0, Polarity::Positive);
+        c.set(1, Polarity::Positive);
+        pla.add_term(c, vec![true, true]);
+        let net = pla.to_network();
+        // nodes: 2 PIs + 1 term + 2 ORs
+        assert_eq!(net.num_nodes(), 5);
+        assert_eq!(net.simulate_outputs(&[true, true]), vec![true, true]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Sequential circuits: a combinational core plus D flip-flops.
+//!
+//! The paper's flow (and this library's mapper) is combinational; a
+//! [`SeqNetwork`] wraps a [`Network`] with latch records so sequential
+//! designs can ride the same pipeline: each flip-flop's output `Q` is a
+//! pseudo primary input of the core, its data pin `D` is driven by a core
+//! node, and synthesis maps the core while the flip-flops pass through.
+
+use crate::network::{Network, NodeFunction, NodeId};
+use std::fmt;
+
+/// Initial value of a flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatchInit {
+    /// Powers up at 0.
+    #[default]
+    Zero,
+    /// Powers up at 1.
+    One,
+    /// Unknown/don't-care power-up state (simulated as 0).
+    Unknown,
+}
+
+impl LatchInit {
+    /// The simulation value at cycle 0.
+    pub fn as_bool(self) -> bool {
+        matches!(self, LatchInit::One)
+    }
+}
+
+/// One D flip-flop: `q` is a pseudo-input node of the core network whose
+/// next-cycle value is the core's `d` node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Latch {
+    /// Register name (the BLIF `.latch` output signal).
+    pub name: String,
+    /// The core node computing the next state.
+    pub d: NodeId,
+    /// The pseudo primary input presenting the current state.
+    pub q: NodeId,
+    /// Power-up value.
+    pub init: LatchInit,
+}
+
+/// A sequential network: combinational core + flip-flops.
+#[derive(Debug, Clone, Default)]
+pub struct SeqNetwork {
+    /// The combinational core. Latch `q` nodes appear as primary inputs
+    /// of this network *after* the real primary inputs, in latch order.
+    pub core: Network,
+    /// The flip-flops.
+    pub latches: Vec<Latch>,
+    /// How many of `core.inputs()` are real circuit inputs (the rest are
+    /// latch outputs).
+    pub num_real_inputs: usize,
+}
+
+impl SeqNetwork {
+    /// Wraps a purely combinational network (no latches).
+    pub fn combinational(core: Network) -> Self {
+        let num_real_inputs = core.inputs().len();
+        SeqNetwork { core, latches: Vec::new(), num_real_inputs }
+    }
+
+    /// True when the design has no flip-flops.
+    pub fn is_combinational(&self) -> bool {
+        self.latches.is_empty()
+    }
+
+    /// Simulates `cycles` clock cycles. `stimulus[t]` holds the real
+    /// primary-input values for cycle `t`; returns the primary-output
+    /// values per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stimulus row has the wrong width.
+    pub fn simulate(&self, stimulus: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        let mut state: Vec<bool> = self.latches.iter().map(|l| l.init.as_bool()).collect();
+        let mut out = Vec::with_capacity(stimulus.len());
+        for row in stimulus {
+            assert_eq!(row.len(), self.num_real_inputs, "stimulus width mismatch");
+            let mut pi = row.clone();
+            pi.extend_from_slice(&state);
+            let values = self.core.simulate(&pi);
+            out.push(
+                self.core
+                    .outputs()
+                    .iter()
+                    .map(|(_, id)| values[id.index()])
+                    .collect::<Vec<bool>>(),
+            );
+            for (s, l) in state.iter_mut().zip(&self.latches) {
+                *s = values[l.d.index()];
+            }
+        }
+        out
+    }
+
+    /// Validates the latch wiring: every `q` is a core input appearing
+    /// after the real inputs, every `d` is a core node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent wiring — use during construction.
+    pub fn check(&self) {
+        let inputs = self.core.inputs();
+        assert!(self.num_real_inputs <= inputs.len());
+        assert_eq!(
+            inputs.len() - self.num_real_inputs,
+            self.latches.len(),
+            "one pseudo-input per latch"
+        );
+        for (k, l) in self.latches.iter().enumerate() {
+            assert_eq!(
+                inputs[self.num_real_inputs + k],
+                l.q,
+                "latch {k} q must be pseudo-input {k}"
+            );
+            assert!(
+                matches!(self.core.node(l.q), NodeFunction::Input(_)),
+                "latch q must be an input node"
+            );
+            assert!(l.d.index() < self.core.num_nodes(), "latch d out of range");
+        }
+    }
+}
+
+impl fmt::Display for SeqNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sequential network: {} real inputs, {} outputs, {} latches, {} literals",
+            self.num_real_inputs,
+            self.core.outputs().len(),
+            self.latches.len(),
+            self.core.literal_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toggle flip-flop: q' = q XOR enable.
+    fn toggle() -> SeqNetwork {
+        let mut net = Network::new();
+        let en = net.add_input("en");
+        let q = net.add_input("q_state");
+        // d = en XOR q = en*!q + !en*q
+        use crate::sop::{Cube, Polarity, Sop};
+        let mut c0 = Cube::one(2);
+        c0.set(0, Polarity::Positive);
+        c0.set(1, Polarity::Negative);
+        let mut c1 = Cube::one(2);
+        c1.set(0, Polarity::Negative);
+        c1.set(1, Polarity::Positive);
+        let d = net.add_node(vec![en, q], Sop::from_cubes(2, vec![c0, c1]));
+        net.add_output("out", q);
+        let seq = SeqNetwork {
+            core: net,
+            latches: vec![Latch { name: "t".into(), d, q, init: LatchInit::Zero }],
+            num_real_inputs: 1,
+        };
+        seq.check();
+        seq
+    }
+
+    #[test]
+    fn toggle_ff_toggles() {
+        let seq = toggle();
+        assert!(!seq.is_combinational());
+        // enable every cycle: out = 0,1,0,1
+        let out = seq.simulate(&vec![vec![true]; 4]);
+        assert_eq!(out, vec![vec![false], vec![true], vec![false], vec![true]]);
+        // never enabled: stays 0
+        let out = seq.simulate(&vec![vec![false]; 3]);
+        assert_eq!(out, vec![vec![false]; 3]);
+    }
+
+    #[test]
+    fn init_one_starts_high() {
+        let mut seq = toggle();
+        seq.latches[0].init = LatchInit::One;
+        let out = seq.simulate(&vec![vec![false]; 2]);
+        assert_eq!(out, vec![vec![true], vec![true]]);
+    }
+
+    #[test]
+    fn combinational_wrapper() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let n = net.add_not(a);
+        net.add_output("y", n);
+        let seq = SeqNetwork::combinational(net);
+        assert!(seq.is_combinational());
+        seq.check();
+        let out = seq.simulate(&[vec![true], vec![false]]);
+        assert_eq!(out, vec![vec![false], vec![true]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stimulus width")]
+    fn wrong_stimulus_width_panics() {
+        toggle().simulate(&[vec![true, false]]);
+    }
+}

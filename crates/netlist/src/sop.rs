@@ -1,0 +1,502 @@
+//! Cubes and sum-of-products covers.
+//!
+//! A [`Cube`] is a product of literals over a fixed variable universe; a
+//! [`Sop`] is a set of cubes interpreted as their disjunction. These are
+//! the two-level representation behind PLAs ([`crate::pla`]) and the
+//! algebraic operations (division, kernels) of the technology-independent
+//! optimizer.
+
+use std::fmt;
+
+/// Polarity of a literal inside a cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Polarity {
+    /// The variable appears complemented.
+    Negative,
+    /// The variable appears uncomplemented.
+    Positive,
+}
+
+/// A product term: for each variable, present positively, negatively, or
+/// absent (don't-care in the input plane).
+///
+/// Internally a pair of bitsets over the variable universe.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Cube {
+    pos: Vec<u64>,
+    neg: Vec<u64>,
+    num_vars: usize,
+}
+
+fn words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+impl Cube {
+    /// The universal cube (constant one) over `num_vars` variables.
+    pub fn one(num_vars: usize) -> Self {
+        Cube {
+            pos: vec![0; words(num_vars)],
+            neg: vec![0; words(num_vars)],
+            num_vars,
+        }
+    }
+
+    /// Number of variables in the universe (not the number of literals).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds a literal; replaces any previous literal of the same variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn set(&mut self, var: usize, pol: Polarity) {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        let (w, b) = (var / 64, 1u64 << (var % 64));
+        match pol {
+            Polarity::Positive => {
+                self.pos[w] |= b;
+                self.neg[w] &= !b;
+            }
+            Polarity::Negative => {
+                self.neg[w] |= b;
+                self.pos[w] &= !b;
+            }
+        }
+    }
+
+    /// Removes any literal of `var` from the cube.
+    pub fn clear(&mut self, var: usize) {
+        let (w, b) = (var / 64, 1u64 << (var % 64));
+        self.pos[w] &= !b;
+        self.neg[w] &= !b;
+    }
+
+    /// Polarity of `var` in this cube, or `None` if absent.
+    pub fn literal(&self, var: usize) -> Option<Polarity> {
+        let (w, b) = (var / 64, 1u64 << (var % 64));
+        if self.pos[w] & b != 0 {
+            Some(Polarity::Positive)
+        } else if self.neg[w] & b != 0 {
+            Some(Polarity::Negative)
+        } else {
+            None
+        }
+    }
+
+    /// Number of literals in the cube.
+    pub fn literal_count(&self) -> usize {
+        self.pos.iter().chain(self.neg.iter()).map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over `(var, polarity)` pairs in ascending variable order.
+    pub fn literals(&self) -> impl Iterator<Item = (usize, Polarity)> + '_ {
+        (0..self.num_vars).filter_map(move |v| self.literal(v).map(|p| (v, p)))
+    }
+
+    /// True if this cube contains every literal of `other` (i.e. `other`
+    /// implies `self` as products: `self` divides `other`).
+    pub fn contains(&self, other: &Cube) -> bool {
+        self.pos.iter().zip(&other.pos).all(|(a, b)| a & b == *a)
+            && self.neg.iter().zip(&other.neg).all(|(a, b)| a & b == *a)
+    }
+
+    /// Product of two cubes, or `None` when they clash (x and !x).
+    pub fn and(&self, other: &Cube) -> Option<Cube> {
+        let mut out = self.clone();
+        for i in 0..self.pos.len() {
+            out.pos[i] |= other.pos[i];
+            out.neg[i] |= other.neg[i];
+            if out.pos[i] & out.neg[i] != 0 {
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    /// Cofactor: removes from `self` all literals present in `other`.
+    /// Caller must ensure `other.contains`-compatibility; this is the
+    /// quotient of algebraic division by a single cube when it succeeds.
+    pub fn without(&self, other: &Cube) -> Cube {
+        let mut out = self.clone();
+        for i in 0..self.pos.len() {
+            out.pos[i] &= !other.pos[i];
+            out.neg[i] &= !other.neg[i];
+        }
+        out
+    }
+
+    /// True when the cube has no literals (constant one).
+    pub fn is_one(&self) -> bool {
+        self.pos.iter().all(|w| *w == 0) && self.neg.iter().all(|w| *w == 0)
+    }
+
+    /// Evaluates the cube on an assignment (`assignment[v]` is the value
+    /// of variable `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than the variable universe.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars);
+        self.literals().all(|(v, p)| match p {
+            Polarity::Positive => assignment[v],
+            Polarity::Negative => !assignment[v],
+        })
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (v, p) in self.literals() {
+            if !first {
+                write!(f, "*")?;
+            }
+            first = false;
+            match p {
+                Polarity::Positive => write!(f, "x{v}")?,
+                Polarity::Negative => write!(f, "!x{v}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sum-of-products cover: the disjunction of its cubes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sop {
+    cubes: Vec<Cube>,
+    num_vars: usize,
+}
+
+impl Sop {
+    /// The empty cover (constant zero) over `num_vars` variables.
+    pub fn zero(num_vars: usize) -> Self {
+        Sop { cubes: Vec::new(), num_vars }
+    }
+
+    /// The cover containing only the universal cube (constant one).
+    pub fn one(num_vars: usize) -> Self {
+        Sop { cubes: vec![Cube::one(num_vars)], num_vars }
+    }
+
+    /// A cover consisting of a single cube.
+    pub fn from_cube(cube: Cube) -> Self {
+        let num_vars = cube.num_vars();
+        Sop { cubes: vec![cube], num_vars }
+    }
+
+    /// Builds a cover from cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cubes disagree on the variable universe.
+    pub fn from_cubes(num_vars: usize, cubes: Vec<Cube>) -> Self {
+        for c in &cubes {
+            assert_eq!(c.num_vars(), num_vars, "cube universe mismatch");
+        }
+        Sop { cubes, num_vars }
+    }
+
+    /// Number of variables in the universe.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes (product terms).
+    pub fn num_cubes(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Adds a cube to the cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-universe mismatch.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.num_vars(), self.num_vars, "cube universe mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// Total literal count, the classic area proxy of technology-independent
+    /// optimization (Brayton et al.).
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// True if the cover is the constant zero (no cubes).
+    pub fn is_zero(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// True if some cube is the universal cube (cover is constant one).
+    pub fn is_one(&self) -> bool {
+        self.cubes.iter().any(Cube::is_one)
+    }
+
+    /// Evaluates the cover on an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.cubes.iter().any(|c| c.eval(assignment))
+    }
+
+    /// Removes single-cube containment: any cube contained in another cube
+    /// of the cover is dropped. Returns the number of cubes removed.
+    pub fn make_irredundant_scc(&mut self) -> usize {
+        let before = self.cubes.len();
+        let cubes = std::mem::take(&mut self.cubes);
+        for (i, c) in cubes.iter().enumerate() {
+            let redundant = cubes
+                .iter()
+                .enumerate()
+                .any(|(j, d)| j != i && d.contains(c) && (c != d || j < i));
+            if !redundant {
+                self.cubes.push(c.clone());
+            }
+        }
+        before - self.cubes.len()
+    }
+
+    /// Algebraic (weak) division of `self` by `divisor`.
+    ///
+    /// Returns `(quotient, remainder)` such that
+    /// `self = quotient * divisor + remainder` algebraically. The quotient
+    /// is the intersection over divisor cubes `d` of `{ c / d }`; this is
+    /// the standard algorithm from multilevel logic synthesis.
+    pub fn divide(&self, divisor: &Sop) -> (Sop, Sop) {
+        assert_eq!(self.num_vars, divisor.num_vars);
+        if divisor.is_zero() {
+            return (Sop::zero(self.num_vars), self.clone());
+        }
+        let mut quotient: Option<Vec<Cube>> = None;
+        for d in &divisor.cubes {
+            let mut q: Vec<Cube> = Vec::new();
+            for c in &self.cubes {
+                if d.contains(c) {
+                    q.push(c.without(d));
+                }
+            }
+            quotient = Some(match quotient {
+                None => q,
+                Some(prev) => prev.into_iter().filter(|c| q.contains(c)).collect(),
+            });
+            if quotient.as_ref().is_some_and(Vec::is_empty) {
+                break;
+            }
+        }
+        let q = Sop::from_cubes(self.num_vars, quotient.unwrap_or_default());
+        // remainder = self - q*divisor
+        let mut product: Vec<Cube> = Vec::new();
+        for qc in &q.cubes {
+            for dc in &divisor.cubes {
+                if let Some(p) = qc.and(dc) {
+                    product.push(p);
+                }
+            }
+        }
+        let rem: Vec<Cube> =
+            self.cubes.iter().filter(|c| !product.contains(c)).cloned().collect();
+        (q, Sop::from_cubes(self.num_vars, rem))
+    }
+}
+
+impl fmt::Display for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Cube> for Sop {
+    /// Collects cubes into a cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cubes disagree on the variable universe.
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        let cubes: Vec<Cube> = iter.into_iter().collect();
+        let num_vars = cubes.first().map_or(0, Cube::num_vars);
+        Sop::from_cubes(num_vars, cubes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(num_vars: usize, lits: &[(usize, Polarity)]) -> Cube {
+        let mut c = Cube::one(num_vars);
+        for &(v, p) in lits {
+            c.set(v, p);
+        }
+        c
+    }
+
+    #[test]
+    fn cube_set_and_query() {
+        let mut c = Cube::one(70);
+        c.set(0, Polarity::Positive);
+        c.set(65, Polarity::Negative);
+        assert_eq!(c.literal(0), Some(Polarity::Positive));
+        assert_eq!(c.literal(65), Some(Polarity::Negative));
+        assert_eq!(c.literal(1), None);
+        assert_eq!(c.literal_count(), 2);
+        c.set(0, Polarity::Negative); // flip
+        assert_eq!(c.literal(0), Some(Polarity::Negative));
+        assert_eq!(c.literal_count(), 2);
+        c.clear(0);
+        assert_eq!(c.literal(0), None);
+    }
+
+    #[test]
+    fn cube_and_detects_clash() {
+        let a = cube(4, &[(0, Polarity::Positive)]);
+        let b = cube(4, &[(0, Polarity::Negative)]);
+        assert!(a.and(&b).is_none());
+        let c = cube(4, &[(1, Polarity::Positive)]);
+        let ac = a.and(&c).unwrap();
+        assert_eq!(ac.literal_count(), 2);
+    }
+
+    #[test]
+    fn cube_contains_and_without() {
+        let ab = cube(4, &[(0, Polarity::Positive), (1, Polarity::Positive)]);
+        let a = cube(4, &[(0, Polarity::Positive)]);
+        assert!(a.contains(&ab));
+        assert!(!ab.contains(&a));
+        let b = ab.without(&a);
+        assert_eq!(b.literal(0), None);
+        assert_eq!(b.literal(1), Some(Polarity::Positive));
+    }
+
+    #[test]
+    fn cube_eval() {
+        let c = cube(3, &[(0, Polarity::Positive), (2, Polarity::Negative)]);
+        assert!(c.eval(&[true, false, false]));
+        assert!(!c.eval(&[true, false, true]));
+        assert!(!c.eval(&[false, true, false]));
+        assert!(Cube::one(3).eval(&[false, false, false]));
+    }
+
+    #[test]
+    fn sop_eval_and_literals() {
+        // f = ab + !c
+        let f = Sop::from_cubes(
+            3,
+            vec![
+                cube(3, &[(0, Polarity::Positive), (1, Polarity::Positive)]),
+                cube(3, &[(2, Polarity::Negative)]),
+            ],
+        );
+        assert_eq!(f.literal_count(), 3);
+        assert!(f.eval(&[true, true, true]));
+        assert!(f.eval(&[false, false, false]));
+        assert!(!f.eval(&[true, false, true]));
+    }
+
+    #[test]
+    fn sop_scc_removes_contained_cubes() {
+        let mut f = Sop::from_cubes(
+            3,
+            vec![
+                cube(3, &[(0, Polarity::Positive)]),
+                cube(3, &[(0, Polarity::Positive), (1, Polarity::Positive)]),
+            ],
+        );
+        assert_eq!(f.make_irredundant_scc(), 1);
+        assert_eq!(f.num_cubes(), 1);
+        assert_eq!(f.cubes()[0].literal_count(), 1);
+    }
+
+    #[test]
+    fn sop_scc_keeps_one_of_duplicates() {
+        let c = cube(2, &[(0, Polarity::Positive)]);
+        let mut f = Sop::from_cubes(2, vec![c.clone(), c]);
+        assert_eq!(f.make_irredundant_scc(), 1);
+        assert_eq!(f.num_cubes(), 1);
+    }
+
+    #[test]
+    fn algebraic_division_textbook() {
+        // f = ac + ad + bc + bd + e  divided by  (a + b)
+        // quotient = c + d, remainder = e
+        let p = Polarity::Positive;
+        let f = Sop::from_cubes(
+            5,
+            vec![
+                cube(5, &[(0, p), (2, p)]),
+                cube(5, &[(0, p), (3, p)]),
+                cube(5, &[(1, p), (2, p)]),
+                cube(5, &[(1, p), (3, p)]),
+                cube(5, &[(4, p)]),
+            ],
+        );
+        let d = Sop::from_cubes(5, vec![cube(5, &[(0, p)]), cube(5, &[(1, p)])]);
+        let (q, r) = f.divide(&d);
+        assert_eq!(q.num_cubes(), 2);
+        assert!(q.cubes().contains(&cube(5, &[(2, p)])));
+        assert!(q.cubes().contains(&cube(5, &[(3, p)])));
+        assert_eq!(r.num_cubes(), 1);
+        assert!(r.cubes().contains(&cube(5, &[(4, p)])));
+    }
+
+    #[test]
+    fn division_by_nondivisor_gives_empty_quotient() {
+        let p = Polarity::Positive;
+        let f = Sop::from_cubes(3, vec![cube(3, &[(0, p)])]);
+        let d = Sop::from_cubes(3, vec![cube(3, &[(1, p)])]);
+        let (q, r) = f.divide(&d);
+        assert!(q.is_zero());
+        assert_eq!(r, f);
+    }
+
+    #[test]
+    fn division_reconstructs_function() {
+        // check f == q*d + r by simulation on all assignments
+        let p = Polarity::Positive;
+        let n = Polarity::Negative;
+        let f = Sop::from_cubes(
+            4,
+            vec![
+                cube(4, &[(0, p), (1, p)]),
+                cube(4, &[(0, p), (2, n)]),
+                cube(4, &[(3, p)]),
+            ],
+        );
+        let d = Sop::from_cubes(4, vec![cube(4, &[(0, p)])]);
+        let (q, r) = f.divide(&d);
+        for m in 0..16u32 {
+            let asg: Vec<bool> = (0..4).map(|i| m >> i & 1 == 1).collect();
+            let lhs = f.eval(&asg);
+            let rhs = (q.eval(&asg) && d.eval(&asg)) || r.eval(&asg);
+            assert_eq!(lhs, rhs, "mismatch at {asg:?}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Polarity::Positive;
+        let f = Sop::from_cubes(2, vec![cube(2, &[(0, p), (1, Polarity::Negative)])]);
+        assert_eq!(format!("{f}"), "x0*!x1");
+        assert_eq!(format!("{}", Sop::zero(2)), "0");
+        assert_eq!(format!("{}", Cube::one(2)), "1");
+    }
+}

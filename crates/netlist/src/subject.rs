@@ -1,0 +1,444 @@
+//! The subject graph: a DAG of base gates (two-input NANDs and inverters)
+//! plus primary inputs.
+//!
+//! Technology mapping consumes this representation: the unbound network is
+//! decomposed into NAND2/INV base functions, the subject graph is placed
+//! on the layout image, partitioned into trees and covered with library
+//! cells. Gates are stored in topological order (fanins always precede
+//! fanouts), which every downstream pass relies on.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a gate (or primary input) inside a [`SubjectGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub u32);
+
+impl GateId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The kind of a base gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseKind {
+    /// A primary input (no fanins).
+    Input,
+    /// A two-input NAND.
+    Nand2,
+    /// An inverter.
+    Inv,
+}
+
+#[derive(Debug, Clone)]
+struct Gate {
+    kind: BaseKind,
+    fanin: [GateId; 2], // Inv uses fanin[0]; Input uses neither
+}
+
+/// A DAG of NAND2/INV base gates.
+///
+/// # Example
+///
+/// ```
+/// use casyn_netlist::subject::SubjectGraph;
+///
+/// let mut g = SubjectGraph::new();
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let n = g.add_nand2(a, b);
+/// let and = g.add_inv(n);
+/// g.add_output("y", and);
+/// assert_eq!(g.simulate_outputs(&[true, true]), vec![true]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SubjectGraph {
+    gates: Vec<Gate>,
+    inputs: Vec<(String, GateId)>,
+    outputs: Vec<(String, GateId)>,
+    /// Structural-hashing table: (kind, fanin0, fanin1) -> gate.
+    strash: HashMap<(BaseKind, GateId, GateId), GateId>,
+    /// When true, `add_nand2`/`add_inv` reuse structurally identical gates.
+    hashing: bool,
+}
+
+impl SubjectGraph {
+    /// Creates an empty subject graph with structural hashing enabled.
+    pub fn new() -> Self {
+        SubjectGraph { hashing: true, ..Self::default() }
+    }
+
+    /// Creates an empty subject graph without structural hashing: every
+    /// `add_*` call creates a fresh gate even if an identical one exists.
+    /// Useful for experiments that need explicit logic duplication.
+    pub fn without_hashing() -> Self {
+        SubjectGraph { hashing: false, ..Self::default() }
+    }
+
+    /// Adds a primary input named `name`.
+    pub fn add_input(&mut self, name: impl Into<String>) -> GateId {
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(Gate { kind: BaseKind::Input, fanin: [id, id] });
+        self.inputs.push((name.into(), id));
+        id
+    }
+
+    /// Adds (or reuses, under structural hashing) a two-input NAND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fanin does not exist yet.
+    pub fn add_nand2(&mut self, a: GateId, b: GateId) -> GateId {
+        assert!(a.index() < self.gates.len() && b.index() < self.gates.len());
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if self.hashing {
+            if let Some(&g) = self.strash.get(&(BaseKind::Nand2, a, b)) {
+                return g;
+            }
+        }
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(Gate { kind: BaseKind::Nand2, fanin: [a, b] });
+        if self.hashing {
+            self.strash.insert((BaseKind::Nand2, a, b), id);
+        }
+        id
+    }
+
+    /// Adds (or reuses, under structural hashing) an inverter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fanin does not exist yet.
+    pub fn add_inv(&mut self, a: GateId) -> GateId {
+        assert!(a.index() < self.gates.len());
+        if self.hashing {
+            if let Some(&g) = self.strash.get(&(BaseKind::Inv, a, a)) {
+                return g;
+            }
+        }
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(Gate { kind: BaseKind::Inv, fanin: [a, a] });
+        if self.hashing {
+            self.strash.insert((BaseKind::Inv, a, a), id);
+        }
+        id
+    }
+
+    /// Builds `a AND b` (NAND + INV).
+    pub fn add_and2(&mut self, a: GateId, b: GateId) -> GateId {
+        let n = self.add_nand2(a, b);
+        self.add_inv(n)
+    }
+
+    /// Builds `a OR b` (`nand(!a, !b)`).
+    pub fn add_or2(&mut self, a: GateId, b: GateId) -> GateId {
+        let na = self.add_inv(a);
+        let nb = self.add_inv(b);
+        self.add_nand2(na, nb)
+    }
+
+    /// Declares `gate` as primary output `name`.
+    pub fn add_output(&mut self, name: impl Into<String>, gate: GateId) {
+        self.outputs.push((name.into(), gate));
+    }
+
+    /// The kind of `id`.
+    pub fn kind(&self, id: GateId) -> BaseKind {
+        self.gates[id.index()].kind
+    }
+
+    /// Fanins of `id`: two for NAND2, one for INV, none for inputs.
+    pub fn fanins(&self, id: GateId) -> &[GateId] {
+        let g = &self.gates[id.index()];
+        match g.kind {
+            BaseKind::Input => &[],
+            BaseKind::Inv => &g.fanin[..1],
+            BaseKind::Nand2 => &g.fanin[..2],
+        }
+    }
+
+    /// Total number of vertices (inputs + gates).
+    pub fn num_vertices(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of base gates (NAND2 + INV), excluding primary inputs. This
+    /// is the "base gates" count the paper reports for each benchmark.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len() - self.inputs.len()
+    }
+
+    /// All vertex ids in topological order.
+    pub fn ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.gates.len() as u32).map(GateId)
+    }
+
+    /// Primary inputs as `(name, gate)` pairs.
+    pub fn inputs(&self) -> &[(String, GateId)] {
+        &self.inputs
+    }
+
+    /// Primary outputs as `(name, gate)` pairs.
+    pub fn outputs(&self) -> &[(String, GateId)] {
+        &self.outputs
+    }
+
+    /// Fanout counts per vertex, counting primary-output references.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.gates.len()];
+        for g in &self.gates {
+            match g.kind {
+                BaseKind::Input => {}
+                BaseKind::Inv => counts[g.fanin[0].index()] += 1,
+                BaseKind::Nand2 => {
+                    counts[g.fanin[0].index()] += 1;
+                    counts[g.fanin[1].index()] += 1;
+                }
+            }
+        }
+        for (_, id) in &self.outputs {
+            counts[id.index()] += 1;
+        }
+        counts
+    }
+
+    /// Fanout adjacency: for each vertex, the list of gates that read it.
+    /// Primary-output references are not included (see
+    /// [`SubjectGraph::outputs`]).
+    pub fn fanout_lists(&self) -> Vec<Vec<GateId>> {
+        let mut lists = vec![Vec::new(); self.gates.len()];
+        for (idx, g) in self.gates.iter().enumerate() {
+            let id = GateId(idx as u32);
+            for f in match g.kind {
+                BaseKind::Input => &[][..],
+                BaseKind::Inv => &g.fanin[..1],
+                BaseKind::Nand2 => &g.fanin[..2],
+            } {
+                lists[f.index()].push(id);
+            }
+        }
+        lists
+    }
+
+    /// Evaluates all vertices under a primary-input assignment (one value
+    /// per input, in declaration order). Returns one value per vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_values.len() != self.inputs().len()`.
+    pub fn simulate(&self, pi_values: &[bool]) -> Vec<bool> {
+        assert_eq!(pi_values.len(), self.inputs.len(), "one value per input required");
+        let mut values = vec![false; self.gates.len()];
+        for ((_, id), v) in self.inputs.iter().zip(pi_values) {
+            values[id.index()] = *v;
+        }
+        for (idx, g) in self.gates.iter().enumerate() {
+            match g.kind {
+                BaseKind::Input => {}
+                BaseKind::Inv => values[idx] = !values[g.fanin[0].index()],
+                BaseKind::Nand2 => {
+                    values[idx] = !(values[g.fanin[0].index()] && values[g.fanin[1].index()])
+                }
+            }
+        }
+        values
+    }
+
+    /// Evaluates only the primary outputs, in declaration order.
+    pub fn simulate_outputs(&self, pi_values: &[bool]) -> Vec<bool> {
+        let values = self.simulate(pi_values);
+        self.outputs.iter().map(|(_, id)| values[id.index()]).collect()
+    }
+
+    /// Logic depth (maximum number of gates on any input-to-output path).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        let mut best = 0;
+        for (idx, g) in self.gates.iter().enumerate() {
+            let d = match g.kind {
+                BaseKind::Input => 0,
+                BaseKind::Inv => depth[g.fanin[0].index()] + 1,
+                BaseKind::Nand2 => {
+                    depth[g.fanin[0].index()].max(depth[g.fanin[1].index()]) + 1
+                }
+            };
+            depth[idx] = d;
+            best = best.max(d);
+        }
+        best
+    }
+
+    /// Drops gates not reachable from any primary output. Returns the
+    /// cleaned graph together with the old-to-new id mapping (unreachable
+    /// vertices map to `None`). Primary inputs are always kept.
+    pub fn sweep(&self) -> (SubjectGraph, Vec<Option<GateId>>) {
+        let mut live = vec![false; self.gates.len()];
+        let mut stack: Vec<GateId> = self.outputs.iter().map(|(_, id)| *id).collect();
+        while let Some(id) = stack.pop() {
+            if live[id.index()] {
+                continue;
+            }
+            live[id.index()] = true;
+            for f in self.fanins(id) {
+                stack.push(*f);
+            }
+        }
+        for (_, id) in &self.inputs {
+            live[id.index()] = true;
+        }
+        let mut out = if self.hashing {
+            SubjectGraph::new()
+        } else {
+            SubjectGraph::without_hashing()
+        };
+        let mut map: Vec<Option<GateId>> = vec![None; self.gates.len()];
+        for (idx, g) in self.gates.iter().enumerate() {
+            if !live[idx] {
+                continue;
+            }
+            let new = match g.kind {
+                BaseKind::Input => {
+                    let name =
+                        self.inputs.iter().find(|(_, id)| id.index() == idx).expect("input name");
+                    out.add_input(name.0.clone())
+                }
+                BaseKind::Inv => {
+                    let f = map[g.fanin[0].index()].expect("fanin live");
+                    out.add_inv(f)
+                }
+                BaseKind::Nand2 => {
+                    let a = map[g.fanin[0].index()].expect("fanin live");
+                    let b = map[g.fanin[1].index()].expect("fanin live");
+                    out.add_nand2(a, b)
+                }
+            };
+            map[idx] = Some(new);
+        }
+        for (name, id) in &self.outputs {
+            out.add_output(name.clone(), map[id.index()].expect("output live"));
+        }
+        (out, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nand_and_inv_functions() {
+        let mut g = SubjectGraph::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n = g.add_nand2(a, b);
+        let i = g.add_inv(n);
+        g.add_output("nand", n);
+        g.add_output("and", i);
+        for m in 0..4u32 {
+            let av = m & 1 == 1;
+            let bv = m & 2 == 2;
+            assert_eq!(g.simulate_outputs(&[av, bv]), vec![!(av && bv), av && bv]);
+        }
+    }
+
+    #[test]
+    fn structural_hashing_reuses_gates() {
+        let mut g = SubjectGraph::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n1 = g.add_nand2(a, b);
+        let n2 = g.add_nand2(b, a); // commutative: same gate
+        assert_eq!(n1, n2);
+        let i1 = g.add_inv(n1);
+        let i2 = g.add_inv(n1);
+        assert_eq!(i1, i2);
+        assert_eq!(g.num_gates(), 2);
+    }
+
+    #[test]
+    fn without_hashing_duplicates() {
+        let mut g = SubjectGraph::without_hashing();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n1 = g.add_nand2(a, b);
+        let n2 = g.add_nand2(a, b);
+        assert_ne!(n1, n2);
+        assert_eq!(g.num_gates(), 2);
+    }
+
+    #[test]
+    fn or_gate_helper() {
+        let mut g = SubjectGraph::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let o = g.add_or2(a, b);
+        g.add_output("o", o);
+        assert_eq!(g.simulate_outputs(&[false, false]), vec![false]);
+        assert_eq!(g.simulate_outputs(&[true, false]), vec![true]);
+        assert_eq!(g.simulate_outputs(&[false, true]), vec![true]);
+        assert_eq!(g.simulate_outputs(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn fanout_counts_count_po_references() {
+        let mut g = SubjectGraph::new();
+        let a = g.add_input("a");
+        let i = g.add_inv(a);
+        g.add_output("o1", i);
+        g.add_output("o2", i);
+        let counts = g.fanout_counts();
+        assert_eq!(counts[a.index()], 1);
+        assert_eq!(counts[i.index()], 2);
+    }
+
+    #[test]
+    fn depth_of_chain() {
+        let mut g = SubjectGraph::new();
+        let a = g.add_input("a");
+        let mut cur = a;
+        for _ in 0..5 {
+            cur = g.add_inv(cur);
+        }
+        g.add_output("o", cur);
+        assert_eq!(g.depth(), 5);
+    }
+
+    #[test]
+    fn sweep_removes_dead_logic() {
+        let mut g = SubjectGraph::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let dead = g.add_nand2(a, b);
+        let _deader = g.add_inv(dead);
+        let live = g.add_inv(a);
+        g.add_output("o", live);
+        let (clean, map) = g.sweep();
+        assert_eq!(clean.num_gates(), 1);
+        assert_eq!(clean.inputs().len(), 2); // inputs kept even if unused
+        assert!(map[dead.index()].is_none());
+        assert!(map[live.index()].is_some());
+        assert_eq!(clean.simulate_outputs(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn fanout_lists_match_counts() {
+        let mut g = SubjectGraph::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n = g.add_nand2(a, b);
+        let i = g.add_inv(n);
+        g.add_output("o", i);
+        let lists = g.fanout_lists();
+        assert_eq!(lists[a.index()], vec![n]);
+        assert_eq!(lists[n.index()], vec![i]);
+        assert!(lists[i.index()].is_empty());
+    }
+}

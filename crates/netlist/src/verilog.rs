@@ -1,0 +1,116 @@
+//! Structural Verilog export of mapped netlists.
+//!
+//! Emits one gate-level module instantiating the library masters by name
+//! (pins `A`, `B`, `C`, `D` in order plus output `Y`), the format a
+//! downstream place&route or simulation flow would consume from a 2002-era
+//! mapper.
+
+use crate::mapped::{MappedNetlist, SignalRef};
+
+/// Characters Verilog identifiers cannot contain are replaced with `_`.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Writes `nl` as a structural Verilog module named `module_name`.
+pub fn to_verilog(nl: &MappedNetlist, module_name: &str) -> String {
+    const PIN_NAMES: [&str; 8] = ["A", "B", "C", "D", "E", "F", "G", "H"];
+    let mut s = String::new();
+    let inputs: Vec<String> = nl.input_names().iter().map(|n| sanitize(n)).collect();
+    let outputs: Vec<String> = nl.outputs().iter().map(|(n, _)| sanitize(n)).collect();
+    s.push_str(&format!("module {}(", sanitize(module_name)));
+    let ports: Vec<&str> = inputs
+        .iter()
+        .map(String::as_str)
+        .chain(outputs.iter().map(String::as_str))
+        .collect();
+    s.push_str(&ports.join(", "));
+    s.push_str(");\n");
+    for i in &inputs {
+        s.push_str(&format!("  input {i};\n"));
+    }
+    for o in &outputs {
+        s.push_str(&format!("  output {o};\n"));
+    }
+    let wire_of = |sig: SignalRef| -> String {
+        match sig {
+            SignalRef::Pi(i) => inputs[i as usize].clone(),
+            SignalRef::Cell(c) => format!("w{c}"),
+        }
+    };
+    for (ci, _) in nl.cells().iter().enumerate() {
+        s.push_str(&format!("  wire w{ci};\n"));
+    }
+    for (ci, cell) in nl.cells().iter().enumerate() {
+        s.push_str(&format!("  {} u{ci} (", sanitize(&cell.name)));
+        let mut pins: Vec<String> = cell
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(pi, src)| format!(".{}({})", PIN_NAMES[pi.min(7)], wire_of(*src)))
+            .collect();
+        pins.push(format!(".Y(w{ci})"));
+        s.push_str(&pins.join(", "));
+        s.push_str(");\n");
+    }
+    for ((_, src), oname) in nl.outputs().iter().zip(&outputs) {
+        s.push_str(&format!("  assign {} = {};\n", oname, wire_of(*src)));
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapped::MappedCell;
+    use crate::Point;
+
+    #[test]
+    fn emits_module_with_instances() {
+        let mut nl = MappedNetlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b[0]"); // needs sanitizing
+        let n = nl.add_cell(MappedCell {
+            lib_cell: 1,
+            name: "ND2".into(),
+            inputs: vec![a, b],
+            area: 12.288,
+            width: 1.92,
+            pos: Point::default(),
+        });
+        nl.add_output("y", n);
+        let v = to_verilog(&nl, "top");
+        assert!(v.contains("module top(a, b_0_, y);"));
+        assert!(v.contains("ND2 u0 (.A(a), .B(b_0_), .Y(w0));"));
+        assert!(v.contains("assign y = w0;"));
+        assert!(v.ends_with("endmodule\n"));
+    }
+
+    #[test]
+    fn sanitizes_leading_digits_and_symbols() {
+        assert_eq!(sanitize("0in"), "_0in");
+        assert_eq!(sanitize("iJ0J"), "iJ0J");
+        assert_eq!(sanitize("a.b/c"), "a_b_c");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn pi_driven_output() {
+        let mut nl = MappedNetlist::new();
+        let a = nl.add_input("a");
+        nl.add_output("y", a);
+        let v = to_verilog(&nl, "feed");
+        assert!(v.contains("assign y = a;"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Fiduccia–Mattheyses bipartition refinement.
+//!
+//! Classic single-cell-move refinement with gain updates, balance
+//! constraint and best-prefix rollback. Nets may carry *anchor* pseudo-pins
+//! on either side, the terminal-propagation mechanism of min-cut
+//! placement: an external pin pulls the net toward the side its projected
+//! position falls on.
+
+use std::collections::BinaryHeap;
+
+/// A net in an FM problem: local member cells plus optional fixed anchors.
+#[derive(Debug, Clone, Default)]
+pub struct FmNet {
+    /// Local cell indices on the net.
+    pub cells: Vec<usize>,
+    /// `anchor[s]` adds an immovable pseudo-pin on side `s`.
+    pub anchor: [bool; 2],
+}
+
+/// A bipartitioning problem.
+#[derive(Debug, Clone, Default)]
+pub struct FmProblem {
+    /// Cell weights (widths).
+    pub weights: Vec<f64>,
+    /// The nets.
+    pub nets: Vec<FmNet>,
+    /// Maximum allowed deviation of either side from half the total
+    /// weight, as a fraction (0.1 = sides may hold 40–60%).
+    pub balance_tol: f64,
+}
+
+impl FmProblem {
+    /// Number of nets whose pins (cells + anchors) span both sides.
+    pub fn cut(&self, side: &[bool]) -> usize {
+        self.nets
+            .iter()
+            .filter(|n| {
+                let mut has = [n.anchor[0], n.anchor[1]];
+                for &c in &n.cells {
+                    has[side[c] as usize] = true;
+                }
+                has[0] && has[1]
+            })
+            .count()
+    }
+}
+
+/// Refines `side` in place with up to `passes` FM passes; returns the
+/// final cut size. Each pass moves every cell at most once and keeps the
+/// best balanced prefix.
+///
+/// # Panics
+///
+/// Panics if `side.len() != problem.weights.len()`.
+pub fn refine(problem: &FmProblem, side: &mut [bool], passes: usize) -> usize {
+    assert_eq!(side.len(), problem.weights.len());
+    let n = problem.weights.len();
+    if n == 0 {
+        return problem.cut(side);
+    }
+    let total: f64 = problem.weights.iter().sum();
+    let max_weight = problem.weights.iter().fold(0.0f64, |a, &b| a.max(b));
+    // the bound must always admit moving at least the heaviest cell from
+    // a perfectly balanced state, or refinement can deadlock
+    let max_side = (total * (0.5 + problem.balance_tol)).max(total / 2.0 + max_weight);
+    let nets_of_cell = {
+        let mut v: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ni, net) in problem.nets.iter().enumerate() {
+            for &c in &net.cells {
+                v[c].push(ni);
+            }
+        }
+        v
+    };
+    for _ in 0..passes {
+        // per-net side pin counts (anchors count as pins)
+        let mut count: Vec<[i32; 2]> = problem
+            .nets
+            .iter()
+            .map(|net| {
+                let mut c = [net.anchor[0] as i32, net.anchor[1] as i32];
+                for &cell in &net.cells {
+                    c[side[cell] as usize] += 1;
+                }
+                c
+            })
+            .collect();
+        let mut weight_on = [0.0f64; 2];
+        for (c, w) in problem.weights.iter().enumerate() {
+            weight_on[side[c] as usize] += w;
+        }
+        let gain_of = |c: usize, side: &[bool], count: &[[i32; 2]]| -> i64 {
+            let s = side[c] as usize;
+            let mut g = 0i64;
+            for &ni in &nets_of_cell[c] {
+                if count[ni][s] == 1 {
+                    g += 1;
+                }
+                if count[ni][1 - s] == 0 {
+                    g -= 1;
+                }
+            }
+            g
+        };
+        let mut stamp = vec![0u64; n];
+        let mut heap: BinaryHeap<(i64, u64, usize)> = BinaryHeap::new();
+        for c in 0..n {
+            heap.push((gain_of(c, side, &count), 0, c));
+        }
+        let mut locked = vec![false; n];
+        let mut moves: Vec<usize> = Vec::with_capacity(n);
+        let mut cum = 0i64;
+        let mut best_cum = 0i64;
+        let mut best_len = 0usize;
+        while let Some((g, st, c)) = heap.pop() {
+            if locked[c] || st != stamp[c] {
+                continue;
+            }
+            let s = side[c] as usize;
+            // balance: the destination side must stay under max_side
+            if weight_on[1 - s] + problem.weights[c] > max_side {
+                continue;
+            }
+            // apply move
+            locked[c] = true;
+            weight_on[s] -= problem.weights[c];
+            weight_on[1 - s] += problem.weights[c];
+            side[c] = !side[c];
+            for &ni in &nets_of_cell[c] {
+                count[ni][s] -= 1;
+                count[ni][1 - s] += 1;
+                // re-stamp unlocked neighbours so their gains refresh
+                for &other in &problem.nets[ni].cells {
+                    if !locked[other] {
+                        stamp[other] += 1;
+                        heap.push((gain_of(other, side, &count), stamp[other], other));
+                    }
+                }
+            }
+            cum += g;
+            moves.push(c);
+            if cum > best_cum {
+                best_cum = cum;
+                best_len = moves.len();
+            }
+        }
+        // roll back past the best prefix
+        for &c in &moves[best_len..] {
+            side[c] = !side[c];
+        }
+        if best_cum <= 0 {
+            break;
+        }
+    }
+    problem.cut(side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two cliques of four cells joined by a single bridge net: FM must
+    /// find the obvious min-cut of 1.
+    #[test]
+    fn separates_two_cliques() {
+        let mut nets = Vec::new();
+        for group in [0usize, 4] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    nets.push(FmNet { cells: vec![group + i, group + j], anchor: [false, false] });
+                }
+            }
+        }
+        nets.push(FmNet { cells: vec![0, 4], anchor: [false, false] });
+        let problem = FmProblem { weights: vec![1.0; 8], nets, balance_tol: 0.1 };
+        // adversarial start: interleaved
+        let mut side: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        let cut = refine(&problem, &mut side, 4);
+        assert_eq!(cut, 1, "sides: {side:?}");
+        // groups must be together
+        assert!(side[0] == side[1] && side[1] == side[2] && side[2] == side[3]);
+        assert!(side[4] == side[5] && side[5] == side[6] && side[6] == side[7]);
+        assert_ne!(side[0], side[4]);
+    }
+
+    #[test]
+    fn respects_balance() {
+        // star: center + 6 leaves; min cut wants all together but balance forbids
+        let mut nets = Vec::new();
+        for i in 1..7 {
+            nets.push(FmNet { cells: vec![0, i], anchor: [false, false] });
+        }
+        let problem = FmProblem { weights: vec![1.0; 7], nets, balance_tol: 0.1 };
+        let mut side: Vec<bool> = (0..7).map(|i| i >= 3).collect();
+        refine(&problem, &mut side, 3);
+        let right = side.iter().filter(|&&s| s).count();
+        let left = 7 - right;
+        let max = (7.0f64 * 0.6).floor() as usize;
+        assert!(left <= max && right <= max, "unbalanced: {left}/{right}");
+    }
+
+    #[test]
+    fn anchors_pull_cells() {
+        // one cell, one net anchored right: cell should end right
+        let problem = FmProblem {
+            weights: vec![1.0, 1.0],
+            nets: vec![
+                FmNet { cells: vec![0], anchor: [false, true] },
+                FmNet { cells: vec![1], anchor: [true, false] },
+            ],
+            balance_tol: 0.5,
+        };
+        let mut side = vec![false, true]; // both on the wrong side
+        let cut = refine(&problem, &mut side, 3);
+        assert_eq!(cut, 0);
+        assert!(side[0], "cell 0 should move to the anchored side");
+        assert!(!side[1]);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let problem = FmProblem::default();
+        let mut side = Vec::new();
+        assert_eq!(refine(&problem, &mut side, 2), 0);
+    }
+
+    #[test]
+    fn cut_counts_anchor_spans() {
+        let problem = FmProblem {
+            weights: vec![1.0],
+            nets: vec![FmNet { cells: vec![0], anchor: [false, true] }],
+            balance_tol: 0.5,
+        };
+        assert_eq!(problem.cut(&[false]), 1);
+        assert_eq!(problem.cut(&[true]), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Row legalization: snap desired cell positions into non-overlapping
+//! standard-cell row slots.
+//!
+//! A Tetris-style greedy: cells are processed bottom-to-top by desired
+//! position and assigned to the nearest row with remaining capacity; each
+//! row is then packed left-to-right with minimum displacement. This is the
+//! step turning the mapper's centre-of-mass positions into a legal
+//! placement before global routing.
+
+use crate::image::Floorplan;
+use casyn_netlist::Point;
+
+/// The result of row legalization.
+#[derive(Debug, Clone)]
+pub struct LegalizedRows {
+    /// Final (legal) cell positions, centre of each cell.
+    pub pos: Vec<Point>,
+    /// Row index of every cell.
+    pub row_of: Vec<usize>,
+    /// Occupied width per row in micrometres.
+    pub row_fill: Vec<f64>,
+    /// Total displacement from the desired positions (micrometres).
+    pub displacement: f64,
+    /// Number of cells that could not be placed in any row (die too
+    /// full); they are left at their desired position and counted here.
+    pub overflow_cells: usize,
+}
+
+/// Legalizes `desired` positions of cells with the given widths into the
+/// floorplan's rows.
+///
+/// # Panics
+///
+/// Panics if `desired.len() != widths.len()`.
+pub fn legalize_rows(desired: &[Point], widths: &[f64], fp: &Floorplan) -> LegalizedRows {
+    assert_eq!(desired.len(), widths.len());
+    let n = desired.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    // process by desired y then x for stable packing
+    order.sort_by(|&a, &b| {
+        desired[a].y.total_cmp(&desired[b].y).then(desired[a].x.total_cmp(&desired[b].x)).then(a.cmp(&b))
+    });
+    let mut row_fill = vec![0.0f64; fp.num_rows];
+    let mut row_cells: Vec<Vec<usize>> = vec![Vec::new(); fp.num_rows];
+    let mut row_of = vec![usize::MAX; n];
+    let mut overflow_cells = 0usize;
+    for &c in &order {
+        let want = fp.row_of(desired[c].y);
+        // search rows outward from the desired one
+        let mut best: Option<(f64, usize)> = None;
+        for d in 0..fp.num_rows {
+            for r in [want.checked_sub(d), Some(want + d)].into_iter().flatten() {
+                if r >= fp.num_rows || row_fill[r] + widths[c] > fp.die_width {
+                    continue;
+                }
+                let cost = (r as f64 - want as f64).abs();
+                if best.is_none_or(|(bc, _)| cost < bc) {
+                    best = Some((cost, r));
+                }
+            }
+            if best.is_some() {
+                break;
+            }
+        }
+        match best {
+            Some((_, r)) => {
+                row_fill[r] += widths[c];
+                row_cells[r].push(c);
+                row_of[c] = r;
+            }
+            None => overflow_cells += 1,
+        }
+    }
+    // pack each row with Abacus-style clumping: clusters of abutted cells
+    // sit at the mean of their members' ideal positions, which minimizes
+    // the total (squared) displacement within the row
+    let mut pos = desired.to_vec();
+    let mut displacement = 0.0;
+    for (r, cells) in row_cells.iter_mut().enumerate() {
+        cells.sort_by(|&a, &b| desired[a].x.total_cmp(&desired[b].x).then(a.cmp(&b)));
+        let y = fp.row_y(r);
+        // cluster: (ideal left edge sum basis, total width, member count)
+        struct Cluster {
+            cells: Vec<usize>,
+            width: f64,
+            /// Σ (ideal_left_i − offset_of_i_in_cluster)
+            anchor_sum: f64,
+        }
+        let mut clusters: Vec<Cluster> = Vec::new();
+        for &c in cells.iter() {
+            let ideal_left = desired[c].x - widths[c] / 2.0;
+            clusters.push(Cluster {
+                cells: vec![c],
+                width: widths[c],
+                anchor_sum: ideal_left,
+            });
+            // merge while the new cluster overlaps its predecessor
+            loop {
+                let k = clusters.len();
+                if k < 2 {
+                    break;
+                }
+                let prev_left = cluster_left(&clusters[k - 2], fp);
+                let cur_left = cluster_left(&clusters[k - 1], fp);
+                if prev_left + clusters[k - 2].width <= cur_left + 1e-12 {
+                    break;
+                }
+                // merge the last cluster into its predecessor
+                let Cluster { cells: mut mc, width: mw, anchor_sum: ma } =
+                    clusters.pop().expect("k >= 2");
+                let prev = clusters.last_mut().expect("k >= 2");
+                // members of the merged cluster are offset by prev.width
+                prev.anchor_sum += ma - mc.len() as f64 * prev.width;
+                prev.width += mw;
+                prev.cells.append(&mut mc);
+            }
+        }
+        for cl in &clusters {
+            let left = cluster_left(cl, fp);
+            let mut cursor = left;
+            for &c in &cl.cells {
+                pos[c] = Point::new(cursor + widths[c] / 2.0, y);
+                cursor += widths[c];
+                displacement += pos[c].manhattan(desired[c]);
+            }
+        }
+        // helper: optimal (clamped) left edge of a cluster
+        fn cluster_left(cl: &Cluster, fp: &Floorplan) -> f64 {
+            let ideal = cl.anchor_sum / cl.cells.len() as f64;
+            ideal.clamp(0.0, (fp.die_width - cl.width).max(0.0))
+        }
+    }
+    LegalizedRows { pos, row_of, row_fill, displacement, overflow_cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> Floorplan {
+        Floorplan::with_rows_and_area(4, 4.0 * 6.4 * 100.0) // 100 um wide, 4 rows
+    }
+
+    #[test]
+    fn cells_land_on_row_centres_without_overlap() {
+        let fp = fp();
+        let desired = vec![
+            Point::new(10.0, 3.0),
+            Point::new(10.5, 3.1),
+            Point::new(11.0, 3.2),
+            Point::new(50.0, 20.0),
+        ];
+        let widths = vec![2.0, 2.0, 2.0, 4.0];
+        let out = legalize_rows(&desired, &widths, &fp);
+        assert_eq!(out.overflow_cells, 0);
+        for (i, p) in out.pos.iter().enumerate() {
+            let r = out.row_of[i];
+            assert!((p.y - fp.row_y(r)).abs() < 1e-9);
+        }
+        // no overlap within each row
+        for r in 0..fp.num_rows {
+            let mut spans: Vec<(f64, f64)> = (0..desired.len())
+                .filter(|&i| out.row_of[i] == r)
+                .map(|i| (out.pos[i].x - widths[i] / 2.0, out.pos[i].x + widths[i] / 2.0))
+                .collect();
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0 + 1e-9, "overlap in row {r}: {spans:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_row_spills_to_neighbours() {
+        let fp = fp();
+        // 60 cells of width 2 all wanting row 0 (y = 3.2): row holds 50
+        let desired: Vec<Point> = (0..60).map(|i| Point::new(i as f64, 3.0)).collect();
+        let widths = vec![2.0; 60];
+        let out = legalize_rows(&desired, &widths, &fp);
+        assert_eq!(out.overflow_cells, 0);
+        assert!(out.row_fill[0] <= fp.die_width + 1e-9);
+        assert!(out.row_fill[1] > 0.0, "spill must use the next row");
+    }
+
+    #[test]
+    fn overfull_die_reports_overflow() {
+        let fp = Floorplan::with_rows_and_area(1, 6.4 * 10.0); // one tiny row, 10 um
+        let desired = vec![Point::new(0.0, 0.0); 4];
+        let widths = vec![4.0; 4];
+        let out = legalize_rows(&desired, &widths, &fp);
+        assert_eq!(out.overflow_cells, 2);
+    }
+
+    #[test]
+    fn displacement_is_small_for_legal_input() {
+        let fp = fp();
+        let desired = vec![Point::new(20.0, fp.row_y(1)), Point::new(70.0, fp.row_y(2))];
+        let widths = vec![2.0, 2.0];
+        let out = legalize_rows(&desired, &widths, &fp);
+        assert!(out.displacement < 1e-9, "already-legal cells should not move");
+    }
+}

@@ -1,0 +1,53 @@
+//! Placement: the layout image, a recursive min-cut bisection placer with
+//! Fiduccia–Mattheyses refinement, a row legalizer and wirelength metrics.
+//!
+//! The paper's methodology places the technology-independent netlist
+//! *once* on a layout image whose size comes from the floorplan
+//! constraints; the mapper then reads those coordinates. After mapping,
+//! the gate-level netlist is legalized into standard-cell rows (seeded by
+//! the mapper's centre-of-mass positions, the incremental-update scheme of
+//! Pedram–Bhat) and handed to the global router.
+//!
+//! * [`image`] — die/rows floorplan and peripheral port assignment.
+//! * [`instance`] — the placement hypergraph, with builders from subject
+//!   graphs and mapped netlists.
+//! * [`fm`] — Fiduccia–Mattheyses bipartition refinement.
+//! * [`bisect`] — the recursive min-cut placer with terminal propagation.
+//! * [`legalize`] — row legalization with Abacus-style clumping.
+//! * [`refine`] — median-improvement refinement with a density clamp.
+//! * [`metrics`] — half-perimeter wirelength and utilization.
+
+pub mod bisect;
+pub mod fm;
+pub mod image;
+pub mod instance;
+pub mod legalize;
+pub mod metrics;
+pub mod refine;
+
+pub use bisect::{place, PlacerOptions};
+pub use image::Floorplan;
+pub use instance::{PinRef, PlaceInstance, PlaceNet};
+pub use legalize::{legalize_rows, LegalizedRows};
+pub use refine::{median_improve, RefineOptions};
+pub use metrics::{hpwl, total_hpwl};
+
+/// Places a subject graph on the floorplan's layout image and returns one
+/// position per subject-graph vertex (primary inputs get their port
+/// positions). This is the "initial placement" box of the paper's Fig. 3.
+pub fn place_subject(
+    graph: &casyn_netlist::subject::SubjectGraph,
+    fp: &Floorplan,
+    opts: &PlacerOptions,
+) -> Vec<casyn_netlist::Point> {
+    let built = instance::from_subject(graph, fp);
+    let cell_pos = place(&built.instance, fp, opts);
+    let mut pos = vec![casyn_netlist::Point::default(); graph.num_vertices()];
+    for (v, slot) in built.cell_of_vertex.iter().enumerate() {
+        match slot {
+            Some(c) => pos[v] = cell_pos[*c],
+            None => pos[v] = built.fixed_of_vertex[v].expect("input has a port position"),
+        }
+    }
+    pos
+}

@@ -1,0 +1,156 @@
+//! Congestion maps: the artifact a designer inspects in the paper's
+//! Fig. 3 loop before deciding whether to increase K.
+
+use crate::grid::RouteGrid;
+use std::fmt;
+
+/// A per-gcell congestion summary of a routed design.
+#[derive(Debug, Clone)]
+pub struct CongestionMap {
+    nx: usize,
+    ny: usize,
+    /// Per-gcell utilization: the maximum usage/capacity ratio over the
+    /// boundaries adjacent to each gcell. Row-major, `ny × nx`.
+    util: Vec<f64>,
+}
+
+impl CongestionMap {
+    /// Summarizes a routed grid.
+    pub fn from_grid(grid: &RouteGrid) -> Self {
+        let (nx, ny) = (grid.nx(), grid.ny());
+        let mut util = vec![0.0f64; nx * ny];
+        for y in 0..ny {
+            for x in 0..nx {
+                let mut u: f64 = 0.0;
+                if x > 0 {
+                    u = u.max(grid.h_load(x - 1, y) / grid.h_cap());
+                }
+                if x + 1 < nx {
+                    u = u.max(grid.h_load(x, y) / grid.h_cap());
+                }
+                if y > 0 {
+                    u = u.max(grid.v_load(x, y - 1) / grid.v_cap());
+                }
+                if y + 1 < ny {
+                    u = u.max(grid.v_load(x, y) / grid.v_cap());
+                }
+                util[y * nx + x] = u;
+            }
+        }
+        CongestionMap { nx, ny, util }
+    }
+
+    /// Grid width in gcells.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in gcells.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Utilization of gcell `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn util(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.nx && y < self.ny);
+        self.util[y * self.nx + x]
+    }
+
+    /// The maximum gcell utilization.
+    pub fn max_util(&self) -> f64 {
+        self.util.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// Number of gcells at or above the given utilization.
+    pub fn hot_gcells(&self, threshold: f64) -> usize {
+        self.util.iter().filter(|&&u| u >= threshold).count()
+    }
+
+    /// The designer's acceptance test from the methodology loop: no gcell
+    /// above `threshold` utilization (1.0 = full capacity).
+    pub fn is_acceptable(&self, threshold: f64) -> bool {
+        self.max_util() <= threshold
+    }
+
+    /// Average utilization across the map — a uniformity indicator ("when
+    /// congestion is uniformly distributed across the chip, final
+    /// placement and routing can be executed").
+    pub fn mean_util(&self) -> f64 {
+        if self.util.is_empty() {
+            return 0.0;
+        }
+        self.util.iter().sum::<f64>() / self.util.len() as f64
+    }
+}
+
+impl fmt::Display for CongestionMap {
+    /// ASCII heat map: `.` < 50%, `-` < 80%, `+` < 100%, `#` ≥ 100%.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for y in (0..self.ny).rev() {
+            for x in 0..self.nx {
+                let u = self.util[y * self.nx + x];
+                let ch = if u >= 1.0 {
+                    '#'
+                } else if u >= 0.8 {
+                    '+'
+                } else if u >= 0.5 {
+                    '-'
+                } else {
+                    '.'
+                };
+                write!(f, "{ch}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::RouteConfig;
+    use casyn_place::Floorplan;
+
+    fn grid_3x3() -> RouteGrid {
+        let fp = Floorplan::with_rows_and_area(3, 3.0 * 6.4 * 19.2);
+        RouteGrid::new(&fp, &RouteConfig::default())
+    }
+
+    #[test]
+    fn map_reflects_edge_usage() {
+        let mut g = grid_3x3();
+        let cap = g.h_cap();
+        g.add_h(0, 1, cap); // edge (0,1)-(1,1) full
+        let m = CongestionMap::from_grid(&g);
+        assert!((m.util(0, 1) - 1.0).abs() < 1e-9);
+        assert!((m.util(1, 1) - 1.0).abs() < 1e-9);
+        assert_eq!(m.util(2, 0), 0.0);
+        assert!((m.max_util() - 1.0).abs() < 1e-9);
+        assert_eq!(m.hot_gcells(1.0), 2);
+        assert!(!m.is_acceptable(0.9));
+        assert!(m.is_acceptable(1.0));
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let g = grid_3x3();
+        let m = CongestionMap::from_grid(&g);
+        let s = format!("{m}");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == 3 && l.chars().all(|c| c == '.')));
+    }
+
+    #[test]
+    fn mean_util_averages() {
+        let mut g = grid_3x3();
+        g.add_h(0, 0, g.h_cap());
+        let m = CongestionMap::from_grid(&g);
+        assert!(m.mean_util() > 0.0 && m.mean_util() < 1.0);
+    }
+}

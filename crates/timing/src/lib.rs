@@ -1,0 +1,22 @@
+//! Static timing analysis over placed-and-routed mapped netlists.
+//!
+//! The delay model is the classic linear one the DATE-era flows used:
+//! gate delay is `intrinsic + drive_res × load` with the load being sink
+//! pin capacitances plus distributed wire capacitance, and interconnect
+//! adds an Elmore term per sink (`R_wire × (C_wire/2 + C_pin)`). The
+//! arrival-time ordering between two mappings of the same circuit — all
+//! the paper's Tables 3 and 5 claim — is preserved by any consistent
+//! RC-per-micron calibration.
+//!
+//! * [`model`] — the RC and delay parameters.
+//! * [`sta`] — levelized arrival propagation and critical-path extraction.
+//! * [`wireload`] — fanout-based wireload estimation, the pre-layout
+//!   technique whose inaccuracy the paper's Section 2 documents.
+
+pub mod model;
+pub mod sta;
+pub mod wireload;
+
+pub use model::TimingConfig;
+pub use sta::{analyze, analyze_routed, PathPoint, StaResult};
+pub use wireload::{analyze_wireload, wireload_error, WireloadModel};

@@ -1,0 +1,90 @@
+//! RC and delay-model parameters.
+
+/// Interconnect and boundary-condition parameters for STA. Units: ns, pF,
+/// µm; resistances in kΩ (so kΩ × pF = ns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingConfig {
+    /// Wire resistance per micrometre (kΩ/µm). 0.18 µm metal is around
+    /// 0.08 Ω/sq at minimum width.
+    pub wire_res_per_um: f64,
+    /// Wire capacitance per micrometre (pF/µm); ~0.2 fF/µm in a 3LM
+    /// 0.18 µm stack, where wire capacitance dominates gate capacitance —
+    /// the DSM regime motivating the paper.
+    pub wire_cap_per_um: f64,
+    /// Drive resistance of the primary-input pads (kΩ).
+    pub input_drive_res: f64,
+    /// Load presented by a primary-output pad (pF).
+    pub output_pin_cap: f64,
+    /// Multiplier on every point-to-point wire length, capturing the
+    /// routing detours around congested regions ("long wiring detours and
+    /// increased overall net wirelength and delay"). Flows set it to the
+    /// routed-wirelength / star-wirelength ratio of the design; 1.0 means
+    /// ideal shortest-path routing.
+    pub detour_factor: f64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            wire_res_per_um: 8.0e-5,
+            wire_cap_per_um: 2.0e-4,
+            input_drive_res: 1.2,
+            output_pin_cap: 0.012,
+            detour_factor: 1.0,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// Elmore wire delay to one sink: the driver-to-sink resistance sees
+    /// half the local wire capacitance plus the sink pin load.
+    pub fn wire_delay(&self, dist_um: f64, sink_cap: f64) -> f64 {
+        let d = dist_um * self.detour_factor;
+        let r = self.wire_res_per_um * d;
+        let c = self.wire_cap_per_um * d;
+        r * (c / 2.0 + sink_cap)
+    }
+
+    /// Capacitive load a net of total length `len_um` with the given pin
+    /// loads presents to its driver.
+    pub fn net_load(&self, len_um: f64, pin_caps: f64) -> f64 {
+        self.wire_cap_per_um * len_um * self.detour_factor + pin_caps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_delay_grows_quadratically() {
+        let cfg = TimingConfig::default();
+        let d1 = cfg.wire_delay(100.0, 0.0);
+        let d2 = cfg.wire_delay(200.0, 0.0);
+        assert!((d2 / d1 - 4.0).abs() < 1e-9, "pure-wire Elmore is quadratic in length");
+    }
+
+    #[test]
+    fn net_load_combines_wire_and_pins() {
+        let cfg = TimingConfig::default();
+        let load = cfg.net_load(1000.0, 0.01);
+        assert!((load - (0.2 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detour_factor_scales_wire_terms() {
+        let base = TimingConfig::default();
+        let detoured = TimingConfig { detour_factor: 2.0, ..base };
+        assert!(detoured.wire_delay(100.0, 0.01) > base.wire_delay(100.0, 0.01));
+        let load_base = base.net_load(100.0, 0.01);
+        let load_det = detoured.net_load(100.0, 0.01);
+        assert!((load_det - 0.01 - 2.0 * (load_base - 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_wire_is_free() {
+        let cfg = TimingConfig::default();
+        assert_eq!(cfg.wire_delay(0.0, 0.05), 0.0);
+        assert_eq!(cfg.net_load(0.0, 0.05), 0.05);
+    }
+}

@@ -1,0 +1,315 @@
+//! Fanout-based wireload models — the pre-layout estimation technique
+//! whose inaccuracy motivates the paper.
+//!
+//! A [`WireloadModel`] predicts a net's capacitance and resistance from
+//! its fanout count alone, the way 1990s synthesis flows did before any
+//! placement exists. [`analyze_wireload`] runs the same levelized STA as
+//! [`crate::sta::analyze`] but with wireload-predicted parasitics, so the
+//! two can be compared net-by-net and path-by-path — reproducing the
+//! paper's Section 2 observation (after Gopalakrishnan et al.) that
+//! "delay estimation based on fanout and design legacy statistics can be
+//! highly inaccurate".
+
+use crate::model::TimingConfig;
+use crate::sta::StaResult;
+use casyn_library::Library;
+use casyn_netlist::mapped::{MappedNetlist, SignalRef};
+
+/// A fanout-indexed wireload table, with linear extrapolation past the
+/// last entry — the format of Synopsys `.lib` wireload tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireloadModel {
+    /// `length_um[f]` is the predicted net length for fanout `f + 1`.
+    pub length_um: Vec<f64>,
+    /// Extra predicted length per fanout beyond the table.
+    pub slope_um: f64,
+}
+
+impl WireloadModel {
+    /// A table in the spirit of the 0.18 µm generic libraries.
+    pub fn generic_018() -> Self {
+        WireloadModel {
+            length_um: vec![14.0, 29.0, 45.0, 62.0, 81.0, 100.0, 121.0, 142.0],
+            slope_um: 22.0,
+        }
+    }
+
+    /// Builds a model *calibrated to a design*: the mean placed net
+    /// length per fanout class. This is the "design legacy statistics"
+    /// variant — accurate on average for the design family it was
+    /// measured on, and still wrong net-by-net.
+    pub fn calibrate(nl: &MappedNetlist) -> Self {
+        let mut sums: Vec<(f64, usize)> = vec![(0.0, 0); 9];
+        for net in nl.nets() {
+            let fanout = net.sinks.len() + net.po_sinks.len();
+            if fanout == 0 {
+                continue;
+            }
+            let d = nl.signal_pos(net.driver);
+            let mut len = 0.0;
+            for (c, _) in &net.sinks {
+                len += d.manhattan(nl.cells()[*c as usize].pos);
+            }
+            for o in &net.po_sinks {
+                len += d.manhattan(nl.output_pos(*o));
+            }
+            let slot = fanout.min(8) - 1;
+            sums[slot].0 += len;
+            sums[slot].1 += 1;
+        }
+        let mut length_um = Vec::with_capacity(8);
+        let mut last = 10.0;
+        for (total, n) in &sums[..8] {
+            let v = if *n > 0 { total / *n as f64 } else { last * 1.5 };
+            length_um.push(v);
+            last = v;
+        }
+        let slope_um = if sums[8].1 > 0 {
+            (sums[8].0 / sums[8].1 as f64 - length_um[7]).max(5.0)
+        } else {
+            20.0
+        };
+        WireloadModel { length_um, slope_um }
+    }
+
+    /// Predicted total net length for a given fanout.
+    pub fn net_length(&self, fanout: usize) -> f64 {
+        if fanout == 0 {
+            return 0.0;
+        }
+        match self.length_um.get(fanout - 1) {
+            Some(l) => *l,
+            None => {
+                let last = *self.length_um.last().unwrap_or(&0.0);
+                last + self.slope_um * (fanout - self.length_um.len()) as f64
+            }
+        }
+    }
+}
+
+/// Wireload-based STA: identical delay equations to [`crate::sta::analyze`]
+/// but with every net's length replaced by the wireload prediction for
+/// its fanout, and per-sink wire delay using the predicted length split
+/// evenly among sinks. Returns the same [`StaResult`] shape so results
+/// are directly comparable.
+pub fn analyze_wireload(
+    nl: &MappedNetlist,
+    lib: &Library,
+    cfg: &TimingConfig,
+    model: &WireloadModel,
+) -> StaResult {
+    let n = nl.num_cells();
+    let order = nl.topological_order();
+    let nets = nl.nets();
+    let mut net_len = vec![0.0f64; n];
+    let mut net_pin_cap = vec![0.0f64; n];
+    let mut net_fanout = vec![0usize; n];
+    let mut pi_len = vec![0.0f64; nl.input_names().len()];
+    let mut pi_cap = vec![0.0f64; nl.input_names().len()];
+    let mut pi_fanout = vec![0usize; nl.input_names().len()];
+    for net in &nets {
+        let fanout = net.sinks.len() + net.po_sinks.len();
+        let len = model.net_length(fanout);
+        let mut cap = 0.0;
+        for (c, _) in &net.sinks {
+            cap += lib.cell(nl.cells()[*c as usize].lib_cell).pin_cap;
+        }
+        cap += net.po_sinks.len() as f64 * cfg.output_pin_cap;
+        match net.driver {
+            SignalRef::Cell(c) => {
+                net_len[c as usize] = len;
+                net_pin_cap[c as usize] = cap;
+                net_fanout[c as usize] = fanout;
+            }
+            SignalRef::Pi(i) => {
+                pi_len[i as usize] = len;
+                pi_cap[i as usize] = cap;
+                pi_fanout[i as usize] = fanout;
+            }
+        }
+    }
+    let pi_arrival: Vec<f64> = (0..nl.input_names().len())
+        .map(|i| cfg.input_drive_res * cfg.net_load(pi_len[i], pi_cap[i]))
+        .collect();
+    let mut cell_arrival = vec![0.0f64; n];
+    let mut crit_in: Vec<Option<SignalRef>> = vec![None; n];
+    for ci in order {
+        let cell = &nl.cells()[ci];
+        let master = lib.cell(cell.lib_cell);
+        let mut worst = 0.0f64;
+        let mut worst_src = None;
+        for src in &cell.inputs {
+            // per-sink predicted distance: the source net's predicted
+            // length split evenly over its sinks
+            let (len, fo) = match src {
+                SignalRef::Pi(i) => (pi_len[*i as usize], pi_fanout[*i as usize]),
+                SignalRef::Cell(c) => (net_len[*c as usize], net_fanout[*c as usize]),
+            };
+            let dist = if fo > 0 { len / fo as f64 } else { 0.0 };
+            let at = match src {
+                SignalRef::Pi(i) => pi_arrival[*i as usize],
+                SignalRef::Cell(c) => cell_arrival[*c as usize],
+            } + cfg.wire_delay(dist, master.pin_cap);
+            if worst_src.is_none() || at > worst {
+                worst = at;
+                worst_src = Some(*src);
+            }
+        }
+        let load = cfg.net_load(net_len[ci], net_pin_cap[ci]);
+        cell_arrival[ci] = worst + master.intrinsic + master.drive_res * load;
+        crit_in[ci] = worst_src;
+    }
+    let mut po_arrival = Vec::with_capacity(nl.outputs().len());
+    for (_, src) in nl.outputs() {
+        let at = match src {
+            SignalRef::Pi(i) => pi_arrival[*i as usize],
+            SignalRef::Cell(c) => cell_arrival[*c as usize],
+        };
+        po_arrival.push(at);
+    }
+    let critical_po = po_arrival
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    // reuse the real STA's path reconstruction shape: walk crit_in
+    let mut critical_path = Vec::new();
+    if !nl.outputs().is_empty() {
+        let (name, mut src) = {
+            let (n, s) = &nl.outputs()[critical_po];
+            (n.clone(), *s)
+        };
+        critical_path.push(crate::sta::PathPoint::Output(name));
+        loop {
+            match src {
+                SignalRef::Pi(i) => {
+                    critical_path.push(crate::sta::PathPoint::Input(
+                        nl.input_names()[i as usize].clone(),
+                    ));
+                    break;
+                }
+                SignalRef::Cell(c) => {
+                    critical_path.push(crate::sta::PathPoint::Cell(
+                        c,
+                        nl.cells()[c as usize].name.clone(),
+                    ));
+                    match crit_in[c as usize] {
+                        Some(next) => src = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+        critical_path.reverse();
+    }
+    StaResult { po_arrival, cell_arrival, critical_po, critical_path, reg_setup_arrival: Vec::new() }
+}
+
+/// Per-net prediction error of a wireload model on a placed design:
+/// returns `(mean |error| in µm, worst |error| in µm, mean relative
+/// error)` over nets with at least one sink.
+pub fn wireload_error(nl: &MappedNetlist, model: &WireloadModel) -> (f64, f64, f64) {
+    let mut count = 0usize;
+    let mut sum_abs = 0.0;
+    let mut worst = 0.0f64;
+    let mut sum_rel = 0.0;
+    for net in nl.nets() {
+        let fanout = net.sinks.len() + net.po_sinks.len();
+        if fanout == 0 {
+            continue;
+        }
+        let d = nl.signal_pos(net.driver);
+        let mut actual = 0.0;
+        for (c, _) in &net.sinks {
+            actual += d.manhattan(nl.cells()[*c as usize].pos);
+        }
+        for o in &net.po_sinks {
+            actual += d.manhattan(nl.output_pos(*o));
+        }
+        let predicted = model.net_length(fanout);
+        let err = (predicted - actual).abs();
+        sum_abs += err;
+        worst = worst.max(err);
+        sum_rel += err / actual.max(1.0);
+        count += 1;
+    }
+    if count == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    (sum_abs / count as f64, worst, sum_rel / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casyn_library::corelib018;
+    use casyn_netlist::mapped::MappedCell;
+    use casyn_netlist::Point;
+
+    fn chain_netlist(spacing: f64, n: usize) -> MappedNetlist {
+        let lib = corelib018();
+        let iv = lib.find("IV").unwrap();
+        let master = lib.cell(iv);
+        let mut nl = MappedNetlist::new();
+        let mut src = nl.add_input("i");
+        nl.set_input_pos(0, Point::new(0.0, 0.0));
+        for k in 0..n {
+            src = nl.add_cell(MappedCell {
+                lib_cell: iv,
+                name: master.name.clone(),
+                inputs: vec![src],
+                area: master.area,
+                width: master.width,
+                pos: Point::new(spacing * (k + 1) as f64, 0.0),
+            });
+        }
+        nl.add_output("o", src);
+        nl.set_output_pos(0, Point::new(spacing * (n + 1) as f64, 0.0));
+        nl
+    }
+
+    #[test]
+    fn table_lookup_and_extrapolation() {
+        let m = WireloadModel::generic_018();
+        assert_eq!(m.net_length(0), 0.0);
+        assert_eq!(m.net_length(1), 14.0);
+        assert_eq!(m.net_length(8), 142.0);
+        assert!((m.net_length(10) - (142.0 + 2.0 * 22.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wireload_sta_ignores_actual_positions() {
+        // two identical chains at wildly different spacing must get the
+        // same wireload arrival — that is precisely the model's blindness
+        let lib = corelib018();
+        let cfg = TimingConfig::default();
+        let m = WireloadModel::generic_018();
+        let near = analyze_wireload(&chain_netlist(2.0, 6), &lib, &cfg, &m);
+        let far = analyze_wireload(&chain_netlist(200.0, 6), &lib, &cfg, &m);
+        assert!((near.critical_arrival() - far.critical_arrival()).abs() < 1e-9);
+        // whereas the placed STA sees the difference
+        let near_real = crate::sta::analyze(&chain_netlist(2.0, 6), &lib, &cfg);
+        let far_real = crate::sta::analyze(&chain_netlist(200.0, 6), &lib, &cfg);
+        assert!(far_real.critical_arrival() > near_real.critical_arrival() * 1.5);
+    }
+
+    #[test]
+    fn calibration_reduces_mean_error() {
+        let nl = chain_netlist(120.0, 8);
+        let generic = WireloadModel::generic_018();
+        let fitted = WireloadModel::calibrate(&nl);
+        let (g_mean, _, _) = wireload_error(&nl, &generic);
+        let (f_mean, _, _) = wireload_error(&nl, &fitted);
+        assert!(f_mean <= g_mean, "calibrated model must fit better: {f_mean} vs {g_mean}");
+    }
+
+    #[test]
+    fn error_metrics_zero_on_perfect_model() {
+        let nl = chain_netlist(50.0, 4);
+        let m = WireloadModel { length_um: vec![50.0; 8], slope_um: 0.0 };
+        let (mean, worst, rel) = wireload_error(&nl, &m);
+        // all nets are 2-pin with length 50 except the PO net
+        assert!(mean < 1e-9 && worst < 1e-9 && rel < 1e-9);
+    }
+}

@@ -1,0 +1,64 @@
+//! Full flow on a PLA: parse (or generate) a two-level description, run
+//! technology-independent optimization, decompose, place, map with the
+//! congestion-aware cost, route and time — then print the congestion map.
+//!
+//! Run with: `cargo run --release --example pla_flow [path/to/file.pla]`
+
+use casyn::flow::{congestion_flow, dagon_flow, FlowOptions};
+use casyn::netlist::bench::{random_pla, PlaGenConfig};
+use casyn::netlist::Pla;
+use std::env;
+use std::fs;
+
+fn main() {
+    let pla: Pla = match env::args().nth(1) {
+        Some(path) => {
+            let text = fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            text.parse().unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+        }
+        None => {
+            println!("no .pla argument given; generating a synthetic 12x8 PLA\n");
+            random_pla(&PlaGenConfig {
+                inputs: 12,
+                outputs: 8,
+                terms: 96,
+                min_literals: 3,
+                max_literals: 7,
+                mean_outputs_per_term: 1.4,
+                seed: 2002,
+            })
+        }
+    };
+    println!(
+        "PLA: {} inputs, {} outputs, {} product terms",
+        pla.num_inputs(),
+        pla.num_outputs(),
+        pla.terms().len()
+    );
+    let network = pla.to_network();
+    println!("two-level network: {} literals", network.literal_count());
+
+    let opts = FlowOptions::default();
+    let baseline = dagon_flow(&network, &opts);
+    println!(
+        "\nDAGON baseline: {} cells, {:.0} um^2, {:.1}% utilization, {} routing violations",
+        baseline.num_cells,
+        baseline.cell_area,
+        baseline.utilization_pct,
+        baseline.route.violations
+    );
+
+    let aware = congestion_flow(&network, 0.001, &opts);
+    println!(
+        "congestion-aware (K = 0.001): {} cells, {:.0} um^2, {:.1}% utilization, {} violations",
+        aware.num_cells, aware.cell_area, aware.utilization_pct, aware.route.violations
+    );
+    println!(
+        "critical path: {} at {:.2} ns",
+        aware.sta.critical_endpoints(),
+        aware.sta.critical_arrival()
+    );
+    println!("\ncongestion map (`#` over capacity, `+` ≥ 80%, `-` ≥ 50%):");
+    print!("{}", aware.route.congestion);
+}

@@ -1,0 +1,59 @@
+//! Determinism: the entire flow — generation, optimization, placement,
+//! mapping, routing, timing — must be bit-reproducible run to run, since
+//! the paper's methodology depends on regenerating mapped netlists from
+//! one fixed technology-independent placement.
+
+use casyn::flow::{congestion_flow, sis_flow, FlowOptions};
+use casyn::netlist::bench::{random_pla, spla, PlaGenConfig};
+
+fn net() -> casyn::netlist::network::Network {
+    random_pla(&PlaGenConfig {
+        inputs: 10,
+        outputs: 6,
+        terms: 40,
+        min_literals: 3,
+        max_literals: 6,
+        mean_outputs_per_term: 1.4,
+        seed: 2002,
+    })
+    .to_network()
+}
+
+#[test]
+fn congestion_flow_is_deterministic() {
+    let network = net();
+    let opts = FlowOptions::default();
+    let a = congestion_flow(&network, 0.2, &opts);
+    let b = congestion_flow(&network, 0.2, &opts);
+    assert_eq!(a.num_cells, b.num_cells);
+    assert_eq!(a.cell_area, b.cell_area);
+    assert_eq!(a.route.violations, b.route.violations);
+    assert_eq!(a.route.total_wirelength, b.route.total_wirelength);
+    assert_eq!(a.sta.critical_arrival(), b.sta.critical_arrival());
+    // cell-by-cell equality
+    for (ca, cb) in a.netlist.cells().iter().zip(b.netlist.cells()) {
+        assert_eq!(ca.lib_cell, cb.lib_cell);
+        assert_eq!(ca.inputs, cb.inputs);
+        assert_eq!(ca.pos, cb.pos);
+    }
+}
+
+#[test]
+fn sis_flow_is_deterministic() {
+    let network = net();
+    let opts = FlowOptions::default();
+    let a = sis_flow(&network, &opts);
+    let b = sis_flow(&network, &opts);
+    assert_eq!(a.num_cells, b.num_cells);
+    assert_eq!(a.route.violations, b.route.violations);
+}
+
+#[test]
+fn named_benchmarks_are_stable() {
+    // the SPLA generator must keep producing the calibrated circuit —
+    // a drifting generator would silently invalidate EXPERIMENTS.md
+    let a = spla();
+    let b = spla();
+    assert_eq!(a.to_pla_string(), b.to_pla_string());
+    assert_eq!(a.terms().len(), 2307);
+}

@@ -1,0 +1,168 @@
+//! Integration tests spanning the whole stack: PLA → optimization →
+//! decomposition → placement → mapping → legalization → routing → STA.
+
+use casyn::flow::{
+    congestion_flow, dagon_flow, k_sweep, prepare, run_methodology, sis_flow, FlowOptions,
+};
+use casyn::library::corelib018;
+use casyn::netlist::bench::{random_pla, PlaGenConfig};
+use casyn::netlist::network::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn test_pla_network(seed: u64) -> Network {
+    random_pla(&PlaGenConfig {
+        inputs: 10,
+        outputs: 6,
+        terms: 48,
+        min_literals: 3,
+        max_literals: 6,
+        mean_outputs_per_term: 1.5,
+        seed,
+    })
+    .to_network()
+}
+
+/// Every flow must preserve the logic function end to end.
+#[test]
+fn all_flows_are_functionally_correct() {
+    let net = test_pla_network(1);
+    let opts = FlowOptions::default();
+    let lib = corelib018();
+    let mut rng = StdRng::seed_from_u64(7);
+    for (name, r) in [
+        ("dagon", dagon_flow(&net, &opts)),
+        ("sis", sis_flow(&net, &opts)),
+        ("k=0", congestion_flow(&net, 0.0, &opts)),
+        ("k=0.001", congestion_flow(&net, 0.001, &opts)),
+        ("k=1", congestion_flow(&net, 1.0, &opts)),
+    ] {
+        for _ in 0..100 {
+            let asg: Vec<bool> = (0..10).map(|_| rng.gen()).collect();
+            assert_eq!(
+                net.simulate_outputs(&asg),
+                r.netlist.simulate_outputs_with(|c, p| lib.eval_cell(c, p), &asg),
+                "{name}: mismatch at {asg:?}"
+            );
+        }
+    }
+}
+
+/// K = 0 with placement-driven partitioning must equal the DAGON minimum
+/// cell area exactly (barrier-respecting covering makes the DP decompose
+/// at multi-fanout vertices just as DAGON's tree cuts do).
+#[test]
+fn k_zero_area_equals_dagon_area() {
+    let net = test_pla_network(2);
+    let opts = FlowOptions::default();
+    let dagon = dagon_flow(&net, &opts);
+    let k0 = congestion_flow(&net, 0.0, &opts);
+    assert!(
+        (dagon.cell_area - k0.cell_area).abs() < 1e-6,
+        "dagon {} vs K=0 {}",
+        dagon.cell_area,
+        k0.cell_area
+    );
+}
+
+/// Cell area and cell count are non-decreasing in K across a sweep, once
+/// K is past the flat region (the paper's Tables 2/4 shape).
+#[test]
+fn sweep_area_shape() {
+    let net = test_pla_network(3);
+    let opts = FlowOptions::default();
+    let rows = k_sweep(&net, &[0.0, 0.05, 1.0, 20.0], &opts);
+    for w in rows.windows(2) {
+        assert!(
+            w[1].result.cell_area >= w[0].result.cell_area - 1e-9,
+            "area must not decrease with K: {} -> {}",
+            w[0].result.cell_area,
+            w[1].result.cell_area
+        );
+    }
+}
+
+/// Legalized placements are legal: every cell inside the die, on a row
+/// centre, no overlaps within a row.
+#[test]
+fn legalized_placement_is_legal() {
+    let net = test_pla_network(4);
+    let opts = FlowOptions::default();
+    let r = congestion_flow(&net, 0.001, &opts);
+    let fp = r.floorplan;
+    let mut by_row: Vec<Vec<(f64, f64)>> = vec![Vec::new(); fp.num_rows];
+    for c in r.netlist.cells() {
+        assert!(c.pos.x >= 0.0 && c.pos.x <= fp.die_width + 1e-6, "x outside die");
+        let row = fp.row_of(c.pos.y);
+        assert!(
+            (c.pos.y - fp.row_y(row)).abs() < 1e-6,
+            "cell not on a row centre: y = {}",
+            c.pos.y
+        );
+        by_row[row].push((c.pos.x - c.width / 2.0, c.pos.x + c.width / 2.0));
+    }
+    for (row, spans) in by_row.iter_mut().enumerate() {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0 + 1e-6, "overlap in row {row}");
+        }
+    }
+}
+
+/// The SIS flow (aggressive extraction) must produce fewer literals and a
+/// smaller mapped area than the plain DAGON flow.
+#[test]
+fn sis_minimizes_area() {
+    let net = test_pla_network(5);
+    let opts = FlowOptions::default();
+    let sis = sis_flow(&net, &opts);
+    let dagon = dagon_flow(&net, &opts);
+    assert!(sis.cell_area < dagon.cell_area);
+}
+
+/// The methodology loop reports monotone K and stops on acceptance.
+#[test]
+fn methodology_trace_is_consistent() {
+    let net = test_pla_network(6);
+    let opts = FlowOptions { target_utilization: 0.45, ..Default::default() };
+    let out = run_methodology(&net, &[0.0, 0.001, 0.01], 1.0, &opts);
+    for w in out.steps.windows(2) {
+        assert!(w[0].k < w[1].k);
+        assert!(!w[0].accepted, "loop must stop at the first accepted step");
+    }
+    if out.converged {
+        assert!(out.steps.last().unwrap().accepted);
+    }
+}
+
+/// Prepared designs are deterministic: same network, same options, same
+/// placement and floorplan.
+#[test]
+fn prepare_is_deterministic() {
+    let net = test_pla_network(7);
+    let opts = FlowOptions::default();
+    let a = prepare(&net, &opts);
+    let b = prepare(&net, &opts);
+    assert_eq!(a.base_gates, b.base_gates);
+    assert_eq!(a.floorplan, b.floorplan);
+    assert_eq!(a.positions.len(), b.positions.len());
+    for (p, q) in a.positions.iter().zip(&b.positions) {
+        assert_eq!(p, q);
+    }
+}
+
+/// STA arrival times must be positive and the critical PO the maximum.
+#[test]
+fn sta_results_are_sane() {
+    let net = test_pla_network(8);
+    let opts = FlowOptions::default();
+    let r = congestion_flow(&net, 0.001, &opts);
+    let crit = r.sta.critical_arrival();
+    assert!(crit > 0.0);
+    for a in &r.sta.po_arrival {
+        assert!(*a <= crit + 1e-12);
+        assert!(*a > 0.0);
+    }
+    assert!(r.sta.critical_endpoints().contains("(in)"));
+    assert!(r.sta.critical_endpoints().contains("(out)"));
+}

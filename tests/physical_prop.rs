@@ -1,0 +1,120 @@
+//! Property-based tests of the physical-design substrates: placement
+//! legality, legalization invariants, FM balance, router conservation.
+
+use casyn::place::instance::{PinRef, PlaceInstance, PlaceNet};
+use casyn::place::{legalize_rows, place, Floorplan, PlacerOptions};
+use casyn::place::fm::{refine, FmNet, FmProblem};
+use casyn::route::{route_pin_sets, RouteConfig};
+use casyn::netlist::Point;
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = PlaceInstance> {
+    (2usize..40, 1u64..500).prop_map(|(n, seed)| {
+        // deterministic pseudo-random connectivity from the seed
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut inst = PlaceInstance {
+            cell_width: (0..n).map(|_| 1.28 + (next() % 4) as f64 * 0.64).collect(),
+            nets: Vec::new(),
+        };
+        let nets = n + (next() % n as u64) as usize;
+        for _ in 0..nets {
+            let a = (next() % n as u64) as usize;
+            let b = (next() % n as u64) as usize;
+            if a != b {
+                inst.nets.push(PlaceNet { pins: vec![PinRef::Cell(a), PinRef::Cell(b)] });
+            }
+        }
+        inst
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every placed cell lies inside the die.
+    #[test]
+    fn placement_stays_inside_die(inst in arb_instance(), rows in 2usize..8) {
+        let width = inst.total_width() * 3.0 / rows as f64 + 20.0;
+        let fp = Floorplan::with_rows_and_area(rows, rows as f64 * 6.4 * width);
+        let pos = place(&inst, &fp, &PlacerOptions::default());
+        for p in &pos {
+            prop_assert!(p.x >= -1e-9 && p.x <= fp.die_width + 1e-9);
+            prop_assert!(p.y >= -1e-9 && p.y <= fp.die_height + 1e-9);
+        }
+    }
+
+    /// Legalization produces row-aligned, non-overlapping, in-die cells
+    /// whenever capacity suffices.
+    #[test]
+    fn legalization_is_legal(inst in arb_instance(), rows in 2usize..6) {
+        let width = inst.total_width() * 2.0 / rows as f64 + 20.0;
+        let fp = Floorplan::with_rows_and_area(rows, rows as f64 * 6.4 * width);
+        let desired = place(&inst, &fp, &PlacerOptions::default());
+        let out = legalize_rows(&desired, &inst.cell_width, &fp);
+        prop_assert_eq!(out.overflow_cells, 0);
+        let mut by_row: Vec<Vec<(f64, f64)>> = vec![Vec::new(); fp.num_rows];
+        for (i, p) in out.pos.iter().enumerate() {
+            let r = out.row_of[i];
+            prop_assert!((p.y - fp.row_y(r)).abs() < 1e-9);
+            let half = inst.cell_width[i] / 2.0;
+            prop_assert!(p.x - half >= -1e-6 && p.x + half <= fp.die_width + 1e-6);
+            by_row[r].push((p.x - half, p.x + half));
+        }
+        for spans in by_row.iter_mut() {
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0 + 1e-6, "row overlap");
+            }
+        }
+    }
+
+    /// FM refinement never increases the cut and respects its balance
+    /// bound.
+    #[test]
+    fn fm_never_worsens_cut(n in 4usize..32, seed in 1u64..200) {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let nets: Vec<FmNet> = (0..n * 2)
+            .filter_map(|_| {
+                let a = (next() % n as u64) as usize;
+                let b = (next() % n as u64) as usize;
+                (a != b).then(|| FmNet { cells: vec![a, b], anchor: [false, false] })
+            })
+            .collect();
+        let problem = FmProblem { weights: vec![1.0; n], nets, balance_tol: 0.15 };
+        let mut side: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let before = problem.cut(&side);
+        let after = refine(&problem, &mut side, 3);
+        prop_assert!(after <= before, "cut worsened: {} -> {}", before, after);
+        let right = side.iter().filter(|&&s| s).count() as f64;
+        let max_side = (n as f64 * 0.65).max(n as f64 / 2.0 + 1.0);
+        prop_assert!(right <= max_side && (n as f64 - right) <= max_side);
+    }
+
+    /// Router conservation: per-net wirelengths sum to the total, and a
+    /// single 2-pin net routes at exactly its Manhattan gcell distance
+    /// on an empty grid.
+    #[test]
+    fn router_conservation(x in 0u16..12, y in 0u16..12) {
+        let fp = Floorplan::with_rows_and_area(16, 16.0 * 6.4 * 102.4);
+        let cfg = RouteConfig::default();
+        let a = Point::new(3.2, 3.2);
+        let b = Point::new(3.2 + 6.4 * x as f64, 3.2 + 6.4 * y as f64);
+        let r = route_pin_sets(&[vec![a, b]], &fp, &cfg);
+        let expect = (x as f64 + y as f64) * 6.4;
+        prop_assert!((r.total_wirelength - expect).abs() < 1e-9);
+        prop_assert!((r.net_wirelength.iter().sum::<f64>() - r.total_wirelength).abs() < 1e-9);
+        prop_assert!(r.is_routable());
+    }
+}
