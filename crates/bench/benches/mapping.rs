@@ -23,13 +23,19 @@ fn bench_mapping(c: &mut Criterion) {
     let lib = corelib018();
     let n = graph.num_vertices();
     let cols = (n as f64).sqrt().ceil() as usize;
-    let positions: Vec<Point> = (0..n)
-        .map(|i| Point::new((i % cols) as f64 * 3.0, (i / cols) as f64 * 6.4))
-        .collect();
+    let positions: Vec<Point> =
+        (0..n).map(|i| Point::new((i % cols) as f64 * 3.0, (i / cols) as f64 * 6.4)).collect();
     let mut group = c.benchmark_group("mapping");
     group.sample_size(20);
     for (name, opts) in [
-        ("dagon_area", MapOptions { scheme: PartitionScheme::Dagon, cost: CostKind::Area, ..Default::default() }),
+        (
+            "dagon_area",
+            MapOptions {
+                scheme: PartitionScheme::Dagon,
+                cost: CostKind::Area,
+                ..Default::default()
+            },
+        ),
         (
             "pdp_area_wire",
             MapOptions {
@@ -38,13 +44,18 @@ fn bench_mapping(c: &mut Criterion) {
                 ..Default::default()
             },
         ),
-        ("cone_delay", MapOptions { scheme: PartitionScheme::Cone, cost: CostKind::Delay, ..Default::default() }),
+        (
+            "cone_delay",
+            MapOptions {
+                scheme: PartitionScheme::Cone,
+                cost: CostKind::Delay,
+                ..Default::default()
+            },
+        ),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("scheme", name),
-            &opts,
-            |b, opts| b.iter(|| map(&graph, &positions, &lib, opts)),
-        );
+        group.bench_with_input(BenchmarkId::new("scheme", name), &opts, |b, opts| {
+            b.iter(|| map(&graph, &positions, &lib, opts))
+        });
     }
     group.finish();
 }

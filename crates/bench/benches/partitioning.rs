@@ -21,9 +21,8 @@ fn bench_partitioning(c: &mut Criterion) {
     let (graph, _) = dec.graph.sweep();
     let n = graph.num_vertices();
     let cols = (n as f64).sqrt().ceil() as usize;
-    let positions: Vec<Point> = (0..n)
-        .map(|i| Point::new((i % cols) as f64 * 3.0, (i / cols) as f64 * 6.4))
-        .collect();
+    let positions: Vec<Point> =
+        (0..n).map(|i| Point::new((i % cols) as f64 * 3.0, (i / cols) as f64 * 6.4)).collect();
     let mut group = c.benchmark_group("partitioning");
     for (name, scheme) in [
         ("dagon", PartitionScheme::Dagon),

@@ -24,13 +24,7 @@ fn bench_placement(c: &mut Criterion) {
         b.iter(|| place_subject(&graph, &fp, &PlacerOptions::default()))
     });
     group.bench_function("place_subject_1sweep", |b| {
-        b.iter(|| {
-            place_subject(
-                &graph,
-                &fp,
-                &PlacerOptions { sweeps: 1, ..Default::default() },
-            )
-        })
+        b.iter(|| place_subject(&graph, &fp, &PlacerOptions { sweeps: 1, ..Default::default() }))
     });
     group.finish();
 }

@@ -100,10 +100,7 @@ fn main() {
     for m in 0..32u32 {
         let asg: Vec<bool> = (0..5).map(|i| m >> i & 1 == 1).collect();
         let want = g.simulate_outputs(&asg);
-        assert_eq!(
-            want,
-            min_area.netlist.simulate_outputs_with(|c, p| lib.eval_cell(c, p), &asg)
-        );
+        assert_eq!(want, min_area.netlist.simulate_outputs_with(|c, p| lib.eval_cell(c, p), &asg));
         assert_eq!(
             want,
             congestion.netlist.simulate_outputs_with(|c, p| lib.eval_cell(c, p), &asg)

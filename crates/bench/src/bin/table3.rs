@@ -34,10 +34,7 @@ fn main() {
     );
     println!(
         "routing violations: K=0 {}, K=0.1 {}, K=1 {}, SIS {}",
-        k0.route.violations,
-        window.route.violations,
-        deep.route.violations,
-        sis.route.violations
+        k0.route.violations, window.route.violations, deep.route.violations, sis.route.violations
     );
     // the paper's middle column: arrival on the *same endpoint* as the
     // K = 0 critical path, in every netlist

@@ -41,11 +41,7 @@ pub const TOO_LARGE_UTILIZATION: f64 = 0.8437;
 
 /// Builds an experiment: derives the die so the K = 0 (min-area) mapping
 /// sits at `k0_utilization`, mirroring how the paper fixes die sizes.
-pub fn experiment(
-    name: &'static str,
-    network: Network,
-    k0_utilization: f64,
-) -> Experiment {
+pub fn experiment(name: &'static str, network: Network, k0_utilization: f64) -> Experiment {
     let mut opts = FlowOptions { target_utilization: k0_utilization, ..Default::default() };
     // pin-escape blockage calibrated so that cell-density growth at large
     // K measurably erodes routability (see DESIGN.md)
@@ -137,11 +133,7 @@ pub const TABLE_K_VALUES: [f64; 12] =
 /// Finds the smallest number of extra (or fewer) rows at which `flow`
 /// routes: returns `(rows, die area)` of the smallest routable floorplan,
 /// searching from `base` downwards then upwards (cap ±`span` rows).
-pub fn min_routable_rows(
-    exp: &Experiment,
-    k: f64,
-    span: usize,
-) -> Option<(usize, f64)> {
+pub fn min_routable_rows(exp: &Experiment, k: f64, span: usize) -> Option<(usize, f64)> {
     let base = exp.prep.floorplan;
     let mut best: Option<(usize, f64)> = None;
     for delta in -(span as isize)..=(span as isize) {

@@ -15,9 +15,13 @@
 //!   --dot <path>       write the mapped netlist as Graphviz DOT
 //!   --optimize         run technology-independent extraction first
 //!   --clock <ns>       report slack against this required time
+//!   --metrics-out <p>  collect stage metrics and write telemetry JSON
+//!   --heatmap <path>   write the final congestion heat map as JSON
+//!   --trace            debug-level stage logging (same as CASYN_LOG=debug)
 //! ```
 
 use casyn_core::{CostKind, MapOptions, PartitionScheme};
+use casyn_flow::telemetry::snapshot_json;
 use casyn_flow::{
     full_flow, prepare, run_methodology_prepared, sequential_flow, FlowOptions, KSweepEntry,
 };
@@ -27,6 +31,8 @@ use casyn_netlist::dot::mapped_to_dot;
 use casyn_netlist::network::Network;
 use casyn_netlist::verilog::to_verilog;
 use casyn_netlist::Pla;
+use casyn_obs as obs;
+use casyn_obs::json::JsonValue;
 use std::fs;
 use std::process::ExitCode;
 
@@ -44,6 +50,9 @@ struct Args {
     dot: Option<String>,
     optimize: bool,
     clock: Option<f64>,
+    metrics_out: Option<String>,
+    heatmap: Option<String>,
+    trace: bool,
 }
 
 fn usage() -> ExitCode {
@@ -66,6 +75,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         dot: None,
         optimize: false,
         clock: None,
+        metrics_out: None,
+        heatmap: None,
+        trace: false,
     };
     let mut it = argv[1..].iter();
     while let Some(a) = it.next() {
@@ -96,6 +108,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--blif" => args.blif = Some(next("--blif")?),
             "--dot" => args.dot = Some(next("--dot")?),
             "--optimize" => args.optimize = true,
+            "--metrics-out" => args.metrics_out = Some(next("--metrics-out")?),
+            "--heatmap" => args.heatmap = Some(next("--heatmap")?),
+            "--trace" => args.trace = true,
             "--clock" => {
                 args.clock = Some(next("--clock")?.parse().map_err(|e| format!("--clock: {e}"))?)
             }
@@ -123,10 +138,7 @@ fn load_design(path: &str) -> Result<casyn_netlist::seq::SeqNetwork, String> {
 }
 
 fn flow_options(args: &Args) -> FlowOptions {
-    let mut opts = FlowOptions {
-        target_utilization: args.util,
-        ..Default::default()
-    };
+    let mut opts = FlowOptions { target_utilization: args.util, ..Default::default() };
     opts.route.layers = args.layers;
     if args.optimize {
         opts.optimize = Some(OptimizeOptions::default());
@@ -151,22 +163,17 @@ fn report(r: &casyn_flow::FlowResult, clock: Option<f64>) {
         100.0 * r.route.congestion.max_util(),
         r.route.iterations
     );
-    println!(
-        "critical path {} at {:.3} ns",
-        r.sta.critical_endpoints(),
-        r.sta.critical_arrival()
-    );
+    println!("critical path {} at {:.3} ns", r.sta.critical_endpoints(), r.sta.critical_arrival());
     if let Some(t) = clock {
-        println!(
-            "clock {:.3} ns: WNS {:.3} ns, TNS {:.3} ns",
-            t,
-            r.sta.wns(t),
-            r.sta.tns(t)
-        );
+        println!("clock {:.3} ns: WNS {:.3} ns, TNS {:.3} ns", t, r.sta.wns(t), r.sta.tns(t));
     }
 }
 
-fn write_artifacts(args: &Args, network: &Network, r: &casyn_flow::FlowResult) -> Result<(), String> {
+fn write_artifacts(
+    args: &Args,
+    network: &Network,
+    r: &casyn_flow::FlowResult,
+) -> Result<(), String> {
     if let Some(path) = &args.verilog {
         fs::write(path, to_verilog(&r.netlist, "casyn_top"))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -185,7 +192,36 @@ fn write_artifacts(args: &Args, network: &Network, r: &casyn_flow::FlowResult) -
     Ok(())
 }
 
+/// Writes the artifacts behind `--metrics-out` and `--heatmap` from the
+/// final flow result of the chosen command (the last sweep row, the
+/// converged loop result, ...).
+fn write_observability(args: &Args, r: Option<&casyn_flow::FlowResult>) -> Result<(), String> {
+    if let Some(path) = &args.metrics_out {
+        let mut doc = r
+            .map(|r| r.telemetry.to_json())
+            .unwrap_or_else(|| casyn_flow::FlowTelemetry::default().to_json());
+        if let JsonValue::Object(entries) = &mut doc {
+            entries.push(("metrics".into(), snapshot_json(&obs::snapshot())));
+        }
+        fs::write(path, doc.to_string_pretty()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.heatmap {
+        let r = r.ok_or("--heatmap needs a completed flow")?;
+        fs::write(path, r.route.congestion.to_json().to_string_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
+    if args.trace {
+        obs::log::set_level(obs::log::Level::Debug);
+    }
+    if args.metrics_out.is_some() {
+        obs::set_enabled(true);
+    }
     let design = load_design(&args.input)?;
     let opts = flow_options(args);
     if !design.is_combinational() {
@@ -196,14 +232,11 @@ fn run(args: &Args) -> Result<(), String> {
             ));
         }
         let r = sequential_flow(&design, args.k, &opts);
-        println!(
-            "{}: sequential design, {} flip-flops",
-            args.input,
-            r.num_dffs
-        );
+        println!("{}: sequential design, {} flip-flops", args.input, r.num_dffs);
         report(&r.flow, args.clock);
         println!("minimum clock period: {:.3} ns", r.min_clock_period);
         write_artifacts(args, &design.core, &r.flow)?;
+        write_observability(args, Some(&r.flow))?;
         return Ok(());
     }
     let network = design.core;
@@ -217,27 +250,33 @@ fn run(args: &Args) -> Result<(), String> {
     );
     match args.command.as_str() {
         "map" => {
-            let cost = if args.k == 0.0 {
-                CostKind::Area
-            } else {
-                CostKind::AreaWire { k: args.k }
-            };
-            let r = full_flow(&prep, &MapOptions { scheme: args.scheme, cost, ..Default::default() }, &opts);
+            let cost =
+                if args.k == 0.0 { CostKind::Area } else { CostKind::AreaWire { k: args.k } };
+            let r = full_flow(
+                &prep,
+                &MapOptions { scheme: args.scheme, cost, ..Default::default() },
+                &opts,
+            );
             report(&r, args.clock);
             write_artifacts(args, &network, &r)?;
+            write_observability(args, Some(&r))?;
         }
         "sweep" => {
-            println!(
-                "{:>10} {:>12} {:>8} {:>8} {:>8}",
-                "K", "area", "cells", "util%", "viol"
-            );
+            println!("{:>10} {:>12} {:>8} {:>8} {:>8}", "K", "area", "cells", "util%", "viol");
+            let mut last = None;
             for &k in &args.ks {
+                // Per-row reset keeps the final registry dump scoped to the
+                // same (last) row as the stage telemetry in --metrics-out,
+                // instead of accumulating across all K rows.
+                obs::reset();
                 let r = casyn_flow::congestion_flow_prepared(&prep, k, &opts);
                 println!(
                     "{:>10} {:>12.0} {:>8} {:>8.2} {:>8}",
                     k, r.cell_area, r.num_cells, r.utilization_pct, r.route.violations
                 );
+                last = Some(r);
             }
+            write_observability(args, last.as_ref())?;
         }
         "loop" => {
             let schedule = [0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0];
@@ -254,8 +293,10 @@ fn run(args: &Args) -> Result<(), String> {
             if out.converged {
                 report(&out.result, args.clock);
                 write_artifacts(args, &network, &out.result)?;
+                write_observability(args, Some(&out.result))?;
             } else {
                 println!("did not converge: relax the floorplan or resynthesize");
+                write_observability(args, None)?;
             }
         }
         other => return Err(format!("unknown command: {other}")),
@@ -305,8 +346,19 @@ mod tests {
     #[test]
     fn parse_options() {
         let a = parse_args(&sv(&[
-            "sweep", "y.blif", "--ks", "0,0.5, 2", "--scheme", "cone", "--util", "0.5",
-            "--layers", "4", "--optimize", "--clock", "10.5",
+            "sweep",
+            "y.blif",
+            "--ks",
+            "0,0.5, 2",
+            "--scheme",
+            "cone",
+            "--util",
+            "0.5",
+            "--layers",
+            "4",
+            "--optimize",
+            "--clock",
+            "10.5",
         ]))
         .unwrap();
         assert_eq!(a.ks, vec![0.0, 0.5, 2.0]);
@@ -315,6 +367,26 @@ mod tests {
         assert_eq!(a.layers, 4);
         assert!(a.optimize);
         assert_eq!(a.clock, Some(10.5));
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let a = parse_args(&sv(&[
+            "map",
+            "x.pla",
+            "--metrics-out",
+            "m.json",
+            "--heatmap",
+            "h.json",
+            "--trace",
+        ]))
+        .unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(a.heatmap.as_deref(), Some("h.json"));
+        assert!(a.trace);
+        let b = parse_args(&sv(&["map", "x.pla"])).unwrap();
+        assert!(b.metrics_out.is_none() && b.heatmap.is_none() && !b.trace);
+        assert!(parse_args(&sv(&["map", "x.pla", "--metrics-out"])).is_err());
     }
 
     #[test]

@@ -85,9 +85,7 @@ impl BoolMatcher {
         let (cell, cell_perm) = self.table.get(&(canon, k as u8))?;
         // leaf j maps to canonical position perm_to_canon[j], which feeds
         // cell pin cell_perm[perm_to_canon[j]]
-        let pins: Vec<u8> = (0..k)
-            .map(|j| cell_perm[perm_to_canon[j] as usize])
-            .collect();
+        let pins: Vec<u8> = (0..k).map(|j| cell_perm[perm_to_canon[j] as usize]).collect();
         Some((*cell, pins))
     }
 }
@@ -132,11 +130,7 @@ fn permute_tt(tt: TruthTable, k: usize, perm: &[u8]) -> TruthTable {
 
 /// P-canonical form: the minimum truth table over all input permutations.
 pub fn canon_tt(tt: TruthTable, k: usize) -> TruthTable {
-    permutations(k)
-        .iter()
-        .map(|p| permute_tt(tt, k, p))
-        .min()
-        .unwrap_or(tt)
+    permutations(k).iter().map(|p| permute_tt(tt, k, p)).min().unwrap_or(tt)
 }
 
 /// Like [`canon_tt`] but also returns the permutation that achieves the
@@ -395,8 +389,7 @@ mod tests {
                     m.leaves.clone()
                 };
                 // recompute the cone function with leaves in pin order
-                let (tt, _, _) =
-                    cut_function(tree, idx as u32, &sorted(&cut), &shared).unwrap();
+                let (tt, _, _) = cut_function(tree, idx as u32, &sorted(&cut), &shared).unwrap();
                 // evaluate cell on each assignment of *its pins* and
                 // compare through the sorted-cut indexing
                 let k = cut.len();

@@ -194,13 +194,11 @@ mod tests {
     fn po_connections_keep_original_driver() {
         let lib = corelib018();
         let mut nl = star_netlist(40);
-        let drivers_before: Vec<SignalRef> =
-            nl.outputs().iter().map(|(_, s)| *s).collect();
+        let drivers_before: Vec<SignalRef> = nl.outputs().iter().map(|(_, s)| *s).collect();
         buffer_fanout(&mut nl, &lib, &BufferOptions::default());
         // outputs in this fixture are driven by the sink inverters, which
         // are cells, so they are unchanged by construction
-        let drivers_after: Vec<SignalRef> =
-            nl.outputs().iter().map(|(_, s)| *s).collect();
+        let drivers_after: Vec<SignalRef> = nl.outputs().iter().map(|(_, s)| *s).collect();
         assert_eq!(drivers_before, drivers_after);
     }
 }

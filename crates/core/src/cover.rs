@@ -26,6 +26,7 @@ use crate::matcher::{matches_at, Match, SharedPolicy};
 use crate::partition::{Tree, TreeNode};
 use casyn_library::Library;
 use casyn_netlist::Point;
+use casyn_obs as obs;
 
 /// The covering objective.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,6 +119,9 @@ pub fn cover_tree_with(
 ) -> TreeCover {
     let starts = tree.subtree_starts();
     let mut solutions: Vec<NodeSolution> = Vec::with_capacity(tree.nodes.len());
+    // batched locally; one registry flush per covered tree
+    let mut matches_tried = 0u64;
+    let wants_wire = matches!(cost, CostKind::AreaWire { .. });
     for (idx, node) in tree.nodes.iter().enumerate() {
         match node {
             TreeNode::Leaf { signal } => solutions.push(NodeSolution {
@@ -150,14 +154,14 @@ pub fn cover_tree_with(
                     }
                 }
                 assert!(!ms.is_empty(), "no match at internal node {idx}");
+                matches_tried += ms.len() as u64;
                 let mut best: Option<NodeSolution> = None;
                 for m in ms {
                     let cand = evaluate(&m, lib, positions, &solutions, &starts, cost);
                     let better = match &best {
                         None => true,
                         Some(b) => {
-                            cand.cost < b.cost
-                                || (cand.cost == b.cost && cand.area < b.area)
+                            cand.cost < b.cost || (cand.cost == b.cost && cand.area < b.area)
                         }
                     };
                     if better {
@@ -167,6 +171,13 @@ pub fn cover_tree_with(
                 solutions.push(best.expect("at least one match"));
             }
         }
+    }
+    if obs::enabled() {
+        obs::counter_add("map.matches_tried", matches_tried);
+        if wants_wire {
+            obs::counter_add("map.wire_evals", matches_tried);
+        }
+        obs::hist_record("map.tree_nodes", tree.nodes.len() as f64);
     }
     TreeCover { solutions }
 }
@@ -400,7 +411,10 @@ mod tests {
             CostKind::AreaUnderDelay { budget: mid },
         );
         assert!(balanced.root().arrival <= mid + 1e-9);
-        assert!(balanced.root().area <= loose.root().area + 1e-9 || balanced.root().area >= area_cover.root().area);
+        assert!(
+            balanced.root().area <= loose.root().area + 1e-9
+                || balanced.root().area >= area_cover.root().area
+        );
     }
 
     /// Dynamic-programming consistency: the root area equals the cell

@@ -15,6 +15,7 @@ use casyn_library::Library;
 use casyn_netlist::mapped::{MappedCell, MappedNetlist, SignalRef};
 use casyn_netlist::subject::{BaseKind, GateId, SubjectGraph};
 use casyn_netlist::Point;
+use casyn_obs as obs;
 use std::collections::HashMap;
 
 /// Mapping configuration.
@@ -34,11 +35,7 @@ impl Default for MapOptions {
     /// DAGON defaults: multi-fanout partitioning, minimum area,
     /// structural matching only.
     fn default() -> Self {
-        MapOptions {
-            scheme: PartitionScheme::Dagon,
-            cost: CostKind::Area,
-            boolean_matching: false,
-        }
+        MapOptions { scheme: PartitionScheme::Dagon, cost: CostKind::Area, boolean_matching: false }
     }
 }
 
@@ -119,6 +116,18 @@ pub fn map(
         emitter.netlist.set_output_pos(o as u32, positions[gate.index()]);
     }
     let est_wirelength = star_wirelength(&emitter.netlist);
+    if obs::enabled() {
+        obs::counter_add("partition.trees", forest.trees.len() as u64);
+        obs::counter_add("map.duplicated_covers", emitter.duplicated as u64);
+        obs::counter_add("map.cells_emitted", emitter.netlist.num_cells() as u64);
+        obs::gauge_set("map.est_wirelength", est_wirelength);
+    }
+    obs::log::debug(&format!(
+        "map: {} trees, {} cells, {} duplicated covers, est wirelength {est_wirelength:.1}",
+        forest.trees.len(),
+        emitter.netlist.num_cells(),
+        emitter.duplicated
+    ));
     MapResult {
         stats: MapStats {
             num_trees: forest.trees.len(),
@@ -182,12 +191,8 @@ impl Emitter<'_> {
             return *s;
         }
         let sig = if self.graph.kind(g) == BaseKind::Input {
-            let idx = self
-                .graph
-                .inputs()
-                .iter()
-                .position(|(_, id)| *id == g)
-                .expect("input registered");
+            let idx =
+                self.graph.inputs().iter().position(|(_, id)| *id == g).expect("input registered");
             SignalRef::Pi(idx as u32)
         } else {
             let (t, n) = self.forest.host[g.index()].expect("gate hosted in a tree");
@@ -253,9 +258,7 @@ mod tests {
     fn grid_positions(g: &SubjectGraph) -> Vec<Point> {
         let n = g.num_vertices();
         let cols = (n as f64).sqrt().ceil() as usize;
-        (0..n)
-            .map(|i| Point::new((i % cols) as f64 * 10.0, (i / cols) as f64 * 10.0))
-            .collect()
+        (0..n).map(|i| Point::new((i % cols) as f64 * 10.0, (i / cols) as f64 * 10.0)).collect()
     }
 
     fn assert_mapped_equivalent(g: &SubjectGraph, nl: &MappedNetlist, lib: &Library, seed: u64) {
@@ -304,11 +307,9 @@ mod tests {
         let g = and_or_circuit();
         let lib = corelib018();
         let pos = grid_positions(&g);
-        for scheme in [
-            PartitionScheme::Dagon,
-            PartitionScheme::Cone,
-            PartitionScheme::PlacementDriven,
-        ] {
+        for scheme in
+            [PartitionScheme::Dagon, PartitionScheme::Cone, PartitionScheme::PlacementDriven]
+        {
             for cost in [
                 CostKind::Area,
                 CostKind::Delay,
@@ -364,7 +365,11 @@ mod tests {
             &g,
             &pos,
             &lib,
-            &MapOptions { scheme: PartitionScheme::PlacementDriven, cost: CostKind::Area, ..Default::default() },
+            &MapOptions {
+                scheme: PartitionScheme::PlacementDriven,
+                cost: CostKind::Area,
+                ..Default::default()
+            },
         );
         assert_mapped_equivalent(&g, &r.netlist, &lib, 4);
         // i1's tree contains n internally: min-area cover of inv(nand) is
@@ -416,7 +421,11 @@ mod tests {
             &g,
             &pos,
             &lib,
-            &MapOptions { scheme: PartitionScheme::PlacementDriven, cost: CostKind::Area, ..Default::default() },
+            &MapOptions {
+                scheme: PartitionScheme::PlacementDriven,
+                cost: CostKind::Area,
+                ..Default::default()
+            },
         );
         let kbig = map(
             &g,
@@ -468,8 +477,8 @@ mod tests {
     /// must stay functionally correct.
     #[test]
     fn boolean_matching_is_correct_and_no_worse() {
-        use casyn_netlist::bench::{random_pla, PlaGenConfig};
         use casyn_logic::decompose;
+        use casyn_netlist::bench::{random_pla, PlaGenConfig};
         let pla = random_pla(&PlaGenConfig {
             inputs: 8,
             outputs: 4,
@@ -484,12 +493,8 @@ mod tests {
         let lib = corelib018();
         let pos = grid_positions(&graph);
         let structural = map(&graph, &pos, &lib, &MapOptions::default());
-        let boolean = map(
-            &graph,
-            &pos,
-            &lib,
-            &MapOptions { boolean_matching: true, ..Default::default() },
-        );
+        let boolean =
+            map(&graph, &pos, &lib, &MapOptions { boolean_matching: true, ..Default::default() });
         assert_mapped_equivalent(&graph, &boolean.netlist, &lib, 31);
         assert!(
             boolean.netlist.cell_area() <= structural.netlist.cell_area() + 1e-9,
@@ -501,8 +506,8 @@ mod tests {
 
     #[test]
     fn larger_random_circuit_all_schemes() {
-        use casyn_netlist::bench::{random_pla, PlaGenConfig};
         use casyn_logic::decompose;
+        use casyn_netlist::bench::{random_pla, PlaGenConfig};
         let pla = random_pla(&PlaGenConfig {
             inputs: 8,
             outputs: 4,
@@ -516,11 +521,9 @@ mod tests {
         let dec = decompose(&net);
         let lib = corelib018();
         let pos = grid_positions(&dec.graph);
-        for scheme in [
-            PartitionScheme::Dagon,
-            PartitionScheme::Cone,
-            PartitionScheme::PlacementDriven,
-        ] {
+        for scheme in
+            [PartitionScheme::Dagon, PartitionScheme::Cone, PartitionScheme::PlacementDriven]
+        {
             let r = map(
                 &dec.graph,
                 &pos,

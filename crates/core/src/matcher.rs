@@ -67,7 +67,16 @@ pub fn matches_at(
         }
         for pat in &cell.patterns {
             let mut bindings: Vec<Binding> = Vec::new();
-            match_rec(tree, node, pat, &Binding::new(cell.num_pins), true, shared, policy, &mut bindings);
+            match_rec(
+                tree,
+                node,
+                pat,
+                &Binding::new(cell.num_pins),
+                true,
+                shared,
+                policy,
+                &mut bindings,
+            );
             for b in bindings {
                 let leaves: Vec<u32> =
                     b.pins.iter().map(|p| p.expect("linear pattern binds all pins")).collect();

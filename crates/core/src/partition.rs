@@ -98,10 +98,7 @@ impl Tree {
 
     /// Number of internal (non-leaf) nodes.
     pub fn num_internal(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| !matches!(n, TreeNode::Leaf { .. }))
-            .count()
+        self.nodes.iter().filter(|n| !matches!(n, TreeNode::Leaf { .. })).count()
     }
 }
 
@@ -128,11 +125,7 @@ pub struct Forest {
 ///
 /// Panics if `positions.len() != graph.num_vertices()` when the
 /// placement-driven scheme is selected.
-pub fn partition(
-    graph: &SubjectGraph,
-    scheme: PartitionScheme,
-    positions: &[Point],
-) -> Forest {
+pub fn partition(graph: &SubjectGraph, scheme: PartitionScheme, positions: &[Point]) -> Forest {
     let n = graph.num_vertices();
     let fanouts = graph.fanout_lists();
     let fanout_counts = graph.fanout_counts();
@@ -308,7 +301,10 @@ mod tests {
         // the inverter trees see n as a leaf
         for t in &f.trees {
             if t.root_gate == i1 || t.root_gate == i2 {
-                assert!(t.nodes.iter().any(|nd| matches!(nd, TreeNode::Leaf { signal } if *signal == n)));
+                assert!(t
+                    .nodes
+                    .iter()
+                    .any(|nd| matches!(nd, TreeNode::Leaf { signal } if *signal == n)));
             }
         }
     }
@@ -326,11 +322,7 @@ mod tests {
         assert_eq!(f.trees[0].root_gate, i);
         assert_eq!(f.trees[0].num_internal(), 2);
         // leaves are the two inputs
-        let leaves = f.trees[0]
-            .nodes
-            .iter()
-            .filter(|n| matches!(n, TreeNode::Leaf { .. }))
-            .count();
+        let leaves = f.trees[0].nodes.iter().filter(|n| matches!(n, TreeNode::Leaf { .. })).count();
         assert_eq!(leaves, 2);
     }
 

@@ -1,7 +1,10 @@
 //! The three synthesis flows compared by the paper, plus the shared
 //! front end.
 
-use casyn_core::{buffer_fanout, map, BufferOptions, CostKind, MapOptions, MapStats, PartitionScheme};
+use crate::telemetry::{FlowTelemetry, StageScope};
+use casyn_core::{
+    buffer_fanout, map, BufferOptions, CostKind, MapOptions, MapStats, PartitionScheme,
+};
 use casyn_library::{corelib018, Library};
 use casyn_logic::{decompose, optimize, OptimizeOptions};
 use casyn_netlist::mapped::MappedNetlist;
@@ -67,6 +70,10 @@ pub struct Prepared {
     pub floorplan: Floorplan,
     /// Base-gate count (the paper's benchmark size metric).
     pub base_gates: usize,
+    /// Per-stage telemetry of the front end (optimize, decompose,
+    /// floorplan, place); cloned into every [`FlowResult`] built from
+    /// this preparation.
+    pub telemetry: FlowTelemetry,
 }
 
 /// The outcome of a full flow on one netlist.
@@ -89,24 +96,40 @@ pub struct FlowResult {
     pub sta: StaResult,
     /// Mapper statistics.
     pub map_stats: MapStats,
+    /// Per-stage telemetry for this run (front-end stages inherited from
+    /// [`Prepared`], then map/legalize/route/sta).
+    pub telemetry: FlowTelemetry,
 }
 
 /// Runs the front end: optional extraction, decomposition, floorplan
 /// derivation and the initial placement of the unbound netlist.
 pub fn prepare(network: &Network, opts: &FlowOptions) -> Prepared {
+    let mut telemetry = FlowTelemetry::default();
     let mut network = network.clone();
     if let Some(eff) = &opts.optimize {
+        let scope = StageScope::begin("optimize");
         optimize(&mut network, eff);
+        scope.end(&mut telemetry);
     }
+    let scope = StageScope::begin("decompose");
     let dec = decompose(&network);
     let (graph, _) = dec.graph.sweep();
     let base_gates = graph.num_gates();
+    scope.end(&mut telemetry);
+    telemetry.observe_live_nodes(graph.num_vertices());
     let floorplan = match opts.floorplan {
         Some(fp) => fp,
-        None => derive_floorplan(&graph, opts),
+        None => {
+            let scope = StageScope::begin("floorplan");
+            let fp = derive_floorplan(&graph, opts);
+            scope.end(&mut telemetry);
+            fp
+        }
     };
+    let scope = StageScope::begin("place");
     let positions = place_subject(&graph, &floorplan, &opts.placer);
-    Prepared { graph, positions, floorplan, base_gates }
+    scope.end(&mut telemetry);
+    Prepared { graph, positions, floorplan, base_gates, telemetry }
 }
 
 /// Derives a floorplan by running a throwaway min-area mapping to learn
@@ -120,8 +143,13 @@ fn derive_floorplan(graph: &SubjectGraph, opts: &FlowOptions) -> Floorplan {
 /// Maps a prepared design with explicit mapper options and runs
 /// legalization, routing and STA.
 pub fn full_flow(prep: &Prepared, map_opts: &MapOptions, opts: &FlowOptions) -> FlowResult {
+    let mut telemetry = prep.telemetry.clone();
+    telemetry.observe_live_nodes(prep.graph.num_vertices());
+    let scope = StageScope::begin("map");
     let r = map(&prep.graph, &prep.positions, &opts.lib, map_opts);
+    scope.end(&mut telemetry);
     let mut nl = r.netlist;
+    let scope = StageScope::begin("legalize");
     if let Some(buf) = &opts.buffering {
         buffer_fanout(&mut nl, &opts.lib, buf);
     }
@@ -133,10 +161,16 @@ pub fn full_flow(prep: &Prepared, map_opts: &MapOptions, opts: &FlowOptions) -> 
     for (cell, p) in nl.cells_mut().iter_mut().zip(&legal.pos) {
         cell.pos = *p;
     }
+    scope.end(&mut telemetry);
+    telemetry.observe_live_nodes(nl.num_cells());
+    let scope = StageScope::begin("route");
     let route = route_mapped(&nl, &prep.floorplan, &opts.route);
+    scope.end(&mut telemetry);
     // STA sees the congestion of the achieved routing: every net uses its
     // measured routed length, so congested nets pay their detours
+    let scope = StageScope::begin("sta");
     let sta = analyze_routed(&nl, &opts.lib, &opts.timing, &route.net_wirelength);
+    scope.end(&mut telemetry);
     FlowResult {
         cell_area: nl.cell_area(),
         num_cells: nl.num_cells(),
@@ -146,6 +180,7 @@ pub fn full_flow(prep: &Prepared, map_opts: &MapOptions, opts: &FlowOptions) -> 
         map_stats: r.stats,
         floorplan: prep.floorplan,
         netlist: nl,
+        telemetry,
     }
 }
 
@@ -236,11 +271,9 @@ mod tests {
         let opts = FlowOptions::default();
         let lib = &opts.lib;
         let mut rng = StdRng::seed_from_u64(9);
-        for r in [
-            dagon_flow(&net, &opts),
-            sis_flow(&net, &opts),
-            congestion_flow(&net, 0.005, &opts),
-        ] {
+        for r in
+            [dagon_flow(&net, &opts), sis_flow(&net, &opts), congestion_flow(&net, 0.005, &opts)]
+        {
             for _ in 0..64 {
                 let asg: Vec<bool> = (0..10).map(|_| rng.gen()).collect();
                 assert_eq!(

@@ -15,18 +15,26 @@
 //! * [`seq`] — sequential designs: flip-flop pass-through around the
 //!   combinational flow, with clocked STA.
 //! * [`report`] — table formatting that mirrors the paper's layout.
+//! * [`telemetry`] — per-stage wall-clock and metric attribution
+//!   collected through `casyn-obs`, exportable as JSON.
 
 pub mod flows;
 pub mod methodology;
 pub mod report;
 pub mod seq;
 pub mod sweep;
+pub mod telemetry;
 
 pub use flows::{
     congestion_flow, congestion_flow_prepared, dagon_flow, full_flow, prepare, sis_flow,
     FlowOptions, FlowResult, Prepared,
 };
-pub use methodology::{run_methodology, run_methodology_prepared, MethodologyResult, MethodologyStep};
-pub use report::{format_k_sweep_table, format_routing_table, format_sta_table};
+pub use methodology::{
+    run_methodology, run_methodology_prepared, MethodologyResult, MethodologyStep,
+};
+pub use report::{
+    format_k_sweep_table, format_routing_table, format_sta_table, format_telemetry_table,
+};
 pub use seq::{sequential_flow, simulate_mapped_seq, SeqFlowResult};
 pub use sweep::{find_min_routable_k, k_sweep, k_sweep_prepared, KSweepEntry, PAPER_K_VALUES};
+pub use telemetry::{FlowTelemetry, StageTelemetry};

@@ -2,51 +2,96 @@
 
 use crate::flows::FlowResult;
 use crate::sweep::KSweepEntry;
+use crate::telemetry::FlowTelemetry;
 
-/// Formats a K-sweep as the paper's Table 2/4 layout:
+/// Formats a K-sweep as the paper's Table 2/4 layout, extended with the
+/// router's convergence columns:
 /// `K | Cell Area (µm²) | No. of Cells | Area Utilization% | No. of
-/// Routing violations`.
+/// Routing violations | Route iters | Overflow | Ovfl edges`.
 pub fn format_k_sweep_table(title: &str, rows: &[KSweepEntry]) -> String {
     let mut s = String::new();
     s.push_str(&format!("{title}\n"));
     s.push_str(&format!(
-        "{:>10}  {:>14}  {:>12}  {:>18}  {:>22}\n",
-        "K", "Cell Area (um2)", "No. of Cells", "Area Utilization%", "No. of Routing viol."
+        "{:>10}  {:>14}  {:>12}  {:>18}  {:>22}  {:>11}  {:>10}  {:>10}\n",
+        "K",
+        "Cell Area (um2)",
+        "No. of Cells",
+        "Area Utilization%",
+        "No. of Routing viol.",
+        "Route iters",
+        "Overflow",
+        "Ovfl edges"
     ));
     for row in rows {
         let r = &row.result;
         s.push_str(&format!(
-            "{:>10}  {:>14.0}  {:>12}  {:>18.2}  {:>22}\n",
+            "{:>10}  {:>14.0}  {:>12}  {:>18.2}  {:>22}  {:>11}  {:>10.1}  {:>10}\n",
             trim_k(row.k),
             r.cell_area,
             r.num_cells,
             r.utilization_pct,
-            r.route.violations
+            r.route.violations,
+            r.route.iterations,
+            r.route.overflow,
+            r.route.overflowed_edges
         ));
     }
     s
 }
 
-/// Formats named flow results as the paper's Table 1 layout:
+/// Formats named flow results as the paper's Table 1 layout, extended
+/// with the router's convergence columns:
 /// `flow | Cell Area | No. of Rows | Area Utilization% | Routing
-/// violations`.
+/// violations | Route iters | Overflow | Ovfl edges`.
 pub fn format_routing_table(title: &str, rows: &[(&str, &FlowResult)]) -> String {
     let mut s = String::new();
     s.push_str(&format!("{title}\n"));
     s.push_str(&format!(
-        "{:>8}  {:>14}  {:>12}  {:>18}  {:>22}\n",
-        "", "Cell Area (um2)", "No. of Rows", "Area Utilization%", "No. of Routing viol."
+        "{:>8}  {:>14}  {:>12}  {:>18}  {:>22}  {:>11}  {:>10}  {:>10}\n",
+        "",
+        "Cell Area (um2)",
+        "No. of Rows",
+        "Area Utilization%",
+        "No. of Routing viol.",
+        "Route iters",
+        "Overflow",
+        "Ovfl edges"
     ));
     for (name, r) in rows {
         s.push_str(&format!(
-            "{:>8}  {:>14.0}  {:>12}  {:>18.2}  {:>22}\n",
+            "{:>8}  {:>14.0}  {:>12}  {:>18.2}  {:>22}  {:>11}  {:>10.1}  {:>10}\n",
             name,
             r.cell_area,
             r.floorplan.num_rows,
             r.utilization_pct,
-            r.route.violations
+            r.route.violations,
+            r.route.iterations,
+            r.route.overflow,
+            r.route.overflowed_edges
         ));
     }
+    s
+}
+
+/// Formats per-stage telemetry as a table: one line per stage with its
+/// wall clock and the metrics it moved (`key=value`, space-separated).
+pub fn format_telemetry_table(title: &str, t: &FlowTelemetry) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n"));
+    s.push_str(&format!("{:>10}  {:>10}  metrics\n", "stage", "wall ms"));
+    for stage in &t.stages {
+        let metrics = stage
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("{k}={}", casyn_obs::json::fmt_f64(*v)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        s.push_str(&format!("{:>10}  {:>10.3}  {}\n", stage.stage, stage.wall_ms, metrics));
+    }
+    s.push_str(&format!(
+        "{:>10}  {:>10.3}  peak_live_nodes={}\n",
+        "total", t.total_ms, t.peak_live_nodes
+    ));
     s
 }
 
@@ -119,6 +164,18 @@ mod tests {
         assert_eq!(t1.lines().count(), 4);
         let t3 = format_sta_table("Table 3", &[("0.0", &r)]);
         assert!(t3.contains("(in)") && t3.contains("(out)"));
+    }
+
+    #[test]
+    fn telemetry_table_lists_stages_and_total() {
+        let r = one_result();
+        let s = format_telemetry_table("Telemetry", &r.telemetry);
+        assert!(s.contains("Telemetry"));
+        assert!(s.contains("wall ms"));
+        for stage in ["decompose", "place", "map", "route", "sta"] {
+            assert!(s.contains(stage), "missing stage {stage} in:\n{s}");
+        }
+        assert!(s.contains("peak_live_nodes="));
     }
 
     #[test]

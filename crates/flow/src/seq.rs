@@ -58,10 +58,8 @@ pub fn sequential_flow(seq: &SeqNetwork, k: f64, opts: &FlowOptions) -> SeqFlowR
     let mut r = full_flow(&prep, &map_opts, opts);
     let nl = &mut r.netlist;
     // 3. insert flip-flops
-    let dff_id = opts
-        .lib
-        .dff()
-        .expect("library must contain a sequential master for sequential designs");
+    let dff_id =
+        opts.lib.dff().expect("library must contain a sequential master for sequential designs");
     let dff_master = opts.lib.cell(dff_id).clone();
     let num_latches = seq.latches.len();
     let num_real_outputs = nl.outputs().len() - num_latches;
@@ -199,13 +197,7 @@ mod tests {
         assert_eq!(r.num_dffs, 2);
         assert!(r.min_clock_period > 0.0);
         // the DFF cells are present in the netlist
-        let dffs = r
-            .flow
-            .netlist
-            .cells()
-            .iter()
-            .filter(|c| c.name == "DFF")
-            .count();
+        let dffs = r.flow.netlist.cells().iter().filter(|c| c.name == "DFF").count();
         assert_eq!(dffs, 2);
         // no leftover pseudo ports
         assert_eq!(r.flow.netlist.input_names(), &["en".to_string()]);

@@ -5,8 +5,7 @@ use casyn_netlist::network::Network;
 
 /// The K values the paper sweeps in Tables 2 and 4.
 pub const PAPER_K_VALUES: [f64; 14] = [
-    0.0, 0.0001, 0.00025, 0.0005, 0.00075, 0.001, 0.0025, 0.005, 0.0075, 0.01, 0.05, 0.1, 0.5,
-    1.0,
+    0.0, 0.0001, 0.00025, 0.0005, 0.00075, 0.001, 0.0025, 0.005, 0.0075, 0.01, 0.05, 0.1, 0.5, 1.0,
 ];
 
 /// One row of a K-sweep table.
@@ -16,6 +15,13 @@ pub struct KSweepEntry {
     pub k: f64,
     /// The flow outcome at this K.
     pub result: FlowResult,
+}
+
+impl KSweepEntry {
+    /// Per-stage telemetry of the flow run behind this row.
+    pub fn telemetry(&self) -> &crate::telemetry::FlowTelemetry {
+        &self.result.telemetry
+    }
 }
 
 /// Runs the congestion-aware flow at every K over one shared technology-
@@ -28,9 +34,7 @@ pub fn k_sweep(network: &Network, ks: &[f64], opts: &FlowOptions) -> Vec<KSweepE
 
 /// [`k_sweep`] over an existing [`Prepared`] design.
 pub fn k_sweep_prepared(prep: &Prepared, ks: &[f64], opts: &FlowOptions) -> Vec<KSweepEntry> {
-    ks.iter()
-        .map(|&k| KSweepEntry { k, result: congestion_flow_prepared(prep, k, opts) })
-        .collect()
+    ks.iter().map(|&k| KSweepEntry { k, result: congestion_flow_prepared(prep, k, opts) }).collect()
 }
 
 /// Searches for the smallest K whose mapping routes without violations —

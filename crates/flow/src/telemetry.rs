@@ -1,0 +1,199 @@
+//! Per-stage flow telemetry: wall-clock timings and metric deltas
+//! attributed to each pipeline stage, exportable as JSON.
+//!
+//! [`FlowTelemetry`] is collected by [`crate::flows::prepare`] and
+//! [`crate::flows::full_flow`] using [`StageScope`]: a snapshot of the
+//! global [`casyn_obs`] registry is taken when a stage starts, and the
+//! delta when it finishes becomes that stage's metric attribution. Wall
+//! clock is always measured; metric deltas appear only when collection
+//! is enabled ([`casyn_obs::set_enabled`] or the CLI's `--metrics-out`).
+
+use casyn_obs as obs;
+use casyn_obs::json::JsonValue;
+use casyn_obs::MetricValue;
+use std::collections::BTreeMap;
+
+/// Telemetry for one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTelemetry {
+    /// Stage name (`optimize`, `decompose`, `place`, `map`, `legalize`,
+    /// `route`, `sta`, ...).
+    pub stage: String,
+    /// Wall-clock time spent in the stage, in milliseconds.
+    pub wall_ms: f64,
+    /// Metrics the stage moved, as representative numbers (counter
+    /// deltas, final gauge values, histogram means). Empty when metric
+    /// collection was disabled during the run.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Telemetry for one whole flow run (front end + per-K back end).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowTelemetry {
+    /// Per-stage records, in execution order.
+    pub stages: Vec<StageTelemetry>,
+    /// Total wall-clock over all recorded stages, in milliseconds.
+    pub total_ms: f64,
+    /// Peak number of live design nodes observed across stages (subject
+    /// vertices before mapping, mapped cells after) — a memory-pressure
+    /// proxy.
+    pub peak_live_nodes: usize,
+}
+
+impl FlowTelemetry {
+    /// The record for `stage`, if that stage ran.
+    pub fn stage(&self, stage: &str) -> Option<&StageTelemetry> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// The stage names in execution order.
+    pub fn stage_names(&self) -> Vec<&str> {
+        self.stages.iter().map(|s| s.stage.as_str()).collect()
+    }
+
+    /// Raises the live-node high-water mark.
+    pub fn observe_live_nodes(&mut self, n: usize) {
+        self.peak_live_nodes = self.peak_live_nodes.max(n);
+    }
+
+    /// Serializes to a JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "casyn.telemetry.v1",
+    ///   "total_ms": 12.5,
+    ///   "peak_live_nodes": 240,
+    ///   "stages": [
+    ///     {"stage": "map", "wall_ms": 3.1, "metrics": {"map.matches_tried": 991}}
+    ///   ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("schema".into(), JsonValue::Str("casyn.telemetry.v1".into())),
+            ("total_ms".into(), JsonValue::Number(self.total_ms)),
+            ("peak_live_nodes".into(), JsonValue::Number(self.peak_live_nodes as f64)),
+            (
+                "stages".into(),
+                JsonValue::Array(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            JsonValue::object(vec![
+                                ("stage".into(), JsonValue::Str(s.stage.clone())),
+                                ("wall_ms".into(), JsonValue::Number(s.wall_ms)),
+                                ("metrics".into(), JsonValue::from_map(&s.metrics)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One metric as JSON: counters and gauges become numbers, histograms an
+/// object with their summary statistics.
+pub fn metric_json(v: &MetricValue) -> JsonValue {
+    match v {
+        MetricValue::Counter(n) => JsonValue::Number(*n as f64),
+        MetricValue::Gauge(g) => JsonValue::Number(*g),
+        MetricValue::Histogram(h) => JsonValue::object(vec![
+            ("count".into(), JsonValue::Number(h.count as f64)),
+            ("mean".into(), JsonValue::Number(h.mean())),
+            ("min".into(), JsonValue::Number(h.min)),
+            ("max".into(), JsonValue::Number(h.max)),
+        ]),
+    }
+}
+
+/// A registry snapshot as one JSON object keyed `stage.metric`.
+pub fn snapshot_json(snap: &obs::Snapshot) -> JsonValue {
+    JsonValue::Object(snap.metrics.iter().map(|(k, v)| (k.clone(), metric_json(v))).collect())
+}
+
+/// Scoped per-stage collector: remembers the registry state at stage
+/// entry and, on [`StageScope::end`], appends a [`StageTelemetry`] with
+/// the wall clock and the metric delta.
+#[derive(Debug)]
+pub(crate) struct StageScope {
+    timer: obs::StageTimer,
+    before: obs::Snapshot,
+}
+
+impl StageScope {
+    pub(crate) fn begin(stage: &'static str) -> Self {
+        let before = if obs::enabled() { obs::snapshot() } else { obs::Snapshot::default() };
+        StageScope { timer: obs::StageTimer::start(stage), before }
+    }
+
+    pub(crate) fn end(self, telemetry: &mut FlowTelemetry) {
+        let stage = self.timer.stage().to_string();
+        let wall_ms = self.timer.finish();
+        let metrics = if obs::enabled() {
+            obs::delta(&self.before).metrics.into_iter().map(|(k, v)| (k, v.as_f64())).collect()
+        } else {
+            BTreeMap::new()
+        };
+        telemetry.total_ms += wall_ms;
+        telemetry.stages.push(StageTelemetry { stage, wall_ms, metrics });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlowTelemetry {
+        FlowTelemetry {
+            stages: vec![
+                StageTelemetry {
+                    stage: "map".into(),
+                    wall_ms: 3.25,
+                    metrics: [("map.matches_tried".to_string(), 42.0)].into_iter().collect(),
+                },
+                StageTelemetry { stage: "route".into(), wall_ms: 1.5, metrics: BTreeMap::new() },
+            ],
+            total_ms: 4.75,
+            peak_live_nodes: 99,
+        }
+    }
+
+    #[test]
+    fn stage_lookup_and_names() {
+        let t = sample();
+        assert_eq!(t.stage_names(), ["map", "route"]);
+        assert_eq!(t.stage("map").unwrap().wall_ms, 3.25);
+        assert!(t.stage("sta").is_none());
+    }
+
+    #[test]
+    fn json_contains_schema_and_stages() {
+        let s = sample().to_json().to_string_pretty();
+        assert!(s.contains("\"schema\": \"casyn.telemetry.v1\""));
+        assert!(s.contains("\"stage\": \"map\""));
+        assert!(s.contains("\"map.matches_tried\": 42"));
+        assert!(s.contains("\"peak_live_nodes\": 99"));
+    }
+
+    #[test]
+    fn metric_json_expands_histograms() {
+        let reg = obs::Registry::new();
+        reg.hist_record("t.sizes", 2.0);
+        reg.hist_record("t.sizes", 6.0);
+        reg.counter_add("t.hits", 3);
+        let snap = reg.snapshot();
+        let s = snapshot_json(&snap).to_string_pretty();
+        assert!(s.contains("\"t.hits\": 3"));
+        assert!(s.contains("\"count\": 2"));
+        assert!(s.contains("\"mean\": 4"));
+    }
+
+    #[test]
+    fn observe_live_nodes_keeps_max() {
+        let mut t = FlowTelemetry::default();
+        t.observe_live_nodes(10);
+        t.observe_live_nodes(4);
+        assert_eq!(t.peak_live_nodes, 10);
+    }
+}

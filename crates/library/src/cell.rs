@@ -181,9 +181,7 @@ impl Library {
         self.cells
             .iter()
             .enumerate()
-            .filter(|(_, c)| {
-                c.num_pins == 1 && !c.eval(&[true]) && c.eval(&[false])
-            })
+            .filter(|(_, c)| c.num_pins == 1 && !c.eval(&[true]) && c.eval(&[false]))
             .min_by(|a, b| a.1.area.total_cmp(&b.1.area))
             .map(|(i, _)| i as u32)
             .expect("library must contain an inverter")
@@ -245,14 +243,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "equivalent")]
     fn inconsistent_patterns_rejected() {
-        Cell::new(
-            "BAD",
-            2.0,
-            0.003,
-            0.03,
-            2.0,
-            vec![P::inv(P::leaf(0)), P::leaf(0)],
-        );
+        Cell::new("BAD", 2.0, 0.003, 0.03, 2.0, vec![P::inv(P::leaf(0)), P::leaf(0)]);
     }
 
     #[test]

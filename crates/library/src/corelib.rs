@@ -11,6 +11,7 @@
 
 use crate::cell::{Cell, Library};
 use crate::pattern::PatternTree as P;
+use casyn_obs as obs;
 
 fn l(pin: u8) -> P {
     P::leaf(pin)
@@ -58,10 +59,7 @@ pub fn corelib018() -> Library {
         0.0045,
         0.11,
         2.8,
-        vec![P::inv(P::nand(
-            P::inv(l(0)),
-            P::inv(P::nand(P::inv(l(1)), P::inv(l(2)))),
-        ))],
+        vec![P::inv(P::nand(P::inv(l(0)), P::inv(P::nand(P::inv(l(1)), P::inv(l(2))))))],
     ));
     lib.push(Cell::new("AN2", 4.0, 0.0035, 0.12, 1.6, vec![P::and(l(0), l(1))]));
     lib.push(Cell::new(
@@ -111,10 +109,7 @@ pub fn corelib018() -> Library {
         0.005,
         0.12,
         2.7,
-        vec![P::nand(
-            P::nand(P::inv(l(0)), P::inv(l(1))),
-            P::nand(P::inv(l(2)), P::inv(l(3))),
-        )],
+        vec![P::nand(P::nand(P::inv(l(0)), P::inv(l(1))), P::nand(P::inv(l(2)), P::inv(l(3))))],
     ));
     lib.push(Cell::new(
         "AO21",
@@ -133,6 +128,13 @@ pub fn corelib018() -> Library {
         1.7,
         vec![P::inv(P::nand(P::nand(P::inv(l(0)), P::inv(l(1))), l(2)))],
     ));
+    if obs::enabled() {
+        obs::counter_add("library.cells", lib.cells().len() as u64);
+        obs::counter_add(
+            "library.patterns",
+            lib.cells().iter().map(|c| c.patterns.len() as u64).sum(),
+        );
+    }
     lib
 }
 

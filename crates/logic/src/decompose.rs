@@ -11,6 +11,7 @@
 use casyn_netlist::network::{Network, NodeFunction};
 use casyn_netlist::sop::Polarity;
 use casyn_netlist::subject::{GateId, SubjectGraph};
+use casyn_obs as obs;
 
 /// The result of decomposition: the subject graph plus the mapping from
 /// network nodes to the gates computing them.
@@ -101,10 +102,8 @@ pub fn decompose(net: &Network) -> Decomposed {
                     cube_gates.push(g.add_inv(one));
                     break;
                 }
-                let lits: Vec<GateId> = cube
-                    .literals()
-                    .map(|(v, p)| lit_gate(&mut g, &gate_of, v, p))
-                    .collect();
+                let lits: Vec<GateId> =
+                    cube.literals().map(|(v, p)| lit_gate(&mut g, &gate_of, v, p)).collect();
                 cube_gates.push(nand_of(&mut g, &lits));
             }
             // output = OR of products = NAND of the inverted products
@@ -128,6 +127,15 @@ pub fn decompose(net: &Network) -> Decomposed {
         graph.add_output(name.clone(), gate_of[id.index()].expect("output decomposed"));
     }
     let gate_of = gate_of.into_iter().map(|o| o.expect("all nodes decomposed")).collect();
+    if obs::enabled() {
+        obs::counter_add("logic.decomposed_nodes", net.num_nodes() as u64);
+        obs::counter_add("logic.subject_gates", graph.num_gates() as u64);
+    }
+    obs::log::debug(&format!(
+        "decompose: {} network nodes -> {} base gates",
+        net.num_nodes(),
+        graph.num_gates()
+    ));
     Decomposed { graph, gate_of }
 }
 

@@ -17,6 +17,7 @@
 use crate::kernels::{canonical, kernels};
 use casyn_netlist::network::{Network, NodeFunction, NodeId};
 use casyn_netlist::sop::{Cube, Polarity, Sop};
+use casyn_obs as obs;
 use std::collections::HashMap;
 
 /// A literal over network nodes: `(driver, polarity)`.
@@ -52,8 +53,21 @@ impl Default for OptimizeOptions {
 /// `script.rugged`-style technology-independent phase. Returns the total
 /// number of new nodes created.
 pub fn optimize(net: &mut Network, opts: &OptimizeOptions) -> usize {
+    let lits_before = net.literal_count();
     let k = extract_kernels(net, opts.max_kernel_extractions, opts.kernel_cube_limit);
     let c = extract_cubes(net, opts.max_cube_extractions);
+    if obs::enabled() {
+        obs::counter_add("logic.kernels_extracted", k as u64);
+        obs::counter_add("logic.cubes_extracted", c as u64);
+        obs::counter_add(
+            "logic.literals_saved",
+            lits_before.saturating_sub(net.literal_count()) as u64,
+        );
+    }
+    obs::log::debug(&format!(
+        "optimize: {k} kernels, {c} cubes, literals {lits_before} -> {}",
+        net.literal_count()
+    ));
     k + c
 }
 
@@ -65,8 +79,7 @@ fn node_global_cubes(net: &Network, id: NodeId) -> Vec<GlobalCube> {
             .cubes()
             .iter()
             .map(|c| {
-                let mut g: GlobalCube =
-                    c.literals().map(|(v, p)| (fanins[v], p)).collect();
+                let mut g: GlobalCube = c.literals().map(|(v, p)| (fanins[v], p)).collect();
                 g.sort();
                 g.dedup();
                 g
@@ -168,12 +181,8 @@ pub fn extract_cubes(net: &mut Network, max_extractions: usize) -> usize {
                 continue;
             }
             if e.lits.binary_search(&pair.0).is_ok() && e.lits.binary_search(&pair.1).is_ok() {
-                let mut nl: GlobalCube = e
-                    .lits
-                    .iter()
-                    .filter(|l| **l != pair.0 && **l != pair.1)
-                    .copied()
-                    .collect();
+                let mut nl: GlobalCube =
+                    e.lits.iter().filter(|l| **l != pair.0 && **l != pair.1).copied().collect();
                 nl.push((g, Polarity::Positive));
                 nl.sort();
                 rewrites.push((i, nl));
@@ -188,12 +197,7 @@ pub fn extract_cubes(net: &mut Network, max_extractions: usize) -> usize {
         // register the divisor's own defining cube so it can participate
         // in *future* pair counts as a literal source, but its definition
         // is never rewritten
-        entries.push(Entry {
-            node: g,
-            lits: divisor_cube,
-            alive: true,
-            is_divisor_def: true,
-        });
+        entries.push(Entry { node: g, lits: divisor_cube, alive: true, is_divisor_def: true });
         pair_count.retain(|_, c| *c > 0);
     }
     // write back every touched node
@@ -299,9 +303,8 @@ pub fn extract_kernels(net: &mut Network, max_extractions: usize, cube_limit: us
 /// Algebraic division on global-cube covers: returns `(quotient,
 /// remainder)` with `f = quotient * divisor + remainder`.
 fn divide_global(f: &[GlobalCube], divisor: &[GlobalCube]) -> (Vec<GlobalCube>, Vec<GlobalCube>) {
-    let contains = |big: &GlobalCube, small: &GlobalCube| {
-        small.iter().all(|l| big.binary_search(l).is_ok())
-    };
+    let contains =
+        |big: &GlobalCube, small: &GlobalCube| small.iter().all(|l| big.binary_search(l).is_ok());
     let without = |big: &GlobalCube, small: &GlobalCube| -> GlobalCube {
         big.iter().filter(|l| small.binary_search(l).is_err()).copied().collect()
     };
@@ -393,10 +396,7 @@ mod tests {
         let max_fanout_before = golden.fanout_counts().into_iter().max().unwrap_or(0);
         let max_fanout_after = net.fanout_counts().into_iter().max().unwrap_or(0);
         // divisor nodes are shared; some node should now have healthy fanout
-        assert!(
-            net.num_logic_nodes() > golden.num_logic_nodes(),
-            "extraction adds divisor nodes"
-        );
+        assert!(net.num_logic_nodes() > golden.num_logic_nodes(), "extraction adds divisor nodes");
         // not a strict theorem, but with 24 overlapping terms sharing rises
         assert!(max_fanout_after >= max_fanout_before.min(3));
     }

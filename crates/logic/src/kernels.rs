@@ -176,8 +176,8 @@ mod tests {
         // kernel a+b with cokernel ce
         let ab = Sop::from_cubes(7, vec![cube(7, &[(0, P)]), cube(7, &[(1, P)])]);
         assert!(
-            ks.iter().any(|k| canonical(&k.kernel) == canonical(&ab)
-                && k.cokernel.literal_count() == 2),
+            ks.iter()
+                .any(|k| canonical(&k.kernel) == canonical(&ab) && k.cokernel.literal_count() == 2),
             "missing kernel a+b: {ks:?}"
         );
         // f itself is cube-free, so it is a kernel with co-kernel 1
@@ -220,8 +220,9 @@ mod tests {
         let f = Sop::from_cubes(3, vec![cube(3, &[(0, P), (1, P)]), cube(3, &[(0, P), (2, P)])]);
         let ks = kernels(&f);
         let bc = Sop::from_cubes(3, vec![cube(3, &[(1, P)]), cube(3, &[(2, P)])]);
-        assert!(ks.iter().any(|k| canonical(&k.kernel) == canonical(&bc)
-            && k.cokernel.literal(0) == Some(P)));
+        assert!(ks
+            .iter()
+            .any(|k| canonical(&k.kernel) == canonical(&bc) && k.cokernel.literal(0) == Some(P)));
     }
 
     #[test]

@@ -213,10 +213,8 @@ mod tests {
     #[test]
     fn distance1_merge() {
         // ab + a!b = a
-        let mut f = Sop::from_cubes(
-            2,
-            vec![cube(2, &[(0, P), (1, P)]), cube(2, &[(0, P), (1, N)])],
-        );
+        let mut f =
+            Sop::from_cubes(2, vec![cube(2, &[(0, P), (1, P)]), cube(2, &[(0, P), (1, N)])]);
         let golden = f.clone();
         let saved = simplify_sop(&mut f, &SimplifyOptions::default());
         assert!(saved >= 3);
@@ -275,13 +273,8 @@ mod tests {
     #[test]
     fn wide_support_skips_expansion_but_still_merges() {
         let n = 20;
-        let mut f = Sop::from_cubes(
-            n,
-            vec![
-                cube(n, &[(0, P), (15, P)]),
-                cube(n, &[(0, P), (15, N)]),
-            ],
-        );
+        let mut f =
+            Sop::from_cubes(n, vec![cube(n, &[(0, P), (15, P)]), cube(n, &[(0, P), (15, N)])]);
         let opts = SimplifyOptions { merge: true, expand_support_limit: 4 };
         simplify_sop(&mut f, &opts);
         assert_eq!(f.num_cubes(), 1);

@@ -112,17 +112,18 @@ impl FromStr for Blif {
             }
         }
         let mut model = None;
-        let mut inputs: Vec<String> = Vec::new();
+        // input names with the line of their declaring .inputs directive
+        let mut inputs: Vec<(usize, String)> = Vec::new();
         let mut outputs: Vec<String> = Vec::new();
         let mut blocks: Vec<NamesBlock> = Vec::new();
-        // (d name, q name, init)
-        let mut latch_decls: Vec<(String, String, LatchInit)> = Vec::new();
+        // (d name, q name, init, declaration line)
+        let mut latch_decls: Vec<(String, String, LatchInit, usize)> = Vec::new();
         for (ln, line) in &lines {
             let mut it = line.split_whitespace();
             let Some(head) = it.next() else { continue };
             match head {
                 ".model" => model = Some(it.next().unwrap_or("").to_string()),
-                ".inputs" => inputs.extend(it.map(String::from)),
+                ".inputs" => inputs.extend(it.map(|s| (*ln, s.to_string()))),
                 ".outputs" => outputs.extend(it.map(String::from)),
                 ".names" => {
                     let signals: Vec<String> = it.map(String::from).collect();
@@ -151,7 +152,7 @@ impl FromStr for Blif {
                         Some("2") | Some("3") => LatchInit::Unknown,
                         _ => LatchInit::Unknown,
                     };
-                    latch_decls.push((rest[0].to_string(), rest[1].to_string(), init));
+                    latch_decls.push((rest[0].to_string(), rest[1].to_string(), init, *ln));
                 }
                 ".subckt" | ".gate" | ".mlatch" => {
                     return Err(ParseBlifError::Unsupported { line: *ln, what: head.into() })
@@ -173,6 +174,12 @@ impl FromStr for Blif {
                     let mut parts: Vec<&str> = line.split_whitespace().collect();
                     let n_in = block.signals.len() - 1;
                     let (plane, out) = if n_in == 0 {
+                        if parts.len() != 1 {
+                            return Err(ParseBlifError::BadRow {
+                                line: *ln,
+                                reason: format!("expected 1 field, got {}", parts.len()),
+                            });
+                        }
                         ("".to_string(), parts.remove(0))
                     } else {
                         if parts.len() != 2 {
@@ -183,6 +190,22 @@ impl FromStr for Blif {
                         }
                         (parts[0].to_string(), parts[1])
                     };
+                    if plane.chars().count() != n_in {
+                        return Err(ParseBlifError::BadRow {
+                            line: *ln,
+                            reason: format!(
+                                "input plane has {} characters, .names declares {} inputs",
+                                plane.chars().count(),
+                                n_in
+                            ),
+                        });
+                    }
+                    if let Some(c) = plane.chars().find(|c| !matches!(c, '0' | '1' | '-')) {
+                        return Err(ParseBlifError::BadRow {
+                            line: *ln,
+                            reason: format!("invalid input-plane character '{c}'"),
+                        });
+                    }
                     let oc = out.chars().next().unwrap_or('1');
                     if oc != '0' && oc != '1' {
                         return Err(ParseBlifError::BadRow {
@@ -195,22 +218,37 @@ impl FromStr for Blif {
             }
         }
         let model = model.ok_or(ParseBlifError::MissingModel)?;
+        // every signal may be defined once: by .inputs, a .latch output,
+        // or a .names block
+        let mut defined_at: HashMap<&str, usize> = HashMap::new();
+        for (ln, name) in &inputs {
+            if defined_at.insert(name, *ln).is_some() {
+                return Err(ParseBlifError::Redefined { line: *ln, name: name.clone() });
+            }
+        }
+        for (_, q_name, _, ln) in &latch_decls {
+            if defined_at.insert(q_name, *ln).is_some() {
+                return Err(ParseBlifError::Redefined { line: *ln, name: q_name.clone() });
+            }
+        }
+        for block in &blocks {
+            let out = block.signals.last().expect("checked non-empty at parse");
+            if defined_at.insert(out, block.line).is_some() {
+                return Err(ParseBlifError::Redefined { line: block.line, name: out.clone() });
+            }
+        }
         // build the network: real inputs, latch pseudo-inputs, then blocks
         let mut net = Network::new();
         let mut id_of: HashMap<String, NodeId> = HashMap::new();
-        for name in &inputs {
+        for (_, name) in &inputs {
             let id = net.add_input(name.clone());
-            if id_of.insert(name.clone(), id).is_some() {
-                return Err(ParseBlifError::Redefined { line: 0, name: name.clone() });
-            }
+            id_of.insert(name.clone(), id);
         }
         let num_real_inputs = inputs.len();
         let mut latch_qs: Vec<NodeId> = Vec::new();
-        for (_, q_name, _) in &latch_decls {
+        for (_, q_name, _, _) in &latch_decls {
             let id = net.add_input(q_name.clone());
-            if id_of.insert(q_name.clone(), id).is_some() {
-                return Err(ParseBlifError::Redefined { line: 0, name: q_name.clone() });
-            }
+            id_of.insert(q_name.clone(), id);
             latch_qs.push(id);
         }
         // iterate until all blocks placed (they may be out of order)
@@ -219,13 +257,11 @@ impl FromStr for Blif {
         while !remaining.is_empty() && progress {
             progress = false;
             remaining.retain(|block| {
-                let (fanin_names, out_name) =
-                    block.signals.split_at(block.signals.len() - 1);
+                let (fanin_names, out_name) = block.signals.split_at(block.signals.len() - 1);
                 if !fanin_names.iter().all(|n| id_of.contains_key(n)) {
                     return true; // keep for later
                 }
-                let fanins: Vec<NodeId> =
-                    fanin_names.iter().map(|n| id_of[n]).collect();
+                let fanins: Vec<NodeId> = fanin_names.iter().map(|n| id_of[n]).collect();
                 let n_in = fanins.len();
                 // on-set rows only; '0' output rows define the complement,
                 // which the subset does not support mixed
@@ -263,28 +299,20 @@ impl FromStr for Blif {
             });
         }
         if let Some(block) = remaining.first() {
-            let missing = block
-                .signals
-                .iter()
-                .find(|n| !id_of.contains_key(*n))
-                .cloned()
-                .unwrap_or_default();
+            let missing =
+                block.signals.iter().find(|n| !id_of.contains_key(*n)).cloned().unwrap_or_default();
             return Err(ParseBlifError::Undefined { name: missing });
         }
         for name in &outputs {
-            let id = *id_of
-                .get(name)
-                .ok_or_else(|| ParseBlifError::Undefined { name: name.clone() })?;
+            let id =
+                *id_of.get(name).ok_or_else(|| ParseBlifError::Undefined { name: name.clone() })?;
             net.add_output(name.clone(), id);
         }
         let mut latches = Vec::with_capacity(latch_decls.len());
-        for ((d_name, q_name, init), q) in latch_decls.into_iter().zip(latch_qs) {
-            let d = *id_of
-                .get(&d_name)
-                .ok_or(ParseBlifError::Undefined { name: d_name })?;
+        for ((d_name, q_name, init, _), q) in latch_decls.into_iter().zip(latch_qs) {
+            let d = *id_of.get(&d_name).ok_or(ParseBlifError::Undefined { name: d_name })?;
             latches.push(Latch { name: q_name, d, q, init });
         }
-        let _ = NamesBlock { line: 0, signals: vec![], rows: vec![] }.line;
         let seq = SeqNetwork { core: net, latches, num_real_inputs };
         seq.check();
         Ok(Blif { model, seq })
@@ -454,7 +482,8 @@ mod tests {
 
     #[test]
     fn latch_init_one() {
-        let text = ".model m\n.inputs\n.outputs o\n.latch d q 1\n.names q d\n1 1\n.names q o\n1 1\n.end\n";
+        let text =
+            ".model m\n.inputs\n.outputs o\n.latch d q 1\n.names q d\n1 1\n.names q o\n1 1\n.end\n";
         let blif: Blif = text.parse().unwrap();
         let out = blif.seq().simulate(&[vec![], vec![]]);
         assert_eq!(out, vec![vec![true], vec![true]]);
@@ -475,5 +504,49 @@ mod tests {
             ".model m\n.inputs a\n.outputs y\n.names a y\n1 1 1\n.end\n".parse::<Blif>(),
             Err(ParseBlifError::BadRow { .. })
         ));
+    }
+
+    #[test]
+    fn row_plane_width_is_validated() {
+        // .names declares 2 inputs but the row plane has 3 characters
+        let e = ".model m\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n"
+            .parse::<Blif>()
+            .unwrap_err();
+        assert_eq!(
+            e,
+            ParseBlifError::BadRow {
+                line: 5,
+                reason: "input plane has 3 characters, .names declares 2 inputs".into(),
+            }
+        );
+        // invalid plane character
+        let e = ".model m\n.inputs a b\n.outputs y\n.names a b y\n1x 1\n.end\n"
+            .parse::<Blif>()
+            .unwrap_err();
+        assert!(matches!(e, ParseBlifError::BadRow { line: 5, .. }), "got {e:?}");
+        // a constant block must not carry an input plane
+        let e = ".model m\n.inputs a\n.outputs y z\n.names a y\n1 1\n.names z\n1 1\n.end\n"
+            .parse::<Blif>()
+            .unwrap_err();
+        assert!(matches!(e, ParseBlifError::BadRow { line: 7, .. }), "got {e:?}");
+    }
+
+    #[test]
+    fn duplicate_definitions_carry_lines() {
+        // the same output driven by two .names blocks
+        let e = ".model m\n.inputs a b\n.outputs y\n.names a y\n1 1\n.names b y\n1 1\n.end\n"
+            .parse::<Blif>()
+            .unwrap_err();
+        assert_eq!(e, ParseBlifError::Redefined { line: 6, name: "y".into() });
+        // an input repeated in .inputs
+        let e = ".model m\n.inputs a\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n"
+            .parse::<Blif>()
+            .unwrap_err();
+        assert_eq!(e, ParseBlifError::Redefined { line: 3, name: "a".into() });
+        // a .names block shadowing a latch output
+        let e = ".model m\n.inputs a\n.outputs q\n.latch a q 0\n.names a q\n1 1\n.end\n"
+            .parse::<Blif>()
+            .unwrap_err();
+        assert_eq!(e, ParseBlifError::Redefined { line: 5, name: "q".into() });
     }
 }

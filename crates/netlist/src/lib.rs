@@ -47,8 +47,8 @@ pub use network::{Network, NodeFunction, NodeId};
 pub use pla::Pla;
 pub use seq::{Latch, LatchInit, SeqNetwork};
 pub use sop::{Cube, Sop};
-pub use verilog::to_verilog;
 pub use subject::{BaseKind, GateId, SubjectGraph};
+pub use verilog::to_verilog;
 
 /// A point on the chip layout image, in micrometres.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

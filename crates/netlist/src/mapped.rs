@@ -163,7 +163,11 @@ impl MappedNetlist {
             for (pi, src) in cell.inputs.iter().enumerate() {
                 by_driver
                     .entry(*src)
-                    .or_insert_with(|| Net { driver: *src, sinks: Vec::new(), po_sinks: Vec::new() })
+                    .or_insert_with(|| Net {
+                        driver: *src,
+                        sinks: Vec::new(),
+                        po_sinks: Vec::new(),
+                    })
                     .sinks
                     .push((ci as u32, pi as u32));
             }
@@ -464,7 +468,7 @@ mod tests {
         // rewire everything reading b to read x's output instead
         let changed = nl.replace_signal(b, x);
         assert_eq!(changed, 2); // the inv's own input and the output
-        // ... which made a self-loop; point the inv at `a` instead
+                                // ... which made a self-loop; point the inv at `a` instead
         nl.cells_mut()[0].inputs[0] = a;
         // b is now unreferenced and removable
         nl.remove_trailing_inputs(1);

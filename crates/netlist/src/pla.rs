@@ -15,8 +15,11 @@ use std::str::FromStr;
 /// Errors produced while parsing a `.pla` file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParsePlaError {
-    /// A directive (`.i`, `.o`, …) had a malformed argument.
-    BadDirective(String),
+    /// A directive (`.i`, `.o`, …) was unknown or had a malformed
+    /// argument.
+    BadDirective { line: usize, directive: String },
+    /// An `.ilb`/`.ob` label list disagreed with the declared port count.
+    BadLabels { line: usize, directive: String, expected: usize, got: usize },
     /// A product-term line had the wrong width or an invalid character.
     BadTerm { line: usize, reason: String },
     /// `.i`/`.o` missing before the first product term.
@@ -26,7 +29,12 @@ pub enum ParsePlaError {
 impl fmt::Display for ParsePlaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParsePlaError::BadDirective(d) => write!(f, "malformed directive: {d}"),
+            ParsePlaError::BadDirective { line, directive } => {
+                write!(f, "malformed directive on line {line}: {directive}")
+            }
+            ParsePlaError::BadLabels { line, directive, expected, got } => {
+                write!(f, "{directive} on line {line} names {got} ports, expected {expected}")
+            }
             ParsePlaError::BadTerm { line, reason } => {
                 write!(f, "bad product term on line {line}: {reason}")
             }
@@ -109,12 +117,8 @@ impl Pla {
 
     /// The SOP of one output column.
     pub fn output_sop(&self, output: usize) -> Sop {
-        let cubes: Vec<Cube> = self
-            .terms
-            .iter()
-            .filter(|t| t.outputs[output])
-            .map(|t| t.cube.clone())
-            .collect();
+        let cubes: Vec<Cube> =
+            self.terms.iter().filter(|t| t.outputs[output]).map(|t| t.cube.clone()).collect();
         Sop::from_cubes(self.num_inputs, cubes)
     }
 
@@ -185,7 +189,12 @@ impl Pla {
     /// Serializes in espresso `.pla` format.
     pub fn to_pla_string(&self) -> String {
         let mut s = String::new();
-        s.push_str(&format!(".i {}\n.o {}\n.p {}\n", self.num_inputs, self.num_outputs, self.terms.len()));
+        s.push_str(&format!(
+            ".i {}\n.o {}\n.p {}\n",
+            self.num_inputs,
+            self.num_outputs,
+            self.terms.len()
+        ));
         for t in &self.terms {
             for v in 0..self.num_inputs {
                 s.push(match t.cube.literal(v) {
@@ -214,34 +223,24 @@ impl FromStr for Pla {
         let mut ni: Option<usize> = None;
         let mut no: Option<usize> = None;
         let mut pla: Option<Pla> = None;
-        let mut ilb: Option<Vec<String>> = None;
-        let mut ob: Option<Vec<String>> = None;
+        let mut ilb: Option<(usize, Vec<String>)> = None;
+        let mut ob: Option<(usize, Vec<String>)> = None;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
             if let Some(rest) = line.strip_prefix('.') {
+                let bad =
+                    || ParsePlaError::BadDirective { line: lineno + 1, directive: line.into() };
                 let mut it = rest.split_whitespace();
                 match it.next() {
-                    Some("i") => {
-                        ni = Some(
-                            it.next()
-                                .and_then(|s| s.parse().ok())
-                                .ok_or_else(|| ParsePlaError::BadDirective(line.into()))?,
-                        )
-                    }
-                    Some("o") => {
-                        no = Some(
-                            it.next()
-                                .and_then(|s| s.parse().ok())
-                                .ok_or_else(|| ParsePlaError::BadDirective(line.into()))?,
-                        )
-                    }
-                    Some("ilb") => ilb = Some(it.map(String::from).collect()),
-                    Some("ob") => ob = Some(it.map(String::from).collect()),
+                    Some("i") => ni = Some(it.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?),
+                    Some("o") => no = Some(it.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?),
+                    Some("ilb") => ilb = Some((lineno + 1, it.map(String::from).collect())),
+                    Some("ob") => ob = Some((lineno + 1, it.map(String::from).collect())),
                     Some("p") | Some("e") | Some("end") | Some("type") => {}
-                    _ => return Err(ParsePlaError::BadDirective(line.into())),
+                    _ => return Err(bad()),
                 }
                 continue;
             }
@@ -294,15 +293,27 @@ impl FromStr for Pla {
                 _ => return Err(ParsePlaError::MissingHeader),
             },
         };
-        if let Some(labels) = ilb {
-            if labels.len() == pla.num_inputs {
-                pla.input_labels = labels;
+        if let Some((line, labels)) = ilb {
+            if labels.len() != pla.num_inputs {
+                return Err(ParsePlaError::BadLabels {
+                    line,
+                    directive: ".ilb".into(),
+                    expected: pla.num_inputs,
+                    got: labels.len(),
+                });
             }
+            pla.input_labels = labels;
         }
-        if let Some(labels) = ob {
-            if labels.len() == pla.num_outputs {
-                pla.output_labels = labels;
+        if let Some((line, labels)) = ob {
+            if labels.len() != pla.num_outputs {
+                return Err(ParsePlaError::BadLabels {
+                    line,
+                    directive: ".ob".into(),
+                    expected: pla.num_outputs,
+                    got: labels.len(),
+                });
             }
+            pla.output_labels = labels;
         }
         Ok(pla)
     }
@@ -368,15 +379,26 @@ mod tests {
     #[test]
     fn parse_errors() {
         assert!(matches!("1- 1".parse::<Pla>(), Err(ParsePlaError::MissingHeader)));
-        assert!(matches!(
-            ".i 2\n.o 1\n1 1".parse::<Pla>(),
-            Err(ParsePlaError::BadTerm { .. })
-        ));
-        assert!(matches!(".i x\n".parse::<Pla>(), Err(ParsePlaError::BadDirective(_))));
-        assert!(matches!(
-            ".i 2\n.o 1\nxy 1".parse::<Pla>(),
-            Err(ParsePlaError::BadTerm { .. })
-        ));
+        assert!(matches!(".i 2\n.o 1\n1 1".parse::<Pla>(), Err(ParsePlaError::BadTerm { .. })));
+        assert_eq!(
+            ".i 2\n.i x\n".parse::<Pla>().unwrap_err(),
+            ParsePlaError::BadDirective { line: 2, directive: ".i x".into() }
+        );
+        assert!(matches!(".i 2\n.o 1\nxy 1".parse::<Pla>(), Err(ParsePlaError::BadTerm { .. })));
+    }
+
+    #[test]
+    fn label_count_mismatch_is_an_error() {
+        let e = ".i 2\n.o 1\n.ilb only_one\n11 1\n.e\n".parse::<Pla>().unwrap_err();
+        assert_eq!(
+            e,
+            ParsePlaError::BadLabels { line: 3, directive: ".ilb".into(), expected: 2, got: 1 }
+        );
+        let e = ".i 2\n.o 1\n.ob x y z\n11 1\n.e\n".parse::<Pla>().unwrap_err();
+        assert_eq!(
+            e,
+            ParsePlaError::BadLabels { line: 3, directive: ".ob".into(), expected: 1, got: 3 }
+        );
     }
 
     #[test]

@@ -83,11 +83,7 @@ impl SeqNetwork {
             pi.extend_from_slice(&state);
             let values = self.core.simulate(&pi);
             out.push(
-                self.core
-                    .outputs()
-                    .iter()
-                    .map(|(_, id)| values[id.index()])
-                    .collect::<Vec<bool>>(),
+                self.core.outputs().iter().map(|(_, id)| values[id.index()]).collect::<Vec<bool>>(),
             );
             for (s, l) in state.iter_mut().zip(&self.latches) {
                 *s = values[l.d.index()];

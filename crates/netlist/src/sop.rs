@@ -35,11 +35,7 @@ fn words(n: usize) -> usize {
 impl Cube {
     /// The universal cube (constant one) over `num_vars` variables.
     pub fn one(num_vars: usize) -> Self {
-        Cube {
-            pos: vec![0; words(num_vars)],
-            neg: vec![0; words(num_vars)],
-            num_vars,
-        }
+        Cube { pos: vec![0; words(num_vars)], neg: vec![0; words(num_vars)], num_vars }
     }
 
     /// Number of variables in the universe (not the number of literals).
@@ -256,10 +252,8 @@ impl Sop {
         let before = self.cubes.len();
         let cubes = std::mem::take(&mut self.cubes);
         for (i, c) in cubes.iter().enumerate() {
-            let redundant = cubes
-                .iter()
-                .enumerate()
-                .any(|(j, d)| j != i && d.contains(c) && (c != d || j < i));
+            let redundant =
+                cubes.iter().enumerate().any(|(j, d)| j != i && d.contains(c) && (c != d || j < i));
             if !redundant {
                 self.cubes.push(c.clone());
             }
@@ -304,8 +298,7 @@ impl Sop {
                 }
             }
         }
-        let rem: Vec<Cube> =
-            self.cubes.iter().filter(|c| !product.contains(c)).cloned().collect();
+        let rem: Vec<Cube> = self.cubes.iter().filter(|c| !product.contains(c)).cloned().collect();
         (q, Sop::from_cubes(self.num_vars, rem))
     }
 }
@@ -475,11 +468,7 @@ mod tests {
         let n = Polarity::Negative;
         let f = Sop::from_cubes(
             4,
-            vec![
-                cube(4, &[(0, p), (1, p)]),
-                cube(4, &[(0, p), (2, n)]),
-                cube(4, &[(3, p)]),
-            ],
+            vec![cube(4, &[(0, p), (1, p)]), cube(4, &[(0, p), (2, n)]), cube(4, &[(3, p)])],
         );
         let d = Sop::from_cubes(4, vec![cube(4, &[(0, p)])]);
         let (q, r) = f.divide(&d);

@@ -266,9 +266,7 @@ impl SubjectGraph {
             let d = match g.kind {
                 BaseKind::Input => 0,
                 BaseKind::Inv => depth[g.fanin[0].index()] + 1,
-                BaseKind::Nand2 => {
-                    depth[g.fanin[0].index()].max(depth[g.fanin[1].index()]) + 1
-                }
+                BaseKind::Nand2 => depth[g.fanin[0].index()].max(depth[g.fanin[1].index()]) + 1,
             };
             depth[idx] = d;
             best = best.max(d);
@@ -294,11 +292,8 @@ impl SubjectGraph {
         for (_, id) in &self.inputs {
             live[id.index()] = true;
         }
-        let mut out = if self.hashing {
-            SubjectGraph::new()
-        } else {
-            SubjectGraph::without_hashing()
-        };
+        let mut out =
+            if self.hashing { SubjectGraph::new() } else { SubjectGraph::without_hashing() };
         let mut map: Vec<Option<GateId>> = vec![None; self.gates.len()];
         for (idx, g) in self.gates.iter().enumerate() {
             if !live[idx] {

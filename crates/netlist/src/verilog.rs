@@ -9,10 +9,8 @@ use crate::mapped::{MappedNetlist, SignalRef};
 
 /// Characters Verilog identifiers cannot contain are replaced with `_`.
 fn sanitize(name: &str) -> String {
-    let mut out: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect();
+    let mut out: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
     if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         out.insert(0, '_');
     }
@@ -29,11 +27,8 @@ pub fn to_verilog(nl: &MappedNetlist, module_name: &str) -> String {
     let inputs: Vec<String> = nl.input_names().iter().map(|n| sanitize(n)).collect();
     let outputs: Vec<String> = nl.outputs().iter().map(|(n, _)| sanitize(n)).collect();
     s.push_str(&format!("module {}(", sanitize(module_name)));
-    let ports: Vec<&str> = inputs
-        .iter()
-        .map(String::as_str)
-        .chain(outputs.iter().map(String::as_str))
-        .collect();
+    let ports: Vec<&str> =
+        inputs.iter().map(String::as_str).chain(outputs.iter().map(String::as_str)).collect();
     s.push_str(&ports.join(", "));
     s.push_str(");\n");
     for i in &inputs {

@@ -1,0 +1,175 @@
+//! A minimal JSON writer (no parser, no external deps) used by the
+//! telemetry and heatmap exporters.
+//!
+//! Values are built bottom-up with [`JsonValue`] and serialized with
+//! [`JsonValue::to_string_pretty`]. Numbers serialize through
+//! [`fmt_f64`], which keeps integers integral and never emits `NaN` or
+//! `Infinity` (both invalid JSON — they become `null`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// A JSON document fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Number(f64),
+    /// A string (escaped on serialization).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object; keys print in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An object from an ordered key/value list.
+    pub fn object(entries: Vec<(String, JsonValue)>) -> JsonValue {
+        JsonValue::Object(entries)
+    }
+
+    /// An object from a sorted map.
+    pub fn from_map(map: &BTreeMap<String, f64>) -> JsonValue {
+        JsonValue::Object(map.iter().map(|(k, v)| (k.clone(), JsonValue::Number(*v))).collect())
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(v) => out.push_str(&fmt_f64(*v)),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a number as valid JSON: integers without a fraction,
+/// non-finite values as `null`, everything else via shortest-roundtrip
+/// float printing.
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_are_valid_json() {
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(-17.0), "-17");
+        assert_eq!(fmt_f64(2.5), "2.5");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        let v = JsonValue::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.to_string_pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn nested_structure_round_trips_by_eye() {
+        let v = JsonValue::object(vec![
+            ("name".into(), JsonValue::Str("route".into())),
+            ("iters".into(), JsonValue::Number(4.0)),
+            (
+                "trajectory".into(),
+                JsonValue::Array(vec![
+                    JsonValue::Number(10.0),
+                    JsonValue::Number(2.0),
+                    JsonValue::Number(0.0),
+                ]),
+            ),
+            ("empty".into(), JsonValue::Object(vec![])),
+        ]);
+        let s = v.to_string_pretty();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"name\": \"route\""));
+        assert!(s.contains("\"trajectory\": [\n"));
+        assert!(s.contains("\"empty\": {}"));
+        assert!(s.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,140 @@
+//! casyn-obs — the observability layer of the casyn synthesis pipeline.
+//!
+//! Dependency-free metrics, tracing, and export plumbing shared by every
+//! stage (optimize → decompose → place → partition → map → route → STA):
+//!
+//! - a thread-safe global [`Registry`] of counters, gauges, and log-scale
+//!   histograms keyed `stage.metric` (e.g. `route.iterations`,
+//!   `map.matches_tried`, `place.fm_passes`);
+//! - [`StageTimer`] / [`span!`] for wall-clock scoping;
+//! - leveled stderr logging controlled by the `CASYN_LOG` env var or
+//!   [`log::set_level`] (the CLI's `--trace` flag);
+//! - a tiny [`json`] writer used by the telemetry exporters.
+//!
+//! Collection is off by default: every record call checks one relaxed
+//! atomic and returns immediately when disabled, so instrumented hot
+//! paths (match enumeration, maze expansion) pay only a branch. Stages
+//! additionally batch counts locally and flush once per unit of work.
+
+pub mod json;
+pub mod log;
+mod registry;
+
+pub use registry::{
+    counter_add, delta, enabled, gauge_set, global, hist_record, reset, set_enabled, snapshot,
+    Histogram, MetricValue, Registry, Snapshot,
+};
+
+use std::time::Instant;
+
+/// Wall-clock timer for one pipeline stage.
+///
+/// Always runs (timers are too cheap to gate); the caller decides what to
+/// do with the elapsed time — typically storing it in a
+/// `FlowTelemetry` stage record and, when metrics are enabled, a gauge.
+#[derive(Debug)]
+pub struct StageTimer {
+    stage: &'static str,
+    start: Instant,
+}
+
+impl StageTimer {
+    /// Starts timing `stage`.
+    pub fn start(stage: &'static str) -> Self {
+        log::trace(&format!("stage {stage}: start"));
+        StageTimer { stage, start: Instant::now() }
+    }
+
+    /// The stage name this timer was started with.
+    pub fn stage(&self) -> &'static str {
+        self.stage
+    }
+
+    /// Elapsed milliseconds so far, without consuming the timer.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Stops the timer, records `<stage>.wall_ms` as a gauge when metrics
+    /// are enabled, and returns the elapsed milliseconds.
+    pub fn finish(self) -> f64 {
+        let ms = self.elapsed_ms();
+        log::debug(&format!("stage {}: {:.3} ms", self.stage, ms));
+        if enabled() {
+            gauge_set(&format!("{}.wall_ms", self.stage), ms);
+        }
+        ms
+    }
+}
+
+/// A scoped counter batch: accumulates locally, flushes to the global
+/// registry on drop. The pattern hot call-sites use to avoid per-event
+/// locking.
+#[derive(Debug, Default)]
+pub struct Span {
+    entries: Vec<(String, u64)>,
+}
+
+impl Span {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the batched counter `key`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == key) {
+            e.1 += n;
+        } else {
+            self.entries.push((key.to_string(), n));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !enabled() {
+            return;
+        }
+        for (key, n) in self.entries.drain(..) {
+            counter_add(&key, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_timer_reports_positive_elapsed() {
+        let t = StageTimer::start("test_stage");
+        assert_eq!(t.stage(), "test_stage");
+        let ms = t.finish();
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn span_flushes_only_when_enabled() {
+        let _guard = crate::registry::test_lock();
+        let key = "span_test.flush_gated";
+        set_enabled(false);
+        {
+            let mut s = Span::new();
+            s.add(key, 5);
+        }
+        assert!(!snapshot().metrics.contains_key(key));
+        set_enabled(true);
+        {
+            let mut s = Span::new();
+            s.add(key, 2);
+            s.add(key, 3);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counter(key), Some(5));
+        set_enabled(false);
+    }
+}

@@ -1,0 +1,384 @@
+//! The metrics registry: named counters, gauges, and log-scale
+//! histograms behind one global instance.
+//!
+//! Keys follow the `stage.metric` convention (`map.matches_tried`,
+//! `route.overflow`). The global registry is disabled by default; the
+//! free functions check the flag with one relaxed atomic load and return
+//! immediately, which keeps instrumented hot paths within noise when
+//! telemetry is off. [`Registry`] is also constructible directly so unit
+//! tests can exercise isolated instances.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of power-of-two histogram buckets (covers 1 .. 2^62).
+pub const HIST_BUCKETS: usize = 63;
+
+/// A log-scale histogram: bucket `i` counts values in `[2^(i-1), 2^i)`,
+/// with bucket 0 counting values below 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// Per-bucket counts, log2-scaled.
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(v: f64) -> usize {
+        if v.is_nan() || v < 1.0 {
+            return 0;
+        }
+        ((v.log2().floor() as usize) + 1).min(HIST_BUCKETS - 1)
+    }
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One named metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Last-write-wins measurement.
+    Gauge(f64),
+    /// Log-scale distribution of recorded values.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    /// The metric as a single representative number (counter value, gauge
+    /// value, or histogram mean) for table/JSON summaries.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            MetricValue::Counter(n) => *n as f64,
+            MetricValue::Gauge(v) => *v,
+            MetricValue::Histogram(h) => h.mean(),
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Metric name → value, sorted by name.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// The value of counter `key`, if present and a counter.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        match self.metrics.get(key) {
+            Some(MetricValue::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value of gauge `key`, if present and a gauge.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        match self.metrics.get(key) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram `key`, if present and a histogram.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        match self.metrics.get(key) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Metrics changed or added since `earlier`: counters become the
+    /// difference, gauges and histograms the current value. Used to
+    /// attribute global-registry activity to one pipeline stage. A
+    /// counter that went backwards means the registry was reset after
+    /// `earlier`; the post-reset value is reported rather than dropping
+    /// the key, so resets don't silently zero out stage attribution.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = BTreeMap::new();
+        for (k, v) in &self.metrics {
+            match (v, earlier.metrics.get(k)) {
+                (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                    if now > then {
+                        out.insert(k.clone(), MetricValue::Counter(now - then));
+                    } else if now < then {
+                        out.insert(k.clone(), MetricValue::Counter(*now));
+                    }
+                }
+                (v, old) => {
+                    if old != Some(v) {
+                        out.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+        }
+        Snapshot { metrics: out }
+    }
+}
+
+/// A named-metric store. One global instance backs the free functions;
+/// tests may construct their own.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `key`, creating it at zero if absent.
+    pub fn counter_add(&self, key: &str, n: u64) {
+        let mut m = self.metrics.lock().unwrap();
+        match m.get_mut(key) {
+            Some(MetricValue::Counter(c)) => *c += n,
+            _ => {
+                m.insert(key.to_string(), MetricValue::Counter(n));
+            }
+        }
+    }
+
+    /// Sets gauge `key` to `v`.
+    pub fn gauge_set(&self, key: &str, v: f64) {
+        self.metrics.lock().unwrap().insert(key.to_string(), MetricValue::Gauge(v));
+    }
+
+    /// Records `v` into histogram `key`, creating it if absent.
+    pub fn hist_record(&self, key: &str, v: f64) {
+        let mut m = self.metrics.lock().unwrap();
+        match m.get_mut(key) {
+            Some(MetricValue::Histogram(h)) => h.record(v),
+            _ => {
+                let mut h = Histogram::new();
+                h.record(v);
+                m.insert(key.to_string(), MetricValue::Histogram(h));
+            }
+        }
+    }
+
+    /// Copies out every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { metrics: self.metrics.lock().unwrap().clone() }
+    }
+
+    /// Removes every metric.
+    pub fn reset(&self) {
+        self.metrics.lock().unwrap().clear();
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry backing the free functions.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Turns global metric collection on or off (off by default).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether global metric collection is on. Hot call-sites check this
+/// before doing any work beyond the load itself.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `n` to global counter `key` when collection is enabled.
+#[inline]
+pub fn counter_add(key: &str, n: u64) {
+    if enabled() {
+        global().counter_add(key, n);
+    }
+}
+
+/// Sets global gauge `key` when collection is enabled.
+#[inline]
+pub fn gauge_set(key: &str, v: f64) {
+    if enabled() {
+        global().gauge_set(key, v);
+    }
+}
+
+/// Records into global histogram `key` when collection is enabled.
+#[inline]
+pub fn hist_record(key: &str, v: f64) {
+    if enabled() {
+        global().hist_record(key, v);
+    }
+}
+
+/// Snapshot of the global registry (works even while disabled).
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Clears the global registry.
+pub fn reset() {
+    global().reset()
+}
+
+/// Global metrics changed since `earlier` (see [`Snapshot::delta_since`]).
+pub fn delta(earlier: &Snapshot) -> Snapshot {
+    snapshot().delta_since(earlier)
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn concurrent_counter_increments_sum_exactly() {
+        let reg = Arc::new(Registry::new());
+        let threads = 8;
+        let per_thread = 1000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        reg.counter_add("t.hits", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.snapshot().counter("t.hits"), Some(threads * per_thread));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(0.5), 0);
+        assert_eq!(Histogram::bucket_of(1.0), 1);
+        assert_eq!(Histogram::bucket_of(1.9), 1);
+        assert_eq!(Histogram::bucket_of(2.0), 2);
+        assert_eq!(Histogram::bucket_of(3.99), 2);
+        assert_eq!(Histogram::bucket_of(4.0), 3);
+        assert_eq!(Histogram::bucket_of(1024.0), 11);
+
+        let reg = Registry::new();
+        for v in [0.2, 1.5, 1.7, 6.0, 6.5, 7.9, 1e300] {
+            reg.hist_record("t.sizes", v);
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("t.sizes").unwrap();
+        assert_eq!(h.count, 7);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[3], 3);
+        // out-of-range magnitudes clamp into the last bucket
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 1);
+        assert_eq!(h.min, 0.2);
+        assert_eq!(h.max, 1e300);
+    }
+
+    #[test]
+    fn snapshot_reset_and_delta_semantics() {
+        let reg = Registry::new();
+        reg.counter_add("s.count", 3);
+        reg.gauge_set("s.level", 2.5);
+        let before = reg.snapshot();
+
+        reg.counter_add("s.count", 4);
+        reg.gauge_set("s.level", 9.0);
+        reg.counter_add("s.other", 1);
+        let after = reg.snapshot();
+
+        let d = after.delta_since(&before);
+        assert_eq!(d.counter("s.count"), Some(4));
+        assert_eq!(d.gauge("s.level"), Some(9.0));
+        assert_eq!(d.counter("s.other"), Some(1));
+
+        // snapshots are independent copies
+        reg.reset();
+        assert!(reg.snapshot().metrics.is_empty());
+        assert_eq!(after.counter("s.count"), Some(7));
+
+        // unchanged metrics do not appear in a delta
+        let same = after.delta_since(&after);
+        assert!(same.metrics.is_empty());
+    }
+
+    #[test]
+    fn delta_reports_post_reset_counter_instead_of_dropping_it() {
+        let reg = Registry::new();
+        reg.counter_add("r.count", 10);
+        let before = reg.snapshot();
+
+        reg.reset();
+        reg.counter_add("r.count", 2);
+        let d = reg.snapshot().delta_since(&before);
+        assert_eq!(d.counter("r.count"), Some(2));
+    }
+
+    #[test]
+    fn global_free_functions_respect_enable_flag() {
+        let _guard = test_lock();
+        set_enabled(false);
+        counter_add("g.off", 1);
+        hist_record("g.off_h", 1.0);
+        let snap = snapshot();
+        assert!(!snap.metrics.contains_key("g.off"));
+        assert!(!snap.metrics.contains_key("g.off_h"));
+
+        set_enabled(true);
+        counter_add("g.on", 2);
+        counter_add("g.on", 3);
+        assert_eq!(snapshot().counter("g.on"), Some(5));
+        set_enabled(false);
+    }
+}

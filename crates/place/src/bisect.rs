@@ -11,6 +11,7 @@ use crate::fm::{refine, FmNet, FmProblem};
 use crate::image::Floorplan;
 use crate::instance::{PinRef, PlaceInstance};
 use casyn_netlist::Point;
+use casyn_obs as obs;
 use std::collections::VecDeque;
 
 /// Tuning knobs for [`place`].
@@ -35,7 +36,13 @@ pub struct PlacerOptions {
 
 impl Default for PlacerOptions {
     fn default() -> Self {
-        PlacerOptions { leaf_cells: 2, fm_passes: 6, balance_tol: 0.3, sweeps: 6, proportional_split: false }
+        PlacerOptions {
+            leaf_cells: 2,
+            fm_passes: 6,
+            balance_tol: 0.3,
+            sweeps: 6,
+            proportional_split: false,
+        }
     }
 }
 
@@ -78,9 +85,11 @@ pub fn place(inst: &PlaceInstance, fp: &Floorplan, opts: &PlacerOptions) -> Vec<
     if n == 0 {
         return pos;
     }
-    for _ in 0..opts.sweeps.max(1) {
+    for sweep in 0..opts.sweeps.max(1) {
         pos = bisection_sweep(inst, fp, opts, pos);
+        obs::log::trace(&format!("place: sweep {sweep} done"));
     }
+    obs::counter_add("place.sweeps", opts.sweeps.max(1) as u64);
     pos
 }
 
@@ -107,6 +116,9 @@ fn bisection_sweep(
     // stamp array to collect the nets local to a region without hashing
     let mut net_stamp = vec![u32::MAX; inst.nets.len()];
     let mut stamp = 0u32;
+    // batched locally; one registry flush per sweep
+    let mut regions_split = 0u64;
+    let mut leaves_spread = 0u64;
     while let Some(region) = queue.pop_front() {
         // stop on cell count, or on a degenerate region: an unbalanced
         // cut can push every cell into one child forever while the region
@@ -114,14 +126,13 @@ fn bisection_sweep(
         let tiny = (region.x1 - region.x0) < 0.05 && (region.y1 - region.y0) < 0.05;
         if region.cells.len() <= opts.leaf_cells || tiny {
             spread_leaf(&region, inst, &nets_of_cell, &mut pos);
+            leaves_spread += 1;
             continue;
         }
+        regions_split += 1;
         let vertical = (region.x1 - region.x0) >= (region.y1 - region.y0);
-        let mid = if vertical {
-            (region.x0 + region.x1) / 2.0
-        } else {
-            (region.y0 + region.y1) / 2.0
-        };
+        let mid =
+            if vertical { (region.x0 + region.x1) / 2.0 } else { (region.y0 + region.y1) / 2.0 };
         let axis = |p: Point| if vertical { p.x } else { p.y };
         // local numbering
         let mut local_id = vec![usize::MAX; inst.num_cells()];
@@ -208,11 +219,8 @@ fn bisection_sweep(
         } else {
             0.5
         };
-        let split = if vertical {
-            lo.x0 + (lo.x1 - lo.x0) * frac
-        } else {
-            lo.y0 + (lo.y1 - lo.y0) * frac
-        };
+        let split =
+            if vertical { lo.x0 + (lo.x1 - lo.x0) * frac } else { lo.y0 + (lo.y1 - lo.y0) * frac };
         let (r0, r1) = if vertical {
             (
                 Region { x0: lo.x0, y0: lo.y0, x1: split, y1: lo.y1, cells: lo_cells },
@@ -232,6 +240,10 @@ fn bisection_sweep(
                 queue.push_back(r);
             }
         }
+    }
+    if obs::enabled() {
+        obs::counter_add("place.bisect_regions", regions_split);
+        obs::counter_add("place.leaf_spreads", leaves_spread);
     }
     pos
 }
@@ -312,15 +324,12 @@ fn spread_leaf(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instance::{PlaceNet, PinRef};
+    use crate::instance::{PinRef, PlaceNet};
     use crate::metrics::total_hpwl_of_instance;
 
     fn chain_instance(n: usize) -> PlaceInstance {
         // a 1-D chain: c0-c1-...-c(n-1); optimum keeps neighbours adjacent
-        let mut inst = PlaceInstance {
-            cell_width: vec![1.92; n],
-            nets: Vec::new(),
-        };
+        let mut inst = PlaceInstance { cell_width: vec![1.92; n], nets: Vec::new() };
         for i in 0..n - 1 {
             inst.nets.push(PlaceNet { pins: vec![PinRef::Cell(i), PinRef::Cell(i + 1)] });
         }
@@ -369,9 +378,7 @@ mod tests {
         let inst = PlaceInstance {
             cell_width: vec![1.92, 1.92],
             nets: vec![
-                PlaceNet {
-                    pins: vec![PinRef::Fixed(Point::new(0.0, 12.8)), PinRef::Cell(0)],
-                },
+                PlaceNet { pins: vec![PinRef::Fixed(Point::new(0.0, 12.8)), PinRef::Cell(0)] },
                 PlaceNet {
                     pins: vec![PinRef::Fixed(Point::new(fp.die_width, 12.8)), PinRef::Cell(1)],
                 },
@@ -409,10 +416,7 @@ mod tests {
 
     #[test]
     fn leaf_spread_has_no_duplicate_positions() {
-        let inst = PlaceInstance {
-            cell_width: vec![1.92; 7],
-            nets: Vec::new(),
-        };
+        let inst = PlaceInstance { cell_width: vec![1.92; 7], nets: Vec::new() };
         let fp = Floorplan::with_rows_and_area(4, 4.0 * 6.4 * 30.0);
         let pos = place(&inst, &fp, &PlacerOptions { leaf_cells: 8, ..Default::default() });
         for i in 0..pos.len() {

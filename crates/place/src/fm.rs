@@ -6,6 +6,7 @@
 //! placement: an external pin pulls the net toward the side its projected
 //! position falls on.
 
+use casyn_obs as obs;
 use std::collections::BinaryHeap;
 
 /// A net in an FM problem: local member cells plus optional fixed anchors.
@@ -72,7 +73,11 @@ pub fn refine(problem: &FmProblem, side: &mut [bool], passes: usize) -> usize {
         }
         v
     };
+    // batched locally; one registry flush per refine() call
+    let mut passes_run = 0u64;
+    let mut moves_applied = 0u64;
     for _ in 0..passes {
+        passes_run += 1;
         // per-net side pin counts (anchors count as pins)
         let mut count: Vec<[i32; 2]> = problem
             .nets
@@ -148,9 +153,14 @@ pub fn refine(problem: &FmProblem, side: &mut [bool], passes: usize) -> usize {
         for &c in &moves[best_len..] {
             side[c] = !side[c];
         }
+        moves_applied += best_len as u64;
         if best_cum <= 0 {
             break;
         }
+    }
+    if obs::enabled() {
+        obs::counter_add("place.fm_passes", passes_run);
+        obs::counter_add("place.fm_moves", moves_applied);
     }
     problem.cut(side)
 }

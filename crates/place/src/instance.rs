@@ -104,9 +104,9 @@ pub fn from_subject(graph: &SubjectGraph, fp: &Floorplan) -> SubjectInstance {
         let mut net = PlaceNet::default();
         match cell_of_vertex[id.index()] {
             Some(c) => net.pins.push(PinRef::Cell(c)),
-            None => net
-                .pins
-                .push(PinRef::Fixed(fixed_of_vertex[id.index()].expect("input has port"))),
+            None => {
+                net.pins.push(PinRef::Fixed(fixed_of_vertex[id.index()].expect("input has port")))
+            }
         }
         for s in sinks {
             net.pins.push(PinRef::Cell(cell_of_vertex[s.index()].expect("sink is a gate")));
@@ -180,15 +180,11 @@ mod tests {
         let fp = Floorplan::with_rows_and_area(4, 4.0 * 6.4 * 40.0);
         let s = from_subject(&g, &fp);
         assert_eq!(s.instance.num_cells(), 2); // nand + inv
-        // nets: a->nand, b->nand, nand->inv, inv->PO
+                                               // nets: a->nand, b->nand, nand->inv, inv->PO
         assert_eq!(s.instance.nets.len(), 4);
         // input nets have a fixed driver pin
-        let fixed_driver_nets = s
-            .instance
-            .nets
-            .iter()
-            .filter(|n| matches!(n.pins[0], PinRef::Fixed(_)))
-            .count();
+        let fixed_driver_nets =
+            s.instance.nets.iter().filter(|n| matches!(n.pins[0], PinRef::Fixed(_))).count();
         assert_eq!(fixed_driver_nets, 2);
         assert!((s.instance.total_width() - 2.0 * BASE_GATE_WIDTH).abs() < 1e-9);
     }

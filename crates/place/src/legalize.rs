@@ -38,7 +38,11 @@ pub fn legalize_rows(desired: &[Point], widths: &[f64], fp: &Floorplan) -> Legal
     let mut order: Vec<usize> = (0..n).collect();
     // process by desired y then x for stable packing
     order.sort_by(|&a, &b| {
-        desired[a].y.total_cmp(&desired[b].y).then(desired[a].x.total_cmp(&desired[b].x)).then(a.cmp(&b))
+        desired[a]
+            .y
+            .total_cmp(&desired[b].y)
+            .then(desired[a].x.total_cmp(&desired[b].x))
+            .then(a.cmp(&b))
     });
     let mut row_fill = vec![0.0f64; fp.num_rows];
     let mut row_cells: Vec<Vec<usize>> = vec![Vec::new(); fp.num_rows];
@@ -89,11 +93,7 @@ pub fn legalize_rows(desired: &[Point], widths: &[f64], fp: &Floorplan) -> Legal
         let mut clusters: Vec<Cluster> = Vec::new();
         for &c in cells.iter() {
             let ideal_left = desired[c].x - widths[c] / 2.0;
-            clusters.push(Cluster {
-                cells: vec![c],
-                width: widths[c],
-                anchor_sum: ideal_left,
-            });
+            clusters.push(Cluster { cells: vec![c], width: widths[c], anchor_sum: ideal_left });
             // merge while the new cluster overlaps its predecessor
             loop {
                 let k = clusters.len();

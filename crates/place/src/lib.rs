@@ -29,8 +29,8 @@ pub use bisect::{place, PlacerOptions};
 pub use image::Floorplan;
 pub use instance::{PinRef, PlaceInstance, PlaceNet};
 pub use legalize::{legalize_rows, LegalizedRows};
-pub use refine::{median_improve, RefineOptions};
 pub use metrics::{hpwl, total_hpwl};
+pub use refine::{median_improve, RefineOptions};
 
 /// Places a subject graph on the floorplan's layout image and returns one
 /// position per subject-graph vertex (primary inputs get their port

@@ -58,9 +58,7 @@ mod tests {
 
     #[test]
     fn net_hpwl_mixes_cells_and_fixed() {
-        let net = PlaceNet {
-            pins: vec![PinRef::Cell(0), PinRef::Fixed(Point::new(10.0, 0.0))],
-        };
+        let net = PlaceNet { pins: vec![PinRef::Cell(0), PinRef::Fixed(Point::new(10.0, 0.0))] };
         let pos = [Point::new(0.0, 5.0)];
         assert!((net_hpwl(&net, &pos) - 15.0).abs() < 1e-12);
     }

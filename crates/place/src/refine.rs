@@ -147,16 +147,13 @@ mod tests {
             });
         }
         let fp = Floorplan::with_rows_and_area(10, 10.0 * 6.4 * 64.0);
-        let mut pos: Vec<Point> = (0..n)
-            .map(|i| Point::new((i % 8) as f64 * 8.0, (i / 8) as f64 * 8.0))
-            .collect();
+        let mut pos: Vec<Point> =
+            (0..n).map(|i| Point::new((i % 8) as f64 * 8.0, (i / 8) as f64 * 8.0)).collect();
         let opts = RefineOptions { iterations: 3, bin_size: 8.0, max_density: 1.5 };
         median_improve(&inst, &fp, &mut pos, &opts);
         // count cells inside the centre bin: bounded by the density clamp
-        let center = pos
-            .iter()
-            .filter(|p| (p.x - 32.0).abs() < 4.0 && (p.y - 32.0).abs() < 4.0)
-            .count();
+        let center =
+            pos.iter().filter(|p| (p.x - 32.0).abs() < 4.0 && (p.y - 32.0).abs() < 4.0).count();
         assert!(center < n / 2, "density clamp must prevent total collapse: {center}");
     }
 

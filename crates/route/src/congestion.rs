@@ -2,9 +2,12 @@
 //! Fig. 3 loop before deciding whether to increase K.
 
 use crate::grid::RouteGrid;
+use casyn_obs::json::JsonValue;
 use std::fmt;
 
-/// A per-gcell congestion summary of a routed design.
+/// A per-gcell congestion summary of a routed design, carrying the raw
+/// boundary demand alongside the derived utilization so it can be
+/// exported as a machine-readable heat map after the grid is gone.
 #[derive(Debug, Clone)]
 pub struct CongestionMap {
     nx: usize,
@@ -12,6 +15,15 @@ pub struct CongestionMap {
     /// Per-gcell utilization: the maximum usage/capacity ratio over the
     /// boundaries adjacent to each gcell. Row-major, `ny × nx`.
     util: Vec<f64>,
+    /// Demand on horizontal boundaries: `h_demand[y * (nx-1) + x]` is the
+    /// load between gcells `(x, y)` and `(x+1, y)`.
+    h_demand: Vec<f64>,
+    /// Demand on vertical boundaries: `v_demand[y * nx + x]` is the load
+    /// between gcells `(x, y)` and `(x, y+1)`.
+    v_demand: Vec<f64>,
+    h_cap: f64,
+    v_cap: f64,
+    gcell_size: f64,
 }
 
 impl CongestionMap {
@@ -37,7 +49,30 @@ impl CongestionMap {
                 util[y * nx + x] = u;
             }
         }
-        CongestionMap { nx, ny, util }
+        let hw = nx.saturating_sub(1);
+        let vh = ny.saturating_sub(1);
+        let mut h_demand = vec![0.0f64; hw * ny];
+        let mut v_demand = vec![0.0f64; nx * vh];
+        for y in 0..ny {
+            for x in 0..hw {
+                h_demand[y * hw + x] = grid.h_load(x, y);
+            }
+        }
+        for y in 0..vh {
+            for x in 0..nx {
+                v_demand[y * nx + x] = grid.v_load(x, y);
+            }
+        }
+        CongestionMap {
+            nx,
+            ny,
+            util,
+            h_demand,
+            v_demand,
+            h_cap: grid.h_cap(),
+            v_cap: grid.v_cap(),
+            gcell_size: grid.gcell_size(),
+        }
     }
 
     /// Grid width in gcells.
@@ -85,6 +120,71 @@ impl CongestionMap {
         }
         self.util.iter().sum::<f64>() / self.util.len() as f64
     }
+
+    /// Demand on the horizontal boundary between `(x, y)` and `(x+1, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn h_demand(&self, x: usize, y: usize) -> f64 {
+        assert!(x + 1 < self.nx && y < self.ny);
+        self.h_demand[y * (self.nx - 1) + x]
+    }
+
+    /// Demand on the vertical boundary between `(x, y)` and `(x, y+1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn v_demand(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.nx && y + 1 < self.ny);
+        self.v_demand[y * self.nx + x]
+    }
+
+    /// Serializes the per-gcell demand/capacity state as JSON — the
+    /// machine-readable heat map behind the CLI's `--heatmap` flag:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "casyn.heatmap.v1",
+    ///   "nx": 3, "ny": 3, "gcell_size": 6.4,
+    ///   "h_capacity": 10, "v_capacity": 10,
+    ///   "h_demand": [[...nx-1 per row...], ...ny rows],
+    ///   "v_demand": [[...nx per row...], ...ny-1 rows],
+    ///   "util": [[...nx per row...], ...ny rows]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> JsonValue {
+        let (nx, ny) = (self.nx, self.ny);
+        let rows = |w: usize, h: usize, data: &[f64]| {
+            JsonValue::Array(
+                (0..h)
+                    .map(|y| {
+                        JsonValue::Array(
+                            (0..w).map(|x| JsonValue::Number(data[y * w + x])).collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        JsonValue::object(vec![
+            ("schema".into(), JsonValue::Str("casyn.heatmap.v1".into())),
+            ("nx".into(), JsonValue::Number(nx as f64)),
+            ("ny".into(), JsonValue::Number(ny as f64)),
+            ("gcell_size".into(), JsonValue::Number(self.gcell_size)),
+            ("h_capacity".into(), JsonValue::Number(self.h_cap)),
+            ("v_capacity".into(), JsonValue::Number(self.v_cap)),
+            ("h_demand".into(), rows(nx.saturating_sub(1), ny, &self.h_demand)),
+            ("v_demand".into(), rows(nx, ny.saturating_sub(1), &self.v_demand)),
+            ("util".into(), rows(nx, ny, &self.util)),
+        ])
+    }
+}
+
+/// [`CongestionMap::to_json`] for a grid you still hold: summarizes and
+/// serializes in one step.
+pub fn heatmap_json(grid: &RouteGrid) -> JsonValue {
+    CongestionMap::from_grid(grid).to_json()
 }
 
 impl fmt::Display for CongestionMap {
@@ -144,6 +244,36 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines.iter().all(|l| l.len() == 3 && l.chars().all(|c| c == '.')));
+    }
+
+    #[test]
+    fn heatmap_json_shape_and_values() {
+        let mut g = grid_3x3();
+        g.add_h(0, 1, 3.0);
+        let s = heatmap_json(&g).to_string_pretty();
+        assert!(s.contains("\"schema\": \"casyn.heatmap.v1\""));
+        assert!(s.contains("\"nx\": 3"));
+        assert!(s.contains("\"h_demand\""));
+        assert!(s.contains("3"));
+        // ny rows of h_demand, each nx-1 wide; quick structural check
+        let v = heatmap_json(&g);
+        if let casyn_obs::json::JsonValue::Object(entries) = v {
+            let h = entries.iter().find(|(k, _)| k == "h_demand").unwrap();
+            if let casyn_obs::json::JsonValue::Array(rows) = &h.1 {
+                assert_eq!(rows.len(), 3);
+                for r in rows {
+                    if let casyn_obs::json::JsonValue::Array(cells) = r {
+                        assert_eq!(cells.len(), 2);
+                    } else {
+                        panic!("h_demand row is not an array");
+                    }
+                }
+            } else {
+                panic!("h_demand is not an array");
+            }
+        } else {
+            panic!("heatmap is not an object");
+        }
     }
 
     #[test]

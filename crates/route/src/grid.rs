@@ -1,7 +1,7 @@
 //! The capacitated routing grid.
 
-use casyn_place::Floorplan;
 use casyn_netlist::Point;
+use casyn_place::Floorplan;
 
 /// Integer gcell coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -298,6 +298,12 @@ impl RouteGrid {
         h + v
     }
 
+    /// Total accumulated PathFinder history cost over all edges — a
+    /// measure of how contested the grid has been across iterations.
+    pub fn total_history(&self) -> f64 {
+        self.h_history.iter().chain(self.v_history.iter()).sum()
+    }
+
     /// Total used wirelength in micrometres (track segments × gcell size).
     pub fn total_wirelength(&self) -> f64 {
         let segs: f64 = self.h_usage.iter().chain(self.v_usage.iter()).sum();
@@ -378,7 +384,7 @@ mod tests {
         let fp = Floorplan::with_rows_and_area(3, 3.0 * 6.4 * 19.2);
         let mut grid = RouteGrid::new(&fp, &RouteConfig::default());
         grid.add_pin_blockage(Point::new(9.6, 9.6), 2.0); // centre gcell
-        // blockage spreads over the 4 adjacent edges
+                                                          // blockage spreads over the 4 adjacent edges
         let total_load: f64 = (0..2)
             .map(|x| grid.h_load(x, 1))
             .chain((0..1).flat_map(|_| vec![grid.v_load(1, 0), grid.v_load(1, 1)]))

@@ -4,6 +4,7 @@ use crate::congestion::CongestionMap;
 use crate::grid::{GcellCoord, RouteConfig, RouteGrid};
 use casyn_netlist::mapped::MappedNetlist;
 use casyn_netlist::Point;
+use casyn_obs as obs;
 use casyn_place::Floorplan;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -96,10 +97,7 @@ pub fn route_pin_sets_with_blockage(
     let mut connections: Vec<(GcellCoord, GcellCoord)> = Vec::new();
     let mut net_of_connection: Vec<usize> = Vec::new();
     for (ni, pins) in nets.iter().enumerate() {
-        let mut cells: Vec<GcellCoord> = pins
-            .iter()
-            .map(|p| grid.gcell_of(fp.clamp(*p)))
-            .collect();
+        let mut cells: Vec<GcellCoord> = pins.iter().map(|p| grid.gcell_of(fp.clamp(*p))).collect();
         cells.sort();
         cells.dedup();
         if cells.len() < 2 {
@@ -113,25 +111,36 @@ pub fn route_pin_sets_with_blockage(
     let mut paths: Vec<Vec<EdgeRef>> = vec![Vec::new(); connections.len()];
     let mut present_factor = 0.5;
     let mut iterations = 0;
+    // batched locally; one registry flush per routing run
+    let mut reroutes = 0u64;
+    let telemetry = obs::enabled();
     for iter in 0..cfg.max_iters.max(1) {
         iterations = iter + 1;
         let margin = 4 + 4 * iter;
         let mut any = false;
+        let mut rerouted_this_iter = 0u64;
         for (ci, (a, b)) in connections.iter().enumerate() {
-            let needs = if iter == 0 {
-                true
-            } else {
-                path_overflows(&grid, &paths[ci])
-            };
+            let needs = if iter == 0 { true } else { path_overflows(&grid, &paths[ci]) };
             if !needs {
                 continue;
             }
             any = true;
+            rerouted_this_iter += 1;
             rip_up(&mut grid, &paths[ci]);
             paths[ci] = router.route(&mut grid, *a, *b, present_factor, margin);
             commit(&mut grid, &paths[ci]);
         }
+        reroutes += rerouted_this_iter;
         let over = grid.update_history(cfg.history_increment);
+        if telemetry {
+            // per-iteration overflow trajectory and history-cost growth
+            obs::hist_record("route.iter_overflow", grid.total_overflow());
+            obs::gauge_set("route.history_cost", grid.total_history());
+        }
+        obs::log::trace(&format!(
+            "route: iter {iter}: rerouted {rerouted_this_iter}, overflow {:.1}",
+            grid.total_overflow()
+        ));
         if over == 0 || !any {
             break;
         }
@@ -140,10 +149,20 @@ pub fn route_pin_sets_with_blockage(
         if iter >= 1 {
             let usage: f64 = grid.total_wirelength() / grid.gcell_size();
             if grid.total_overflow() > cfg.give_up_overflow_ratio * usage.max(1.0) {
+                obs::log::debug(&format!(
+                    "route: giving up at iter {iter}, overflow {:.1}",
+                    grid.total_overflow()
+                ));
                 break;
             }
         }
         present_factor *= cfg.present_growth;
+    }
+    if telemetry {
+        obs::counter_add("route.iterations", iterations as u64);
+        obs::counter_add("route.reroutes", reroutes);
+        obs::counter_add("route.connections", connections.len() as u64);
+        obs::gauge_set("route.overflow", grid.total_overflow());
     }
     let overflow = grid.total_overflow();
     let overflowed_edges = count_overflowed(&grid);
@@ -176,11 +195,7 @@ fn decompose_net(cells: &[GcellCoord]) -> Vec<(GcellCoord, GcellCoord)> {
             xs.sort_unstable();
             ys.sort_unstable();
             let m = GcellCoord { x: xs[1], y: ys[1] };
-            cells
-                .iter()
-                .filter(|c| **c != m)
-                .map(|c| (m, *c))
-                .collect()
+            cells.iter().filter(|c| **c != m).map(|c| (m, *c)).collect()
         }
         _ => mst_edges(cells),
     }
@@ -350,30 +365,51 @@ impl Maze {
             let (x, y) = ((node as usize) % nx, (node as usize) / nx);
             let d = self.dist[node as usize];
             // four neighbours with the edge between
-            let mut try_step = |nxt_x: usize, nxt_y: usize, edge_cost: f64, heap: &mut BinaryHeap<HeapEntry>| {
-                let nid = id(nxt_x, nxt_y);
-                let nd = d + edge_cost;
-                if self.stamp[nid as usize] != stamp || nd < self.dist[nid as usize] {
-                    self.stamp[nid as usize] = stamp;
-                    self.dist[nid as usize] = nd;
-                    self.parent[nid as usize] = node;
-                    heap.push(HeapEntry { cost: nd + h(nxt_x, nxt_y), node: nid });
-                }
-            };
+            let mut try_step =
+                |nxt_x: usize, nxt_y: usize, edge_cost: f64, heap: &mut BinaryHeap<HeapEntry>| {
+                    let nid = id(nxt_x, nxt_y);
+                    let nd = d + edge_cost;
+                    if self.stamp[nid as usize] != stamp || nd < self.dist[nid as usize] {
+                        self.stamp[nid as usize] = stamp;
+                        self.dist[nid as usize] = nd;
+                        self.parent[nid as usize] = node;
+                        heap.push(HeapEntry { cost: nd + h(nxt_x, nxt_y), node: nid });
+                    }
+                };
             if x > x_lo {
-                let c = edge_cost(grid.h_load(x - 1, y), grid.h_cap(), grid.h_history(x - 1, y), present_factor);
+                let c = edge_cost(
+                    grid.h_load(x - 1, y),
+                    grid.h_cap(),
+                    grid.h_history(x - 1, y),
+                    present_factor,
+                );
                 try_step(x - 1, y, c, &mut heap);
             }
             if x < x_hi {
-                let c = edge_cost(grid.h_load(x, y), grid.h_cap(), grid.h_history(x, y), present_factor);
+                let c = edge_cost(
+                    grid.h_load(x, y),
+                    grid.h_cap(),
+                    grid.h_history(x, y),
+                    present_factor,
+                );
                 try_step(x + 1, y, c, &mut heap);
             }
             if y > y_lo {
-                let c = edge_cost(grid.v_load(x, y - 1), grid.v_cap(), grid.v_history(x, y - 1), present_factor);
+                let c = edge_cost(
+                    grid.v_load(x, y - 1),
+                    grid.v_cap(),
+                    grid.v_history(x, y - 1),
+                    present_factor,
+                );
                 try_step(x, y - 1, c, &mut heap);
             }
             if y < y_hi {
-                let c = edge_cost(grid.v_load(x, y), grid.v_cap(), grid.v_history(x, y), present_factor);
+                let c = edge_cost(
+                    grid.v_load(x, y),
+                    grid.v_cap(),
+                    grid.v_history(x, y),
+                    present_factor,
+                );
                 try_step(x, y + 1, c, &mut heap);
             }
         }
@@ -445,11 +481,8 @@ mod tests {
         let fp = fp(10, 10);
         // three pins in a row: MST should cost 2 edges not 3
         let y = 3.2;
-        let nets = vec![vec![
-            Point::new(3.2, y),
-            Point::new(3.2 + 6.4, y),
-            Point::new(3.2 + 12.8, y),
-        ]];
+        let nets =
+            vec![vec![Point::new(3.2, y), Point::new(3.2 + 6.4, y), Point::new(3.2 + 12.8, y)]];
         let r = route_pin_sets(&nets, &fp, &RouteConfig::default());
         assert!((r.total_wirelength - 2.0 * 6.4).abs() < 1e-9);
     }

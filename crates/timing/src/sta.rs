@@ -3,6 +3,7 @@
 use crate::model::TimingConfig;
 use casyn_library::Library;
 use casyn_netlist::mapped::{MappedNetlist, SignalRef};
+use casyn_obs as obs;
 use std::fmt;
 
 /// One point on a reported path.
@@ -52,14 +53,8 @@ impl StaResult {
     /// The launching input and capturing output of the critical path, in
     /// the paper's report style ("iJ0J(in) oJ23J(out)").
     pub fn critical_endpoints(&self) -> String {
-        let start = self
-            .critical_path
-            .first()
-            .map_or_else(|| "?".to_string(), |p| p.to_string());
-        let end = self
-            .critical_path
-            .last()
-            .map_or_else(|| "?".to_string(), |p| p.to_string());
+        let start = self.critical_path.first().map_or_else(|| "?".to_string(), |p| p.to_string());
+        let end = self.critical_path.last().map_or_else(|| "?".to_string(), |p| p.to_string());
         format!("{start} {end}")
     }
 
@@ -67,10 +62,7 @@ impl StaResult {
     /// comparison of Tables 3/5 compares the capture endpoint across
     /// netlists).
     pub fn arrival_of_output(&self, nl: &MappedNetlist, name: &str) -> Option<f64> {
-        nl.outputs()
-            .iter()
-            .position(|(n, _)| n == name)
-            .map(|i| self.po_arrival[i])
+        nl.outputs().iter().position(|(n, _)| n == name).map(|i| self.po_arrival[i])
     }
 
     /// Slack of every primary output against a required time (a clock
@@ -168,8 +160,7 @@ fn analyze_inner(
     let n = nl.num_cells();
     // sequential cells launch fresh paths, so their input edges are cut
     // from the timing graph (this also breaks register loops)
-    let order =
-        nl.topological_order_cut(|c| lib.cell(nl.cells()[c].lib_cell).sequential);
+    let order = nl.topological_order_cut(|c| lib.cell(nl.cells()[c].lib_cell).sequential);
     // per-driver total net length (star model) and sink pin capacitance
     let nets = nl.nets();
     if let Some(rl) = routed_lengths {
@@ -220,11 +211,13 @@ fn analyze_inner(
         .map(|i| cfg.input_drive_res * cfg.net_load(pi_net_len[i], pi_net_cap[i]))
         .collect();
     let mut reg_setup_arrival: Vec<f64> = Vec::new();
+    let mut arrival_propagations = 0u64;
     for ci in order {
         let cell = &nl.cells()[ci];
         let master = lib.cell(cell.lib_cell);
         let mut worst = 0.0f64;
         let mut worst_src = None;
+        arrival_propagations += cell.inputs.len() as u64;
         for src in &cell.inputs {
             let src_pos = nl.signal_pos(*src);
             let detour = match src {
@@ -268,6 +261,10 @@ fn analyze_inner(
         } + cfg.wire_delay(dist, cfg.output_pin_cap);
         po_arrival.push(at);
     }
+    if obs::enabled() {
+        obs::counter_add("sta.arrival_propagations", arrival_propagations);
+        obs::counter_add("sta.endpoints", (po_arrival.len() + reg_setup_arrival.len()) as u64);
+    }
     let critical_po = po_arrival
         .iter()
         .enumerate()
@@ -285,14 +282,11 @@ fn analyze_inner(
         loop {
             match src {
                 SignalRef::Pi(i) => {
-                    critical_path.push(PathPoint::Input(
-                        nl.input_names()[i as usize].clone(),
-                    ));
+                    critical_path.push(PathPoint::Input(nl.input_names()[i as usize].clone()));
                     break;
                 }
                 SignalRef::Cell(c) => {
-                    critical_path
-                        .push(PathPoint::Cell(c, nl.cells()[c as usize].name.clone()));
+                    critical_path.push(PathPoint::Cell(c, nl.cells()[c as usize].name.clone()));
                     match cell_crit_in[c as usize] {
                         Some(next) => src = next,
                         None => break,
@@ -315,14 +309,7 @@ mod tests {
     fn cell(lib: &Library, name: &str, inputs: Vec<SignalRef>, pos: Point) -> MappedCell {
         let id = lib.find(name).unwrap();
         let c = lib.cell(id);
-        MappedCell {
-            lib_cell: id,
-            name: c.name.clone(),
-            inputs,
-            area: c.area,
-            width: c.width,
-            pos,
-        }
+        MappedCell { lib_cell: id, name: c.name.clone(), inputs, area: c.area, width: c.width, pos }
     }
 
     /// A two-inverter chain: arrival must accumulate monotonically.
@@ -396,12 +383,7 @@ mod tests {
             nl.set_input_pos(0, Point::new(0.0, 0.0));
             let drv = nl.add_cell(cell(&lib, "IV", vec![a], Point::new(10.0, 0.0)));
             for k in 0..fanout {
-                let s = nl.add_cell(cell(
-                    &lib,
-                    "IV",
-                    vec![drv],
-                    Point::new(20.0 + k as f64, 0.0),
-                ));
+                let s = nl.add_cell(cell(&lib, "IV", vec![drv], Point::new(20.0 + k as f64, 0.0)));
                 nl.add_output(format!("o{k}"), s);
                 nl.set_output_pos(k as u32, Point::new(30.0, 0.0));
             }

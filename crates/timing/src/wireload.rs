@@ -184,16 +184,13 @@ pub fn analyze_wireload(
         loop {
             match src {
                 SignalRef::Pi(i) => {
-                    critical_path.push(crate::sta::PathPoint::Input(
-                        nl.input_names()[i as usize].clone(),
-                    ));
+                    critical_path
+                        .push(crate::sta::PathPoint::Input(nl.input_names()[i as usize].clone()));
                     break;
                 }
                 SignalRef::Cell(c) => {
-                    critical_path.push(crate::sta::PathPoint::Cell(
-                        c,
-                        nl.cells()[c as usize].name.clone(),
-                    ));
+                    critical_path
+                        .push(crate::sta::PathPoint::Cell(c, nl.cells()[c as usize].name.clone()));
                     match crit_in[c as usize] {
                         Some(next) => src = next,
                         None => break,
@@ -203,7 +200,13 @@ pub fn analyze_wireload(
         }
         critical_path.reverse();
     }
-    StaResult { po_arrival, cell_arrival, critical_po, critical_path, reg_setup_arrival: Vec::new() }
+    StaResult {
+        po_arrival,
+        cell_arrival,
+        critical_po,
+        critical_path,
+        reg_setup_arrival: Vec::new(),
+    }
 }
 
 /// Per-net prediction error of a wireload model on a placed design:

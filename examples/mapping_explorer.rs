@@ -49,7 +49,8 @@ fn main() {
             ("area+0.01*wire", CostKind::AreaWire { k: 0.01 }),
             ("area+1.0*wire", CostKind::AreaWire { k: 1.0 }),
         ] {
-            let r = map(&graph, &positions, &lib, &MapOptions { scheme, cost, ..Default::default() });
+            let r =
+                map(&graph, &positions, &lib, &MapOptions { scheme, cost, ..Default::default() });
             println!(
                 "{:<18} {:<16} {:>7} {:>12.1} {:>10.0} {:>8} {:>8}",
                 sname,

@@ -13,8 +13,8 @@ use std::fs;
 fn main() {
     let pla: Pla = match env::args().nth(1) {
         Some(path) => {
-            let text = fs::read_to_string(&path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let text =
+                fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             text.parse().unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
         }
         None => {
@@ -43,10 +43,7 @@ fn main() {
     let baseline = dagon_flow(&network, &opts);
     println!(
         "\nDAGON baseline: {} cells, {:.0} um^2, {:.1}% utilization, {} routing violations",
-        baseline.num_cells,
-        baseline.cell_area,
-        baseline.utilization_pct,
-        baseline.route.violations
+        baseline.num_cells, baseline.cell_area, baseline.utilization_pct, baseline.route.violations
     );
 
     let aware = congestion_flow(&network, 0.001, &opts);

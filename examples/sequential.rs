@@ -62,8 +62,11 @@ fn main() {
         "routing violations: {}, routed wirelength {:.0} um",
         r.flow.route.violations, r.flow.route.total_wirelength
     );
-    println!("minimum clock period: {:.3} ns ({:.1} MHz)",
-        r.min_clock_period, 1000.0 / r.min_clock_period);
+    println!(
+        "minimum clock period: {:.3} ns ({:.1} MHz)",
+        r.min_clock_period,
+        1000.0 / r.min_clock_period
+    );
 
     // count 10 enabled cycles and verify against the golden model
     let stimulus: Vec<Vec<bool>> = (0..10).map(|_| vec![true]).collect();
@@ -72,11 +75,7 @@ fn main() {
     assert_eq!(golden, mapped, "mapped counter must count identically");
     println!("\ncycle-by-cycle count (en = 1):");
     for (t, bits) in mapped.iter().enumerate() {
-        let value: u32 = bits
-            .iter()
-            .enumerate()
-            .map(|(k, b)| (*b as u32) << k)
-            .sum();
+        let value: u32 = bits.iter().enumerate().map(|(k, b)| (*b as u32) << k).sum();
         println!("  cycle {t}: {value}");
     }
     println!("\nmapped sequential netlist matches the golden model on all cycles.");

@@ -20,6 +20,7 @@
 //! | [`timing`] | `casyn-timing` | static timing analysis |
 //! | [`core`] | `casyn-core` | DAG partitioning, matching, congestion-aware covering |
 //! | [`flow`] | `casyn-flow` | end-to-end flows, K sweeps, the Fig. 3 methodology |
+//! | [`obs`] | `casyn-obs` | metrics registry, stage tracing, telemetry JSON |
 //!
 //! # Quickstart
 //!
@@ -39,6 +40,7 @@ pub use casyn_flow as flow;
 pub use casyn_library as library;
 pub use casyn_logic as logic;
 pub use casyn_netlist as netlist;
+pub use casyn_obs as obs;
 pub use casyn_place as place;
 pub use casyn_route as route;
 pub use casyn_timing as timing;
@@ -53,9 +55,7 @@ pub use casyn_timing as timing;
 /// assert!(result.num_cells > 0);
 /// ```
 pub mod prelude {
-    pub use casyn_core::{
-        map, CostKind, MapOptions, MapResult, PartitionScheme,
-    };
+    pub use casyn_core::{map, CostKind, MapOptions, MapResult, PartitionScheme};
     pub use casyn_flow::{
         congestion_flow, dagon_flow, k_sweep, prepare, run_methodology, sis_flow, FlowOptions,
         FlowResult, Prepared,

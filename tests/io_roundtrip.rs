@@ -3,11 +3,11 @@
 
 use casyn::flow::{congestion_flow, FlowOptions};
 use casyn::library::corelib018;
+use casyn::logic::decompose;
 use casyn::netlist::bench::{random_pla, PlaGenConfig};
 use casyn::netlist::blif::{to_blif, Blif};
 use casyn::netlist::dot::{mapped_to_dot, subject_to_dot};
 use casyn::netlist::verilog::to_verilog;
-use casyn::logic::decompose;
 
 fn pla() -> casyn::netlist::Pla {
     random_pla(&PlaGenConfig {

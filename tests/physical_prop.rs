@@ -1,11 +1,11 @@
 //! Property-based tests of the physical-design substrates: placement
 //! legality, legalization invariants, FM balance, router conservation.
 
+use casyn::netlist::Point;
+use casyn::place::fm::{refine, FmNet, FmProblem};
 use casyn::place::instance::{PinRef, PlaceInstance, PlaceNet};
 use casyn::place::{legalize_rows, place, Floorplan, PlacerOptions};
-use casyn::place::fm::{refine, FmNet, FmProblem};
 use casyn::route::{route_pin_sets, RouteConfig};
-use casyn::netlist::Point;
 use proptest::prelude::*;
 
 fn arb_instance() -> impl Strategy<Value = PlaceInstance> {

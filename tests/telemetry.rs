@@ -1,0 +1,118 @@
+//! End-to-end observability: a full flow run must attribute metrics to
+//! every pipeline stage and export them as JSON.
+
+use casyn::flow::{congestion_flow, FlowOptions};
+use casyn::logic::OptimizeOptions;
+use casyn::netlist::bench::{random_pla, PlaGenConfig};
+use casyn::obs;
+use std::sync::Mutex;
+
+/// The global metrics registry is process-wide state; tests that toggle
+/// it must not interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match OBS_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn run_flow() -> casyn::flow::FlowResult {
+    let net = random_pla(&PlaGenConfig {
+        inputs: 10,
+        outputs: 6,
+        terms: 40,
+        min_literals: 3,
+        max_literals: 6,
+        mean_outputs_per_term: 1.4,
+        seed: 42,
+    })
+    .to_network();
+    let opts = FlowOptions { optimize: Some(OptimizeOptions::default()), ..FlowOptions::default() };
+    congestion_flow(&net, 0.01, &opts)
+}
+
+#[test]
+fn full_flow_emits_stage_telemetry_and_metrics() {
+    let _guard = lock();
+    obs::reset();
+    obs::set_enabled(true);
+    let r = run_flow();
+    obs::set_enabled(false);
+
+    // every pipeline stage is recorded, in execution order
+    let names = r.telemetry.stage_names();
+    assert_eq!(
+        names,
+        ["optimize", "decompose", "floorplan", "place", "map", "legalize", "route", "sta"]
+    );
+    assert!(r.telemetry.total_ms > 0.0);
+    assert!(r.telemetry.peak_live_nodes > 0);
+    for s in &r.telemetry.stages {
+        assert!(s.wall_ms >= 0.0, "stage {} has negative wall clock", s.stage);
+    }
+
+    // metric activity is attributed to the stage that caused it
+    let map_stage = r.telemetry.stage("map").unwrap();
+    assert!(
+        map_stage.metrics.keys().any(|k| k.starts_with("map.")),
+        "map stage metrics: {:?}",
+        map_stage.metrics
+    );
+    let route_stage = r.telemetry.stage("route").unwrap();
+    assert!(
+        route_stage.metrics.keys().any(|k| k.starts_with("route.")),
+        "route stage metrics: {:?}",
+        route_stage.metrics
+    );
+
+    // the registry spans the whole pipeline: >= 12 distinct
+    // `stage.metric` keys over >= 5 instrumented crates
+    let snap = obs::snapshot();
+    assert!(
+        snap.metrics.len() >= 12,
+        "expected >= 12 metric keys, got {}: {:?}",
+        snap.metrics.len(),
+        snap.metrics.keys().collect::<Vec<_>>()
+    );
+    let prefixes: std::collections::BTreeSet<&str> =
+        snap.metrics.keys().filter_map(|k| k.split('.').next()).collect();
+    for expected in ["logic", "place", "map", "route", "sta"] {
+        assert!(prefixes.contains(expected), "missing metric prefix {expected}: {prefixes:?}");
+    }
+    assert!(prefixes.len() >= 5);
+    // the counter is cumulative (the floorplan derivation runs a
+    // throwaway mapping too), but the map *stage delta* is exactly the
+    // final mapping's contribution
+    assert_eq!(map_stage.metrics.get("map.cells_emitted"), Some(&(r.num_cells as f64)));
+    assert_eq!(snap.counter("route.iterations"), Some(r.route.iterations as u64));
+
+    // JSON export carries the per-stage timings and the metric names
+    let json = r.telemetry.to_json().to_string_pretty();
+    assert!(json.contains("\"schema\": \"casyn.telemetry.v1\""));
+    assert!(json.contains("\"stage\": \"route\""));
+    assert!(json.contains("\"wall_ms\""));
+    assert!(json.contains("map."));
+    let flat = casyn::flow::telemetry::snapshot_json(&snap).to_string_pretty();
+    assert!(flat.contains("route.iterations"));
+    assert!(flat.contains("sta.arrival_propagations"));
+
+    obs::reset();
+}
+
+#[test]
+fn disabled_collection_still_times_stages() {
+    let _guard = lock();
+    obs::set_enabled(false);
+    obs::reset();
+    let r = run_flow();
+    let names = r.telemetry.stage_names();
+    assert!(names.contains(&"map") && names.contains(&"route"));
+    assert!(r.telemetry.total_ms > 0.0);
+    // no metric deltas are attributed while collection is off
+    for s in &r.telemetry.stages {
+        assert!(s.metrics.is_empty(), "stage {} leaked metrics: {:?}", s.stage, s.metrics);
+    }
+    assert!(obs::snapshot().metrics.is_empty());
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-harness subset this workspace uses — groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple wall-clock loop. Each benchmark warms up briefly,
+//! then runs `sample_size` samples and prints mean / min / max per
+//! iteration to stdout. No statistics, baselines, or HTML reports.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// An identifier combining a function name and an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `new("scheme", "dagon_area")` displays as `scheme/dagon_area`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{function}/{parameter}") }
+    }
+
+    /// An id consisting only of a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; drives the timed loop.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample, after a short warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up: at least one run, up to ~100 ms
+        let warm_start = Instant::now();
+        let mut warm_runs = 0u32;
+        while warm_runs == 0
+            || (warm_start.elapsed() < Duration::from_millis(100) && warm_runs < 10)
+        {
+            black_box(routine());
+            warm_runs += 1;
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.results.push(t.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut b);
+        self.report(&id.to_string(), &b.results);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark named `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b.results);
+        self
+    }
+
+    fn report(&mut self, id: &str, results: &[Duration]) {
+        let _ = &self.criterion; // group lifetime ties reports to the runner
+        if results.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let total: Duration = results.iter().sum();
+        let mean = total / results.len() as u32;
+        let min = results.iter().min().copied().unwrap_or_default();
+        let max = results.iter().max().copied().unwrap_or_default();
+        println!(
+            "{}/{id}: mean {} (min {}, max {}, n={})",
+            self.name,
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+            results.len()
+        );
+    }
+
+    /// Ends the group (no-op in this stub; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Begins a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("bench", f);
+        self
+    }
+
+    /// Parses CLI configuration (accepted and ignored in this stub).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs >= 3, "routine must run at least sample_size times");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("inputs");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("square", 7usize), &7usize, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+    }
+}
