@@ -1,0 +1,98 @@
+//! Sweep-scaling bench: wall-clock of the paper's 14-point K sweep
+//! (Tables 2/4) run serially vs. fanned out over a `casyn-exec` pool
+//! with 1, 2, and 4 workers, on one moderate synthetic design.
+//!
+//! Emits `BENCH_sweep.json` (CI uploads it as an artifact) and verifies
+//! on the way that every parallel configuration reproduces the serial
+//! rows bit for bit — the pool's core guarantee. Speedup is whatever the
+//! host gives: on a single-core runner the parallel configurations
+//! roughly tie with serial (scheduling overhead aside); on a 4+-core
+//! machine the 4-worker sweep is the number to look at.
+//!
+//! Run: `cargo run --release -p casyn-bench --bin sweep_scaling`
+
+use casyn_exec::Pool;
+use casyn_flow::{
+    k_sweep_prepared, k_sweep_prepared_pool, prepare, FlowOptions, KSweepEntry, PAPER_K_VALUES,
+};
+use casyn_netlist::bench::{random_pla, PlaGenConfig};
+use casyn_obs::json::JsonValue;
+use std::time::Instant;
+
+fn rows_identical(a: &[KSweepEntry], b: &[KSweepEntry]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.k == y.k
+                && x.result.cell_area == y.result.cell_area
+                && x.result.num_cells == y.result.num_cells
+                && x.result.route.violations == y.result.route.violations
+                && x.result.route.total_wirelength == y.result.route.total_wirelength
+        })
+}
+
+fn main() {
+    let network = random_pla(&PlaGenConfig {
+        inputs: 14,
+        outputs: 10,
+        terms: 90,
+        min_literals: 3,
+        max_literals: 7,
+        mean_outputs_per_term: 1.6,
+        seed: 42,
+    })
+    .to_network();
+    let opts = FlowOptions::default();
+    let prep = prepare(&network, &opts);
+    println!(
+        "sweep_scaling: {} base gates, {} K points, host parallelism {}",
+        prep.base_gates,
+        PAPER_K_VALUES.len(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    // warm-up (page in the library, fault the allocator) — not timed
+    let _ = k_sweep_prepared(&prep, &PAPER_K_VALUES[..2], &opts);
+
+    let t0 = Instant::now();
+    let reference = k_sweep_prepared(&prep, &PAPER_K_VALUES, &opts);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("  {:<12} {serial_ms:>8.1} ms", "serial");
+
+    let mut configs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let pool = Pool::new(workers);
+        let t0 = Instant::now();
+        let rows = k_sweep_prepared_pool(&prep, &PAPER_K_VALUES, &opts, &pool);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let identical = rows_identical(&reference, &rows);
+        println!(
+            "  {:<12} {ms:>8.1} ms   speedup {:>5.2}x   rows {}",
+            format!("pool({workers})"),
+            serial_ms / ms,
+            if identical { "identical" } else { "DIVERGED" }
+        );
+        assert!(identical, "pool({workers}) rows diverged from the serial sweep");
+        configs.push(JsonValue::object(vec![
+            ("workers".into(), JsonValue::Number(workers as f64)),
+            ("wall_ms".into(), JsonValue::Number(ms)),
+            ("speedup".into(), JsonValue::Number(serial_ms / ms)),
+            ("rows_identical".into(), JsonValue::Bool(identical)),
+        ]));
+    }
+
+    let doc = JsonValue::object(vec![
+        ("schema".into(), JsonValue::Str("casyn.bench.sweep.v1".into())),
+        ("k_points".into(), JsonValue::Number(PAPER_K_VALUES.len() as f64)),
+        ("base_gates".into(), JsonValue::Number(prep.base_gates as f64)),
+        (
+            "host_parallelism".into(),
+            JsonValue::Number(
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64
+            ),
+        ),
+        ("serial_wall_ms".into(), JsonValue::Number(serial_ms)),
+        ("pool".into(), JsonValue::Array(configs)),
+    ]);
+    std::fs::write("BENCH_sweep.json", doc.to_string_pretty()).expect("write BENCH_sweep.json");
+    println!("wrote BENCH_sweep.json");
+}

@@ -4,12 +4,17 @@
 //! casyn map <design.pla|design.blif> [options]    run one full flow
 //! casyn sweep <design> --ks 0,0.1,1 [options]     K sweep (paper Tables 2/4)
 //! casyn loop <design> [options]                   the Fig. 3 methodology loop
+//! casyn batch <manifest.json> [options]           run many designs concurrently
 //!
 //! options:
 //!   --k <f>            congestion factor K (map; default 0.5)
+//!   --ks <list>        comma-separated K values (sweep/batch default)
 //!   --scheme <s>       dagon | cone | pdp (default pdp)
 //!   --util <f>         target K=0 utilization for the derived die (default 0.611)
 //!   --layers <n>       metal layers (default 3)
+//!   --jobs <n>         worker threads for sweep/batch (default: CASYN_JOBS
+//!                      env var, else available_parallelism)
+//!   --out <path>       write the batch report as JSON (batch only)
 //!   --verilog <path>   write the mapped netlist as structural Verilog
 //!   --blif <path>      write the optimized network as BLIF
 //!   --dot <path>       write the mapped netlist as Graphviz DOT
@@ -19,11 +24,29 @@
 //!   --heatmap <path>   write the final congestion heat map as JSON
 //!   --trace            debug-level stage logging (same as CASYN_LOG=debug)
 //! ```
+//!
+//! The batch manifest is a JSON document, either a top-level array of
+//! jobs or `{"jobs": [...]}`; every field but `design` is optional:
+//!
+//! ```json
+//! {"jobs": [
+//!   {"design": "examples/designs/count8.pla", "ks": [0.0, 0.1, 1.0],
+//!    "name": "count8", "util": 0.611, "layers": 3, "optimize": false,
+//!    "deadline_ms": 60000}
+//! ]}
+//! ```
+//!
+//! `inject_panic: true` is a debug knob that makes a job panic on
+//! purpose, to exercise the pool's panic isolation end to end: the job
+//! fails with a typed error in the report, siblings complete.
 
 use casyn_core::{CostKind, MapOptions, PartitionScheme};
+use casyn_exec::Pool;
+use casyn_flow::batch::{run_batch_with, BatchJob};
 use casyn_flow::telemetry::snapshot_json;
 use casyn_flow::{
-    full_flow, prepare, run_methodology_prepared, sequential_flow, FlowOptions, KSweepEntry,
+    full_flow, k_sweep_prepared_pool, prepare, run_methodology_prepared, sequential_flow,
+    FlowOptions,
 };
 use casyn_logic::OptimizeOptions;
 use casyn_netlist::blif::{to_blif, Blif};
@@ -53,10 +76,14 @@ struct Args {
     metrics_out: Option<String>,
     heatmap: Option<String>,
     trace: bool,
+    jobs: Option<usize>,
+    out: Option<String>,
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: casyn <map|sweep|loop> <design.pla|design.blif> [options]");
+    eprintln!(
+        "usage: casyn <map|sweep|loop|batch> <design.pla|design.blif|manifest.json> [options]"
+    );
     eprintln!("run `casyn help` for the option list");
     ExitCode::FAILURE
 }
@@ -78,6 +105,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         metrics_out: None,
         heatmap: None,
         trace: false,
+        jobs: None,
+        out: None,
     };
     let mut it = argv[1..].iter();
     while let Some(a) = it.next() {
@@ -111,6 +140,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--metrics-out" => args.metrics_out = Some(next("--metrics-out")?),
             "--heatmap" => args.heatmap = Some(next("--heatmap")?),
             "--trace" => args.trace = true,
+            "--jobs" => {
+                let n: usize = next("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                args.jobs = Some(n);
+            }
+            "--out" => args.out = Some(next("--out")?),
             "--clock" => {
                 args.clock = Some(next("--clock")?.parse().map_err(|e| format!("--clock: {e}"))?)
             }
@@ -215,12 +252,262 @@ fn write_observability(args: &Args, r: Option<&casyn_flow::FlowResult>) -> Resul
     Ok(())
 }
 
+/// One batch-manifest entry, with CLI defaults already applied.
+#[derive(Debug, Clone)]
+struct ManifestJob {
+    name: String,
+    design: String,
+    ks: Vec<f64>,
+    util: f64,
+    layers: usize,
+    optimize: bool,
+    deadline_ms: Option<f64>,
+    inject_panic: bool,
+}
+
+fn file_stem(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+/// Parses a batch manifest: a top-level job array or `{"jobs": [...]}`.
+/// Missing per-job fields fall back to the CLI-level option values.
+fn parse_manifest(text: &str, defaults: &Args) -> Result<Vec<ManifestJob>, String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    let entries = if let JsonValue::Array(items) = &doc {
+        items.as_slice()
+    } else {
+        doc.get("jobs")
+            .and_then(|j| j.as_array())
+            .ok_or("manifest must be a job array or an object with a \"jobs\" array")?
+    };
+    if entries.is_empty() {
+        return Err("manifest has no jobs".into());
+    }
+    let f64_field = |j: &JsonValue, key: &str, dflt: f64, i: usize| -> Result<f64, String> {
+        match j.get(key) {
+            None => Ok(dflt),
+            Some(v) => v.as_f64().ok_or(format!("job {i}: \"{key}\" must be a number")),
+        }
+    };
+    let bool_field = |j: &JsonValue, key: &str, i: usize| -> Result<bool, String> {
+        match j.get(key) {
+            None => Ok(false),
+            Some(v) => v.as_bool().ok_or(format!("job {i}: \"{key}\" must be a boolean")),
+        }
+    };
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let design = j
+                .get("design")
+                .and_then(|v| v.as_str())
+                .ok_or(format!("job {i}: missing \"design\" path"))?
+                .to_string();
+            let ks = match j.get("ks") {
+                None => defaults.ks.clone(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or(format!("job {i}: \"ks\" must be an array"))?
+                    .iter()
+                    .map(|k| k.as_f64().ok_or(format!("job {i}: \"ks\" entries must be numbers")))
+                    .collect::<Result<_, _>>()?,
+            };
+            Ok(ManifestJob {
+                name: j
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+                    .unwrap_or_else(|| file_stem(&design)),
+                ks,
+                util: f64_field(j, "util", defaults.util, i)?,
+                layers: f64_field(j, "layers", defaults.layers as f64, i)? as usize,
+                optimize: bool_field(j, "optimize", i)? || defaults.optimize,
+                deadline_ms: j
+                    .get("deadline_ms")
+                    .map(|v| v.as_f64().ok_or(format!("job {i}: \"deadline_ms\" must be a number")))
+                    .transpose()?,
+                inject_panic: bool_field(j, "inject_panic", i)?,
+                design,
+            })
+        })
+        .collect()
+}
+
+/// `casyn batch <manifest.json>`: loads every design, fans the jobs out
+/// over the pool, prints a per-job report (one job's failure never takes
+/// down the batch) and optionally writes it as `casyn.batch.v1` JSON.
+fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
+    let text =
+        fs::read_to_string(&args.input).map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    let manifest = parse_manifest(&text, args)?;
+    // load designs up front; a bad path or parse fails its row, not the batch
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    let mut inject: Vec<bool> = Vec::new();
+    let mut slots: Vec<Result<usize, String>> = Vec::new(); // manifest order → job index or load error
+    for m in &manifest {
+        let loaded = load_design(&m.design).and_then(|d| {
+            if d.is_combinational() {
+                Ok(d.core)
+            } else {
+                Err(format!("{}: sequential designs are not supported in batch", m.design))
+            }
+        });
+        match loaded {
+            Ok(network) => {
+                let mut opts = FlowOptions { target_utilization: m.util, ..Default::default() };
+                opts.route.layers = m.layers;
+                if m.optimize {
+                    opts.optimize = Some(OptimizeOptions::default());
+                }
+                slots.push(Ok(jobs.len()));
+                inject.push(m.inject_panic);
+                jobs.push(BatchJob {
+                    name: m.name.clone(),
+                    network,
+                    ks: m.ks.clone(),
+                    opts,
+                    deadline: m.deadline_ms.map(|ms| std::time::Duration::from_secs_f64(ms / 1e3)),
+                });
+            }
+            Err(e) => slots.push(Err(e)),
+        }
+    }
+    println!(
+        "batch: {} jobs ({} loadable) on {} workers",
+        manifest.len(),
+        jobs.len(),
+        pool.workers()
+    );
+    let base = jobs.as_ptr() as usize;
+    let report = run_batch_with(&jobs, pool, |job| {
+        // recover the job's index from its slice position to look up the
+        // fault-injection flag without widening the library type
+        let idx = (job as *const BatchJob as usize - base) / std::mem::size_of::<BatchJob>();
+        if inject[idx] {
+            panic!("injected panic (inject_panic manifest flag)");
+        }
+        casyn_flow::batch::run_batch_job(job)
+    });
+    let mut failed = 0usize;
+    let mut job_docs = Vec::new();
+    for (m, slot) in manifest.iter().zip(&slots) {
+        let (status, error, wall_ms, rows): (&str, Option<String>, f64, Vec<JsonValue>) = match slot
+        {
+            Err(e) => {
+                failed += 1;
+                println!("[{}] LOAD ERROR: {e}", m.name);
+                ("error", Some(e.clone()), 0.0, Vec::new())
+            }
+            Ok(idx) => {
+                let jr = &report.jobs[*idx];
+                match &jr.outcome {
+                    Err(e) => {
+                        failed += 1;
+                        println!("[{}] FAILED: {e}", m.name);
+                        ("error", Some(e.to_string()), jr.wall_ms, Vec::new())
+                    }
+                    Ok(entries) => {
+                        println!(
+                            "[{}] ok in {:.0} ms ({} K rows)",
+                            m.name,
+                            jr.wall_ms,
+                            entries.len()
+                        );
+                        println!(
+                            "  {:>10} {:>12} {:>8} {:>8} {:>8}",
+                            "K", "area", "cells", "util%", "viol"
+                        );
+                        let mut docs = Vec::new();
+                        for e in entries {
+                            println!(
+                                "  {:>10} {:>12.0} {:>8} {:>8.2} {:>8}",
+                                e.k,
+                                e.result.cell_area,
+                                e.result.num_cells,
+                                e.result.utilization_pct,
+                                e.result.route.violations
+                            );
+                            docs.push(JsonValue::object(vec![
+                                ("k".into(), JsonValue::Number(e.k)),
+                                ("cell_area".into(), JsonValue::Number(e.result.cell_area)),
+                                ("num_cells".into(), JsonValue::Number(e.result.num_cells as f64)),
+                                (
+                                    "utilization_pct".into(),
+                                    JsonValue::Number(e.result.utilization_pct),
+                                ),
+                                (
+                                    "violations".into(),
+                                    JsonValue::Number(e.result.route.violations as f64),
+                                ),
+                                (
+                                    "wirelength_um".into(),
+                                    JsonValue::Number(e.result.route.total_wirelength),
+                                ),
+                                (
+                                    "critical_ns".into(),
+                                    JsonValue::Number(e.result.sta.critical_arrival()),
+                                ),
+                            ]));
+                        }
+                        ("ok", None, jr.wall_ms, docs)
+                    }
+                }
+            }
+        };
+        let mut doc = vec![
+            ("name".into(), JsonValue::Str(m.name.clone())),
+            ("design".into(), JsonValue::Str(m.design.clone())),
+            ("status".into(), JsonValue::Str(status.into())),
+            ("wall_ms".into(), JsonValue::Number(wall_ms)),
+        ];
+        if let Some(e) = error {
+            doc.push(("error".into(), JsonValue::Str(e)));
+        }
+        doc.push(("rows".into(), JsonValue::Array(rows)));
+        job_docs.push(JsonValue::object(doc));
+    }
+    let ok = manifest.len() - failed;
+    println!(
+        "batch done: {ok} ok, {failed} failed, wall {:.0} ms (jobs={})",
+        report.wall_ms,
+        pool.workers()
+    );
+    if let Some(path) = &args.out {
+        let doc = JsonValue::object(vec![
+            ("schema".into(), JsonValue::Str("casyn.batch.v1".into())),
+            ("workers".into(), JsonValue::Number(pool.workers() as f64)),
+            ("wall_ms".into(), JsonValue::Number(report.wall_ms)),
+            ("jobs_ok".into(), JsonValue::Number(ok as f64)),
+            ("jobs_failed".into(), JsonValue::Number(failed as f64)),
+            ("jobs".into(), JsonValue::Array(job_docs)),
+        ]);
+        fs::write(path, doc.to_string_pretty()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    write_observability(args, None)?;
+    if failed > 0 {
+        return Err(format!("{failed} of {} batch jobs failed", manifest.len()));
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
     if args.trace {
         obs::log::set_level(obs::log::Level::Debug);
     }
     if args.metrics_out.is_some() {
         obs::set_enabled(true);
+    }
+    let pool = match args.jobs {
+        Some(n) => Pool::new(n),
+        None => Pool::from_env(),
+    };
+    if args.command == "batch" {
+        return run_batch_command(args, &pool);
     }
     let design = load_design(&args.input)?;
     let opts = flow_options(args);
@@ -263,19 +550,38 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "sweep" => {
             println!("{:>10} {:>12} {:>8} {:>8} {:>8}", "K", "area", "cells", "util%", "viol");
-            let mut last = None;
-            for &k in &args.ks {
-                // Per-row reset keeps the final registry dump scoped to the
-                // same (last) row as the stage telemetry in --metrics-out,
-                // instead of accumulating across all K rows.
-                obs::reset();
-                let r = casyn_flow::congestion_flow_prepared(&prep, k, &opts);
-                println!(
-                    "{:>10} {:>12.0} {:>8} {:>8.2} {:>8}",
-                    k, r.cell_area, r.num_cells, r.utilization_pct, r.route.violations
-                );
-                last = Some(r);
-            }
+            let last = if pool.workers() > 1 {
+                // Parallel rows: the metrics registry aggregates across all
+                // K rows (plus the pool's exec.* keys); per-row attribution
+                // needs --jobs 1. The rows themselves are bit-identical.
+                let mut rows = k_sweep_prepared_pool(&prep, &args.ks, &opts, &pool);
+                for e in &rows {
+                    println!(
+                        "{:>10} {:>12.0} {:>8} {:>8.2} {:>8}",
+                        e.k,
+                        e.result.cell_area,
+                        e.result.num_cells,
+                        e.result.utilization_pct,
+                        e.result.route.violations
+                    );
+                }
+                rows.pop().map(|e| e.result)
+            } else {
+                let mut last = None;
+                for &k in &args.ks {
+                    // Per-row reset keeps the final registry dump scoped to
+                    // the same (last) row as the stage telemetry in
+                    // --metrics-out, instead of accumulating across rows.
+                    obs::reset();
+                    let r = casyn_flow::congestion_flow_prepared(&prep, k, &opts);
+                    println!(
+                        "{:>10} {:>12.0} {:>8} {:>8.2} {:>8}",
+                        k, r.cell_area, r.num_cells, r.utilization_pct, r.route.violations
+                    );
+                    last = Some(r);
+                }
+                last
+            };
             write_observability(args, last.as_ref())?;
         }
         "loop" => {
@@ -301,7 +607,6 @@ fn run(args: &Args) -> Result<(), String> {
         }
         other => return Err(format!("unknown command: {other}")),
     }
-    let _: Option<KSweepEntry> = None;
     Ok(())
 }
 
@@ -395,5 +700,69 @@ mod tests {
         assert!(parse_args(&sv(&["map", "x.pla", "--scheme", "bogus"])).is_err());
         assert!(parse_args(&sv(&["map", "x.pla", "--k"])).is_err());
         assert!(parse_args(&sv(&["map", "x.pla", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn parse_jobs_and_out() {
+        let a =
+            parse_args(&sv(&["batch", "m.json", "--jobs", "4", "--out", "report.json"])).unwrap();
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.out.as_deref(), Some("report.json"));
+        let b = parse_args(&sv(&["sweep", "x.pla"])).unwrap();
+        assert!(b.jobs.is_none() && b.out.is_none());
+        assert!(parse_args(&sv(&["batch", "m.json", "--jobs", "0"])).is_err());
+        assert!(parse_args(&sv(&["batch", "m.json", "--jobs", "-1"])).is_err());
+        assert!(parse_args(&sv(&["batch", "m.json", "--jobs"])).is_err());
+    }
+
+    fn defaults() -> Args {
+        parse_args(&sv(&["batch", "m.json"])).unwrap()
+    }
+
+    #[test]
+    fn manifest_fields_and_defaults() {
+        let jobs = parse_manifest(
+            r#"{"jobs": [
+                {"design": "a/count8.pla"},
+                {"design": "b.pla", "name": "bee", "ks": [0.0, 2.5], "util": 0.5,
+                 "layers": 4, "optimize": true, "deadline_ms": 1500, "inject_panic": true}
+            ]}"#,
+            &defaults(),
+        )
+        .unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].name, "count8");
+        assert_eq!(jobs[0].ks, defaults().ks);
+        assert_eq!(jobs[0].util, defaults().util);
+        assert_eq!(jobs[0].layers, 3);
+        assert!(!jobs[0].optimize && jobs[0].deadline_ms.is_none() && !jobs[0].inject_panic);
+        assert_eq!(jobs[1].name, "bee");
+        assert_eq!(jobs[1].ks, vec![0.0, 2.5]);
+        assert_eq!(jobs[1].util, 0.5);
+        assert_eq!(jobs[1].layers, 4);
+        assert!(jobs[1].optimize && jobs[1].inject_panic);
+        assert_eq!(jobs[1].deadline_ms, Some(1500.0));
+    }
+
+    #[test]
+    fn manifest_accepts_top_level_array() {
+        let jobs = parse_manifest(r#"[{"design": "x.pla"}]"#, &defaults()).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].design, "x.pla");
+    }
+
+    #[test]
+    fn manifest_errors() {
+        let d = defaults();
+        assert!(parse_manifest("not json", &d).is_err());
+        assert!(parse_manifest(r#"{"jobs": []}"#, &d).unwrap_err().contains("no jobs"));
+        assert!(parse_manifest(r#"{"jobs": [{}]}"#, &d).unwrap_err().contains("design"));
+        assert!(parse_manifest(r#"{"jobs": 3}"#, &d).is_err());
+        assert!(parse_manifest(r#"[{"design": "x.pla", "ks": "0,1"}]"#, &d)
+            .unwrap_err()
+            .contains("ks"));
+        assert!(parse_manifest(r#"[{"design": "x.pla", "deadline_ms": "soon"}]"#, &d)
+            .unwrap_err()
+            .contains("deadline_ms"));
     }
 }

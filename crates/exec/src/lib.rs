@@ -1,0 +1,37 @@
+//! casyn-exec — the deterministic parallel execution engine of the casyn
+//! stack.
+//!
+//! The paper's methodology re-runs the full map→route flow at 14 K values
+//! over one shared placement; every run is independent, so the sweep is
+//! embarrassingly parallel. This crate provides the machinery to exploit
+//! that without giving up reproducibility:
+//!
+//! * [`Pool`] — a scoped work-stealing thread pool (std-only:
+//!   `std::thread::scope` workers with per-worker deques fed by a shared
+//!   injector). Jobs may borrow stack data; no `'static` bounds.
+//! * [`Pool::par_map`] — parallel map with **deterministic, input-ordered
+//!   results**: each job writes into its own slot, so the output is
+//!   bit-identical to the serial `items.iter().map(f)` regardless of
+//!   worker count or scheduling.
+//! * Job-level robustness — [`CancelToken`]s stop not-yet-started jobs,
+//!   per-job deadlines fail jobs that spent too long in the queue, and a
+//!   panicking job is isolated with `catch_unwind` and surfaced as
+//!   [`JobError::Panicked`] instead of tearing down the process
+//!   ([`Pool::try_par_map`] / [`Pool::try_par_map_with`]).
+//!
+//! The pool reports into [`casyn_obs`] when metric collection is enabled:
+//! `exec.steals`, `exec.queue_depth` (histogram of depth at each claim),
+//! `exec.jobs_completed` / `exec.jobs_panicked` / `exec.jobs_cancelled` /
+//! `exec.jobs_deadline`, a per-job `exec.job_ms` histogram, the
+//! cross-worker `exec.worker_busy_ms` histogram, and per-worker
+//! `exec.worker.<i>.busy_ms` gauges.
+//!
+//! Worker count resolution: [`Pool::from_env`] honours the `CASYN_JOBS`
+//! environment variable and falls back to
+//! `std::thread::available_parallelism`.
+
+mod job;
+mod pool;
+
+pub use job::{CancelToken, JobError, JobOptions};
+pub use pool::Pool;

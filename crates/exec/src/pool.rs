@@ -1,0 +1,528 @@
+//! The scoped work-stealing thread pool.
+//!
+//! Scheduling: jobs are indexed `0..n` in input order. Each worker is
+//! seeded with one job, the remainder queue in a shared injector; a
+//! worker claims from its own deque first, then pulls a fair share of the
+//! injector into its deque, and only steals from a sibling's tail once
+//! the injector is dry. Because every job writes its result into its own
+//! input-indexed slot, the output order — and, for pure job functions,
+//! the output *values* — are identical to the serial path no matter how
+//! the jobs interleave.
+
+use crate::job::{JobError, JobOptions};
+use casyn_obs as obs;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+/// How many injector jobs a worker may pull into its local deque per
+/// claim, beyond the one it runs immediately.
+const MAX_INJECTOR_BATCH: usize = 8;
+
+/// A work-stealing thread pool handle. Creating a pool is free — worker
+/// threads are scoped to each `par_map` call (jobs may borrow stack
+/// data), so an idle pool holds no OS resources.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool that runs up to `workers` jobs concurrently (clamped to at
+    /// least 1).
+    pub fn new(workers: usize) -> Self {
+        Pool { workers: workers.max(1) }
+    }
+
+    /// A single-worker pool: every `par_map` runs inline on the calling
+    /// thread, byte-for-byte the serial path.
+    pub fn serial() -> Self {
+        Pool::new(1)
+    }
+
+    /// Worker count from the environment: the `CASYN_JOBS` variable when
+    /// set to a positive integer, else `available_parallelism`, else 1.
+    pub fn from_env() -> Self {
+        let fallback = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Pool::new(resolve_jobs(std::env::var("CASYN_JOBS").ok().as_deref(), fallback))
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `f` over `items` on the pool. Results are returned in input
+    /// order; a panicking job propagates the panic (after every other job
+    /// has finished) — use [`Pool::try_par_map`] to keep panics as typed
+    /// errors instead.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.try_par_map(items, &JobOptions::default(), f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(JobError::Panicked(msg)) => panic!("par_map job panicked: {msg}"),
+                Err(e) => unreachable!("par_map job failed without cancel/deadline: {e}"),
+            })
+            .collect()
+    }
+
+    /// [`Pool::par_map`] with job-level robustness: every job gets the
+    /// same [`JobOptions`], and each result slot is either the job's
+    /// return value or the typed [`JobError`] that kept it from running
+    /// to completion.
+    pub fn try_par_map<T, R, F>(
+        &self,
+        items: &[T],
+        opts: &JobOptions,
+        f: F,
+    ) -> Vec<Result<R, JobError>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.try_par_map_with(items, |_| opts.clone(), f)
+    }
+
+    /// [`Pool::try_par_map`] with per-job options: `per_job(i)` supplies
+    /// the [`JobOptions`] for `items[i]` (distinct deadlines, shared or
+    /// separate cancel tokens).
+    pub fn try_par_map_with<T, R, F, O>(
+        &self,
+        items: &[T],
+        per_job: O,
+        f: F,
+    ) -> Vec<Result<R, JobError>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+        O: Fn(usize) -> JobOptions + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let start = Instant::now();
+        let w = self.workers.min(n);
+
+        // One job-execution body shared by the serial and parallel paths:
+        // claim-time cancellation/deadline checks, then panic-isolated
+        // execution with per-worker accounting.
+        let run_one = |idx: usize, st: &mut WorkerStats| -> Result<R, JobError> {
+            let jo = per_job(idx);
+            if jo.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                st.cancelled += 1;
+                return Err(JobError::Cancelled);
+            }
+            if jo.deadline.is_some_and(|d| start.elapsed() > d) {
+                st.deadline += 1;
+                return Err(JobError::Deadline);
+            }
+            let t0 = Instant::now();
+            let out = catch_unwind(AssertUnwindSafe(|| f(&items[idx])));
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            st.busy_ms += ms;
+            obs::hist_record("exec.job_ms", ms);
+            match out {
+                Ok(v) => {
+                    st.completed += 1;
+                    Ok(v)
+                }
+                Err(p) => {
+                    st.panicked += 1;
+                    Err(JobError::Panicked(panic_message(p.as_ref())))
+                }
+            }
+        };
+
+        if w <= 1 {
+            let mut st = WorkerStats::default();
+            let out = (0..n).map(|i| run_one(i, &mut st)).collect();
+            flush_stats(1, &[st]);
+            return out;
+        }
+
+        let slots: Vec<Mutex<Option<Result<R, JobError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        // seed one job per worker; the rest flow through the injector
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..w).map(|wid| Mutex::new(VecDeque::from([wid]))).collect();
+        let injector = Mutex::new((w..n).collect::<VecDeque<usize>>());
+        let stats: Vec<Mutex<WorkerStats>> =
+            (0..w).map(|_| Mutex::new(WorkerStats::default())).collect();
+
+        thread::scope(|s| {
+            for wid in 0..w {
+                let (slots, deques, injector, stats) = (&slots, &deques, &injector, &stats);
+                let run_one = &run_one;
+                s.spawn(move || {
+                    let mut st = WorkerStats::default();
+                    while let Some(idx) = claim(wid, deques, injector, &mut st) {
+                        let res = run_one(idx, &mut st);
+                        *slots[idx].lock().unwrap() = Some(res);
+                    }
+                    *stats[wid].lock().unwrap() = st;
+                });
+            }
+        });
+
+        let final_stats: Vec<WorkerStats> =
+            stats.into_iter().map(|m| m.into_inner().unwrap()).collect();
+        flush_stats(w, &final_stats);
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every claimed job stores a result"))
+            .collect()
+    }
+}
+
+impl Default for Pool {
+    /// [`Pool::from_env`].
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+/// Claims the next job index for `wid`: own deque head, then an injector
+/// pull (taking a fair extra share into the local deque), then a steal
+/// from a sibling's tail. `None` means no claimable work remains — jobs
+/// never spawn jobs, so the worker can retire.
+fn claim(
+    wid: usize,
+    deques: &[Mutex<VecDeque<usize>>],
+    injector: &Mutex<VecDeque<usize>>,
+    st: &mut WorkerStats,
+) -> Option<usize> {
+    if let Some(i) = deques[wid].lock().unwrap().pop_front() {
+        return Some(i);
+    }
+    {
+        let mut inj = injector.lock().unwrap();
+        if obs::enabled() {
+            obs::hist_record("exec.queue_depth", inj.len() as f64);
+        }
+        if let Some(first) = inj.pop_front() {
+            let batch = (inj.len() / deques.len()).min(MAX_INJECTOR_BATCH);
+            if batch > 0 {
+                let mut dq = deques[wid].lock().unwrap();
+                for _ in 0..batch {
+                    match inj.pop_front() {
+                        Some(j) => dq.push_back(j),
+                        None => break,
+                    }
+                }
+            }
+            return Some(first);
+        }
+    }
+    for off in 1..deques.len() {
+        let victim = (wid + off) % deques.len();
+        if let Some(j) = deques[victim].lock().unwrap().pop_back() {
+            st.steals += 1;
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// Per-worker accounting, flushed into `casyn-obs` once per `par_map`.
+#[derive(Debug, Default, Clone)]
+struct WorkerStats {
+    steals: u64,
+    completed: u64,
+    panicked: u64,
+    cancelled: u64,
+    deadline: u64,
+    busy_ms: f64,
+}
+
+fn flush_stats(workers: usize, stats: &[WorkerStats]) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::gauge_set("exec.pool_workers", workers as f64);
+    let mut steals = 0;
+    let mut completed = 0;
+    for (wid, st) in stats.iter().enumerate() {
+        obs::gauge_set(&format!("exec.worker.{wid}.busy_ms"), st.busy_ms);
+        obs::hist_record("exec.worker_busy_ms", st.busy_ms);
+        steals += st.steals;
+        completed += st.completed;
+        if st.panicked > 0 {
+            obs::counter_add("exec.jobs_panicked", st.panicked);
+        }
+        if st.cancelled > 0 {
+            obs::counter_add("exec.jobs_cancelled", st.cancelled);
+        }
+        if st.deadline > 0 {
+            obs::counter_add("exec.jobs_deadline", st.deadline);
+        }
+    }
+    obs::counter_add("exec.steals", steals);
+    obs::counter_add("exec.jobs_completed", completed);
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Worker-count resolution behind [`Pool::from_env`], split out pure for
+/// testing: a positive integer in `env` wins, anything else falls back.
+fn resolve_jobs(env: Option<&str>, fallback: usize) -> usize {
+    match env.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => fallback.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::CancelToken;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn par_map_results_are_input_ordered_and_complete() {
+        let _guard = pool_test_lock();
+        for workers in [1, 2, 4, 8] {
+            let pool = Pool::new(workers);
+            let items: Vec<u64> = (0..100).collect();
+            let out = pool.par_map(&items, |&x| x * x);
+            let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_is_ordered_under_skewed_job_durations() {
+        let _guard = pool_test_lock();
+        // early jobs are the slowest, so late jobs finish first — the
+        // output must still be input-ordered
+        let pool = Pool::new(4);
+        let items: Vec<u64> = (0..24).collect();
+        let out = pool.par_map(&items, |&x| {
+            thread::sleep(Duration::from_millis((24 - x) % 6));
+            x + 1
+        });
+        assert_eq!(out, (1..=24).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn all_workers_participate() {
+        let _guard = pool_test_lock();
+        let pool = Pool::new(3);
+        let seen = Mutex::new(std::collections::HashSet::new());
+        let items: Vec<u64> = (0..48).collect();
+        pool.par_map(&items, |_| {
+            thread::sleep(Duration::from_millis(1));
+            seen.lock().unwrap().insert(thread::current().id());
+        });
+        assert!(seen.lock().unwrap().len() > 1, "expected >1 worker thread to run jobs");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let _guard = pool_test_lock();
+        let pool = Pool::new(4);
+        assert_eq!(pool.par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(pool.par_map(&[7u32], |&x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn panicking_job_yields_typed_error_and_siblings_complete() {
+        let _guard = pool_test_lock();
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..16).collect();
+        let out = pool.try_par_map(&items, &JobOptions::default(), |&i| {
+            if i == 5 {
+                panic!("injected failure in job {i}");
+            }
+            i * 10
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                assert_eq!(*r, Err(JobError::Panicked("injected failure in job 5".into())));
+            } else {
+                assert_eq!(*r, Ok(i * 10), "sibling job {i} must complete");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_propagates_panics() {
+        let _guard = pool_test_lock();
+        let pool = Pool::new(2);
+        let items = [0u8, 1];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&x| {
+                if x == 1 {
+                    panic!("boom");
+                }
+                x
+            })
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_every_job() {
+        let _guard = pool_test_lock();
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = JobOptions { cancel: Some(token), ..Default::default() };
+        let ran = AtomicUsize::new(0);
+        let pool = Pool::new(4);
+        let items: Vec<u32> = (0..8).collect();
+        let out = pool.try_par_map(&items, &opts, |&x| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert!(out.iter().all(|r| *r == Err(JobError::Cancelled)));
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn cancelling_mid_run_stops_unstarted_jobs() {
+        let _guard = pool_test_lock();
+        let token = CancelToken::new();
+        let opts = JobOptions { cancel: Some(token.clone()), ..Default::default() };
+        let pool = Pool::new(2);
+        let items: Vec<usize> = (0..64).collect();
+        let out = pool.try_par_map(&items, &opts, |&i| {
+            if i == 0 {
+                token.cancel();
+            } else {
+                thread::sleep(Duration::from_millis(1));
+            }
+            i
+        });
+        assert_eq!(out[0], Ok(0), "the cancelling job itself completes");
+        let cancelled = out.iter().filter(|r| **r == Err(JobError::Cancelled)).count();
+        assert!(cancelled >= 1, "jobs claimed after cancellation must be skipped");
+        // no job is lost: every slot is either a result or Cancelled
+        for (i, r) in out.iter().enumerate() {
+            assert!(matches!(r, Ok(v) if *v == i) || *r == Err(JobError::Cancelled));
+        }
+    }
+
+    #[test]
+    fn queued_job_past_its_deadline_reports_deadline() {
+        let _guard = pool_test_lock();
+        // one worker: job 0 blocks the queue for 40 ms, job 1's 5 ms
+        // deadline expires before it starts
+        let pool = Pool::serial();
+        let items = [0usize, 1];
+        let out = pool.try_par_map_with(
+            &items,
+            |i| JobOptions {
+                deadline: (i == 1).then(|| Duration::from_millis(5)),
+                ..Default::default()
+            },
+            |&i| {
+                if i == 0 {
+                    thread::sleep(Duration::from_millis(40));
+                }
+                i
+            },
+        );
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1], Err(JobError::Deadline));
+    }
+
+    #[test]
+    fn deadline_expires_while_queued_behind_busy_workers() {
+        let _guard = pool_test_lock();
+        // two workers busy for 40 ms each; the third job's 5 ms deadline
+        // has passed by the time a worker frees up
+        let pool = Pool::new(2);
+        let items = [0usize, 1, 2];
+        let out = pool.try_par_map_with(
+            &items,
+            |i| JobOptions {
+                deadline: (i == 2).then(|| Duration::from_millis(5)),
+                ..Default::default()
+            },
+            |&i| {
+                if i < 2 {
+                    thread::sleep(Duration::from_millis(40));
+                }
+                i
+            },
+        );
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1], Ok(1));
+        assert_eq!(out[2], Err(JobError::Deadline));
+    }
+
+    #[test]
+    fn pool_reports_exec_metrics_when_enabled() {
+        let _guard = pool_test_lock();
+        obs::set_enabled(true);
+        obs::reset();
+        let pool = Pool::new(3);
+        let items: Vec<u64> = (0..32).collect();
+        let out = pool.try_par_map(&items, &JobOptions::default(), |&x| {
+            thread::sleep(Duration::from_micros(200));
+            if x == 9 {
+                panic!("metric probe");
+            }
+            x
+        });
+        let snap = obs::snapshot();
+        obs::set_enabled(false);
+        assert_eq!(snap.counter("exec.jobs_completed"), Some(31));
+        assert_eq!(snap.counter("exec.jobs_panicked"), Some(1));
+        assert_eq!(snap.gauge("exec.pool_workers"), Some(3.0));
+        assert!(snap.counter("exec.steals").is_some());
+        assert!(snap.histogram("exec.queue_depth").is_some());
+        assert!(snap.histogram("exec.job_ms").is_some_and(|h| h.count == 32));
+        assert!(snap.histogram("exec.worker_busy_ms").is_some_and(|h| h.count == 3));
+        assert!(snap.gauge("exec.worker.0.busy_ms").is_some());
+        assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 31);
+    }
+
+    #[test]
+    fn resolve_jobs_prefers_valid_env() {
+        assert_eq!(resolve_jobs(Some("6"), 2), 6);
+        assert_eq!(resolve_jobs(Some(" 3 "), 2), 3);
+        assert_eq!(resolve_jobs(Some("0"), 2), 2);
+        assert_eq!(resolve_jobs(Some("-4"), 2), 2);
+        assert_eq!(resolve_jobs(Some("lots"), 2), 2);
+        assert_eq!(resolve_jobs(None, 5), 5);
+        assert_eq!(resolve_jobs(None, 0), 1);
+    }
+
+    #[test]
+    fn new_clamps_to_one_worker() {
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert_eq!(Pool::serial().workers(), 1);
+    }
+
+    /// Serializes every pool-running test: the metrics test enables the
+    /// global obs registry, and any pool flushing concurrently during
+    /// that window would pollute its exact counter assertions.
+    fn pool_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Concurrent batch runner: many `{design, K-list, options}` jobs fanned
+//! out over one [`Pool`], with per-job isolation.
+//!
+//! Each batch job prepares its design once (the front end of the paper's
+//! methodology) and then sweeps its K list; parallelism is across jobs.
+//! Jobs are independent, so the report rows are bit-identical regardless
+//! of worker count. A job that panics, is cancelled, or overshoots its
+//! deadline fails *alone*: its slot in the [`BatchReport`] carries the
+//! typed [`JobError`] while every sibling job runs to completion.
+
+use crate::flows::{prepare, FlowOptions};
+use crate::sweep::{k_sweep_prepared, KSweepEntry};
+use casyn_exec::{JobError, JobOptions, Pool};
+use casyn_netlist::network::Network;
+use std::time::{Duration, Instant};
+
+/// One unit of batch work: a design, the K values to sweep, and the flow
+/// options to sweep them under.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Display name (the CLI uses the design file stem).
+    pub name: String,
+    /// The design to synthesize.
+    pub network: Network,
+    /// K values to sweep (in order).
+    pub ks: Vec<f64>,
+    /// Flow options for every K of this job.
+    pub opts: FlowOptions,
+    /// Optional per-job deadline, measured from batch submission; a job
+    /// that has not *started* in time fails with [`JobError::Deadline`].
+    pub deadline: Option<Duration>,
+}
+
+/// The outcome of one batch job.
+#[derive(Debug, Clone)]
+pub struct BatchJobReport {
+    /// The job's name.
+    pub name: String,
+    /// Sweep rows on success, or the typed failure.
+    pub outcome: Result<Vec<KSweepEntry>, JobError>,
+    /// Wall-clock the job spent running, in milliseconds (0 when the job
+    /// never ran).
+    pub wall_ms: f64,
+}
+
+/// The outcome of a whole batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job reports, in manifest order.
+    pub jobs: Vec<BatchJobReport>,
+    /// Wall-clock of the whole batch, in milliseconds.
+    pub wall_ms: f64,
+    /// Worker count of the pool that ran the batch.
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// Number of jobs that completed.
+    pub fn num_ok(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_ok()).count()
+    }
+
+    /// Number of jobs that failed (panicked / cancelled / deadline).
+    pub fn num_failed(&self) -> usize {
+        self.jobs.len() - self.num_ok()
+    }
+}
+
+/// The default per-job runner: prepare the design once, then sweep its K
+/// list serially within the job (the batch parallelizes across jobs).
+pub fn run_batch_job(job: &BatchJob) -> Vec<KSweepEntry> {
+    let prep = prepare(&job.network, &job.opts);
+    k_sweep_prepared(&prep, &job.ks, &job.opts)
+}
+
+/// Runs every job on the pool with [`run_batch_job`].
+pub fn run_batch(jobs: &[BatchJob], pool: &Pool) -> BatchReport {
+    run_batch_with(jobs, pool, run_batch_job)
+}
+
+/// [`run_batch`] with a custom per-job runner — the seam fault-injection
+/// tests (and the CLI's `inject_panic` debug knob) use to exercise the
+/// batch error path with real panics.
+pub fn run_batch_with<F>(jobs: &[BatchJob], pool: &Pool, runner: F) -> BatchReport
+where
+    F: Fn(&BatchJob) -> Vec<KSweepEntry> + Sync,
+{
+    let t0 = Instant::now();
+    let outcomes = pool.try_par_map_with(
+        jobs,
+        |i| JobOptions { deadline: jobs[i].deadline, ..Default::default() },
+        |job| {
+            let t = Instant::now();
+            let rows = runner(job);
+            (rows, t.elapsed().as_secs_f64() * 1e3)
+        },
+    );
+    let jobs = jobs
+        .iter()
+        .zip(outcomes)
+        .map(|(job, outcome)| {
+            let (outcome, wall_ms) = match outcome {
+                Ok((rows, ms)) => (Ok(rows), ms),
+                Err(e) => (Err(e), 0.0),
+            };
+            BatchJobReport { name: job.name.clone(), outcome, wall_ms }
+        })
+        .collect();
+    BatchReport { jobs, wall_ms: t0.elapsed().as_secs_f64() * 1e3, workers: pool.workers() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casyn_netlist::bench::{random_pla, PlaGenConfig};
+
+    fn job(seed: u64, name: &str) -> BatchJob {
+        let network = random_pla(&PlaGenConfig {
+            inputs: 9,
+            outputs: 5,
+            terms: 28,
+            min_literals: 3,
+            max_literals: 5,
+            mean_outputs_per_term: 1.3,
+            seed,
+        })
+        .to_network();
+        BatchJob {
+            name: name.into(),
+            network,
+            ks: vec![0.0, 0.1],
+            opts: FlowOptions::default(),
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn batch_rows_match_direct_sweeps() {
+        let jobs = [job(3, "a"), job(4, "b")];
+        let report = run_batch(&jobs, &Pool::new(2));
+        assert_eq!(report.num_ok(), 2);
+        assert_eq!(report.workers, 2);
+        for (j, r) in jobs.iter().zip(&report.jobs) {
+            let direct = run_batch_job(j);
+            let rows = r.outcome.as_ref().unwrap();
+            assert_eq!(rows.len(), direct.len());
+            for (a, b) in rows.iter().zip(&direct) {
+                assert_eq!(a.k, b.k);
+                assert_eq!(a.result.cell_area, b.result.cell_area);
+                assert_eq!(a.result.route.violations, b.result.route.violations);
+            }
+            assert!(r.wall_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn panicking_job_fails_alone() {
+        let jobs = [job(3, "ok-1"), job(4, "poisoned"), job(5, "ok-2")];
+        let report = run_batch_with(&jobs, &Pool::new(2), |j| {
+            if j.name == "poisoned" {
+                panic!("injected batch fault");
+            }
+            run_batch_job(j)
+        });
+        assert_eq!(report.num_ok(), 2);
+        assert_eq!(report.num_failed(), 1);
+        assert!(
+            matches!(
+                &report.jobs[1].outcome,
+                Err(JobError::Panicked(msg)) if msg == "injected batch fault"
+            ),
+            "the poisoned job must surface a typed error, got {:?}",
+            report.jobs[1].outcome.as_ref().map(|_| "ok")
+        );
+        assert!(report.jobs[0].outcome.is_ok() && report.jobs[2].outcome.is_ok());
+    }
+
+    #[test]
+    fn deadline_zero_fails_only_that_job() {
+        let mut jobs = vec![job(3, "fast"), job(4, "doomed")];
+        jobs[1].deadline = Some(Duration::ZERO);
+        let report = run_batch(&jobs, &Pool::serial());
+        assert!(report.jobs[0].outcome.is_ok());
+        assert!(matches!(report.jobs[1].outcome, Err(JobError::Deadline)));
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_worker_counts() {
+        let jobs = [job(7, "x"), job(8, "y"), job(9, "z")];
+        let serial = run_batch(&jobs, &Pool::serial());
+        let parallel = run_batch(&jobs, &Pool::new(4));
+        for (a, b) in serial.jobs.iter().zip(&parallel.jobs) {
+            let (ra, rb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.k, y.k);
+                assert_eq!(x.result.cell_area, y.result.cell_area);
+                assert_eq!(x.result.num_cells, y.result.num_cells);
+                assert_eq!(x.result.route.total_wirelength, y.result.route.total_wirelength);
+            }
+        }
+    }
+}

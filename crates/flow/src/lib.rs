@@ -9,7 +9,10 @@
 //! * [`flows`] — the three synthesis flows compared in the paper
 //!   (`sis_flow`, `dagon_flow`, `congestion_flow`) and the shared
 //!   [`flows::Prepared`] front end.
-//! * [`sweep`] — the K sweep behind Tables 2 and 4.
+//! * [`sweep`] — the K sweep behind Tables 2 and 4, serial or fanned
+//!   out across a `casyn-exec` pool with bit-identical results.
+//! * [`batch`] — concurrent multi-design batch runner with per-job
+//!   panic/cancellation/deadline isolation.
 //! * [`methodology`] — the modified ASIC design flow of Fig. 3 (increase
 //!   K until the congestion map is acceptable).
 //! * [`seq`] — sequential designs: flip-flop pass-through around the
@@ -18,6 +21,7 @@
 //! * [`telemetry`] — per-stage wall-clock and metric attribution
 //!   collected through `casyn-obs`, exportable as JSON.
 
+pub mod batch;
 pub mod flows;
 pub mod methodology;
 pub mod report;
@@ -25,6 +29,7 @@ pub mod seq;
 pub mod sweep;
 pub mod telemetry;
 
+pub use batch::{run_batch, run_batch_with, BatchJob, BatchJobReport, BatchReport};
 pub use flows::{
     congestion_flow, congestion_flow_prepared, dagon_flow, full_flow, prepare, sis_flow,
     FlowOptions, FlowResult, Prepared,
@@ -36,5 +41,8 @@ pub use report::{
     format_k_sweep_table, format_routing_table, format_sta_table, format_telemetry_table,
 };
 pub use seq::{sequential_flow, simulate_mapped_seq, SeqFlowResult};
-pub use sweep::{find_min_routable_k, k_sweep, k_sweep_prepared, KSweepEntry, PAPER_K_VALUES};
+pub use sweep::{
+    find_min_routable_k, find_min_routable_k_pool, k_sweep, k_sweep_prepared,
+    k_sweep_prepared_pool, ladder_rungs, KSweepEntry, PAPER_K_VALUES,
+};
 pub use telemetry::{FlowTelemetry, StageTelemetry};

@@ -1,6 +1,7 @@
 //! The K sweep behind the paper's Tables 2 and 4.
 
 use crate::flows::{congestion_flow_prepared, prepare, FlowOptions, FlowResult, Prepared};
+use casyn_exec::Pool;
 use casyn_netlist::network::Network;
 
 /// The K values the paper sweeps in Tables 2 and 4.
@@ -37,33 +38,82 @@ pub fn k_sweep_prepared(prep: &Prepared, ks: &[f64], opts: &FlowOptions) -> Vec<
     ks.iter().map(|&k| KSweepEntry { k, result: congestion_flow_prepared(prep, k, opts) }).collect()
 }
 
+/// [`k_sweep_prepared`] fanned out across a [`Pool`]. Every per-K flow
+/// run is an independent pure function of the shared immutable
+/// [`Prepared`], so the rows are **bit-identical** to the serial path —
+/// only wall-clock telemetry differs. Rows come back in input K order.
+pub fn k_sweep_prepared_pool(
+    prep: &Prepared,
+    ks: &[f64],
+    opts: &FlowOptions,
+    pool: &Pool,
+) -> Vec<KSweepEntry> {
+    let results = pool.par_map(ks, |&k| congestion_flow_prepared(prep, k, opts));
+    ks.iter().zip(results).map(|(&k, result)| KSweepEntry { k, result }).collect()
+}
+
+/// The geometric probe ladder of [`find_min_routable_k`]: `k_min`,
+/// doubling rungs strictly below `k_max`, and then `k_max` itself as the
+/// final rung. Clamping the last rung matters: a pure `k *= 2` ladder
+/// from e.g. `k_min = 0.01` tops out at 10.24 against `k_max = 16.0` and
+/// would report "unroutable" without ever probing 16.0.
+pub fn ladder_rungs(k_min: f64, k_max: f64) -> Vec<f64> {
+    assert!(k_min > 0.0 && k_max > k_min, "need 0 < k_min < k_max");
+    let mut rungs = Vec::new();
+    let mut k = k_min;
+    while k < k_max {
+        rungs.push(k);
+        k *= 2.0;
+    }
+    rungs.push(k_max);
+    rungs
+}
+
 /// Searches for the smallest K whose mapping routes without violations —
 /// the designer loop of the paper's Section 5 ("by increasing K,
 /// efficiently generate solutions which are potentially less congested"),
-/// automated. Probes a geometric ladder from `k_min` to `k_max`, then
-/// bisects between the last failing and first passing rungs. Returns the
-/// winning entry, or `None` when even `k_max` does not route.
+/// automated. Probes the geometric [`ladder_rungs`] from `k_min` to
+/// `k_max` (inclusive), then bisects between the last failing and first
+/// passing rungs. Returns the winning entry, or `None` when even `k_max`
+/// does not route.
 pub fn find_min_routable_k(
     prep: &Prepared,
     opts: &FlowOptions,
     k_min: f64,
     k_max: f64,
 ) -> Option<KSweepEntry> {
-    assert!(k_min > 0.0 && k_max > k_min, "need 0 < k_min < k_max");
-    // geometric ladder
-    let mut lo = 0.0f64; // last known failing K (0 = untested baseline)
-    let mut best: Option<(f64, crate::flows::FlowResult)> = None;
-    let mut k = k_min;
-    while k <= k_max * 1.0001 {
-        let r = congestion_flow_prepared(prep, k, opts);
-        if r.route.violations == 0 {
-            best = Some((k, r));
-            break;
-        }
-        lo = k;
-        k *= 2.0;
-    }
-    let (mut hi_k, mut hi_r) = best?;
+    find_min_routable_k_pool(prep, opts, k_min, k_max, &Pool::serial())
+}
+
+/// [`find_min_routable_k`] with the ladder probes fanned out across a
+/// [`Pool`]. The serial path stops at the first passing rung; the
+/// parallel path probes every rung concurrently and picks the first
+/// passing one, so both select the same rung and return bit-identical
+/// results (each probe is a pure function of the shared [`Prepared`]).
+/// The bisection refinement is inherently sequential and stays serial.
+pub fn find_min_routable_k_pool(
+    prep: &Prepared,
+    opts: &FlowOptions,
+    k_min: f64,
+    k_max: f64,
+    pool: &Pool,
+) -> Option<KSweepEntry> {
+    let rungs = ladder_rungs(k_min, k_max);
+    let first_pass: Option<(usize, FlowResult)> = if pool.workers() == 1 {
+        // serial: probe in order, stop at the first routable rung
+        rungs.iter().enumerate().find_map(|(i, &k)| {
+            let r = congestion_flow_prepared(prep, k, opts);
+            (r.route.violations == 0).then_some((i, r))
+        })
+    } else {
+        pool.par_map(&rungs, |&k| congestion_flow_prepared(prep, k, opts))
+            .into_iter()
+            .enumerate()
+            .find(|(_, r)| r.route.violations == 0)
+    };
+    let (pass_idx, hi_r) = first_pass?;
+    let mut lo = if pass_idx == 0 { 0.0 } else { rungs[pass_idx - 1] };
+    let (mut hi_k, mut hi_r) = (rungs[pass_idx], hi_r);
     // bisect (on a log-ish scale) to tighten the boundary
     for _ in 0..4 {
         let mid = if lo == 0.0 { hi_k / 2.0 } else { (lo * hi_k).sqrt() };
@@ -131,6 +181,54 @@ mod tests {
             .expect("a routable K must exist on a loose die");
         assert_eq!(found.result.route.violations, 0);
         assert!(found.k <= 0.01 * 1.0001);
+    }
+
+    #[test]
+    fn ladder_clamps_final_rung_to_k_max() {
+        // regression: the pure-doubling ladder from 0.01 tops out at
+        // 10.24 and never probed k_max = 16.0, reporting "unroutable"
+        // even when 16.0 routes
+        let rungs = ladder_rungs(0.01, 16.0);
+        assert_eq!(*rungs.last().unwrap(), 16.0, "k_max itself must be probed");
+        assert!((rungs[rungs.len() - 2] - 10.24).abs() < 1e-12);
+        for w in rungs.windows(2) {
+            assert!(w[0] < w[1], "rungs must be strictly increasing");
+        }
+        // exact power-of-two span: no duplicate final rung
+        assert_eq!(ladder_rungs(1.0, 16.0), vec![1.0, 2.0, 4.0, 8.0, 16.0]);
+        // k_max below the first doubling still yields both endpoints
+        assert_eq!(ladder_rungs(1.0, 1.5), vec![1.0, 1.5]);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let net = small_net();
+        let opts = FlowOptions::default();
+        let prep = crate::flows::prepare(&net, &opts);
+        let ks = [0.0, 0.001, 0.05, 1.0];
+        let serial = k_sweep_prepared(&prep, &ks, &opts);
+        let parallel = k_sweep_prepared_pool(&prep, &ks, &opts, &casyn_exec::Pool::new(4));
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.result.cell_area, b.result.cell_area);
+            assert_eq!(a.result.num_cells, b.result.num_cells);
+            assert_eq!(a.result.route.violations, b.result.route.violations);
+            assert_eq!(a.result.route.total_wirelength, b.result.route.total_wirelength);
+            assert_eq!(a.result.sta.critical_arrival(), b.result.sta.critical_arrival());
+        }
+    }
+
+    #[test]
+    fn parallel_min_routable_k_matches_serial() {
+        let net = small_net();
+        let opts = FlowOptions { target_utilization: 0.35, ..Default::default() };
+        let prep = crate::flows::prepare(&net, &opts);
+        let serial = find_min_routable_k(&prep, &opts, 0.01, 16.0).unwrap();
+        let parallel =
+            find_min_routable_k_pool(&prep, &opts, 0.01, 16.0, &casyn_exec::Pool::new(4)).unwrap();
+        assert_eq!(serial.k, parallel.k);
+        assert_eq!(serial.result.cell_area, parallel.result.cell_area);
+        assert_eq!(serial.result.route.violations, parallel.result.route.violations);
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! A minimal JSON writer (no parser, no external deps) used by the
-//! telemetry and heatmap exporters.
+//! A minimal JSON value model (no external deps) used by the telemetry
+//! and heatmap exporters, and — since the batch runner — by the CLI's
+//! manifest reader.
 //!
 //! Values are built bottom-up with [`JsonValue`] and serialized with
 //! [`JsonValue::to_string_pretty`]. Numbers serialize through
 //! [`fmt_f64`], which keeps integers integral and never emits `NaN` or
 //! `Infinity` (both invalid JSON — they become `null`).
+//! [`JsonValue::parse`] is the matching recursive-descent reader; it
+//! reports 1-based line/column positions in [`JsonParseError`].
 
 use std::collections::BTreeMap;
-use std::fmt::Write;
+use std::fmt::{self, Write};
 
 /// A JSON document fragment.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +33,59 @@ impl JsonValue {
     /// An object from an ordered key/value list.
     pub fn object(entries: Vec<(String, JsonValue)>) -> JsonValue {
         JsonValue::Object(entries)
+    }
+
+    /// Parses a JSON document (exactly one top-level value, trailing
+    /// whitespace allowed).
+    pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos < p.bytes.len() {
+            return Err(p.error("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// An object from a sorted map.
@@ -117,6 +173,205 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A JSON syntax error with its 1-based position in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column of the offending byte.
+    pub col: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at line {}, column {}: {}", self.line, self.col, self.reason)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, reason: &str) -> JsonParseError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        JsonParseError { line, col, reason: reason.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object_body(),
+            Some(b'[') => self.array_body(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.error(&format!("unexpected character '{}'", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object_body(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string().map_err(|_| self.error("expected a string object key"))?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array_body(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // surrogate pairs are out of scope for manifests;
+                            // lone surrogates map to the replacement character
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged since the input is valid &str)
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(JsonValue::Number(v)),
+            _ => Err(self.error(&format!("invalid number '{text}'"))),
+        }
+    }
+}
+
 /// Formats a number as valid JSON: integers without a fraction,
 /// non-finite values as `null`, everything else via shortest-roundtrip
 /// float printing.
@@ -148,6 +403,69 @@ mod tests {
     fn strings_escape_control_characters() {
         let v = JsonValue::Str("a\"b\\c\nd\u{1}".into());
         assert_eq!(v.to_string_pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = JsonValue::object(vec![
+            ("name".into(), JsonValue::Str("route \"x\"\n".into())),
+            ("count".into(), JsonValue::Number(4.0)),
+            ("ratio".into(), JsonValue::Number(-2.75)),
+            ("on".into(), JsonValue::Bool(true)),
+            ("off".into(), JsonValue::Bool(false)),
+            ("none".into(), JsonValue::Null),
+            ("ks".into(), JsonValue::Array(vec![JsonValue::Number(0.0), JsonValue::Number(1e-4)])),
+            ("empty_obj".into(), JsonValue::Object(vec![])),
+            ("empty_arr".into(), JsonValue::Array(vec![])),
+        ]);
+        let parsed = JsonValue::parse(&v.to_string_pretty()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_accessors_walk_a_manifest() {
+        let doc = JsonValue::parse(
+            r#"{"jobs": [{"design": "a.pla", "ks": [0, 0.5], "optimize": true}]}"#,
+        )
+        .unwrap();
+        let jobs = doc.get("jobs").unwrap().as_array().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].get("design").unwrap().as_str(), Some("a.pla"));
+        assert_eq!(jobs[0].get("optimize").unwrap().as_bool(), Some(true));
+        let ks: Vec<f64> = jobs[0]
+            .get("ks")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|v| v.as_f64())
+            .collect();
+        assert_eq!(ks, vec![0.0, 0.5]);
+        assert!(doc.get("missing").is_none());
+        assert!(jobs[0].get("design").unwrap().as_f64().is_none());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = JsonValue::parse("{\n  \"a\": 1,\n  \"b\" 2\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.reason.contains("':'"), "{err}");
+
+        assert!(JsonValue::parse("").is_err());
+        assert!(JsonValue::parse("[1, 2,]").is_err());
+        assert!(JsonValue::parse("{\"k\": 1} trailing").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("[1e999]").is_err(), "non-finite numbers are rejected");
+        let err = JsonValue::parse("nope").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = JsonValue::parse(r#""a\"b\\c\ndA é""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA é"));
+        let u = JsonValue::parse("\"\\u0041\\u00e9\\t\"").unwrap();
+        assert_eq!(u.as_str(), Some("Aé\t"));
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! | [`route`] | `casyn-route` | capacitated global routing, congestion maps |
 //! | [`timing`] | `casyn-timing` | static timing analysis |
 //! | [`core`] | `casyn-core` | DAG partitioning, matching, congestion-aware covering |
-//! | [`flow`] | `casyn-flow` | end-to-end flows, K sweeps, the Fig. 3 methodology |
+//! | [`flow`] | `casyn-flow` | end-to-end flows, K sweeps, batch runner, the Fig. 3 methodology |
+//! | [`exec`] | `casyn-exec` | deterministic work-stealing pool, cancellation, deadlines |
 //! | [`obs`] | `casyn-obs` | metrics registry, stage tracing, telemetry JSON |
 //!
 //! # Quickstart
@@ -36,6 +37,7 @@
 //! ```
 
 pub use casyn_core as core;
+pub use casyn_exec as exec;
 pub use casyn_flow as flow;
 pub use casyn_library as library;
 pub use casyn_logic as logic;

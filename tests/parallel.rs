@@ -1,0 +1,85 @@
+//! Parallel execution determinism: sweeping or batching on a multi-worker
+//! pool must produce results bit-identical to the serial path. Scheduling
+//! may reorder *execution*, never *results* — every per-K flow run is a
+//! pure function of the shared immutable `Prepared`, and `par_map` writes
+//! into input-indexed slots.
+
+use casyn::exec::Pool;
+use casyn::flow::{
+    k_sweep_prepared, k_sweep_prepared_pool, prepare, run_batch, BatchJob, FlowOptions,
+};
+use casyn::netlist::bench::{random_pla, PlaGenConfig};
+use casyn::netlist::network::Network;
+
+fn net(seed: u64) -> Network {
+    random_pla(&PlaGenConfig {
+        inputs: 10,
+        outputs: 6,
+        terms: 40,
+        min_literals: 3,
+        max_literals: 6,
+        mean_outputs_per_term: 1.4,
+        seed,
+    })
+    .to_network()
+}
+
+/// Every observable field of the flow result except wall-clock telemetry,
+/// which legitimately differs run to run.
+fn assert_rows_identical(a: &casyn::flow::FlowResult, b: &casyn::flow::FlowResult) {
+    assert_eq!(a.num_cells, b.num_cells);
+    assert_eq!(a.cell_area, b.cell_area);
+    assert_eq!(a.utilization_pct, b.utilization_pct);
+    assert_eq!(a.route.violations, b.route.violations);
+    assert_eq!(a.route.total_wirelength, b.route.total_wirelength);
+    assert_eq!(a.route.iterations, b.route.iterations);
+    assert_eq!(a.sta.critical_arrival(), b.sta.critical_arrival());
+    for (ca, cb) in a.netlist.cells().iter().zip(b.netlist.cells()) {
+        assert_eq!(ca.lib_cell, cb.lib_cell);
+        assert_eq!(ca.inputs, cb.inputs);
+        assert_eq!(ca.pos, cb.pos);
+    }
+}
+
+#[test]
+fn parallel_k_sweep_is_bit_identical_to_serial_across_seeds() {
+    let ks = [0.0, 0.001, 0.01, 0.5, 2.0];
+    for seed in [2002_u64, 77] {
+        let network = net(seed);
+        let opts = FlowOptions::default();
+        let prep = prepare(&network, &opts);
+        let serial = k_sweep_prepared(&prep, &ks, &opts);
+        let parallel = k_sweep_prepared_pool(&prep, &ks, &opts, &Pool::new(4));
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.k, b.k, "rows must come back in input K order");
+            assert_rows_identical(&a.result, &b.result);
+        }
+    }
+}
+
+#[test]
+fn batch_on_four_workers_matches_one_worker() {
+    let jobs: Vec<BatchJob> = [2002_u64, 77, 5]
+        .iter()
+        .map(|&seed| BatchJob {
+            name: format!("seed-{seed}"),
+            network: net(seed),
+            ks: vec![0.0, 0.1],
+            opts: FlowOptions::default(),
+            deadline: None,
+        })
+        .collect();
+    let one = run_batch(&jobs, &Pool::new(1));
+    let four = run_batch(&jobs, &Pool::new(4));
+    assert_eq!(one.jobs.len(), four.jobs.len());
+    for (a, b) in one.jobs.iter().zip(&four.jobs) {
+        assert_eq!(a.name, b.name, "report rows must stay in manifest order");
+        let (ra, rb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(rb) {
+            assert_eq!(x.k, y.k);
+            assert_rows_identical(&x.result, &y.result);
+        }
+    }
+}
