@@ -17,8 +17,8 @@ fn bench_routing(c: &mut Criterion) {
     });
     let net = pla.to_network();
     let opts = FlowOptions::default();
-    let prep = prepare(&net, &opts);
-    let flow = congestion_flow_prepared(&prep, 0.5, &opts);
+    let prep = prepare(&net, &opts).expect("prepare failed");
+    let flow = congestion_flow_prepared(&prep, 0.5, &opts).expect("flow failed");
     let mut group = c.benchmark_group("routing");
     group.sample_size(10);
     for scale in [1.5f64, 3.0] {

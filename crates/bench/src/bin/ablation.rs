@@ -32,7 +32,8 @@ fn main() {
             &exp.prep,
             &MapOptions { scheme, cost: CostKind::AreaWire { k: 0.2 }, ..Default::default() },
             &exp.opts,
-        );
+        )
+        .expect("flow failed");
         println!(
             "   {name:<18} cells {:>5}  area {:>7.0}  wl {:>8.0}  violations {:>5}",
             r.num_cells, r.cell_area, r.route.total_wirelength, r.route.violations
@@ -40,7 +41,7 @@ fn main() {
     }
 
     println!("\n2. seeded legalization vs from-scratch re-placement (K = 0.2):");
-    let seeded = congestion_flow_prepared(&exp.prep, 0.2, &exp.opts);
+    let seeded = congestion_flow_prepared(&exp.prep, 0.2, &exp.opts).expect("flow failed");
     println!(
         "   seeded (paper-style incremental) wl {:>8.0}  violations {:>5}",
         seeded.route.total_wirelength, seeded.route.violations
@@ -65,7 +66,7 @@ fn main() {
         for (c, p) in nl.cells_mut().iter_mut().zip(&legal.pos) {
             c.pos = *p;
         }
-        let rr = route_mapped(&nl, &exp.prep.floorplan, &exp.opts.route);
+        let rr = route_mapped(&nl, &exp.prep.floorplan, &exp.opts.route).expect("route failed");
         println!(
             "   from-scratch re-placement        wl {:>8.0}  violations {:>5}",
             rr.total_wirelength, rr.violations
@@ -73,8 +74,8 @@ fn main() {
     }
 
     println!("\n3. duplication: K = 0 (forbidden) vs window K (priced, allowed):");
-    let k0 = congestion_flow_prepared(&exp.prep, 0.0, &exp.opts);
-    let kw = congestion_flow_prepared(&exp.prep, 0.2, &exp.opts);
+    let k0 = congestion_flow_prepared(&exp.prep, 0.0, &exp.opts).expect("flow failed");
+    let kw = congestion_flow_prepared(&exp.prep, 0.2, &exp.opts).expect("flow failed");
     println!(
         "   K=0   cells {:>5}  area {:>7.0}  wl {:>8.0}  violations {:>5}",
         k0.num_cells, k0.cell_area, k0.route.total_wirelength, k0.route.violations

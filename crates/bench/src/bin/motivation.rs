@@ -18,7 +18,7 @@ fn main() {
     let mut exp = spla_experiment();
     let scale = calibrate_scale(&mut exp, 0.1, 2.5, 8.0);
     println!("SPLA mapped, placed and routed (capacity scale {scale:.3})\n");
-    let flow = congestion_flow_prepared(&exp.prep, 0.1, &exp.opts);
+    let flow = congestion_flow_prepared(&exp.prep, 0.1, &exp.opts).expect("flow failed");
     let placed_arrival = flow.sta.critical_arrival();
     println!("placed-and-routed STA:   critical path {placed_arrival:>7.2} ns");
     for (name, model) in [

@@ -42,7 +42,7 @@ fn main() {
     })
     .to_network();
     let opts = FlowOptions::default();
-    let prep = prepare(&network, &opts);
+    let prep = prepare(&network, &opts).expect("bench: prepare failed");
     println!(
         "sweep_scaling: {} base gates, {} K points, host parallelism {}",
         prep.base_gates,
@@ -54,7 +54,7 @@ fn main() {
     let _ = k_sweep_prepared(&prep, &PAPER_K_VALUES[..2], &opts);
 
     let t0 = Instant::now();
-    let reference = k_sweep_prepared(&prep, &PAPER_K_VALUES, &opts);
+    let reference = k_sweep_prepared(&prep, &PAPER_K_VALUES, &opts).expect("bench: sweep failed");
     let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!("  {:<12} {serial_ms:>8.1} ms", "serial");
 
@@ -62,7 +62,8 @@ fn main() {
     for workers in [1usize, 2, 4] {
         let pool = Pool::new(workers);
         let t0 = Instant::now();
-        let rows = k_sweep_prepared_pool(&prep, &PAPER_K_VALUES, &opts, &pool);
+        let rows = k_sweep_prepared_pool(&prep, &PAPER_K_VALUES, &opts, &pool)
+            .expect("bench: pool sweep failed");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let identical = rows_identical(&reference, &rows);
         println!(

@@ -24,7 +24,7 @@ fn main() {
     // mirroring the paper's die choice where DAGON sits at 84.37%
     let scale = calibrate_scale_unroutable(&mut exp, 3.0, 14.0);
     println!("routing supply calibrated to the edge: capacity scale {scale:.3}\n");
-    let dagon = dagon_flow(&exp.network, &exp.opts);
+    let dagon = dagon_flow(&exp.network, &exp.opts).expect("flow failed");
     // SIS effort bounded so its area advantage matches the paper's ~3%
     // (unbounded extraction over-shrinks the synthetic PLA; see
     // EXPERIMENTS.md)
@@ -34,7 +34,7 @@ fn main() {
         max_kernel_extractions: 40,
         ..Default::default()
     });
-    let sis = sis_flow(&exp.network, &sis_opts);
+    let sis = sis_flow(&exp.network, &sis_opts).expect("flow failed");
     println!(
         "{}",
         format_routing_table(

@@ -11,16 +11,16 @@ fn main() {
     let mut exp = pdc_experiment();
     let scale = calibrate_scale(&mut exp, 1.0, 2.5, 8.0);
     println!("PDC STA at capacity scale {scale:.3}");
-    let k0 = congestion_flow_prepared(&exp.prep, 0.0, &exp.opts);
-    let window = congestion_flow_prepared(&exp.prep, 0.1, &exp.opts);
-    let deep = congestion_flow_prepared(&exp.prep, 1.0, &exp.opts);
+    let k0 = congestion_flow_prepared(&exp.prep, 0.0, &exp.opts).expect("flow failed");
+    let window = congestion_flow_prepared(&exp.prep, 0.1, &exp.opts).expect("flow failed");
+    let deep = congestion_flow_prepared(&exp.prep, 1.0, &exp.opts).expect("flow failed");
     let mut sis_opts = exp.opts.clone();
     sis_opts.optimize = Some(OptimizeOptions {
         max_cube_extractions: 900,
         max_kernel_extractions: 60,
         ..Default::default()
     });
-    let sis = sis_flow(&exp.network, &sis_opts);
+    let sis = sis_flow(&exp.network, &sis_opts).expect("flow failed");
     println!(
         "{}",
         format_sta_table(

@@ -46,7 +46,7 @@ pub fn experiment(name: &'static str, network: Network, k0_utilization: f64) -> 
     // pin-escape blockage calibrated so that cell-density growth at large
     // K measurably erodes routability (see DESIGN.md)
     opts.route.pin_blockage = 0.8;
-    let prep = casyn_flow::prepare(&network, &opts);
+    let prep = casyn_flow::prepare(&network, &opts).expect("bench: prepare failed");
     opts.floorplan = Some(prep.floorplan);
     Experiment { name, network, opts, prep }
 }
@@ -84,7 +84,8 @@ pub fn calibrate_scale(exp: &mut Experiment, k_probe: f64, lo: f64, hi: f64) -> 
     for _ in 0..8 {
         let mid = (lo + hi) / 2.0;
         exp.opts.route.capacity_scale = mid;
-        let r = congestion_flow_prepared(&exp.prep, k_probe, &exp.opts);
+        let r = congestion_flow_prepared(&exp.prep, k_probe, &exp.opts)
+            .expect("bench: calibration flow failed");
         if r.route.violations == 0 {
             hi = mid;
         } else {
@@ -106,7 +107,8 @@ pub fn calibrate_scale_unroutable(exp: &mut Experiment, lo: f64, hi: f64) -> f64
     for _ in 0..9 {
         let mid = (lo + hi) / 2.0;
         exp.opts.route.capacity_scale = mid;
-        let r = congestion_flow_prepared(&exp.prep, 0.0, &exp.opts);
+        let r = congestion_flow_prepared(&exp.prep, 0.0, &exp.opts)
+            .expect("bench: calibration flow failed");
         if r.route.violations == 0 {
             hi = mid;
         } else {
@@ -120,7 +122,13 @@ pub fn calibrate_scale_unroutable(exp: &mut Experiment, lo: f64, hi: f64) -> f64
 /// Runs the congestion flow over a K list at the experiment's current
 /// configuration.
 pub fn run_k_list(exp: &Experiment, ks: &[f64]) -> Vec<(f64, FlowResult)> {
-    ks.iter().map(|&k| (k, congestion_flow_prepared(&exp.prep, k, &exp.opts))).collect()
+    ks.iter()
+        .map(|&k| {
+            let r = congestion_flow_prepared(&exp.prep, k, &exp.opts)
+                .expect("bench: table flow failed");
+            (k, r)
+        })
+        .collect()
 }
 
 /// The K values our tables sweep. The paper's K spans three regions on
@@ -149,8 +157,8 @@ pub fn min_routable_rows(exp: &Experiment, k: f64, span: usize) -> Option<(usize
         // re-prepare placement on the new image? The paper keeps the
         // original tech-independent placement; we re-place to keep the
         // density consistent with the die.
-        let prep = casyn_flow::prepare(&exp.network, &opts);
-        let r = congestion_flow_prepared(&prep, k, &opts);
+        let prep = casyn_flow::prepare(&exp.network, &opts).expect("bench: prepare failed");
+        let r = congestion_flow_prepared(&prep, k, &opts).expect("bench: row-search flow failed");
         if r.route.violations == 0 {
             best = Some((rows, fp.die_area()));
             break;

@@ -5,6 +5,7 @@
 //! casyn sweep <design> --ks 0,0.1,1 [options]     K sweep (paper Tables 2/4)
 //! casyn loop <design> [options]                   the Fig. 3 methodology loop
 //! casyn batch <manifest.json> [options]           run many designs concurrently
+//! casyn heatmap <heatmap.json>                    inspect an exported heat map
 //!
 //! options:
 //!   --k <f>            congestion factor K (map; default 0.5)
@@ -14,7 +15,20 @@
 //!   --layers <n>       metal layers (default 3)
 //!   --jobs <n>         worker threads for sweep/batch (default: CASYN_JOBS
 //!                      env var, else available_parallelism)
-//!   --out <path>       write the batch report as JSON (batch only)
+//!   --out <path>       write the batch report as JSON (batch only); while
+//!                      the batch runs the file holds a casyn.checkpoint.v1
+//!                      document that is updated after every finished job
+//!   --resume <path>    batch: skip jobs already "ok" in a previous report
+//!                      or checkpoint (matched by name + design)
+//!   --retries <n>      batch: re-run a failed job up to n times (default 0)
+//!   --validate         run stage-boundary invariant checks (always on in
+//!                      debug builds)
+//!   --fault-plan <p>   inject deterministic faults: comma-separated
+//!                      stage:kind[:nth] items plus optional seed=N, e.g.
+//!                      "map:panic:1,route:corrupt:2,seed=42"; kinds are
+//!                      panic, deadline, corrupt
+//!   --crash-dir <dir>  batch: write a casyn.crash.v1 reproducer bundle
+//!                      per failed job
 //!   --verilog <path>   write the mapped netlist as structural Verilog
 //!   --blif <path>      write the optimized network as BLIF
 //!   --dot <path>       write the mapped netlist as Graphviz DOT
@@ -32,21 +46,24 @@
 //! {"jobs": [
 //!   {"design": "examples/designs/count8.pla", "ks": [0.0, 0.1, 1.0],
 //!    "name": "count8", "util": 0.611, "layers": 3, "optimize": false,
-//!    "deadline_ms": 60000}
+//!    "deadline_ms": 60000, "fault_plan": "map:panic:1"}
 //! ]}
 //! ```
 //!
-//! `inject_panic: true` is a debug knob that makes a job panic on
-//! purpose, to exercise the pool's panic isolation end to end: the job
-//! fails with a typed error in the report, siblings complete.
+//! `inject_panic: true` is the legacy spelling of
+//! `"fault_plan": "decompose:panic:1"`: the job panics on purpose to
+//! exercise the pool's panic isolation end to end. Either way the job
+//! fails with a typed error in the report and siblings complete.
 
 use casyn_core::{CostKind, MapOptions, PartitionScheme};
-use casyn_exec::Pool;
-use casyn_flow::batch::{run_batch_with, BatchJob};
+use casyn_exec::{FaultPlan, Pool};
+use casyn_flow::batch::{
+    run_batch_job, run_batch_observed, BatchJob, BatchJobReport, BatchOptions,
+};
 use casyn_flow::telemetry::snapshot_json;
 use casyn_flow::{
     full_flow, k_sweep_prepared_pool, prepare, run_methodology_prepared, sequential_flow,
-    FlowOptions,
+    FlowError, FlowOptions, KSweepEntry, Stage,
 };
 use casyn_logic::OptimizeOptions;
 use casyn_netlist::blif::{to_blif, Blif};
@@ -56,8 +73,11 @@ use casyn_netlist::verilog::to_verilog;
 use casyn_netlist::Pla;
 use casyn_obs as obs;
 use casyn_obs::json::JsonValue;
+use casyn_route::CongestionMap;
+use std::collections::HashMap;
 use std::fs;
 use std::process::ExitCode;
+use std::sync::Mutex;
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -78,14 +98,37 @@ struct Args {
     trace: bool,
     jobs: Option<usize>,
     out: Option<String>,
+    validate: bool,
+    retries: u32,
+    resume: Option<String>,
+    fault_plan: Option<FaultPlan>,
+    crash_dir: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: casyn <map|sweep|loop|batch> <design.pla|design.blif|manifest.json> [options]"
+        "usage: casyn <map|sweep|loop|batch|heatmap> \
+         <design.pla|design.blif|manifest.json|heatmap.json> [options]"
     );
     eprintln!("run `casyn help` for the option list");
     ExitCode::FAILURE
+}
+
+/// Parses a `--fault-plan` spec and rejects stage names the flow does not
+/// have, so a typo'd plan fails up front instead of silently never firing.
+fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    let plan = FaultPlan::parse(spec)?;
+    for s in plan.specs() {
+        if Stage::parse(&s.stage).is_none() {
+            let known: Vec<&str> = Stage::ALL.iter().map(|st| st.name()).collect();
+            return Err(format!(
+                "fault plan: unknown stage {:?} (expected one of {})",
+                s.stage,
+                known.join(", ")
+            ));
+        }
+    }
+    Ok(plan)
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -107,6 +150,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         trace: false,
         jobs: None,
         out: None,
+        validate: false,
+        retries: 0,
+        resume: None,
+        fault_plan: None,
+        crash_dir: None,
     };
     let mut it = argv[1..].iter();
     while let Some(a) = it.next() {
@@ -148,6 +196,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.jobs = Some(n);
             }
             "--out" => args.out = Some(next("--out")?),
+            "--validate" => args.validate = true,
+            "--retries" => {
+                args.retries = next("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?
+            }
+            "--resume" => args.resume = Some(next("--resume")?),
+            "--fault-plan" => args.fault_plan = Some(parse_fault_plan(&next("--fault-plan")?)?),
+            "--crash-dir" => args.crash_dir = Some(next("--crash-dir")?),
             "--clock" => {
                 args.clock = Some(next("--clock")?.parse().map_err(|e| format!("--clock: {e}"))?)
             }
@@ -180,6 +235,10 @@ fn flow_options(args: &Args) -> FlowOptions {
     if args.optimize {
         opts.optimize = Some(OptimizeOptions::default());
     }
+    if args.validate {
+        opts.validate = true;
+    }
+    opts.fault = args.fault_plan.as_ref().map(|p| p.fresh());
     opts
 }
 
@@ -263,6 +322,7 @@ struct ManifestJob {
     optimize: bool,
     deadline_ms: Option<f64>,
     inject_panic: bool,
+    fault_plan: Option<String>,
 }
 
 fn file_stem(path: &str) -> String {
@@ -316,6 +376,14 @@ fn parse_manifest(text: &str, defaults: &Args) -> Result<Vec<ManifestJob>, Strin
                     .map(|k| k.as_f64().ok_or(format!("job {i}: \"ks\" entries must be numbers")))
                     .collect::<Result<_, _>>()?,
             };
+            let fault_plan = match j.get("fault_plan") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or(format!("job {i}: \"fault_plan\" must be a string"))?
+                        .to_string(),
+                ),
+            };
             Ok(ManifestJob {
                 name: j
                     .get("name")
@@ -331,40 +399,217 @@ fn parse_manifest(text: &str, defaults: &Args) -> Result<Vec<ManifestJob>, Strin
                     .map(|v| v.as_f64().ok_or(format!("job {i}: \"deadline_ms\" must be a number")))
                     .transpose()?,
                 inject_panic: bool_field(j, "inject_panic", i)?,
+                fault_plan,
                 design,
             })
         })
         .collect()
 }
 
+/// Reads a previous batch report or checkpoint and returns the job
+/// documents already completed ok, keyed by `(name, design)`.
+fn load_resume(path: &str) -> Result<HashMap<(String, String), JsonValue>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+    if schema != "casyn.batch.v1" && schema != "casyn.checkpoint.v1" {
+        return Err(format!(
+            "{path}: schema {schema:?} is not resumable \
+             (expected casyn.batch.v1 or casyn.checkpoint.v1)"
+        ));
+    }
+    let mut done = HashMap::new();
+    if let Some(jobs) = doc.get("jobs").and_then(|v| v.as_array()) {
+        for j in jobs {
+            if j.get("status").and_then(|v| v.as_str()) != Some("ok") {
+                continue;
+            }
+            let name = j.get("name").and_then(|v| v.as_str());
+            let design = j.get("design").and_then(|v| v.as_str());
+            if let (Some(name), Some(design)) = (name, design) {
+                done.insert((name.to_string(), design.to_string()), j.clone());
+            }
+        }
+    }
+    Ok(done)
+}
+
+fn row_doc(e: &KSweepEntry) -> JsonValue {
+    JsonValue::object(vec![
+        ("k".into(), JsonValue::Number(e.k)),
+        ("cell_area".into(), JsonValue::Number(e.result.cell_area)),
+        ("num_cells".into(), JsonValue::Number(e.result.num_cells as f64)),
+        ("utilization_pct".into(), JsonValue::Number(e.result.utilization_pct)),
+        ("violations".into(), JsonValue::Number(e.result.route.violations as f64)),
+        ("wirelength_um".into(), JsonValue::Number(e.result.route.total_wirelength)),
+        ("critical_ns".into(), JsonValue::Number(e.result.sta.critical_arrival())),
+    ])
+}
+
+/// One per-job entry of a `casyn.batch.v1` / `casyn.checkpoint.v1` doc.
+#[allow(clippy::too_many_arguments)]
+fn job_doc(
+    name: &str,
+    design: &str,
+    status: &str,
+    degraded: bool,
+    attempts: u32,
+    wall_ms: f64,
+    error: Option<&FlowError>,
+    rows: Vec<JsonValue>,
+) -> JsonValue {
+    let mut doc = vec![
+        ("name".into(), JsonValue::Str(name.into())),
+        ("design".into(), JsonValue::Str(design.into())),
+        ("status".into(), JsonValue::Str(status.into())),
+        ("degraded".into(), JsonValue::Bool(degraded)),
+        ("attempts".into(), JsonValue::Number(attempts as f64)),
+        ("wall_ms".into(), JsonValue::Number(wall_ms)),
+    ];
+    if let Some(e) = error {
+        doc.push(("error".into(), e.to_json()));
+    }
+    doc.push(("rows".into(), JsonValue::Array(rows)));
+    JsonValue::object(doc)
+}
+
+fn finished_job_doc(m: &ManifestJob, jr: &BatchJobReport) -> JsonValue {
+    match &jr.outcome {
+        Ok(s) => job_doc(
+            &m.name,
+            &m.design,
+            "ok",
+            s.degraded,
+            jr.attempts,
+            jr.wall_ms,
+            None,
+            s.rows.iter().map(row_doc).collect(),
+        ),
+        Err(e) => job_doc(
+            &m.name,
+            &m.design,
+            "error",
+            false,
+            jr.attempts,
+            jr.wall_ms,
+            Some(e),
+            Vec::new(),
+        ),
+    }
+}
+
+fn load_error_doc(m: &ManifestJob, e: &str) -> JsonValue {
+    let error = FlowError::bad_input(Stage::Batch, e.to_string());
+    job_doc(&m.name, &m.design, "error", false, 0, 0.0, Some(&error), Vec::new())
+}
+
+/// Atomically replaces `path` with `doc` (write to `.tmp`, then rename),
+/// so a batch killed mid-checkpoint never leaves a truncated report.
+fn write_report_file(path: &str, doc: &JsonValue) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    fs::write(&tmp, doc.to_string_pretty()).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))?;
+    Ok(())
+}
+
+/// Writes a `casyn.crash.v1` reproducer bundle for one failed batch job.
+fn write_crash_bundle(
+    dir: &str,
+    m: &ManifestJob,
+    jr: &BatchJobReport,
+    fault_plan: Option<String>,
+) -> Result<String, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let error = match &jr.outcome {
+        Err(e) => e.to_json(),
+        Ok(_) => JsonValue::Null,
+    };
+    let mut doc = vec![
+        ("schema".into(), JsonValue::Str("casyn.crash.v1".into())),
+        ("name".into(), JsonValue::Str(m.name.clone())),
+        ("design".into(), JsonValue::Str(m.design.clone())),
+        ("error".into(), error),
+        ("attempts".into(), JsonValue::Number(jr.attempts as f64)),
+        ("ks".into(), JsonValue::Array(m.ks.iter().map(|&k| JsonValue::Number(k)).collect())),
+        ("util".into(), JsonValue::Number(m.util)),
+        ("layers".into(), JsonValue::Number(m.layers as f64)),
+        ("optimize".into(), JsonValue::Bool(m.optimize)),
+    ];
+    if let Some(p) = fault_plan {
+        doc.push(("fault_plan".into(), JsonValue::Str(p)));
+    }
+    let path = format!("{dir}/{}.crash.json", m.name);
+    fs::write(&path, JsonValue::object(doc).to_string_pretty())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(path)
+}
+
+/// Where a manifest entry's result comes from.
+enum Slot {
+    /// Runs in this batch, at this index into the `BatchJob` list.
+    Run(usize),
+    /// Completed ok in a `--resume` report; its document is reused.
+    Resumed(JsonValue),
+    /// Failed before the flow could start (bad path, parse error, ...).
+    LoadError(String),
+}
+
 /// `casyn batch <manifest.json>`: loads every design, fans the jobs out
 /// over the pool, prints a per-job report (one job's failure never takes
 /// down the batch) and optionally writes it as `casyn.batch.v1` JSON.
+/// While the batch runs, `--out` holds a `casyn.checkpoint.v1` document
+/// updated after every finished job; `--resume` skips jobs a previous
+/// report already completed.
 fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
     let text =
         fs::read_to_string(&args.input).map_err(|e| format!("cannot read {}: {e}", args.input))?;
     let manifest = parse_manifest(&text, args)?;
-    // load designs up front; a bad path or parse fails its row, not the batch
+    let resumed = match &args.resume {
+        Some(path) => load_resume(path)?,
+        None => HashMap::new(),
+    };
+    // load designs up front; a bad path, parse error or bad fault plan
+    // fails its row, not the batch
     let mut jobs: Vec<BatchJob> = Vec::new();
-    let mut inject: Vec<bool> = Vec::new();
-    let mut slots: Vec<Result<usize, String>> = Vec::new(); // manifest order → job index or load error
+    let mut job_manifest: Vec<usize> = Vec::new(); // job index → manifest index
+    let mut slots: Vec<Slot> = Vec::new(); // manifest order
     for m in &manifest {
-        let loaded = load_design(&m.design).and_then(|d| {
-            if d.is_combinational() {
-                Ok(d.core)
-            } else {
-                Err(format!("{}: sequential designs are not supported in batch", m.design))
-            }
-        });
+        if let Some(doc) = resumed.get(&(m.name.clone(), m.design.clone())) {
+            slots.push(Slot::Resumed(doc.clone()));
+            continue;
+        }
+        let plan_spec = m
+            .fault_plan
+            .clone()
+            .or_else(|| m.inject_panic.then(|| "decompose:panic:1".to_string()));
+        let loaded = load_design(&m.design)
+            .and_then(|d| {
+                if d.is_combinational() {
+                    Ok(d.core)
+                } else {
+                    Err(format!("{}: sequential designs are not supported in batch", m.design))
+                }
+            })
+            .and_then(|network| {
+                let fault = match &plan_spec {
+                    Some(spec) => Some(parse_fault_plan(spec)?),
+                    None => args.fault_plan.as_ref().map(|p| p.fresh()),
+                };
+                Ok((network, fault))
+            });
         match loaded {
-            Ok(network) => {
+            Ok((network, fault)) => {
                 let mut opts = FlowOptions { target_utilization: m.util, ..Default::default() };
                 opts.route.layers = m.layers;
                 if m.optimize {
                     opts.optimize = Some(OptimizeOptions::default());
                 }
-                slots.push(Ok(jobs.len()));
-                inject.push(m.inject_panic);
+                if args.validate {
+                    opts.validate = true;
+                }
+                opts.fault = fault;
+                job_manifest.push(slots.len());
+                slots.push(Slot::Run(jobs.len()));
                 jobs.push(BatchJob {
                     name: m.name.clone(),
                     network,
@@ -373,56 +618,112 @@ fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
                     deadline: m.deadline_ms.map(|ms| std::time::Duration::from_secs_f64(ms / 1e3)),
                 });
             }
-            Err(e) => slots.push(Err(e)),
+            Err(e) => slots.push(Slot::LoadError(e)),
         }
     }
+    let num_resumed = slots.iter().filter(|s| matches!(s, Slot::Resumed(_))).count();
     println!(
-        "batch: {} jobs ({} loadable) on {} workers",
+        "batch: {} jobs ({} loadable, {} resumed) on {} workers",
         manifest.len(),
         jobs.len(),
+        num_resumed,
         pool.workers()
     );
-    let base = jobs.as_ptr() as usize;
-    let report = run_batch_with(&jobs, pool, |job| {
-        // recover the job's index from its slice position to look up the
-        // fault-injection flag without widening the library type
-        let idx = (job as *const BatchJob as usize - base) / std::mem::size_of::<BatchJob>();
-        if inject[idx] {
-            panic!("injected panic (inject_panic manifest flag)");
-        }
-        casyn_flow::batch::run_batch_job(job)
-    });
+    // Incremental checkpoint: every finished job's document lands in
+    // `--out` (as casyn.checkpoint.v1) so a killed batch can --resume.
+    // Resumed and load-failed rows are part of the checkpoint up front.
+    let checkpoint: Mutex<Vec<Option<JsonValue>>> = Mutex::new(
+        manifest
+            .iter()
+            .zip(&slots)
+            .map(|(m, slot)| match slot {
+                Slot::Run(_) => None,
+                Slot::Resumed(doc) => Some(doc.clone()),
+                Slot::LoadError(e) => Some(load_error_doc(m, e)),
+            })
+            .collect(),
+    );
+    let bopts = BatchOptions { retries: args.retries, ..Default::default() };
+    let batch = run_batch_observed(
+        &jobs,
+        pool,
+        &bopts,
+        |j| run_batch_job(j, &bopts),
+        |ji, jr| {
+            let mut docs = match checkpoint.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            docs[job_manifest[ji]] = Some(finished_job_doc(&manifest[job_manifest[ji]], jr));
+            if let Some(out) = &args.out {
+                let done: Vec<JsonValue> = docs.iter().flatten().cloned().collect();
+                let doc = JsonValue::object(vec![
+                    ("schema".into(), JsonValue::Str("casyn.checkpoint.v1".into())),
+                    ("jobs".into(), JsonValue::Array(done)),
+                ]);
+                if let Err(e) = write_report_file(out, &doc) {
+                    obs::log::warn(&format!("checkpoint: {e}"));
+                }
+            }
+        },
+    );
+    // final report, in manifest order; the in-memory BatchReport is
+    // authoritative for every job that ran (jobs that never started do
+    // not reach the checkpoint callback)
     let mut failed = 0usize;
+    let mut degraded = 0usize;
     let mut job_docs = Vec::new();
     for (m, slot) in manifest.iter().zip(&slots) {
-        let (status, error, wall_ms, rows): (&str, Option<String>, f64, Vec<JsonValue>) = match slot
-        {
-            Err(e) => {
+        match slot {
+            Slot::LoadError(e) => {
                 failed += 1;
                 println!("[{}] LOAD ERROR: {e}", m.name);
-                ("error", Some(e.clone()), 0.0, Vec::new())
+                job_docs.push(load_error_doc(m, e));
             }
-            Ok(idx) => {
-                let jr = &report.jobs[*idx];
+            Slot::Resumed(doc) => {
+                println!("[{}] resumed: already ok in a previous run", m.name);
+                if doc.get("degraded").and_then(|v| v.as_bool()) == Some(true) {
+                    degraded += 1;
+                }
+                job_docs.push(doc.clone());
+            }
+            Slot::Run(ji) => {
+                let jr = &batch.jobs[*ji];
                 match &jr.outcome {
                     Err(e) => {
                         failed += 1;
-                        println!("[{}] FAILED: {e}", m.name);
-                        ("error", Some(e.to_string()), jr.wall_ms, Vec::new())
-                    }
-                    Ok(entries) => {
                         println!(
-                            "[{}] ok in {:.0} ms ({} K rows)",
+                            "[{}] FAILED after {} attempt(s): {e}",
+                            m.name,
+                            jr.attempts.max(1)
+                        );
+                        if let Some(dir) = &args.crash_dir {
+                            let plan = jobs[*ji].opts.fault.as_ref().map(|p| p.to_string());
+                            match write_crash_bundle(dir, m, jr, plan) {
+                                Ok(path) => println!("  crash bundle: {path}"),
+                                Err(e) => eprintln!("  crash bundle failed: {e}"),
+                            }
+                        }
+                    }
+                    Ok(s) => {
+                        let tag = if s.degraded {
+                            degraded += 1;
+                            " DEGRADED (escalated K)"
+                        } else {
+                            ""
+                        };
+                        println!(
+                            "[{}] ok in {:.0} ms ({} K rows, {} attempt(s)){tag}",
                             m.name,
                             jr.wall_ms,
-                            entries.len()
+                            s.rows.len(),
+                            jr.attempts
                         );
                         println!(
                             "  {:>10} {:>12} {:>8} {:>8} {:>8}",
                             "K", "area", "cells", "util%", "viol"
                         );
-                        let mut docs = Vec::new();
-                        for e in entries {
+                        for e in &s.rows {
                             println!(
                                 "  {:>10} {:>12.0} {:>8} {:>8.2} {:>8}",
                                 e.k,
@@ -431,61 +732,30 @@ fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
                                 e.result.utilization_pct,
                                 e.result.route.violations
                             );
-                            docs.push(JsonValue::object(vec![
-                                ("k".into(), JsonValue::Number(e.k)),
-                                ("cell_area".into(), JsonValue::Number(e.result.cell_area)),
-                                ("num_cells".into(), JsonValue::Number(e.result.num_cells as f64)),
-                                (
-                                    "utilization_pct".into(),
-                                    JsonValue::Number(e.result.utilization_pct),
-                                ),
-                                (
-                                    "violations".into(),
-                                    JsonValue::Number(e.result.route.violations as f64),
-                                ),
-                                (
-                                    "wirelength_um".into(),
-                                    JsonValue::Number(e.result.route.total_wirelength),
-                                ),
-                                (
-                                    "critical_ns".into(),
-                                    JsonValue::Number(e.result.sta.critical_arrival()),
-                                ),
-                            ]));
                         }
-                        ("ok", None, jr.wall_ms, docs)
                     }
                 }
+                job_docs.push(finished_job_doc(m, jr));
             }
-        };
-        let mut doc = vec![
-            ("name".into(), JsonValue::Str(m.name.clone())),
-            ("design".into(), JsonValue::Str(m.design.clone())),
-            ("status".into(), JsonValue::Str(status.into())),
-            ("wall_ms".into(), JsonValue::Number(wall_ms)),
-        ];
-        if let Some(e) = error {
-            doc.push(("error".into(), JsonValue::Str(e)));
         }
-        doc.push(("rows".into(), JsonValue::Array(rows)));
-        job_docs.push(JsonValue::object(doc));
     }
     let ok = manifest.len() - failed;
     println!(
-        "batch done: {ok} ok, {failed} failed, wall {:.0} ms (jobs={})",
-        report.wall_ms,
+        "batch done: {ok} ok ({degraded} degraded), {failed} failed, wall {:.0} ms (jobs={})",
+        batch.wall_ms,
         pool.workers()
     );
     if let Some(path) = &args.out {
         let doc = JsonValue::object(vec![
             ("schema".into(), JsonValue::Str("casyn.batch.v1".into())),
             ("workers".into(), JsonValue::Number(pool.workers() as f64)),
-            ("wall_ms".into(), JsonValue::Number(report.wall_ms)),
+            ("wall_ms".into(), JsonValue::Number(batch.wall_ms)),
             ("jobs_ok".into(), JsonValue::Number(ok as f64)),
             ("jobs_failed".into(), JsonValue::Number(failed as f64)),
+            ("jobs_degraded".into(), JsonValue::Number(degraded as f64)),
             ("jobs".into(), JsonValue::Array(job_docs)),
         ]);
-        fs::write(path, doc.to_string_pretty()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_report_file(path, &doc)?;
         println!("wrote {path}");
     }
     write_observability(args, None)?;
@@ -495,12 +765,35 @@ fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
     Ok(())
 }
 
+/// `casyn heatmap <heatmap.json>`: parses and summarizes an exported
+/// congestion heat map, with line/field diagnostics on malformed input.
+fn run_heatmap_command(args: &Args) -> Result<(), String> {
+    let text =
+        fs::read_to_string(&args.input).map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    let map = CongestionMap::from_json(&text).map_err(|e| format!("{}: {e}", args.input))?;
+    let (h_cap, v_cap) = map.capacities();
+    println!(
+        "{}: {} x {} gcells of {:.2} um, capacity h {:.1} / v {:.1} tracks",
+        args.input,
+        map.nx(),
+        map.ny(),
+        map.gcell_size(),
+        h_cap,
+        v_cap
+    );
+    println!("peak congestion {:.1}%", 100.0 * map.max_util());
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
     if args.trace {
         obs::log::set_level(obs::log::Level::Debug);
     }
     if args.metrics_out.is_some() {
         obs::set_enabled(true);
+    }
+    if args.command == "heatmap" {
+        return run_heatmap_command(args);
     }
     let pool = match args.jobs {
         Some(n) => Pool::new(n),
@@ -518,7 +811,7 @@ fn run(args: &Args) -> Result<(), String> {
                 design.latches.len()
             ));
         }
-        let r = sequential_flow(&design, args.k, &opts);
+        let r = sequential_flow(&design, args.k, &opts).map_err(|e| e.to_string())?;
         println!("{}: sequential design, {} flip-flops", args.input, r.num_dffs);
         report(&r.flow, args.clock);
         println!("minimum clock period: {:.3} ns", r.min_clock_period);
@@ -527,7 +820,7 @@ fn run(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     let network = design.core;
-    let prep = prepare(&network, &opts);
+    let prep = prepare(&network, &opts).map_err(|e| e.to_string())?;
     println!(
         "{}: {} base gates, die {:.0} um^2 ({} rows)",
         args.input,
@@ -543,7 +836,8 @@ fn run(args: &Args) -> Result<(), String> {
                 &prep,
                 &MapOptions { scheme: args.scheme, cost, ..Default::default() },
                 &opts,
-            );
+            )
+            .map_err(|e| e.to_string())?;
             report(&r, args.clock);
             write_artifacts(args, &network, &r)?;
             write_observability(args, Some(&r))?;
@@ -554,7 +848,8 @@ fn run(args: &Args) -> Result<(), String> {
                 // Parallel rows: the metrics registry aggregates across all
                 // K rows (plus the pool's exec.* keys); per-row attribution
                 // needs --jobs 1. The rows themselves are bit-identical.
-                let mut rows = k_sweep_prepared_pool(&prep, &args.ks, &opts, &pool);
+                let mut rows = k_sweep_prepared_pool(&prep, &args.ks, &opts, &pool)
+                    .map_err(|e| e.to_string())?;
                 for e in &rows {
                     println!(
                         "{:>10} {:>12.0} {:>8} {:>8.2} {:>8}",
@@ -573,7 +868,8 @@ fn run(args: &Args) -> Result<(), String> {
                     // the same (last) row as the stage telemetry in
                     // --metrics-out, instead of accumulating across rows.
                     obs::reset();
-                    let r = casyn_flow::congestion_flow_prepared(&prep, k, &opts);
+                    let r = casyn_flow::congestion_flow_prepared(&prep, k, &opts)
+                        .map_err(|e| e.to_string())?;
                     println!(
                         "{:>10} {:>12.0} {:>8} {:>8.2} {:>8}",
                         k, r.cell_area, r.num_cells, r.utilization_pct, r.route.violations
@@ -586,7 +882,8 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "loop" => {
             let schedule = [0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0];
-            let out = run_methodology_prepared(&prep, &schedule, 1.0, &opts);
+            let out = run_methodology_prepared(&prep, &schedule, 1.0, &opts)
+                .map_err(|e| e.to_string())?;
             for s in &out.steps {
                 println!(
                     "K = {:<8} peak {:>6.1}%  violations {:>6}  {}",
@@ -646,6 +943,9 @@ mod tests {
         assert_eq!(a.k, 0.5);
         assert_eq!(a.scheme, PartitionScheme::PlacementDriven);
         assert!(!a.optimize);
+        assert!(!a.validate);
+        assert_eq!(a.retries, 0);
+        assert!(a.resume.is_none() && a.fault_plan.is_none() && a.crash_dir.is_none());
     }
 
     #[test]
@@ -695,6 +995,41 @@ mod tests {
     }
 
     #[test]
+    fn parse_fault_tolerance_flags() {
+        let a = parse_args(&sv(&[
+            "batch",
+            "m.json",
+            "--validate",
+            "--retries",
+            "2",
+            "--resume",
+            "old.json",
+            "--fault-plan",
+            "map:panic:1,route:corrupt:2,seed=7",
+            "--crash-dir",
+            "crashes",
+        ]))
+        .unwrap();
+        assert!(a.validate);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.resume.as_deref(), Some("old.json"));
+        let plan = a.fault_plan.unwrap();
+        assert_eq!(plan.specs().len(), 2);
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(a.crash_dir.as_deref(), Some("crashes"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_fault_plans() {
+        // unknown stage names fail up front, not silently at run time
+        let e = parse_args(&sv(&["map", "x.pla", "--fault-plan", "warp:panic:1"])).unwrap_err();
+        assert!(e.contains("unknown stage") && e.contains("warp"), "got: {e}");
+        assert!(parse_args(&sv(&["map", "x.pla", "--fault-plan", "map:explode"])).is_err());
+        assert!(parse_args(&sv(&["map", "x.pla", "--fault-plan"])).is_err());
+        assert!(parse_args(&sv(&["batch", "m.json", "--retries", "-1"])).is_err());
+    }
+
+    #[test]
     fn parse_errors() {
         assert!(parse_args(&sv(&["map"])).is_err());
         assert!(parse_args(&sv(&["map", "x.pla", "--scheme", "bogus"])).is_err());
@@ -725,7 +1060,8 @@ mod tests {
             r#"{"jobs": [
                 {"design": "a/count8.pla"},
                 {"design": "b.pla", "name": "bee", "ks": [0.0, 2.5], "util": 0.5,
-                 "layers": 4, "optimize": true, "deadline_ms": 1500, "inject_panic": true}
+                 "layers": 4, "optimize": true, "deadline_ms": 1500, "inject_panic": true,
+                 "fault_plan": "route:deadline:1"}
             ]}"#,
             &defaults(),
         )
@@ -736,12 +1072,14 @@ mod tests {
         assert_eq!(jobs[0].util, defaults().util);
         assert_eq!(jobs[0].layers, 3);
         assert!(!jobs[0].optimize && jobs[0].deadline_ms.is_none() && !jobs[0].inject_panic);
+        assert!(jobs[0].fault_plan.is_none());
         assert_eq!(jobs[1].name, "bee");
         assert_eq!(jobs[1].ks, vec![0.0, 2.5]);
         assert_eq!(jobs[1].util, 0.5);
         assert_eq!(jobs[1].layers, 4);
         assert!(jobs[1].optimize && jobs[1].inject_panic);
         assert_eq!(jobs[1].deadline_ms, Some(1500.0));
+        assert_eq!(jobs[1].fault_plan.as_deref(), Some("route:deadline:1"));
     }
 
     #[test]
@@ -764,5 +1102,36 @@ mod tests {
         assert!(parse_manifest(r#"[{"design": "x.pla", "deadline_ms": "soon"}]"#, &d)
             .unwrap_err()
             .contains("deadline_ms"));
+        assert!(parse_manifest(r#"[{"design": "x.pla", "fault_plan": 3}]"#, &d)
+            .unwrap_err()
+            .contains("fault_plan"));
+    }
+
+    #[test]
+    fn resume_reports_reject_unknown_schemas() {
+        let dir = std::env::temp_dir().join("casyn-cli-resume-schema");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weird.json");
+        fs::write(&path, r#"{"schema": "casyn.telemetry.v1", "jobs": []}"#).unwrap();
+        let e = load_resume(path.to_str().unwrap()).unwrap_err();
+        assert!(e.contains("not resumable"), "got: {e}");
+    }
+
+    #[test]
+    fn resume_collects_only_ok_jobs() {
+        let dir = std::env::temp_dir().join("casyn-cli-resume-ok");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        fs::write(
+            &path,
+            r#"{"schema": "casyn.checkpoint.v1", "jobs": [
+                {"name": "a", "design": "a.pla", "status": "ok", "rows": []},
+                {"name": "b", "design": "b.pla", "status": "error", "rows": []}
+            ]}"#,
+        )
+        .unwrap();
+        let done = load_resume(path.to_str().unwrap()).unwrap();
+        assert_eq!(done.len(), 1);
+        assert!(done.contains_key(&("a".to_string(), "a.pla".to_string())));
     }
 }

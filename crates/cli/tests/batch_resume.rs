@@ -1,0 +1,150 @@
+//! Drives the built `casyn` binary end to end: a faulted batch exits
+//! non-zero with typed errors and a crash bundle, and `--resume` finishes
+//! the remaining work into a report identical (modulo wall clock) to an
+//! uninterrupted run.
+
+use casyn_obs::json::JsonValue;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn design(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/designs")
+        .join(name)
+        .canonicalize()
+        .unwrap()
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+/// Writes a four-job manifest over the two example designs; with
+/// `fault_on_c`, job `c` carries a one-shot panic fault at the map stage.
+fn manifest(dir: &Path, file: &str, fault_on_c: bool) -> PathBuf {
+    let a = design("ex_a.pla");
+    let b = design("ex_b.pla");
+    let fault = if fault_on_c { r#", "fault_plan": "map:panic:1""# } else { "" };
+    let text = format!(
+        r#"{{"jobs": [
+  {{"design": "{a}", "name": "a", "ks": [0.0, 0.1]}},
+  {{"design": "{b}", "name": "b", "ks": [0.0, 0.1]}},
+  {{"design": "{a}", "name": "c", "ks": [0.0, 0.1]{fault}}},
+  {{"design": "{b}", "name": "d", "ks": [0.0, 0.1]}}
+]}}"#
+    );
+    let path = dir.join(file);
+    fs::write(&path, text).unwrap();
+    path
+}
+
+fn casyn(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_casyn")).args(args).output().expect("spawn casyn")
+}
+
+fn read_json(path: &Path) -> JsonValue {
+    JsonValue::parse(&fs::read_to_string(path).unwrap())
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Wall-clock fields are the only run-to-run nondeterminism in a report.
+fn strip_wall_ms(report: &str) -> String {
+    report.lines().filter(|l| !l.contains("\"wall_ms\"")).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn faulted_batch_resumes_into_the_uninterrupted_report() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("batch_resume");
+    fs::create_dir_all(&dir).unwrap();
+    let clean_manifest = manifest(&dir, "clean.json", false);
+    let fault_manifest = manifest(&dir, "fault.json", true);
+    let full = dir.join("full.json");
+    let partial = dir.join("partial.json");
+    let resumed = dir.join("resumed.json");
+    let crashes = dir.join("crashes");
+
+    // the uninterrupted reference run
+    let out = casyn(&[
+        "batch",
+        clean_manifest.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--out",
+        full.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "clean run: {}", String::from_utf8_lossy(&out.stderr));
+
+    // the faulted run: job c panics at map, the batch exits non-zero, the
+    // report carries the typed error, and a crash bundle is written
+    let out = casyn(&[
+        "batch",
+        fault_manifest.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--out",
+        partial.to_str().unwrap(),
+        "--crash-dir",
+        crashes.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "faulted batch must exit non-zero");
+    let doc = read_json(&partial);
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("casyn.batch.v1"));
+    assert_eq!(doc.get("jobs_ok").unwrap().as_f64(), Some(3.0));
+    assert_eq!(doc.get("jobs_failed").unwrap().as_f64(), Some(1.0));
+    let jobs = doc.get("jobs").unwrap().as_array().unwrap();
+    assert_eq!(jobs.len(), 4);
+    let c = jobs.iter().find(|j| j.get("name").unwrap().as_str() == Some("c")).unwrap();
+    assert_eq!(c.get("status").unwrap().as_str(), Some("error"));
+    let err = c.get("error").unwrap();
+    assert_eq!(err.get("kind").unwrap().as_str(), Some("panicked"));
+    assert!(err.get("detail").unwrap().as_str().unwrap().contains("map"));
+    let bundle = read_json(&crashes.join("c.crash.json"));
+    assert_eq!(bundle.get("schema").unwrap().as_str(), Some("casyn.crash.v1"));
+    assert_eq!(bundle.get("error").unwrap().get("kind").unwrap().as_str(), Some("panicked"));
+    assert!(bundle.get("fault_plan").unwrap().as_str().unwrap().contains("map:panic:1"));
+
+    // resume: only the failed job re-runs, the batch exits zero
+    let out = casyn(&[
+        "batch",
+        clean_manifest.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--resume",
+        partial.to_str().unwrap(),
+        "--out",
+        resumed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "resume: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for line in ["[a] resumed", "[b] resumed", "[d] resumed", "[c] ok"] {
+        assert!(stdout.contains(line), "missing {line:?} in:\n{stdout}");
+    }
+
+    // modulo wall clock, the merged report IS the uninterrupted one
+    let full_text = strip_wall_ms(&fs::read_to_string(&full).unwrap());
+    let resumed_text = strip_wall_ms(&fs::read_to_string(&resumed).unwrap());
+    assert_eq!(full_text, resumed_text);
+
+    // a mid-run checkpoint document resumes the same way a final report
+    // does (the schema an interrupted batch actually leaves behind)
+    let jobs_doc = doc.get("jobs").unwrap().clone();
+    let checkpoint = dir.join("checkpoint.json");
+    let ck = JsonValue::object(vec![
+        ("schema".into(), JsonValue::Str("casyn.checkpoint.v1".into())),
+        ("jobs".into(), jobs_doc),
+    ]);
+    fs::write(&checkpoint, ck.to_string_pretty()).unwrap();
+    let out = casyn(&[
+        "batch",
+        clean_manifest.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--resume",
+        checkpoint.to_str().unwrap(),
+        "--out",
+        resumed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "checkpoint resume: {}", String::from_utf8_lossy(&out.stderr));
+    let resumed_text = strip_wall_ms(&fs::read_to_string(&resumed).unwrap());
+    assert_eq!(full_text, resumed_text);
+}

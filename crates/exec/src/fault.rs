@@ -1,0 +1,273 @@
+//! Deterministic seeded fault injection.
+//!
+//! A [`FaultPlan`] schedules faults by *stage name*, *kind* and
+//! *nth occurrence*: `"map:panic:1"` panics the first time the map stage
+//! arms the plan, `"route:corrupt:2"` corrupts the second routing run.
+//! Because the trigger is an occurrence count — not wall-clock or
+//! randomness — the same plan reproduces the same failure on every run,
+//! which is what makes crash reproducer bundles and retry tests
+//! deterministic.
+//!
+//! Occurrence counters live behind an `Arc`, so clones of a plan share
+//! them: a retry loop that re-runs a job with the same (cloned) plan sees
+//! the counter keep growing, which is how "fail on attempt 1, succeed on
+//! attempt 2" scenarios are expressed. Use [`FaultPlan::fresh`] to get an
+//! independent copy with zeroed counters (one per batch job).
+
+use casyn_obs as obs;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Panic at the stage boundary (exercises panic isolation/retry).
+    Panic,
+    /// Report an injected stage-deadline error (a typed, non-panicking
+    /// failure).
+    Deadline,
+    /// Corrupt the stage's intermediate result so the stage-boundary
+    /// invariant checker has something real to catch.
+    Corrupt,
+}
+
+impl FaultKind {
+    /// The spec-string token for this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Deadline => "deadline",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "deadline" => Some(FaultKind::Deadline),
+            "corrupt" => Some(FaultKind::Corrupt),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scheduled fault: fire `kind` the `nth` time `stage` arms the plan
+/// (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Stage name the fault is bound to (the injector matches it against
+    /// the stage arming the plan; unknown names simply never fire).
+    pub stage: String,
+    /// What happens when the fault fires.
+    pub kind: FaultKind,
+    /// Which occurrence of the stage triggers the fault (1 = first).
+    pub nth: u32,
+}
+
+/// A deterministic fault-injection schedule plus its occurrence state.
+///
+/// Cloning shares the occurrence counters (see the module docs); use
+/// [`FaultPlan::fresh`] for an isolated copy.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    specs: Arc<Vec<FaultSpec>>,
+    seed: u64,
+    counts: Arc<Mutex<HashMap<String, u32>>>,
+}
+
+impl FaultPlan {
+    /// Parses a plan from its spec string: comma-separated
+    /// `stage:kind[:nth]` items (nth defaults to 1) plus an optional
+    /// `seed=N`, e.g. `"map:panic:1,route:corrupt:2,seed=42"`. The seed
+    /// steers *which* element a corrupt fault damages, not *whether* a
+    /// fault fires.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut specs = Vec::new();
+        let mut seed = 0u64;
+        for item in text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some(v) = item.strip_prefix("seed=") {
+                seed = v.parse().map_err(|e| format!("fault plan: bad seed {v:?}: {e}"))?;
+                continue;
+            }
+            let parts: Vec<&str> = item.split(':').collect();
+            if parts.len() < 2 || parts.len() > 3 {
+                return Err(format!(
+                    "fault plan: {item:?} is not stage:kind[:nth] (e.g. \"map:panic:1\")"
+                ));
+            }
+            let kind = FaultKind::parse(parts[1]).ok_or(format!(
+                "fault plan: unknown kind {:?} (expected panic, deadline or corrupt)",
+                parts[1]
+            ))?;
+            let nth: u32 = match parts.get(2) {
+                None => 1,
+                Some(v) => v.parse().map_err(|e| format!("fault plan: bad nth {v:?}: {e}"))?,
+            };
+            if nth == 0 {
+                return Err("fault plan: nth is 1-based, 0 never fires".into());
+            }
+            specs.push(FaultSpec { stage: parts[0].to_string(), kind, nth });
+        }
+        if specs.is_empty() {
+            return Err("fault plan: no faults specified".into());
+        }
+        Ok(FaultPlan { specs: Arc::new(specs), seed, counts: Arc::default() })
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The corruption seed (`seed=N` in the spec string; 0 by default).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled faults.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// An independent copy with the same schedule and seed but zeroed
+    /// occurrence counters.
+    pub fn fresh(&self) -> FaultPlan {
+        FaultPlan { specs: Arc::clone(&self.specs), seed: self.seed, counts: Arc::default() }
+    }
+
+    /// Records one occurrence of `stage` and returns the fault scheduled
+    /// for exactly this occurrence, if any. Does **not** raise the fault —
+    /// see [`FaultPlan::fire`].
+    pub fn arm(&self, stage: &str) -> Option<FaultKind> {
+        if self.specs.is_empty() {
+            return None;
+        }
+        let mut counts = match self.counts.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let n = counts.entry(stage.to_string()).or_insert(0);
+        *n += 1;
+        let n = *n;
+        self.specs.iter().find(|s| s.stage == stage && s.nth == n).map(|s| s.kind)
+    }
+
+    /// [`FaultPlan::arm`], raising the fault where this crate can:
+    /// a scheduled [`FaultKind::Panic`] panics right here (with a message
+    /// naming the stage), while `Deadline` and `Corrupt` are returned for
+    /// the caller to apply at its own layer. Every fired fault is counted
+    /// under the `fault.injected` metric.
+    pub fn fire(&self, stage: &str) -> Option<FaultKind> {
+        let kind = self.arm(stage)?;
+        if obs::enabled() {
+            obs::counter_add("fault.injected", 1);
+            obs::counter_add(&format!("fault.{}", kind.name()), 1);
+        }
+        obs::log::warn(&format!("fault: injecting {kind} at stage {stage}"));
+        if kind == FaultKind::Panic {
+            panic!("injected fault: panic at stage {stage}");
+        }
+        Some(kind)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// The canonical spec string; `FaultPlan::parse(&plan.to_string())`
+    /// round-trips the schedule (counters are not part of the spec).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.specs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{}:{}:{}", s.stage, s.kind, s.nth)?;
+        }
+        if self.seed != 0 {
+            write!(f, ",seed={}", self.seed)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let p = FaultPlan::parse("map:panic:1, route:corrupt:2 ,seed=42").unwrap();
+        assert_eq!(p.seed(), 42);
+        assert_eq!(
+            p.specs(),
+            &[
+                FaultSpec { stage: "map".into(), kind: FaultKind::Panic, nth: 1 },
+                FaultSpec { stage: "route".into(), kind: FaultKind::Corrupt, nth: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_defaults_nth_to_one() {
+        let p = FaultPlan::parse("sta:deadline").unwrap();
+        assert_eq!(
+            p.specs(),
+            &[FaultSpec { stage: "sta".into(), kind: FaultKind::Deadline, nth: 1 }]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("map").is_err());
+        assert!(FaultPlan::parse("map:explode").is_err());
+        assert!(FaultPlan::parse("map:panic:0").is_err());
+        assert!(FaultPlan::parse("map:panic:x").is_err());
+        assert!(FaultPlan::parse("seed=abc,map:panic").is_err());
+        assert!(FaultPlan::parse("seed=1").is_err(), "a bare seed schedules nothing");
+    }
+
+    #[test]
+    fn arm_fires_on_exact_occurrence_only() {
+        let p = FaultPlan::parse("route:corrupt:2").unwrap();
+        assert_eq!(p.arm("route"), None);
+        assert_eq!(p.arm("map"), None, "other stages do not consume route occurrences");
+        assert_eq!(p.arm("route"), Some(FaultKind::Corrupt));
+        assert_eq!(p.arm("route"), None, "nth is exact, not at-least");
+    }
+
+    #[test]
+    fn clones_share_counters_but_fresh_does_not() {
+        let p = FaultPlan::parse("map:panic:2").unwrap();
+        let clone = p.clone();
+        assert_eq!(clone.arm("map"), None);
+        assert_eq!(p.arm("map"), Some(FaultKind::Panic), "clone consumed occurrence 1");
+        let fresh = p.fresh();
+        assert_eq!(fresh.arm("map"), None, "fresh copy restarts the count");
+        assert_eq!(fresh.arm("map"), Some(FaultKind::Panic));
+    }
+
+    #[test]
+    fn fire_panics_with_stage_in_message() {
+        let p = FaultPlan::parse("map:panic:1").unwrap();
+        let err = std::panic::catch_unwind(|| {
+            p.fire("map");
+        })
+        .unwrap_err();
+        let msg = crate::panic_message(err.as_ref());
+        assert!(msg.contains("injected fault") && msg.contains("map"), "got: {msg}");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let p = FaultPlan::parse("map:panic:1,route:corrupt:2,seed=7").unwrap();
+        let q = FaultPlan::parse(&p.to_string()).unwrap();
+        assert_eq!(p.specs(), q.specs());
+        assert_eq!(p.seed(), q.seed());
+    }
+}

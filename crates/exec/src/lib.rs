@@ -30,8 +30,10 @@
 //! environment variable and falls back to
 //! `std::thread::available_parallelism`.
 
+pub mod fault;
 mod job;
 mod pool;
 
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use job::{CancelToken, JobError, JobOptions};
-pub use pool::Pool;
+pub use pool::{panic_message, Pool};

@@ -271,8 +271,10 @@ fn flush_stats(workers: usize, stats: &[WorkerStats]) {
     obs::counter_add("exec.jobs_completed", completed);
 }
 
-/// Extracts a human-readable message from a panic payload.
-fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+/// Extracts a human-readable message from a panic payload (the `&str` or
+/// `String` passed to `panic!`), for surfacing caught panics as typed
+/// errors outside the pool as well.
+pub fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {

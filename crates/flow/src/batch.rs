@@ -1,17 +1,30 @@
 //! Concurrent batch runner: many `{design, K-list, options}` jobs fanned
-//! out over one [`Pool`], with per-job isolation.
+//! out over one [`Pool`], with per-job isolation and recovery.
 //!
 //! Each batch job prepares its design once (the front end of the paper's
 //! methodology) and then sweeps its K list; parallelism is across jobs.
 //! Jobs are independent, so the report rows are bit-identical regardless
-//! of worker count. A job that panics, is cancelled, or overshoots its
-//! deadline fails *alone*: its slot in the [`BatchReport`] carries the
-//! typed [`JobError`] while every sibling job runs to completion.
+//! of worker count. A job that fails — a typed [`FlowError`], a panic, a
+//! missed deadline — fails *alone*: its slot in the [`BatchReport`]
+//! carries the error while every sibling runs to completion. On top of
+//! that isolation sit two recovery mechanisms, both controlled by
+//! [`BatchOptions`]:
+//!
+//! * **retry** — a failed job is re-run up to `retries` more times in
+//!   place (transient faults, e.g. an injected `nth`-occurrence fault,
+//!   clear on a later attempt because the fault plan's occurrence
+//!   counters are shared across attempts);
+//! * **K escalation** — a job whose entire sweep ends unroutable gets
+//!   one extra rung at `2 × max(ks)` appended and is reported with
+//!   `degraded: true` instead of being declared a failure.
 
-use crate::flows::{prepare, FlowOptions};
+use crate::error::{FlowError, FlowErrorKind, Stage};
+use crate::flows::{congestion_flow_prepared, prepare, FlowOptions};
 use crate::sweep::{k_sweep_prepared, KSweepEntry};
-use casyn_exec::{JobError, JobOptions, Pool};
+use casyn_exec::{panic_message, JobOptions, Pool};
 use casyn_netlist::network::Network;
+use casyn_obs as obs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// One unit of batch work: a design, the K values to sweep, and the flow
@@ -27,8 +40,35 @@ pub struct BatchJob {
     /// Flow options for every K of this job.
     pub opts: FlowOptions,
     /// Optional per-job deadline, measured from batch submission; a job
-    /// that has not *started* in time fails with [`JobError::Deadline`].
+    /// that has not *started* in time fails with a deadline error.
     pub deadline: Option<Duration>,
+}
+
+/// Recovery policy for a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// How many times to re-run a failed job before recording the
+    /// failure (0 = fail on first error).
+    pub retries: u32,
+    /// When a job's whole sweep is unroutable, append one escalated rung
+    /// at `2 × max(ks)` (or 1.0 if all ks are 0) and mark the job
+    /// `degraded` instead of leaving only unroutable rows.
+    pub escalate_k: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { retries: 0, escalate_k: true }
+    }
+}
+
+/// A completed job's payload.
+#[derive(Debug, Clone)]
+pub struct JobSuccess {
+    /// Sweep rows, in K order (plus the escalated rung, when degraded).
+    pub rows: Vec<KSweepEntry>,
+    /// True when the job only completed through K escalation.
+    pub degraded: bool,
 }
 
 /// The outcome of one batch job.
@@ -36,11 +76,13 @@ pub struct BatchJob {
 pub struct BatchJobReport {
     /// The job's name.
     pub name: String,
-    /// Sweep rows on success, or the typed failure.
-    pub outcome: Result<Vec<KSweepEntry>, JobError>,
-    /// Wall-clock the job spent running, in milliseconds (0 when the job
-    /// never ran).
+    /// Sweep rows on success, or the typed failure of the last attempt.
+    pub outcome: Result<JobSuccess, FlowError>,
+    /// Wall-clock the job spent running (all attempts), in milliseconds
+    /// (0 when the job never ran).
     pub wall_ms: f64,
+    /// Attempts made (1 = no retry needed; 0 = never started).
+    pub attempts: u32,
 }
 
 /// The outcome of a whole batch run.
@@ -55,55 +97,138 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    /// Number of jobs that completed.
+    /// Number of jobs that completed (degraded ones included).
     pub fn num_ok(&self) -> usize {
         self.jobs.iter().filter(|j| j.outcome.is_ok()).count()
     }
 
-    /// Number of jobs that failed (panicked / cancelled / deadline).
+    /// Number of jobs that failed every attempt.
     pub fn num_failed(&self) -> usize {
         self.jobs.len() - self.num_ok()
     }
+
+    /// Number of jobs that completed only through K escalation.
+    pub fn num_degraded(&self) -> usize {
+        self.jobs.iter().filter(|j| matches!(&j.outcome, Ok(s) if s.degraded)).count()
+    }
 }
 
-/// The default per-job runner: prepare the design once, then sweep its K
-/// list serially within the job (the batch parallelizes across jobs).
-pub fn run_batch_job(job: &BatchJob) -> Vec<KSweepEntry> {
-    let prep = prepare(&job.network, &job.opts);
-    k_sweep_prepared(&prep, &job.ks, &job.opts)
+/// The default per-job runner: prepare the design once, sweep its K list
+/// serially within the job (the batch parallelizes across jobs), and
+/// escalate K per `bopts` when the whole sweep is unroutable.
+pub fn run_batch_job(job: &BatchJob, bopts: &BatchOptions) -> Result<JobSuccess, FlowError> {
+    let prep = prepare(&job.network, &job.opts)?;
+    let mut rows = k_sweep_prepared(&prep, &job.ks, &job.opts)?;
+    let mut degraded = false;
+    let all_unroutable = !rows.is_empty() && rows.iter().all(|r| r.result.route.violations > 0);
+    if bopts.escalate_k && all_unroutable {
+        let k_max = job.ks.iter().cloned().fold(0.0_f64, f64::max);
+        let k_esc = if k_max > 0.0 { 2.0 * k_max } else { 1.0 };
+        obs::counter_add("retry.k_escalations", 1);
+        obs::log::warn(&format!(
+            "job {}: sweep fully unroutable, escalating to K = {k_esc}",
+            job.name
+        ));
+        let result = congestion_flow_prepared(&prep, k_esc, &job.opts)?;
+        rows.push(KSweepEntry { k: k_esc, result });
+        degraded = true;
+    }
+    Ok(JobSuccess { rows, degraded })
 }
 
-/// Runs every job on the pool with [`run_batch_job`].
+/// Runs every job on the pool with [`run_batch_job`] under the default
+/// recovery policy.
 pub fn run_batch(jobs: &[BatchJob], pool: &Pool) -> BatchReport {
-    run_batch_with(jobs, pool, run_batch_job)
+    run_batch_opts(jobs, pool, &BatchOptions::default())
 }
 
-/// [`run_batch`] with a custom per-job runner — the seam fault-injection
-/// tests (and the CLI's `inject_panic` debug knob) use to exercise the
-/// batch error path with real panics.
-pub fn run_batch_with<F>(jobs: &[BatchJob], pool: &Pool, runner: F) -> BatchReport
+/// [`run_batch`] with an explicit recovery policy.
+pub fn run_batch_opts(jobs: &[BatchJob], pool: &Pool, bopts: &BatchOptions) -> BatchReport {
+    run_batch_with(jobs, pool, bopts, |j| run_batch_job(j, bopts))
+}
+
+/// [`run_batch_opts`] with a custom per-job runner — the seam
+/// fault-injection tests use to exercise the error paths. Retry wraps the
+/// runner: a panic or error triggers up to `bopts.retries` re-runs.
+pub fn run_batch_with<F>(
+    jobs: &[BatchJob],
+    pool: &Pool,
+    bopts: &BatchOptions,
+    runner: F,
+) -> BatchReport
 where
-    F: Fn(&BatchJob) -> Vec<KSweepEntry> + Sync,
+    F: Fn(&BatchJob) -> Result<JobSuccess, FlowError> + Sync,
+{
+    run_batch_observed(jobs, pool, bopts, runner, |_, _| {})
+}
+
+/// [`run_batch_with`] plus a completion callback: `on_done(index,
+/// report)` runs on the worker thread as soon as job `index` finishes
+/// (any outcome). The CLI uses it to checkpoint incrementally so an
+/// interrupted batch can resume. Jobs that never start (pool-level
+/// cancellation or deadline) do not reach the callback; their reports
+/// appear only in the returned [`BatchReport`].
+pub fn run_batch_observed<F, G>(
+    jobs: &[BatchJob],
+    pool: &Pool,
+    bopts: &BatchOptions,
+    runner: F,
+    on_done: G,
+) -> BatchReport
+where
+    F: Fn(&BatchJob) -> Result<JobSuccess, FlowError> + Sync,
+    G: Fn(usize, &BatchJobReport) + Sync,
 {
     let t0 = Instant::now();
+    let indices: Vec<usize> = (0..jobs.len()).collect();
     let outcomes = pool.try_par_map_with(
-        jobs,
+        &indices,
         |i| JobOptions { deadline: jobs[i].deadline, ..Default::default() },
-        |job| {
+        |&i| {
+            let job = &jobs[i];
             let t = Instant::now();
-            let rows = runner(job);
-            (rows, t.elapsed().as_secs_f64() * 1e3)
+            let mut attempts = 0u32;
+            let outcome = loop {
+                attempts += 1;
+                if attempts > 1 {
+                    obs::counter_add("retry.attempts", 1);
+                    obs::log::warn(&format!("job {}: retry attempt {attempts}", job.name));
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| runner(job)));
+                let err = match result {
+                    Ok(Ok(success)) => break Ok(success),
+                    Ok(Err(e)) => e,
+                    Err(payload) => FlowError::new(
+                        Stage::Batch,
+                        FlowErrorKind::Panicked,
+                        panic_message(payload.as_ref()),
+                    ),
+                };
+                if attempts > bopts.retries {
+                    break Err(err);
+                }
+            };
+            let report = BatchJobReport {
+                name: job.name.clone(),
+                outcome,
+                wall_ms: t.elapsed().as_secs_f64() * 1e3,
+                attempts,
+            };
+            on_done(i, &report);
+            report
         },
     );
     let jobs = jobs
         .iter()
         .zip(outcomes)
-        .map(|(job, outcome)| {
-            let (outcome, wall_ms) = match outcome {
-                Ok((rows, ms)) => (Ok(rows), ms),
-                Err(e) => (Err(e), 0.0),
-            };
-            BatchJobReport { name: job.name.clone(), outcome, wall_ms }
+        .map(|(job, outcome)| match outcome {
+            Ok(report) => report,
+            Err(e) => BatchJobReport {
+                name: job.name.clone(),
+                outcome: Err(FlowError::from(e)),
+                wall_ms: 0.0,
+                attempts: 0,
+            },
         })
         .collect();
     BatchReport { jobs, wall_ms: t0.elapsed().as_secs_f64() * 1e3, workers: pool.workers() }
@@ -112,6 +237,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use casyn_exec::FaultPlan;
     use casyn_netlist::bench::{random_pla, PlaGenConfig};
 
     fn job(seed: u64, name: &str) -> BatchJob {
@@ -140,38 +266,37 @@ mod tests {
         let report = run_batch(&jobs, &Pool::new(2));
         assert_eq!(report.num_ok(), 2);
         assert_eq!(report.workers, 2);
+        let bopts = BatchOptions::default();
         for (j, r) in jobs.iter().zip(&report.jobs) {
-            let direct = run_batch_job(j);
-            let rows = r.outcome.as_ref().unwrap();
-            assert_eq!(rows.len(), direct.len());
-            for (a, b) in rows.iter().zip(&direct) {
+            let direct = run_batch_job(j, &bopts).unwrap();
+            let got = r.outcome.as_ref().unwrap();
+            assert!(!got.degraded);
+            assert_eq!(got.rows.len(), direct.rows.len());
+            for (a, b) in got.rows.iter().zip(&direct.rows) {
                 assert_eq!(a.k, b.k);
                 assert_eq!(a.result.cell_area, b.result.cell_area);
                 assert_eq!(a.result.route.violations, b.result.route.violations);
             }
             assert!(r.wall_ms > 0.0);
+            assert_eq!(r.attempts, 1);
         }
     }
 
     #[test]
     fn panicking_job_fails_alone() {
         let jobs = [job(3, "ok-1"), job(4, "poisoned"), job(5, "ok-2")];
-        let report = run_batch_with(&jobs, &Pool::new(2), |j| {
+        let bopts = BatchOptions::default();
+        let report = run_batch_with(&jobs, &Pool::new(2), &bopts, |j| {
             if j.name == "poisoned" {
                 panic!("injected batch fault");
             }
-            run_batch_job(j)
+            run_batch_job(j, &bopts)
         });
         assert_eq!(report.num_ok(), 2);
         assert_eq!(report.num_failed(), 1);
-        assert!(
-            matches!(
-                &report.jobs[1].outcome,
-                Err(JobError::Panicked(msg)) if msg == "injected batch fault"
-            ),
-            "the poisoned job must surface a typed error, got {:?}",
-            report.jobs[1].outcome.as_ref().map(|_| "ok")
-        );
+        let e = report.jobs[1].outcome.as_ref().unwrap_err();
+        assert_eq!(e.kind, FlowErrorKind::Panicked);
+        assert_eq!(e.detail, "injected batch fault");
         assert!(report.jobs[0].outcome.is_ok() && report.jobs[2].outcome.is_ok());
     }
 
@@ -181,7 +306,9 @@ mod tests {
         jobs[1].deadline = Some(Duration::ZERO);
         let report = run_batch(&jobs, &Pool::serial());
         assert!(report.jobs[0].outcome.is_ok());
-        assert!(matches!(report.jobs[1].outcome, Err(JobError::Deadline)));
+        let e = report.jobs[1].outcome.as_ref().unwrap_err();
+        assert_eq!(e.kind, FlowErrorKind::Deadline);
+        assert_eq!(report.jobs[1].attempts, 0);
     }
 
     #[test]
@@ -191,12 +318,79 @@ mod tests {
         let parallel = run_batch(&jobs, &Pool::new(4));
         for (a, b) in serial.jobs.iter().zip(&parallel.jobs) {
             let (ra, rb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
-            for (x, y) in ra.iter().zip(rb) {
+            for (x, y) in ra.rows.iter().zip(&rb.rows) {
                 assert_eq!(x.k, y.k);
                 assert_eq!(x.result.cell_area, y.result.cell_area);
                 assert_eq!(x.result.num_cells, y.result.num_cells);
                 assert_eq!(x.result.route.total_wirelength, y.result.route.total_wirelength);
             }
         }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_fault() {
+        // nth=1 panic at map: attempt 1 trips it, attempt 2 runs clean
+        // because the fault plan's occurrence counter is shared across
+        // attempts
+        let mut j = job(3, "flaky");
+        j.opts.fault = Some(FaultPlan::parse("map:panic:1").unwrap());
+        let bopts = BatchOptions { retries: 1, ..Default::default() };
+        let report = run_batch_opts(&[j], &Pool::serial(), &bopts);
+        assert_eq!(report.num_ok(), 1);
+        assert_eq!(report.jobs[0].attempts, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_keep_the_last_error() {
+        let mut j = job(3, "doomed");
+        // trip on every early occurrence so both attempts fail
+        j.opts.fault = Some(FaultPlan::parse("map:panic:1,map:panic:2").unwrap());
+        let bopts = BatchOptions { retries: 1, ..Default::default() };
+        let report = run_batch_opts(&[j], &Pool::serial(), &bopts);
+        assert_eq!(report.num_failed(), 1);
+        assert_eq!(report.jobs[0].attempts, 2);
+        let e = report.jobs[0].outcome.as_ref().unwrap_err();
+        assert_eq!(e.kind, FlowErrorKind::Panicked);
+        assert!(e.detail.contains("injected fault"));
+    }
+
+    #[test]
+    fn fully_unroutable_sweep_escalates_and_degrades() {
+        let mut j = job(3, "tight");
+        // starve the router so every K in the sweep overflows
+        j.opts.route.capacity_scale = 0.02;
+        let direct = run_batch_job(&j, &BatchOptions::default()).unwrap();
+        assert!(direct.degraded, "whole sweep unroutable: must escalate");
+        assert_eq!(direct.rows.len(), j.ks.len() + 1);
+        assert_eq!(*direct.rows.last().map(|r| &r.k).unwrap(), 0.2);
+        let report = run_batch(&[j.clone()], &Pool::serial());
+        assert_eq!(report.num_degraded(), 1);
+        // escalation off: the job still succeeds, just without the rung
+        let plain =
+            run_batch_job(&j, &BatchOptions { escalate_k: false, ..Default::default() }).unwrap();
+        assert!(!plain.degraded);
+        assert_eq!(plain.rows.len(), j.ks.len());
+    }
+
+    #[test]
+    fn on_done_fires_once_per_started_job() {
+        use std::sync::Mutex;
+        let jobs = [job(3, "a"), job(4, "b")];
+        let bopts = BatchOptions::default();
+        let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let report = run_batch_observed(
+            &jobs,
+            &Pool::new(2),
+            &bopts,
+            |j| run_batch_job(j, &bopts),
+            |i, r| {
+                assert!(r.outcome.is_ok());
+                seen.lock().unwrap().push(i);
+            },
+        );
+        assert_eq!(report.num_ok(), 2);
+        let mut order = seen.into_inner().unwrap();
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1]);
     }
 }

@@ -1,13 +1,24 @@
 //! The three synthesis flows compared by the paper, plus the shared
 //! front end.
+//!
+//! Every flow entry point returns `Result<_, FlowError>`: a stage that
+//! cannot proceed reports *where* and *why* instead of panicking, so the
+//! sweep/batch drivers above can retry, degrade or skip. When
+//! [`FlowOptions::validate`] is set (the default in debug builds), a
+//! [`crate::check`] invariant check runs at every stage boundary; a
+//! [`FlowOptions::fault`] plan injects deterministic faults at the same
+//! boundaries for testing the recovery machinery.
 
+use crate::check;
+use crate::error::{FlowError, FlowErrorKind, Stage};
 use crate::telemetry::{FlowTelemetry, StageScope};
 use casyn_core::{
     buffer_fanout, map, BufferOptions, CostKind, MapOptions, MapStats, PartitionScheme,
 };
+use casyn_exec::{FaultKind, FaultPlan};
 use casyn_library::{corelib018, Library};
 use casyn_logic::{decompose, optimize, OptimizeOptions};
-use casyn_netlist::mapped::MappedNetlist;
+use casyn_netlist::mapped::{MappedNetlist, SignalRef};
 use casyn_netlist::network::Network;
 use casyn_netlist::subject::SubjectGraph;
 use casyn_netlist::Point;
@@ -39,6 +50,13 @@ pub struct FlowOptions {
     /// Post-mapping fanout buffering (`None` = off). Splits high-fanout
     /// nets with buffer trees before legalization.
     pub buffering: Option<BufferOptions>,
+    /// Run the stage-boundary invariant checks of [`crate::check`]. On by
+    /// default in debug builds; the CLI's `--validate` turns it on in
+    /// release.
+    pub validate: bool,
+    /// Deterministic fault-injection plan (testing only): fires at stage
+    /// boundaries, shared across every flow run using these options.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for FlowOptions {
@@ -52,8 +70,36 @@ impl Default for FlowOptions {
             target_utilization: 0.611,
             optimize: None,
             buffering: None,
+            validate: cfg!(debug_assertions),
+            fault: None,
         }
     }
+}
+
+/// Fires the fault plan (if any) at a stage boundary. `Ok(true)` means a
+/// corrupt-intermediate fault fired and the caller must corrupt its
+/// artifact; deadline faults become typed errors here; panic faults never
+/// return (they raise inside [`FaultPlan::fire`]).
+pub(crate) fn fire_fault(opts: &FlowOptions, stage: Stage) -> Result<bool, FlowError> {
+    let Some(plan) = &opts.fault else { return Ok(false) };
+    match plan.fire(stage.name()) {
+        None => Ok(false),
+        Some(FaultKind::Corrupt) => Ok(true),
+        Some(FaultKind::Deadline) => Err(FlowError::new(
+            stage,
+            FlowErrorKind::Deadline,
+            format!("injected fault: deadline at stage {stage}"),
+        )),
+        Some(FaultKind::Panic) => unreachable!("panic faults raise inside FaultPlan::fire"),
+    }
+}
+
+/// The error for a corrupt fault scheduled at a stage with no corruptor.
+pub(crate) fn unsupported_corrupt(stage: Stage) -> FlowError {
+    FlowError::bad_input(
+        stage,
+        "corrupt fault is not supported at this stage (supported: place, map, route)",
+    )
 }
 
 /// The shared front end: optimized network, subject graph, initial
@@ -103,19 +149,28 @@ pub struct FlowResult {
 
 /// Runs the front end: optional extraction, decomposition, floorplan
 /// derivation and the initial placement of the unbound netlist.
-pub fn prepare(network: &Network, opts: &FlowOptions) -> Prepared {
+pub fn prepare(network: &Network, opts: &FlowOptions) -> Result<Prepared, FlowError> {
     let mut telemetry = FlowTelemetry::default();
     let mut network = network.clone();
     if let Some(eff) = &opts.optimize {
         let scope = StageScope::begin("optimize");
         optimize(&mut network, eff);
         scope.end(&mut telemetry);
+        if fire_fault(opts, Stage::Optimize)? {
+            return Err(unsupported_corrupt(Stage::Optimize));
+        }
     }
     let scope = StageScope::begin("decompose");
     let dec = decompose(&network);
     let (graph, _) = dec.graph.sweep();
     let base_gates = graph.num_gates();
     scope.end(&mut telemetry);
+    if fire_fault(opts, Stage::Decompose)? {
+        return Err(unsupported_corrupt(Stage::Decompose));
+    }
+    if opts.validate {
+        check::subject_dag(Stage::Decompose, &graph)?;
+    }
     telemetry.observe_live_nodes(graph.num_vertices());
     let floorplan = match opts.floorplan {
         Some(fp) => fp,
@@ -126,10 +181,21 @@ pub fn prepare(network: &Network, opts: &FlowOptions) -> Prepared {
             fp
         }
     };
+    if fire_fault(opts, Stage::Floorplan)? {
+        return Err(unsupported_corrupt(Stage::Floorplan));
+    }
     let scope = StageScope::begin("place");
-    let positions = place_subject(&graph, &floorplan, &opts.placer);
+    let placed = place_subject(&graph, &floorplan, &opts.placer);
     scope.end(&mut telemetry);
-    Prepared { graph, positions, floorplan, base_gates, telemetry }
+    let mut positions = placed.map_err(|e| FlowError::invariant(Stage::Place, e.to_string()))?;
+    if fire_fault(opts, Stage::Place)? && !positions.is_empty() {
+        let i = opts.fault.as_ref().map_or(0, |p| p.seed()) as usize % positions.len();
+        positions[i] = Point::new(f64::NAN, f64::NAN);
+    }
+    if opts.validate {
+        check::placement_in_bounds(Stage::Place, &positions, &floorplan)?;
+    }
+    Ok(Prepared { graph, positions, floorplan, base_gates, telemetry })
 }
 
 /// Derives a floorplan by running a throwaway min-area mapping to learn
@@ -142,13 +208,36 @@ fn derive_floorplan(graph: &SubjectGraph, opts: &FlowOptions) -> Floorplan {
 
 /// Maps a prepared design with explicit mapper options and runs
 /// legalization, routing and STA.
-pub fn full_flow(prep: &Prepared, map_opts: &MapOptions, opts: &FlowOptions) -> FlowResult {
+pub fn full_flow(
+    prep: &Prepared,
+    map_opts: &MapOptions,
+    opts: &FlowOptions,
+) -> Result<FlowResult, FlowError> {
     let mut telemetry = prep.telemetry.clone();
     telemetry.observe_live_nodes(prep.graph.num_vertices());
+    if fire_fault(opts, Stage::Partition)? {
+        return Err(unsupported_corrupt(Stage::Partition));
+    }
+    if opts.validate {
+        // the mapper partitions internally; recompute the forest to check
+        // the cover before trusting the covering it produces
+        let forest = casyn_core::partition(&prep.graph, map_opts.scheme, &prep.positions);
+        check::partition_covers(&prep.graph, &forest)?;
+    }
     let scope = StageScope::begin("map");
     let r = map(&prep.graph, &prep.positions, &opts.lib, map_opts);
     scope.end(&mut telemetry);
     let mut nl = r.netlist;
+    if fire_fault(opts, Stage::Map)? && nl.num_cells() > 0 {
+        // corrupt the netlist with a combinational self-loop
+        let i = opts.fault.as_ref().map_or(0, |p| p.seed()) as usize % nl.num_cells();
+        if !nl.cells()[i].inputs.is_empty() {
+            nl.cells_mut()[i].inputs[0] = SignalRef::Cell(i as u32);
+        }
+    }
+    if opts.validate {
+        check::mapped_netlist(Stage::Map, &nl)?;
+    }
     let scope = StageScope::begin("legalize");
     if let Some(buf) = &opts.buffering {
         buffer_fanout(&mut nl, &opts.lib, buf);
@@ -162,16 +251,35 @@ pub fn full_flow(prep: &Prepared, map_opts: &MapOptions, opts: &FlowOptions) -> 
         cell.pos = *p;
     }
     scope.end(&mut telemetry);
+    if fire_fault(opts, Stage::Legalize)? {
+        return Err(unsupported_corrupt(Stage::Legalize));
+    }
+    if opts.validate {
+        let cell_pos: Vec<Point> = nl.cells().iter().map(|c| c.pos).collect();
+        check::placement_in_bounds(Stage::Legalize, &cell_pos, &prep.floorplan)?;
+        check::mapped_netlist(Stage::Legalize, &nl)?;
+    }
     telemetry.observe_live_nodes(nl.num_cells());
     let scope = StageScope::begin("route");
-    let route = route_mapped(&nl, &prep.floorplan, &opts.route);
+    let routed = route_mapped(&nl, &prep.floorplan, &opts.route);
     scope.end(&mut telemetry);
+    let mut route = routed?;
+    if fire_fault(opts, Stage::Route)? {
+        // corrupt the result: drop one net's routed length
+        route.net_wirelength.pop();
+    }
+    if opts.validate {
+        check::route_complete(nl.nets().len(), &route)?;
+    }
     // STA sees the congestion of the achieved routing: every net uses its
     // measured routed length, so congested nets pay their detours
     let scope = StageScope::begin("sta");
     let sta = analyze_routed(&nl, &opts.lib, &opts.timing, &route.net_wirelength);
     scope.end(&mut telemetry);
-    FlowResult {
+    if fire_fault(opts, Stage::Sta)? {
+        return Err(unsupported_corrupt(Stage::Sta));
+    }
+    Ok(FlowResult {
         cell_area: nl.cell_area(),
         num_cells: nl.num_cells(),
         utilization_pct: prep.floorplan.utilization_pct(nl.cell_area()),
@@ -181,13 +289,13 @@ pub fn full_flow(prep: &Prepared, map_opts: &MapOptions, opts: &FlowOptions) -> 
         floorplan: prep.floorplan,
         netlist: nl,
         telemetry,
-    }
+    })
 }
 
 /// The paper's baseline: DAGON — multi-fanout tree partitioning, minimum
 /// cell area, congestion-oblivious.
-pub fn dagon_flow(network: &Network, opts: &FlowOptions) -> FlowResult {
-    let prep = prepare(network, opts);
+pub fn dagon_flow(network: &Network, opts: &FlowOptions) -> Result<FlowResult, FlowError> {
+    let prep = prepare(network, opts)?;
     full_flow(
         &prep,
         &MapOptions { scheme: PartitionScheme::Dagon, cost: CostKind::Area, ..Default::default() },
@@ -199,12 +307,12 @@ pub fn dagon_flow(network: &Network, opts: &FlowOptions) -> FlowResult {
 /// sharing, minimum literals) followed by cone-partitioned minimum-area
 /// mapping. Produces the smallest cell area and the worst congestion, as
 /// in the paper's Tables 1 and 2.
-pub fn sis_flow(network: &Network, opts: &FlowOptions) -> FlowResult {
+pub fn sis_flow(network: &Network, opts: &FlowOptions) -> Result<FlowResult, FlowError> {
     let mut o = opts.clone();
     if o.optimize.is_none() {
         o.optimize = Some(OptimizeOptions::default());
     }
-    let prep = prepare(network, &o);
+    let prep = prepare(network, &o)?;
     full_flow(
         &prep,
         &MapOptions { scheme: PartitionScheme::Cone, cost: CostKind::Area, ..Default::default() },
@@ -215,14 +323,22 @@ pub fn sis_flow(network: &Network, opts: &FlowOptions) -> FlowResult {
 /// The paper's congestion-aware flow: placement-driven partitioning and
 /// `AREA + K·WIRE` covering. `K = 0` degenerates to minimum-area
 /// covering (the paper's "DAGON (K = 0.0)" baseline rows).
-pub fn congestion_flow(network: &Network, k: f64, opts: &FlowOptions) -> FlowResult {
-    let prep = prepare(network, opts);
+pub fn congestion_flow(
+    network: &Network,
+    k: f64,
+    opts: &FlowOptions,
+) -> Result<FlowResult, FlowError> {
+    let prep = prepare(network, opts)?;
     congestion_flow_prepared(&prep, k, opts)
 }
 
 /// [`congestion_flow`] over an already-prepared design; use this to share
 /// the placement across a K sweep.
-pub fn congestion_flow_prepared(prep: &Prepared, k: f64, opts: &FlowOptions) -> FlowResult {
+pub fn congestion_flow_prepared(
+    prep: &Prepared,
+    k: f64,
+    opts: &FlowOptions,
+) -> Result<FlowResult, FlowError> {
     full_flow(
         prep,
         &MapOptions {
@@ -258,7 +374,7 @@ mod tests {
     fn full_flow_produces_consistent_result() {
         let net = small_net();
         let opts = FlowOptions::default();
-        let r = congestion_flow(&net, 0.001, &opts);
+        let r = congestion_flow(&net, 0.001, &opts).unwrap();
         assert_eq!(r.num_cells, r.netlist.num_cells());
         assert!((r.cell_area - r.netlist.cell_area()).abs() < 1e-9);
         assert!(r.utilization_pct > 10.0 && r.utilization_pct < 100.0);
@@ -271,9 +387,11 @@ mod tests {
         let opts = FlowOptions::default();
         let lib = &opts.lib;
         let mut rng = StdRng::seed_from_u64(9);
-        for r in
-            [dagon_flow(&net, &opts), sis_flow(&net, &opts), congestion_flow(&net, 0.005, &opts)]
-        {
+        for r in [
+            dagon_flow(&net, &opts).unwrap(),
+            sis_flow(&net, &opts).unwrap(),
+            congestion_flow(&net, 0.005, &opts).unwrap(),
+        ] {
             for _ in 0..64 {
                 let asg: Vec<bool> = (0..10).map(|_| rng.gen()).collect();
                 assert_eq!(
@@ -289,8 +407,8 @@ mod tests {
     fn sis_flow_has_smaller_area_than_dagon() {
         let net = small_net();
         let opts = FlowOptions::default();
-        let sis = sis_flow(&net, &opts);
-        let dagon = dagon_flow(&net, &opts);
+        let sis = sis_flow(&net, &opts).unwrap();
+        let dagon = dagon_flow(&net, &opts).unwrap();
         assert!(
             sis.cell_area < dagon.cell_area,
             "extraction must reduce area: sis {} vs dagon {}",
@@ -303,9 +421,9 @@ mod tests {
     fn shared_prepared_reuses_placement() {
         let net = small_net();
         let opts = FlowOptions::default();
-        let prep = prepare(&net, &opts);
-        let a = congestion_flow_prepared(&prep, 0.0, &opts);
-        let b = congestion_flow_prepared(&prep, 0.0, &opts);
+        let prep = prepare(&net, &opts).unwrap();
+        let a = congestion_flow_prepared(&prep, 0.0, &opts).unwrap();
+        let b = congestion_flow_prepared(&prep, 0.0, &opts).unwrap();
         assert_eq!(a.num_cells, b.num_cells);
         assert_eq!(a.route.violations, b.route.violations);
     }
@@ -314,9 +432,9 @@ mod tests {
     fn larger_k_does_not_decrease_area() {
         let net = small_net();
         let opts = FlowOptions::default();
-        let prep = prepare(&net, &opts);
-        let a0 = congestion_flow_prepared(&prep, 0.0, &opts).cell_area;
-        let a1 = congestion_flow_prepared(&prep, 10.0, &opts).cell_area;
+        let prep = prepare(&net, &opts).unwrap();
+        let a0 = congestion_flow_prepared(&prep, 0.0, &opts).unwrap().cell_area;
+        let a1 = congestion_flow_prepared(&prep, 10.0, &opts).unwrap().cell_area;
         assert!(a1 >= a0, "huge K must trade area: {a1} vs {a0}");
     }
 
@@ -328,7 +446,7 @@ mod tests {
             buffering: Some(BufferOptions { max_fanout: 12, sinks_per_buffer: 6 }),
             ..Default::default()
         };
-        let r = congestion_flow(&net, 0.1, &opts);
+        let r = congestion_flow(&net, 0.1, &opts).unwrap();
         assert!(max_fanout(&r.netlist) <= 12);
         let lib = &opts.lib;
         let mut rng = StdRng::seed_from_u64(77);
@@ -346,7 +464,79 @@ mod tests {
         let net = small_net();
         let fp = Floorplan::with_rows_and_area(40, 40.0 * 6.4 * 300.0);
         let opts = FlowOptions { floorplan: Some(fp), ..Default::default() };
-        let r = dagon_flow(&net, &opts);
+        let r = dagon_flow(&net, &opts).unwrap();
         assert_eq!(r.floorplan, fp);
+    }
+
+    #[test]
+    fn corrupt_place_fault_is_caught_by_validation() {
+        let net = small_net();
+        let opts = FlowOptions {
+            validate: true,
+            fault: Some(FaultPlan::parse("place:corrupt:1").unwrap()),
+            ..Default::default()
+        };
+        let e = prepare(&net, &opts).unwrap_err();
+        assert_eq!((e.stage, e.kind), (Stage::Place, FlowErrorKind::Invariant));
+        assert!(e.detail.contains("finite"), "NaN position must be named: {e}");
+    }
+
+    #[test]
+    fn corrupt_map_fault_is_caught_by_validation() {
+        let net = small_net();
+        let opts = FlowOptions {
+            validate: true,
+            fault: Some(FaultPlan::parse("map:corrupt:1").unwrap()),
+            ..Default::default()
+        };
+        let e = congestion_flow(&net, 0.0, &opts).unwrap_err();
+        assert_eq!((e.stage, e.kind), (Stage::Map, FlowErrorKind::Invariant));
+    }
+
+    #[test]
+    fn corrupt_route_fault_is_caught_by_validation() {
+        let net = small_net();
+        let opts = FlowOptions {
+            validate: true,
+            fault: Some(FaultPlan::parse("route:corrupt:1").unwrap()),
+            ..Default::default()
+        };
+        let e = congestion_flow(&net, 0.0, &opts).unwrap_err();
+        assert_eq!((e.stage, e.kind), (Stage::Route, FlowErrorKind::Invariant));
+        assert!(e.detail.contains("nets"));
+    }
+
+    #[test]
+    fn deadline_fault_is_typed_not_a_panic() {
+        let net = small_net();
+        let opts = FlowOptions {
+            fault: Some(FaultPlan::parse("decompose:deadline:1").unwrap()),
+            ..Default::default()
+        };
+        let e = prepare(&net, &opts).unwrap_err();
+        assert_eq!((e.stage, e.kind), (Stage::Decompose, FlowErrorKind::Deadline));
+    }
+
+    #[test]
+    fn unsupported_corrupt_stage_reports_bad_input() {
+        let net = small_net();
+        let opts = FlowOptions {
+            fault: Some(FaultPlan::parse("sta:corrupt:1").unwrap()),
+            ..Default::default()
+        };
+        let e = congestion_flow(&net, 0.0, &opts).unwrap_err();
+        assert_eq!((e.stage, e.kind), (Stage::Sta, FlowErrorKind::BadInput));
+    }
+
+    #[test]
+    fn nth_occurrence_counts_across_runs_of_one_plan() {
+        // the second flow sharing the plan trips the nth=2 fault; the
+        // first passes — the retry semantics batch recovery relies on
+        let net = small_net();
+        let plan = FaultPlan::parse("route:deadline:2").unwrap();
+        let opts = FlowOptions { fault: Some(plan), ..Default::default() };
+        assert!(congestion_flow(&net, 0.0, &opts).is_ok());
+        let e = congestion_flow(&net, 0.0, &opts).unwrap_err();
+        assert_eq!(e.kind, FlowErrorKind::Deadline);
     }
 }

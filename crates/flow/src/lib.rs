@@ -12,7 +12,12 @@
 //! * [`sweep`] — the K sweep behind Tables 2 and 4, serial or fanned
 //!   out across a `casyn-exec` pool with bit-identical results.
 //! * [`batch`] — concurrent multi-design batch runner with per-job
-//!   panic/cancellation/deadline isolation.
+//!   panic/cancellation/deadline isolation, retry and K-escalation
+//!   degradation.
+//! * [`error`] — the typed [`error::FlowError`] spine every entry point
+//!   reports failures through.
+//! * [`check`] — stage-boundary invariant checks (DAG shape, placement
+//!   bounds, partition cover, netlist consistency, route completeness).
 //! * [`methodology`] — the modified ASIC design flow of Fig. 3 (increase
 //!   K until the congestion map is acceptable).
 //! * [`seq`] — sequential designs: flip-flop pass-through around the
@@ -22,6 +27,8 @@
 //!   collected through `casyn-obs`, exportable as JSON.
 
 pub mod batch;
+pub mod check;
+pub mod error;
 pub mod flows;
 pub mod methodology;
 pub mod report;
@@ -29,7 +36,11 @@ pub mod seq;
 pub mod sweep;
 pub mod telemetry;
 
-pub use batch::{run_batch, run_batch_with, BatchJob, BatchJobReport, BatchReport};
+pub use batch::{
+    run_batch, run_batch_job, run_batch_observed, run_batch_opts, run_batch_with, BatchJob,
+    BatchJobReport, BatchOptions, BatchReport, JobSuccess,
+};
+pub use error::{FlowError, FlowErrorKind, Stage};
 pub use flows::{
     congestion_flow, congestion_flow_prepared, dagon_flow, full_flow, prepare, sis_flow,
     FlowOptions, FlowResult, Prepared,

@@ -142,7 +142,7 @@ mod tests {
             seed: 3,
         })
         .to_network();
-        congestion_flow(&net, 0.001, &FlowOptions::default())
+        congestion_flow(&net, 0.001, &FlowOptions::default()).unwrap()
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //!    [`casyn_timing::StaResult::min_clock_period`] reports the design's
 //!    fastest clock.
 
-use crate::flows::{full_flow, FlowOptions, FlowResult};
+use crate::error::{FlowError, FlowErrorKind, Stage};
+use crate::flows::{fire_fault, full_flow, unsupported_corrupt, FlowOptions, FlowResult};
 use casyn_core::{CostKind, MapOptions, PartitionScheme};
 use casyn_netlist::mapped::{MappedCell, MappedNetlist, SignalRef};
 use casyn_netlist::seq::SeqNetwork;
@@ -35,51 +36,81 @@ pub struct SeqFlowResult {
     pub min_clock_period: f64,
 }
 
-/// Runs the congestion-aware flow on a sequential design.
-///
-/// # Panics
-///
-/// Panics if the library has no sequential master (see
-/// [`casyn_library::Library::dff`]).
-pub fn sequential_flow(seq: &SeqNetwork, k: f64, opts: &FlowOptions) -> SeqFlowResult {
-    seq.check();
+/// Runs the congestion-aware flow on a sequential design. A library
+/// without a sequential master fails with a typed
+/// [`FlowErrorKind::MissingSeqMaster`] error naming the library;
+/// inconsistent latch wiring is a seq-stage bad-input error.
+pub fn sequential_flow(
+    seq: &SeqNetwork,
+    k: f64,
+    opts: &FlowOptions,
+) -> Result<SeqFlowResult, FlowError> {
+    seq.validate().map_err(|e| {
+        FlowError::bad_input(Stage::Seq, format!("inconsistent sequential network: {e}"))
+    })?;
+    // fail before the (expensive) combinational flow when the library
+    // cannot host the flip-flops we will need afterwards
+    let dff_id = match opts.lib.dff() {
+        Some(id) => id,
+        None if seq.is_combinational() => u32::MAX, // never used below
+        None => {
+            return Err(FlowError::new(
+                Stage::Seq,
+                FlowErrorKind::MissingSeqMaster,
+                format!(
+                    "library \"{}\" has no sequential master (DFF) for a design with {} latches",
+                    opts.lib.name(),
+                    seq.latches.len()
+                ),
+            ))
+        }
+    };
     // 1. expose latch boundaries on a copy of the core
     let mut core = seq.core.clone();
     for (i, latch) in seq.latches.iter().enumerate() {
         core.add_output(format!("__latch_d_{i}"), latch.d);
     }
     // 2. combinational flow
-    let prep = crate::flows::prepare(&core, opts);
+    let prep = crate::flows::prepare(&core, opts)?;
     let map_opts = MapOptions {
         scheme: PartitionScheme::PlacementDriven,
         cost: if k == 0.0 { CostKind::Area } else { CostKind::AreaWire { k } },
         ..Default::default()
     };
-    let mut r = full_flow(&prep, &map_opts, opts);
+    let mut r = full_flow(&prep, &map_opts, opts)?;
     let nl = &mut r.netlist;
     // 3. insert flip-flops
-    let dff_id =
-        opts.lib.dff().expect("library must contain a sequential master for sequential designs");
-    let dff_master = opts.lib.cell(dff_id).clone();
     let num_latches = seq.latches.len();
-    let num_real_outputs = nl.outputs().len() - num_latches;
-    let q_base = (nl.input_names().len() - num_latches) as u32;
-    for (i, _) in seq.latches.iter().enumerate() {
-        let (_, d_sig) = nl.outputs()[num_real_outputs + i];
-        let pos = nl.signal_pos(d_sig);
-        let dff = nl.add_cell(MappedCell {
-            lib_cell: dff_id,
-            name: dff_master.name.clone(),
-            inputs: vec![d_sig],
-            area: dff_master.area,
-            width: dff_master.width,
-            pos,
-        });
-        // every consumer of the latch's pseudo-input now reads the DFF
-        nl.replace_signal(SignalRef::Pi(q_base + i as u32), dff);
+    if num_latches > 0 {
+        let dff_master = opts.lib.cell(dff_id).clone();
+        let num_real_outputs = nl.outputs().len() - num_latches;
+        let q_base = (nl.input_names().len() - num_latches) as u32;
+        for (i, _) in seq.latches.iter().enumerate() {
+            let (_, d_sig) = nl.outputs()[num_real_outputs + i];
+            let pos = nl.signal_pos(d_sig);
+            let dff = nl.add_cell(MappedCell {
+                lib_cell: dff_id,
+                name: dff_master.name.clone(),
+                inputs: vec![d_sig],
+                area: dff_master.area,
+                width: dff_master.width,
+                pos,
+            });
+            // every consumer of the latch's pseudo-input now reads the DFF
+            nl.replace_signal(SignalRef::Pi(q_base + i as u32), dff);
+        }
+        nl.remove_trailing_outputs(num_latches);
+        nl.remove_trailing_inputs(num_latches);
     }
-    nl.remove_trailing_outputs(num_latches);
-    nl.remove_trailing_inputs(num_latches);
+    if fire_fault(opts, Stage::Seq)? {
+        return Err(unsupported_corrupt(Stage::Seq));
+    }
+    if opts.validate {
+        let nl_ref = &*nl;
+        crate::check::mapped_netlist_cut(Stage::Seq, nl_ref, |c| {
+            opts.lib.cell(nl_ref.cells()[c].lib_cell).sequential
+        })?;
+    }
     // 4. re-place (legalize with the DFFs), re-route, clocked STA
     assign_mapped_ports(nl, &prep.floorplan);
     let desired: Vec<casyn_netlist::Point> = nl.cells().iter().map(|c| c.pos).collect();
@@ -88,13 +119,13 @@ pub fn sequential_flow(seq: &SeqNetwork, k: f64, opts: &FlowOptions) -> SeqFlowR
     for (cell, p) in nl.cells_mut().iter_mut().zip(&legal.pos) {
         cell.pos = *p;
     }
-    r.route = route_mapped(nl, &prep.floorplan, &opts.route);
+    r.route = route_mapped(nl, &prep.floorplan, &opts.route)?;
     r.sta = analyze_routed(nl, &opts.lib, &opts.timing, &r.route.net_wirelength);
     r.cell_area = nl.cell_area();
     r.num_cells = nl.num_cells();
     r.utilization_pct = prep.floorplan.utilization_pct(r.cell_area);
     let min_clock_period = r.sta.min_clock_period();
-    SeqFlowResult { flow: r, num_dffs: num_latches, min_clock_period }
+    Ok(SeqFlowResult { flow: r, num_dffs: num_latches, min_clock_period })
 }
 
 /// Cycle-accurate simulation of a mapped sequential netlist: flip-flops
@@ -158,6 +189,7 @@ pub fn simulate_mapped_seq(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use casyn_library::{corelib018, Library};
     use casyn_netlist::blif::Blif;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -193,7 +225,7 @@ mod tests {
     fn sequential_flow_builds_and_times() {
         let seq = counter_blif();
         let opts = FlowOptions::default();
-        let r = sequential_flow(&seq, 0.1, &opts);
+        let r = sequential_flow(&seq, 0.1, &opts).unwrap();
         assert_eq!(r.num_dffs, 2);
         assert!(r.min_clock_period > 0.0);
         // the DFF cells are present in the netlist
@@ -208,7 +240,7 @@ mod tests {
     fn mapped_sequential_simulation_matches_golden() {
         let seq = counter_blif();
         let opts = FlowOptions::default();
-        let r = sequential_flow(&seq, 0.1, &opts);
+        let r = sequential_flow(&seq, 0.1, &opts).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let stimulus: Vec<Vec<bool>> = (0..32).map(|_| vec![rng.gen()]).collect();
         let golden = seq.simulate(&stimulus);
@@ -239,7 +271,35 @@ mod tests {
         // a deeper next-state function must not decrease the min period
         let shallow = counter_blif();
         let opts = FlowOptions::default();
-        let r1 = sequential_flow(&shallow, 0.0, &opts);
+        let r1 = sequential_flow(&shallow, 0.0, &opts).unwrap();
         assert!(r1.min_clock_period >= opts.lib.cell(opts.lib.dff().unwrap()).setup);
+    }
+
+    #[test]
+    fn combinational_only_library_is_a_typed_error() {
+        // strip every sequential master out of the standard library
+        let mut lib = Library::new("comb-only");
+        for c in corelib018().cells().iter().filter(|c| !c.sequential) {
+            lib.push(c.clone());
+        }
+        assert!(lib.dff().is_none(), "fixture must have no DFF");
+        let seq = counter_blif();
+        let opts = FlowOptions { lib, ..Default::default() };
+        let e = sequential_flow(&seq, 0.1, &opts).unwrap_err();
+        assert_eq!((e.stage, e.kind), (Stage::Seq, FlowErrorKind::MissingSeqMaster));
+        assert!(e.detail.contains("comb-only"), "error names the library: {e}");
+        assert!(e.detail.contains("2 latches"));
+        // a combinational design sails through without needing a DFF
+        let comb = SeqNetwork::combinational(counter_blif().core);
+        assert!(sequential_flow(&comb, 0.0, &opts).is_ok());
+    }
+
+    #[test]
+    fn inconsistent_latch_wiring_is_a_typed_error() {
+        let mut seq = counter_blif();
+        seq.num_real_inputs = 99; // claim more real inputs than exist
+        let e = sequential_flow(&seq, 0.0, &FlowOptions::default()).unwrap_err();
+        assert_eq!((e.stage, e.kind), (Stage::Seq, FlowErrorKind::BadInput));
+        assert!(e.detail.contains("inconsistent sequential network"));
     }
 }

@@ -1,7 +1,8 @@
 //! The K sweep behind the paper's Tables 2 and 4.
 
+use crate::error::{FlowError, Stage};
 use crate::flows::{congestion_flow_prepared, prepare, FlowOptions, FlowResult, Prepared};
-use casyn_exec::Pool;
+use casyn_exec::{JobOptions, Pool};
 use casyn_netlist::network::Network;
 
 /// The K values the paper sweeps in Tables 2 and 4.
@@ -28,28 +29,50 @@ impl KSweepEntry {
 /// Runs the congestion-aware flow at every K over one shared technology-
 /// independent netlist and placement (generated once, as the paper's
 /// methodology prescribes).
-pub fn k_sweep(network: &Network, ks: &[f64], opts: &FlowOptions) -> Vec<KSweepEntry> {
-    let prep = prepare(network, opts);
+pub fn k_sweep(
+    network: &Network,
+    ks: &[f64],
+    opts: &FlowOptions,
+) -> Result<Vec<KSweepEntry>, FlowError> {
+    let prep = prepare(network, opts)?;
     k_sweep_prepared(&prep, ks, opts)
 }
 
-/// [`k_sweep`] over an existing [`Prepared`] design.
-pub fn k_sweep_prepared(prep: &Prepared, ks: &[f64], opts: &FlowOptions) -> Vec<KSweepEntry> {
-    ks.iter().map(|&k| KSweepEntry { k, result: congestion_flow_prepared(prep, k, opts) }).collect()
+/// [`k_sweep`] over an existing [`Prepared`] design. Stops at the first
+/// failing K; the error carries the stage that failed.
+pub fn k_sweep_prepared(
+    prep: &Prepared,
+    ks: &[f64],
+    opts: &FlowOptions,
+) -> Result<Vec<KSweepEntry>, FlowError> {
+    ks.iter()
+        .map(|&k| Ok(KSweepEntry { k, result: congestion_flow_prepared(prep, k, opts)? }))
+        .collect()
 }
 
 /// [`k_sweep_prepared`] fanned out across a [`Pool`]. Every per-K flow
 /// run is an independent pure function of the shared immutable
 /// [`Prepared`], so the rows are **bit-identical** to the serial path —
-/// only wall-clock telemetry differs. Rows come back in input K order.
+/// only wall-clock telemetry differs. Rows come back in input K order;
+/// a failing or panicking probe surfaces as the typed error of the
+/// lowest failing K (matching the serial path), with sibling probes
+/// unaffected.
 pub fn k_sweep_prepared_pool(
     prep: &Prepared,
     ks: &[f64],
     opts: &FlowOptions,
     pool: &Pool,
-) -> Vec<KSweepEntry> {
-    let results = pool.par_map(ks, |&k| congestion_flow_prepared(prep, k, opts));
-    ks.iter().zip(results).map(|(&k, result)| KSweepEntry { k, result }).collect()
+) -> Result<Vec<KSweepEntry>, FlowError> {
+    let results =
+        pool.try_par_map(ks, &JobOptions::default(), |&k| congestion_flow_prepared(prep, k, opts));
+    ks.iter()
+        .zip(results)
+        .map(|(&k, r)| match r {
+            Ok(Ok(result)) => Ok(KSweepEntry { k, result }),
+            Ok(Err(e)) => Err(e),
+            Err(job) => Err(FlowError::from(job)),
+        })
+        .collect()
 }
 
 /// The geometric probe ladder of [`find_min_routable_k`]: `k_min`,
@@ -57,8 +80,13 @@ pub fn k_sweep_prepared_pool(
 /// final rung. Clamping the last rung matters: a pure `k *= 2` ladder
 /// from e.g. `k_min = 0.01` tops out at 10.24 against `k_max = 16.0` and
 /// would report "unroutable" without ever probing 16.0.
-pub fn ladder_rungs(k_min: f64, k_max: f64) -> Vec<f64> {
-    assert!(k_min > 0.0 && k_max > k_min, "need 0 < k_min < k_max");
+pub fn ladder_rungs(k_min: f64, k_max: f64) -> Result<Vec<f64>, FlowError> {
+    if !(k_min > 0.0 && k_max > k_min) {
+        return Err(FlowError::bad_input(
+            Stage::Sweep,
+            format!("ladder needs 0 < k_min < k_max, got k_min={k_min}, k_max={k_max}"),
+        ));
+    }
     let mut rungs = Vec::new();
     let mut k = k_min;
     while k < k_max {
@@ -66,7 +94,7 @@ pub fn ladder_rungs(k_min: f64, k_max: f64) -> Vec<f64> {
         k *= 2.0;
     }
     rungs.push(k_max);
-    rungs
+    Ok(rungs)
 }
 
 /// Searches for the smallest K whose mapping routes without violations —
@@ -74,14 +102,13 @@ pub fn ladder_rungs(k_min: f64, k_max: f64) -> Vec<f64> {
 /// efficiently generate solutions which are potentially less congested"),
 /// automated. Probes the geometric [`ladder_rungs`] from `k_min` to
 /// `k_max` (inclusive), then bisects between the last failing and first
-/// passing rungs. Returns the winning entry, or `None` when even `k_max`
-/// does not route.
+/// passing rungs. Returns `Ok(None)` when even `k_max` does not route.
 pub fn find_min_routable_k(
     prep: &Prepared,
     opts: &FlowOptions,
     k_min: f64,
     k_max: f64,
-) -> Option<KSweepEntry> {
+) -> Result<Option<KSweepEntry>, FlowError> {
     find_min_routable_k_pool(prep, opts, k_min, k_max, &Pool::serial())
 }
 
@@ -97,21 +124,36 @@ pub fn find_min_routable_k_pool(
     k_min: f64,
     k_max: f64,
     pool: &Pool,
-) -> Option<KSweepEntry> {
-    let rungs = ladder_rungs(k_min, k_max);
-    let first_pass: Option<(usize, FlowResult)> = if pool.workers() == 1 {
+) -> Result<Option<KSweepEntry>, FlowError> {
+    let rungs = ladder_rungs(k_min, k_max)?;
+    let mut first_pass: Option<(usize, FlowResult)> = None;
+    if pool.workers() == 1 {
         // serial: probe in order, stop at the first routable rung
-        rungs.iter().enumerate().find_map(|(i, &k)| {
-            let r = congestion_flow_prepared(prep, k, opts);
-            (r.route.violations == 0).then_some((i, r))
-        })
+        for (i, &k) in rungs.iter().enumerate() {
+            let r = congestion_flow_prepared(prep, k, opts)?;
+            if r.route.violations == 0 {
+                first_pass = Some((i, r));
+                break;
+            }
+        }
     } else {
-        pool.par_map(&rungs, |&k| congestion_flow_prepared(prep, k, opts))
-            .into_iter()
-            .enumerate()
-            .find(|(_, r)| r.route.violations == 0)
-    };
-    let (pass_idx, hi_r) = first_pass?;
+        let probes = pool.try_par_map(&rungs, &JobOptions::default(), |&k| {
+            congestion_flow_prepared(prep, k, opts)
+        });
+        // walk in rung order so a failure before the first passing rung
+        // surfaces exactly as it would serially
+        for (i, probe) in probes.into_iter().enumerate() {
+            let r = match probe {
+                Ok(inner) => inner?,
+                Err(job) => return Err(FlowError::from(job)),
+            };
+            if r.route.violations == 0 {
+                first_pass = Some((i, r));
+                break;
+            }
+        }
+    }
+    let Some((pass_idx, hi_r)) = first_pass else { return Ok(None) };
     let mut lo = if pass_idx == 0 { 0.0 } else { rungs[pass_idx - 1] };
     let (mut hi_k, mut hi_r) = (rungs[pass_idx], hi_r);
     // bisect (on a log-ish scale) to tighten the boundary
@@ -120,7 +162,7 @@ pub fn find_min_routable_k_pool(
         if mid <= 0.0 || mid >= hi_k {
             break;
         }
-        let r = congestion_flow_prepared(prep, mid, opts);
+        let r = congestion_flow_prepared(prep, mid, opts)?;
         if r.route.violations == 0 {
             hi_k = mid;
             hi_r = r;
@@ -128,7 +170,7 @@ pub fn find_min_routable_k_pool(
             lo = mid;
         }
     }
-    Some(KSweepEntry { k: hi_k, result: hi_r })
+    Ok(Some(KSweepEntry { k: hi_k, result: hi_r }))
 }
 
 #[cfg(test)]
@@ -154,7 +196,7 @@ mod tests {
         let net = small_net();
         let opts = FlowOptions::default();
         let ks = [0.0, 0.01, 1.0];
-        let rows = k_sweep(&net, &ks, &opts);
+        let rows = k_sweep(&net, &ks, &opts).unwrap();
         assert_eq!(rows.len(), 3);
         for (row, k) in rows.iter().zip(ks) {
             assert_eq!(row.k, k);
@@ -167,7 +209,7 @@ mod tests {
         // region); on a small design we assert the ends of the range
         let net = small_net();
         let opts = FlowOptions::default();
-        let rows = k_sweep(&net, &[0.0, 10.0], &opts);
+        let rows = k_sweep(&net, &[0.0, 10.0], &opts).unwrap();
         assert!(rows[1].result.cell_area >= rows[0].result.cell_area);
     }
 
@@ -176,8 +218,9 @@ mod tests {
         let net = small_net();
         // generous die: everything routes, so the search returns k_min
         let opts = FlowOptions { target_utilization: 0.35, ..Default::default() };
-        let prep = crate::flows::prepare(&net, &opts);
+        let prep = crate::flows::prepare(&net, &opts).unwrap();
         let found = find_min_routable_k(&prep, &opts, 0.01, 16.0)
+            .unwrap()
             .expect("a routable K must exist on a loose die");
         assert_eq!(found.result.route.violations, 0);
         assert!(found.k <= 0.01 * 1.0001);
@@ -188,26 +231,34 @@ mod tests {
         // regression: the pure-doubling ladder from 0.01 tops out at
         // 10.24 and never probed k_max = 16.0, reporting "unroutable"
         // even when 16.0 routes
-        let rungs = ladder_rungs(0.01, 16.0);
+        let rungs = ladder_rungs(0.01, 16.0).unwrap();
         assert_eq!(*rungs.last().unwrap(), 16.0, "k_max itself must be probed");
         assert!((rungs[rungs.len() - 2] - 10.24).abs() < 1e-12);
         for w in rungs.windows(2) {
             assert!(w[0] < w[1], "rungs must be strictly increasing");
         }
         // exact power-of-two span: no duplicate final rung
-        assert_eq!(ladder_rungs(1.0, 16.0), vec![1.0, 2.0, 4.0, 8.0, 16.0]);
+        assert_eq!(ladder_rungs(1.0, 16.0).unwrap(), vec![1.0, 2.0, 4.0, 8.0, 16.0]);
         // k_max below the first doubling still yields both endpoints
-        assert_eq!(ladder_rungs(1.0, 1.5), vec![1.0, 1.5]);
+        assert_eq!(ladder_rungs(1.0, 1.5).unwrap(), vec![1.0, 1.5]);
+    }
+
+    #[test]
+    fn bad_ladder_bounds_are_typed_errors() {
+        let e = ladder_rungs(0.0, 1.0).unwrap_err();
+        assert_eq!(e.stage, Stage::Sweep);
+        assert!(e.detail.contains("k_min"));
+        assert!(ladder_rungs(2.0, 1.0).is_err());
     }
 
     #[test]
     fn parallel_sweep_is_bit_identical_to_serial() {
         let net = small_net();
         let opts = FlowOptions::default();
-        let prep = crate::flows::prepare(&net, &opts);
+        let prep = crate::flows::prepare(&net, &opts).unwrap();
         let ks = [0.0, 0.001, 0.05, 1.0];
-        let serial = k_sweep_prepared(&prep, &ks, &opts);
-        let parallel = k_sweep_prepared_pool(&prep, &ks, &opts, &casyn_exec::Pool::new(4));
+        let serial = k_sweep_prepared(&prep, &ks, &opts).unwrap();
+        let parallel = k_sweep_prepared_pool(&prep, &ks, &opts, &casyn_exec::Pool::new(4)).unwrap();
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.k, b.k);
             assert_eq!(a.result.cell_area, b.result.cell_area);
@@ -222,13 +273,30 @@ mod tests {
     fn parallel_min_routable_k_matches_serial() {
         let net = small_net();
         let opts = FlowOptions { target_utilization: 0.35, ..Default::default() };
-        let prep = crate::flows::prepare(&net, &opts);
-        let serial = find_min_routable_k(&prep, &opts, 0.01, 16.0).unwrap();
+        let prep = crate::flows::prepare(&net, &opts).unwrap();
+        let serial = find_min_routable_k(&prep, &opts, 0.01, 16.0).unwrap().unwrap();
         let parallel =
-            find_min_routable_k_pool(&prep, &opts, 0.01, 16.0, &casyn_exec::Pool::new(4)).unwrap();
+            find_min_routable_k_pool(&prep, &opts, 0.01, 16.0, &casyn_exec::Pool::new(4))
+                .unwrap()
+                .unwrap();
         assert_eq!(serial.k, parallel.k);
         assert_eq!(serial.result.cell_area, parallel.result.cell_area);
         assert_eq!(serial.result.route.violations, parallel.result.route.violations);
+    }
+
+    #[test]
+    fn parallel_sweep_surfaces_injected_panics_as_typed_errors() {
+        use crate::error::FlowErrorKind;
+        let net = small_net();
+        let opts = FlowOptions {
+            fault: Some(casyn_exec::FaultPlan::parse("map:panic:2").unwrap()),
+            ..Default::default()
+        };
+        let prep = crate::flows::prepare(&net, &opts).unwrap();
+        let e = k_sweep_prepared_pool(&prep, &[0.0, 0.001], &opts, &casyn_exec::Pool::new(2))
+            .unwrap_err();
+        assert_eq!(e.kind, FlowErrorKind::Panicked);
+        assert!(e.detail.contains("injected fault"), "panic payload kept: {e}");
     }
 
     #[test]

@@ -93,30 +93,47 @@ impl SeqNetwork {
     }
 
     /// Validates the latch wiring: every `q` is a core input appearing
-    /// after the real inputs, every `d` is a core node.
+    /// after the real inputs, every `d` is a core node. Returns a
+    /// description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        let inputs = self.core.inputs();
+        if self.num_real_inputs > inputs.len() {
+            return Err(format!(
+                "{} real inputs claimed but the core has only {}",
+                self.num_real_inputs,
+                inputs.len()
+            ));
+        }
+        if inputs.len() - self.num_real_inputs != self.latches.len() {
+            return Err(format!(
+                "one pseudo-input per latch expected: {} pseudo-inputs vs {} latches",
+                inputs.len() - self.num_real_inputs,
+                self.latches.len()
+            ));
+        }
+        for (k, l) in self.latches.iter().enumerate() {
+            if inputs[self.num_real_inputs + k] != l.q {
+                return Err(format!("latch {k}: q must be pseudo-input {k}"));
+            }
+            if !matches!(self.core.node(l.q), NodeFunction::Input(_)) {
+                return Err(format!("latch {k}: q is not an input node"));
+            }
+            if l.d.index() >= self.core.num_nodes() {
+                return Err(format!("latch {k}: d is out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`SeqNetwork::validate`] as an assertion, for use during
+    /// construction.
     ///
     /// # Panics
     ///
-    /// Panics on inconsistent wiring — use during construction.
+    /// Panics on inconsistent wiring.
     pub fn check(&self) {
-        let inputs = self.core.inputs();
-        assert!(self.num_real_inputs <= inputs.len());
-        assert_eq!(
-            inputs.len() - self.num_real_inputs,
-            self.latches.len(),
-            "one pseudo-input per latch"
-        );
-        for (k, l) in self.latches.iter().enumerate() {
-            assert_eq!(
-                inputs[self.num_real_inputs + k],
-                l.q,
-                "latch {k} q must be pseudo-input {k}"
-            );
-            assert!(
-                matches!(self.core.node(l.q), NodeFunction::Input(_)),
-                "latch q must be an input node"
-            );
-            assert!(l.d.index() < self.core.num_nodes(), "latch d out of range");
+        if let Err(e) = self.validate() {
+            panic!("inconsistent sequential network: {e}");
         }
     }
 }

@@ -32,22 +32,51 @@ pub use legalize::{legalize_rows, LegalizedRows};
 pub use metrics::{hpwl, total_hpwl};
 pub use refine::{median_improve, RefineOptions};
 
+/// Why [`place_subject`] could not produce a placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaceError {
+    /// The subject-graph vertex that could not be positioned.
+    pub vertex: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "placement failed at vertex {}: {}", self.vertex, self.reason)
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
 /// Places a subject graph on the floorplan's layout image and returns one
 /// position per subject-graph vertex (primary inputs get their port
 /// positions). This is the "initial placement" box of the paper's Fig. 3.
+/// A vertex that is neither a movable cell nor a fixed port — a corrupt
+/// placement instance — is reported as a [`PlaceError`] instead of a
+/// panic.
 pub fn place_subject(
     graph: &casyn_netlist::subject::SubjectGraph,
     fp: &Floorplan,
     opts: &PlacerOptions,
-) -> Vec<casyn_netlist::Point> {
+) -> Result<Vec<casyn_netlist::Point>, PlaceError> {
     let built = instance::from_subject(graph, fp);
     let cell_pos = place(&built.instance, fp, opts);
     let mut pos = vec![casyn_netlist::Point::default(); graph.num_vertices()];
     for (v, slot) in built.cell_of_vertex.iter().enumerate() {
         match slot {
             Some(c) => pos[v] = cell_pos[*c],
-            None => pos[v] = built.fixed_of_vertex[v].expect("input has a port position"),
+            None => match built.fixed_of_vertex[v] {
+                Some(p) => pos[v] = p,
+                None => {
+                    return Err(PlaceError {
+                        vertex: v,
+                        reason: "vertex has neither a movable cell nor a fixed port position"
+                            .to_string(),
+                    })
+                }
+            },
         }
     }
-    pos
+    Ok(pos)
 }

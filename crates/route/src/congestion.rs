@@ -5,6 +5,45 @@ use crate::grid::RouteGrid;
 use casyn_obs::json::JsonValue;
 use std::fmt;
 
+/// Why a heat-map document could not be read back, in the same style as
+/// the BLIF/PLA parser errors: syntax failures carry the line/column from
+/// the JSON parser, shape failures name the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeatmapError {
+    /// The document is not valid JSON.
+    Syntax {
+        /// 1-based line of the parse failure.
+        line: usize,
+        /// 1-based column of the parse failure.
+        col: usize,
+        /// Parser diagnostic.
+        reason: String,
+    },
+    /// The document parsed but a field is missing, has the wrong type or
+    /// an out-of-range value.
+    Field {
+        /// Path of the offending field, e.g. `h_demand[2]`.
+        field: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HeatmapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeatmapError::Syntax { line, col, reason } => {
+                write!(f, "heatmap: line {line}, col {col}: {reason}")
+            }
+            HeatmapError::Field { field, reason } => {
+                write!(f, "heatmap: field \"{field}\": {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeatmapError {}
+
 /// A per-gcell congestion summary of a routed design, carrying the raw
 /// boundary demand alongside the derived utilization so it can be
 /// exported as a machine-readable heat map after the grid is gone.
@@ -181,6 +220,112 @@ impl CongestionMap {
     }
 }
 
+impl CongestionMap {
+    /// Reads a `casyn.heatmap.v1` document back into a [`CongestionMap`]
+    /// — the inverse of [`CongestionMap::to_json`]. Syntax errors carry
+    /// the JSON parser's line/column; shape errors name the field, e.g.
+    /// `h_demand[2]` for a malformed third row.
+    pub fn from_json(text: &str) -> Result<CongestionMap, HeatmapError> {
+        let doc = JsonValue::parse(text).map_err(|e| HeatmapError::Syntax {
+            line: e.line,
+            col: e.col,
+            reason: e.reason,
+        })?;
+        let field = |name: &str, reason: &str| HeatmapError::Field {
+            field: name.to_string(),
+            reason: reason.to_string(),
+        };
+        let schema = doc
+            .get("schema")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| field("schema", "missing or not a string"))?;
+        if schema != "casyn.heatmap.v1" {
+            return Err(field(
+                "schema",
+                &format!("expected \"casyn.heatmap.v1\", got \"{schema}\""),
+            ));
+        }
+        let dim = |name: &str| -> Result<usize, HeatmapError> {
+            let v = doc
+                .get(name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| field(name, "missing or not a number"))?;
+            if !(v.is_finite() && v >= 0.0 && v.fract() == 0.0 && v <= u32::MAX as f64) {
+                return Err(field(name, &format!("must be a non-negative integer, got {v}")));
+            }
+            Ok(v as usize)
+        };
+        let pos = |name: &str| -> Result<f64, HeatmapError> {
+            let v = doc
+                .get(name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| field(name, "missing or not a number"))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(field(name, &format!("must be a positive number, got {v}")));
+            }
+            Ok(v)
+        };
+        let (nx, ny) = (dim("nx")?, dim("ny")?);
+        let gcell_size = pos("gcell_size")?;
+        let (h_cap, v_cap) = (pos("h_capacity")?, pos("v_capacity")?);
+        // row-major matrices: `h` rows of `w` non-negative numbers each
+        let matrix = |name: &str, w: usize, h: usize| -> Result<Vec<f64>, HeatmapError> {
+            let rows = doc
+                .get(name)
+                .and_then(|v| v.as_array())
+                .ok_or_else(|| field(name, "missing or not an array"))?;
+            if rows.len() != h {
+                return Err(field(name, &format!("expected {h} rows, got {}", rows.len())));
+            }
+            let mut out = Vec::with_capacity(w * h);
+            for (y, row) in rows.iter().enumerate() {
+                let row_field = format!("{name}[{y}]");
+                let cells =
+                    row.as_array().ok_or_else(|| field(&row_field, "row is not an array"))?;
+                if cells.len() != w {
+                    return Err(field(
+                        &row_field,
+                        &format!("expected {w} columns, got {}", cells.len()),
+                    ));
+                }
+                for (x, cell) in cells.iter().enumerate() {
+                    let v = cell.as_f64().ok_or_else(|| {
+                        field(&format!("{name}[{y}][{x}]"), "cell is not a number")
+                    })?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(field(
+                            &format!("{name}[{y}][{x}]"),
+                            &format!("must be finite and non-negative, got {v}"),
+                        ));
+                    }
+                    out.push(v);
+                }
+            }
+            Ok(out)
+        };
+        Ok(CongestionMap {
+            h_demand: matrix("h_demand", nx.saturating_sub(1), ny)?,
+            v_demand: matrix("v_demand", nx, ny.saturating_sub(1))?,
+            util: matrix("util", nx, ny)?,
+            nx,
+            ny,
+            h_cap,
+            v_cap,
+            gcell_size,
+        })
+    }
+
+    /// Boundary capacities `(horizontal, vertical)` in tracks.
+    pub fn capacities(&self) -> (f64, f64) {
+        (self.h_cap, self.v_cap)
+    }
+
+    /// Gcell edge length in micrometres.
+    pub fn gcell_size(&self) -> f64 {
+        self.gcell_size
+    }
+}
+
 /// [`CongestionMap::to_json`] for a grid you still hold: summarizes and
 /// serializes in one step.
 pub fn heatmap_json(grid: &RouteGrid) -> JsonValue {
@@ -274,6 +419,69 @@ mod tests {
         } else {
             panic!("heatmap is not an object");
         }
+    }
+
+    #[test]
+    fn from_json_round_trips() {
+        let mut g = grid_3x3();
+        g.add_h(0, 1, 3.0);
+        g.add_v(2, 0, 1.5);
+        let m = CongestionMap::from_grid(&g);
+        let back = CongestionMap::from_json(&m.to_json().to_string_pretty()).unwrap();
+        assert_eq!(back.nx(), m.nx());
+        assert_eq!(back.ny(), m.ny());
+        assert_eq!(back.capacities(), m.capacities());
+        assert_eq!(back.gcell_size(), m.gcell_size());
+        for y in 0..m.ny() {
+            for x in 0..m.nx() {
+                assert_eq!(back.util(x, y), m.util(x, y));
+            }
+        }
+        assert_eq!(back.h_demand(0, 1), m.h_demand(0, 1));
+        assert_eq!(back.v_demand(2, 0), m.v_demand(2, 0));
+    }
+
+    #[test]
+    fn from_json_reports_syntax_position() {
+        let err = CongestionMap::from_json("{\n  \"schema\": oops\n}").unwrap_err();
+        match err {
+            HeatmapError::Syntax { line, col, .. } => {
+                assert_eq!(line, 2);
+                assert!(col > 1);
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_json_reports_field_diagnostics() {
+        let good = CongestionMap::from_grid(&grid_3x3()).to_json().to_string_pretty();
+        // wrong schema
+        let e = CongestionMap::from_json(&good.replace("casyn.heatmap.v1", "casyn.heatmap.v9"))
+            .unwrap_err();
+        assert!(matches!(&e, HeatmapError::Field { field, .. } if field == "schema"), "{e}");
+        // a malformed row: the second h_demand row is one column short
+        let broken = r#"{
+            "schema": "casyn.heatmap.v1",
+            "nx": 3, "ny": 3, "gcell_size": 6.4,
+            "h_capacity": 10, "v_capacity": 10,
+            "h_demand": [[0, 0], [0], [0, 0]],
+            "v_demand": [[0, 0, 0], [0, 0, 0]],
+            "util": [[0, 0, 0], [0, 0, 0], [0, 0, 0]]
+        }"#;
+        let e = CongestionMap::from_json(broken).unwrap_err();
+        match &e {
+            HeatmapError::Field { field, reason } => {
+                assert!(field.starts_with("h_demand["), "field = {field}");
+                assert!(reason.contains("columns"), "reason = {reason}");
+            }
+            other => panic!("expected field error, got {other:?}"),
+        }
+        // missing dimension
+        let e = CongestionMap::from_json(&good.replace("\"ny\"", "\"nyy\"")).unwrap_err();
+        assert!(matches!(&e, HeatmapError::Field { field, .. } if field == "ny"), "{e}");
+        // error text carries the field path for the CLI to print
+        assert!(e.to_string().contains("ny"));
     }
 
     #[test]

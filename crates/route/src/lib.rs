@@ -19,6 +19,6 @@ pub mod congestion;
 pub mod grid;
 pub mod router;
 
-pub use congestion::{heatmap_json, CongestionMap};
+pub use congestion::{heatmap_json, CongestionMap, HeatmapError};
 pub use grid::{GcellCoord, RouteConfig, RouteGrid};
-pub use router::{route_mapped, route_pin_sets, RouteResult};
+pub use router::{route_mapped, route_pin_sets, RouteError, RouteResult};

@@ -8,6 +8,82 @@ use casyn_obs as obs;
 use casyn_place::Floorplan;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Why a routing run could not produce a [`RouteResult`]. Routing is the
+/// last consumer of every upstream stage's geometry, so these errors are
+/// how corrupt placements (NaN positions, out-of-die pins) surface as
+/// typed failures instead of silent gcell aliasing or panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// A net pin has a non-finite coordinate and cannot be mapped to a
+    /// gcell. `pin` indexes the net's pin list (0 = driver for
+    /// [`route_mapped`]).
+    BadPin {
+        /// Net index (the order of [`casyn_netlist::mapped::MappedNetlist::nets`]).
+        net: usize,
+        /// Pin index within the net.
+        pin: usize,
+        /// The offending coordinates.
+        x: f64,
+        y: f64,
+    },
+    /// A static blockage point has a non-finite coordinate.
+    BadBlockage {
+        /// Blockage index in the input list.
+        index: usize,
+        /// The offending coordinates.
+        x: f64,
+        y: f64,
+    },
+    /// The net's spanning tree over its gcells could not be completed —
+    /// some pins remained unconnected after MST construction.
+    TreeIncomplete {
+        /// Net index.
+        net: usize,
+        /// Gcells reached by the tree.
+        connected: usize,
+        /// Gcells the net spans.
+        total: usize,
+    },
+    /// A two-pin connection found no path between its gcells.
+    PathNotFound {
+        /// Net index.
+        net: usize,
+        /// Source gcell `(x, y)`.
+        from: (u32, u32),
+        /// Target gcell `(x, y)`.
+        to: (u32, u32),
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::BadPin { net, pin, x, y } => {
+                write!(f, "net {net} pin {pin} has non-finite position ({x}, {y})")
+            }
+            RouteError::BadBlockage { index, x, y } => {
+                write!(f, "blockage {index} has non-finite position ({x}, {y})")
+            }
+            RouteError::TreeIncomplete { net, connected, total } => {
+                write!(
+                    f,
+                    "net {net}: spanning tree incomplete ({connected} of {total} gcells connected)"
+                )
+            }
+            RouteError::PathNotFound { net, from, to } => {
+                write!(
+                    f,
+                    "net {net}: no path from gcell ({}, {}) to ({}, {})",
+                    from.0, from.1, to.0, to.1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// The outcome of global routing.
 #[derive(Debug, Clone)]
@@ -42,7 +118,11 @@ impl RouteResult {
 /// Routes a mapped netlist whose cells and ports already have positions.
 /// Every cell pin consumes `cfg.pin_blockage` tracks of static blockage
 /// in its gcell, modelling escape wiring and via congestion.
-pub fn route_mapped(nl: &MappedNetlist, fp: &Floorplan, cfg: &RouteConfig) -> RouteResult {
+pub fn route_mapped(
+    nl: &MappedNetlist,
+    fp: &Floorplan,
+    cfg: &RouteConfig,
+) -> Result<RouteResult, RouteError> {
     let mut pin_sets: Vec<Vec<Point>> = Vec::new();
     for net in nl.nets() {
         let mut pins = vec![nl.signal_pos(net.driver)];
@@ -73,11 +153,15 @@ pub fn route_mapped(nl: &MappedNetlist, fp: &Floorplan, cfg: &RouteConfig) -> Ro
 ///
 /// let fp = Floorplan::with_rows_and_area(10, 10.0 * 6.4 * 64.0);
 /// let nets = vec![vec![Point::new(3.2, 3.2), Point::new(35.0, 35.0)]];
-/// let result = route_pin_sets(&nets, &fp, &RouteConfig::default());
+/// let result = route_pin_sets(&nets, &fp, &RouteConfig::default()).unwrap();
 /// assert!(result.is_routable());
 /// assert!(result.total_wirelength > 0.0);
 /// ```
-pub fn route_pin_sets(nets: &[Vec<Point>], fp: &Floorplan, cfg: &RouteConfig) -> RouteResult {
+pub fn route_pin_sets(
+    nets: &[Vec<Point>],
+    fp: &Floorplan,
+    cfg: &RouteConfig,
+) -> Result<RouteResult, RouteError> {
     route_pin_sets_with_blockage(nets, &[], fp, cfg)
 }
 
@@ -88,22 +172,34 @@ pub fn route_pin_sets_with_blockage(
     blockages: &[(Point, f64)],
     fp: &Floorplan,
     cfg: &RouteConfig,
-) -> RouteResult {
+) -> Result<RouteResult, RouteError> {
     let mut grid = RouteGrid::new(fp, cfg);
-    for (p, amount) in blockages {
+    for (i, (p, amount)) in blockages.iter().enumerate() {
+        if !p.x.is_finite() || !p.y.is_finite() {
+            return Err(RouteError::BadBlockage { index: i, x: p.x, y: p.y });
+        }
         grid.add_pin_blockage(fp.clamp(*p), *amount);
     }
     // net -> unique gcells -> MST -> two-pin connections
     let mut connections: Vec<(GcellCoord, GcellCoord)> = Vec::new();
     let mut net_of_connection: Vec<usize> = Vec::new();
     for (ni, pins) in nets.iter().enumerate() {
+        for (pi, p) in pins.iter().enumerate() {
+            // a non-finite coordinate would alias into an arbitrary gcell
+            // after the clamp; fail it as the typed input error it is
+            if !p.x.is_finite() || !p.y.is_finite() {
+                return Err(RouteError::BadPin { net: ni, pin: pi, x: p.x, y: p.y });
+            }
+        }
         let mut cells: Vec<GcellCoord> = pins.iter().map(|p| grid.gcell_of(fp.clamp(*p))).collect();
         cells.sort();
         cells.dedup();
         if cells.len() < 2 {
             continue;
         }
-        let edges = decompose_net(&cells);
+        let edges = decompose_net(&cells).map_err(|(connected, total)| {
+            RouteError::TreeIncomplete { net: ni, connected, total }
+        })?;
         net_of_connection.extend(std::iter::repeat_n(ni, edges.len()));
         connections.extend(edges);
     }
@@ -128,6 +224,16 @@ pub fn route_pin_sets_with_blockage(
             rerouted_this_iter += 1;
             rip_up(&mut grid, &paths[ci]);
             paths[ci] = router.route(&mut grid, *a, *b, present_factor, margin);
+            if paths[ci].is_empty() && a != b {
+                // the search box always contains a rectilinear path, so an
+                // empty result between distinct gcells means the grid
+                // itself is inconsistent — surface it, don't under-report
+                return Err(RouteError::PathNotFound {
+                    net: net_of_connection[ci],
+                    from: (a.x as u32, a.y as u32),
+                    to: (b.x as u32, b.y as u32),
+                });
+            }
             commit(&mut grid, &paths[ci]);
         }
         reroutes += rerouted_this_iter;
@@ -170,7 +276,7 @@ pub fn route_pin_sets_with_blockage(
     for (ci, path) in paths.iter().enumerate() {
         net_wirelength[net_of_connection[ci]] += path.len() as f64 * grid.gcell_size();
     }
-    RouteResult {
+    Ok(RouteResult {
         violations: overflow.round() as usize,
         overflow,
         overflowed_edges,
@@ -178,31 +284,34 @@ pub fn route_pin_sets_with_blockage(
         iterations,
         net_wirelength,
         congestion: CongestionMap::from_grid(&grid),
-    }
+    })
 }
 
 /// Decomposes a net's gcell set into two-pin connections. Two pins
 /// connect directly; three pins route through the rectilinear Steiner
 /// (median) point, which is optimal for three terminals; larger nets use
-/// a Prim MST.
-fn decompose_net(cells: &[GcellCoord]) -> Vec<(GcellCoord, GcellCoord)> {
+/// a Prim MST. On failure returns the `(connected, total)` gcell counts
+/// of the incomplete tree.
+fn decompose_net(cells: &[GcellCoord]) -> Result<Vec<(GcellCoord, GcellCoord)>, (usize, usize)> {
     match cells.len() {
-        0 | 1 => Vec::new(),
-        2 => vec![(cells[0], cells[1])],
+        0 | 1 => Ok(Vec::new()),
+        2 => Ok(vec![(cells[0], cells[1])]),
         3 => {
             let mut xs = [cells[0].x, cells[1].x, cells[2].x];
             let mut ys = [cells[0].y, cells[1].y, cells[2].y];
             xs.sort_unstable();
             ys.sort_unstable();
             let m = GcellCoord { x: xs[1], y: ys[1] };
-            cells.iter().filter(|c| **c != m).map(|c| (m, *c)).collect()
+            Ok(cells.iter().filter(|c| **c != m).map(|c| (m, *c)).collect())
         }
         _ => mst_edges(cells),
     }
 }
 
-/// Prim MST over gcell coordinates with Manhattan edge weights.
-fn mst_edges(cells: &[GcellCoord]) -> Vec<(GcellCoord, GcellCoord)> {
+/// Prim MST over gcell coordinates with Manhattan edge weights. Returns
+/// `(connected, total)` if some vertex could not be attached (the former
+/// `expect("tree incomplete")` panic, now a typed condition).
+fn mst_edges(cells: &[GcellCoord]) -> Result<Vec<(GcellCoord, GcellCoord)>, (usize, usize)> {
     let n = cells.len();
     let dist = |a: GcellCoord, b: GcellCoord| {
         (a.x as i64 - b.x as i64).abs() + (a.y as i64 - b.y as i64).abs()
@@ -214,13 +323,15 @@ fn mst_edges(cells: &[GcellCoord]) -> Vec<(GcellCoord, GcellCoord)> {
         best[j] = (dist(cells[0], cells[j]), 0);
     }
     let mut edges = Vec::with_capacity(n - 1);
-    for _ in 1..n {
-        let (j, _) = best
+    for step in 1..n {
+        let Some((j, _)) = best
             .iter()
             .enumerate()
             .filter(|(j, _)| !in_tree[*j])
             .min_by_key(|(j, (d, _))| (*d, *j))
-            .expect("tree incomplete");
+        else {
+            return Err((step, n));
+        };
         in_tree[j] = true;
         edges.push((cells[best[j].1], cells[j]));
         for k in 0..n {
@@ -232,7 +343,7 @@ fn mst_edges(cells: &[GcellCoord]) -> Vec<(GcellCoord, GcellCoord)> {
             }
         }
     }
-    edges
+    Ok(edges)
 }
 
 /// A grid edge on a committed path.
@@ -462,7 +573,7 @@ mod tests {
         let fp = fp(10, 10);
         let cfg = RouteConfig::default();
         let nets = vec![vec![Point::new(3.2, 3.2), Point::new(3.2 + 6.4 * 4.0, 3.2 + 6.4 * 3.0)]];
-        let r = route_pin_sets(&nets, &fp, &cfg);
+        let r = route_pin_sets(&nets, &fp, &cfg).unwrap();
         assert!(r.is_routable());
         assert!((r.total_wirelength - 7.0 * 6.4).abs() < 1e-9, "wl = {}", r.total_wirelength);
     }
@@ -471,7 +582,7 @@ mod tests {
     fn same_gcell_net_needs_no_routing() {
         let fp = fp(4, 4);
         let nets = vec![vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)]];
-        let r = route_pin_sets(&nets, &fp, &RouteConfig::default());
+        let r = route_pin_sets(&nets, &fp, &RouteConfig::default()).unwrap();
         assert_eq!(r.total_wirelength, 0.0);
         assert!(r.is_routable());
     }
@@ -483,7 +594,7 @@ mod tests {
         let y = 3.2;
         let nets =
             vec![vec![Point::new(3.2, y), Point::new(3.2 + 6.4, y), Point::new(3.2 + 12.8, y)]];
-        let r = route_pin_sets(&nets, &fp, &RouteConfig::default());
+        let r = route_pin_sets(&nets, &fp, &RouteConfig::default()).unwrap();
         assert!((r.total_wirelength - 2.0 * 6.4).abs() < 1e-9);
     }
 
@@ -498,7 +609,7 @@ mod tests {
             Point::new(3.2 + 4.0 * g, 3.2),
             Point::new(3.2 + 2.0 * g, 3.2 + 5.0 * g),
         ]];
-        let r = route_pin_sets(&nets, &fp, &RouteConfig::default());
+        let r = route_pin_sets(&nets, &fp, &RouteConfig::default()).unwrap();
         assert!(
             (r.total_wirelength - 9.0 * g).abs() < 1e-9,
             "steiner length expected, got {}",
@@ -516,7 +627,7 @@ mod tests {
             Point::new(3.2 + 2.0 * g, 3.2 + 2.0 * g),
             Point::new(3.2 + 4.0 * g, 3.2 + 4.0 * g),
         ]];
-        let r = route_pin_sets(&nets, &fp, &RouteConfig::default());
+        let r = route_pin_sets(&nets, &fp, &RouteConfig::default()).unwrap();
         assert!((r.total_wirelength - 8.0 * g).abs() < 1e-9);
         assert!(r.is_routable());
     }
@@ -532,7 +643,7 @@ mod tests {
             let y = 3.2 + 6.4 * ((i % 3) as f64);
             nets.push(vec![Point::new(3.2, y), Point::new(3.2 + 6.4 * 6.0, y)]);
         }
-        let r = route_pin_sets(&nets, &fp, &cfg);
+        let r = route_pin_sets(&nets, &fp, &cfg).unwrap();
         // 40 nets × 6 h-edges = 240 track segments over 3 rows of capacity
         // 12.5 — physically impossible: must overflow
         assert!(!r.is_routable());
@@ -551,7 +662,7 @@ mod tests {
             let y = 3.2 + 6.4 * ((i % 12) as f64);
             nets.push(vec![Point::new(3.2, y), Point::new(3.2 + 6.4 * 10.0, y)]);
         }
-        let r = route_pin_sets(&nets, &fp, &cfg);
+        let r = route_pin_sets(&nets, &fp, &cfg).unwrap();
         assert!(
             r.is_routable(),
             "30 nets over 12 rows × 12.5 tracks must route; got {} violations",
@@ -570,8 +681,8 @@ mod tests {
                 ]
             })
             .collect();
-        let a = route_pin_sets(&nets, &fp, &RouteConfig::default());
-        let b = route_pin_sets(&nets, &fp, &RouteConfig::default());
+        let a = route_pin_sets(&nets, &fp, &RouteConfig::default()).unwrap();
+        let b = route_pin_sets(&nets, &fp, &RouteConfig::default()).unwrap();
         assert_eq!(a.violations, b.violations);
         assert_eq!(a.total_wirelength, b.total_wirelength);
     }
@@ -583,7 +694,7 @@ mod tests {
             vec![Point::new(3.2, 3.2), Point::new(3.2 + 6.4 * 3.0, 3.2)], // 3 gcells
             vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)],             // same gcell
         ];
-        let r = route_pin_sets(&nets, &fp, &RouteConfig::default());
+        let r = route_pin_sets(&nets, &fp, &RouteConfig::default()).unwrap();
         assert_eq!(r.net_wirelength.len(), 2);
         assert!((r.net_wirelength[0] - 3.0 * 6.4).abs() < 1e-9);
         assert_eq!(r.net_wirelength[1], 0.0);
@@ -598,7 +709,7 @@ mod tests {
             GcellCoord { x: 0, y: 5 },
             GcellCoord { x: 5, y: 5 },
         ];
-        let edges = mst_edges(&cells);
+        let edges = mst_edges(&cells).unwrap();
         assert_eq!(edges.len(), 3);
         // total MST length for the unit square scaled by 5: 15
         let total: i64 = edges

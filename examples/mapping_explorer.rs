@@ -26,7 +26,7 @@ fn main() {
     let lib = corelib018();
     let fp = Floorplan::with_area(graph.num_gates() as f64 * 12.0 / 0.6, 1.0);
     let opts = FlowOptions::default();
-    let positions = place_subject(&graph, &fp, &opts.placer);
+    let positions = place_subject(&graph, &fp, &opts.placer).expect("placement failed");
     println!(
         "design: {} base gates, {} inputs, {} outputs; die {:.0} um^2\n",
         graph.num_gates(),

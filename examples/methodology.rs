@@ -22,7 +22,7 @@ fn main() {
     // the K schedule of the paper's tables, starting at 0
     let schedule = [0.0, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01];
     // acceptance: no gcell above 98% of its track capacity
-    let out = run_methodology(&network, &schedule, 0.98, &opts);
+    let out = run_methodology(&network, &schedule, 0.98, &opts).expect("methodology failed");
     println!("Fig. 3 design-flow loop:");
     for step in &out.steps {
         println!(

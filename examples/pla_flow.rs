@@ -40,13 +40,13 @@ fn main() {
     println!("two-level network: {} literals", network.literal_count());
 
     let opts = FlowOptions::default();
-    let baseline = dagon_flow(&network, &opts);
+    let baseline = dagon_flow(&network, &opts).expect("flow failed");
     println!(
         "\nDAGON baseline: {} cells, {:.0} um^2, {:.1}% utilization, {} routing violations",
         baseline.num_cells, baseline.cell_area, baseline.utilization_pct, baseline.route.violations
     );
 
-    let aware = congestion_flow(&network, 0.001, &opts);
+    let aware = congestion_flow(&network, 0.001, &opts).expect("flow failed");
     println!(
         "congestion-aware (K = 0.001): {} cells, {:.0} um^2, {:.1}% utilization, {} violations",
         aware.num_cells, aware.cell_area, aware.utilization_pct, aware.route.violations

@@ -53,7 +53,7 @@ fn main() {
     println!("{seq}");
 
     let opts = FlowOptions::default();
-    let r = sequential_flow(&seq, 0.2, &opts);
+    let r = sequential_flow(&seq, 0.2, &opts).expect("sequential flow failed");
     println!(
         "\nmapped: {} cells ({} flip-flops), {:.0} um^2, {:.1}% utilization",
         r.flow.num_cells, r.num_dffs, r.flow.cell_area, r.flow.utilization_pct

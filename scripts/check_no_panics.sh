@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Flow-stage code reachable from run_flow / k_sweep / run_batch must report
+# failures through the typed FlowError spine — panic!, .unwrap() and
+# .expect( are forbidden there (test modules excluded). unreachable!() is
+# allowed: it marks branches the type system cannot rule out but the
+# invariants do.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+files=(
+  crates/flow/src/flows.rs
+  crates/flow/src/sweep.rs
+  crates/flow/src/batch.rs
+  crates/flow/src/seq.rs
+  crates/flow/src/methodology.rs
+  crates/flow/src/check.rs
+  crates/flow/src/error.rs
+  crates/route/src/router.rs
+  crates/route/src/congestion.rs
+  crates/place/src/lib.rs
+)
+
+status=0
+for f in "${files[@]}"; do
+  # strip the trailing test module, then look for panic paths on code
+  # lines (doc examples and comments are fine)
+  if hits=$(sed '/#\[cfg(test)\]/,$d' "$f" \
+      | grep -nE 'panic!|\.unwrap\(\)|\.expect\(' \
+      | grep -vE '^[0-9]+:[[:space:]]*//'); then
+    echo "forbidden panic path in $f:"
+    echo "$hits"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "no-panic check: ${#files[@]} flow-stage files clean"
+fi
+exit $status

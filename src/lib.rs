@@ -31,7 +31,7 @@
 //!
 //! let pla = random_pla(&PlaGenConfig { terms: 24, ..Default::default() });
 //! let opts = FlowOptions::default();
-//! let result = congestion_flow(&pla.to_network(), 0.001, &opts);
+//! let result = congestion_flow(&pla.to_network(), 0.001, &opts).unwrap();
 //! println!("mapped {} cells, {} routing violations",
 //!          result.netlist.num_cells(), result.route.violations);
 //! ```
@@ -53,14 +53,14 @@ pub use casyn_timing as timing;
 /// use casyn::prelude::*;
 ///
 /// let pla = random_pla(&PlaGenConfig { terms: 16, ..Default::default() });
-/// let result = congestion_flow(&pla.to_network(), 0.5, &FlowOptions::default());
+/// let result = congestion_flow(&pla.to_network(), 0.5, &FlowOptions::default()).unwrap();
 /// assert!(result.num_cells > 0);
 /// ```
 pub mod prelude {
     pub use casyn_core::{map, CostKind, MapOptions, MapResult, PartitionScheme};
     pub use casyn_flow::{
-        congestion_flow, dagon_flow, k_sweep, prepare, run_methodology, sis_flow, FlowOptions,
-        FlowResult, Prepared,
+        congestion_flow, dagon_flow, k_sweep, prepare, run_methodology, sis_flow, FlowError,
+        FlowErrorKind, FlowOptions, FlowResult, Prepared, Stage,
     };
     pub use casyn_library::{corelib018, Library};
     pub use casyn_logic::{decompose, optimize, OptimizeOptions};

@@ -23,8 +23,8 @@ fn net() -> casyn::netlist::network::Network {
 fn congestion_flow_is_deterministic() {
     let network = net();
     let opts = FlowOptions::default();
-    let a = congestion_flow(&network, 0.2, &opts);
-    let b = congestion_flow(&network, 0.2, &opts);
+    let a = congestion_flow(&network, 0.2, &opts).unwrap();
+    let b = congestion_flow(&network, 0.2, &opts).unwrap();
     assert_eq!(a.num_cells, b.num_cells);
     assert_eq!(a.cell_area, b.cell_area);
     assert_eq!(a.route.violations, b.route.violations);
@@ -42,8 +42,8 @@ fn congestion_flow_is_deterministic() {
 fn sis_flow_is_deterministic() {
     let network = net();
     let opts = FlowOptions::default();
-    let a = sis_flow(&network, &opts);
-    let b = sis_flow(&network, &opts);
+    let a = sis_flow(&network, &opts).unwrap();
+    let b = sis_flow(&network, &opts).unwrap();
     assert_eq!(a.num_cells, b.num_cells);
     assert_eq!(a.route.violations, b.route.violations);
 }

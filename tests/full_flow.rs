@@ -31,11 +31,11 @@ fn all_flows_are_functionally_correct() {
     let lib = corelib018();
     let mut rng = StdRng::seed_from_u64(7);
     for (name, r) in [
-        ("dagon", dagon_flow(&net, &opts)),
-        ("sis", sis_flow(&net, &opts)),
-        ("k=0", congestion_flow(&net, 0.0, &opts)),
-        ("k=0.001", congestion_flow(&net, 0.001, &opts)),
-        ("k=1", congestion_flow(&net, 1.0, &opts)),
+        ("dagon", dagon_flow(&net, &opts).unwrap()),
+        ("sis", sis_flow(&net, &opts).unwrap()),
+        ("k=0", congestion_flow(&net, 0.0, &opts).unwrap()),
+        ("k=0.001", congestion_flow(&net, 0.001, &opts).unwrap()),
+        ("k=1", congestion_flow(&net, 1.0, &opts).unwrap()),
     ] {
         for _ in 0..100 {
             let asg: Vec<bool> = (0..10).map(|_| rng.gen()).collect();
@@ -55,8 +55,8 @@ fn all_flows_are_functionally_correct() {
 fn k_zero_area_equals_dagon_area() {
     let net = test_pla_network(2);
     let opts = FlowOptions::default();
-    let dagon = dagon_flow(&net, &opts);
-    let k0 = congestion_flow(&net, 0.0, &opts);
+    let dagon = dagon_flow(&net, &opts).unwrap();
+    let k0 = congestion_flow(&net, 0.0, &opts).unwrap();
     assert!(
         (dagon.cell_area - k0.cell_area).abs() < 1e-6,
         "dagon {} vs K=0 {}",
@@ -76,7 +76,7 @@ fn sweep_area_shape() {
     let opts = FlowOptions::default();
     for seed in [2, 3, 4] {
         let net = test_pla_network(seed);
-        let rows = k_sweep(&net, &[0.0, 0.05, 1.0, 20.0], &opts);
+        let rows = k_sweep(&net, &[0.0, 0.05, 1.0, 20.0], &opts).unwrap();
         for w in rows.windows(2) {
             let dip_tolerance = 0.03 * w[0].result.cell_area;
             assert!(
@@ -104,7 +104,7 @@ fn sweep_area_shape() {
 fn legalized_placement_is_legal() {
     let net = test_pla_network(4);
     let opts = FlowOptions::default();
-    let r = congestion_flow(&net, 0.001, &opts);
+    let r = congestion_flow(&net, 0.001, &opts).unwrap();
     let fp = r.floorplan;
     let mut by_row: Vec<Vec<(f64, f64)>> = vec![Vec::new(); fp.num_rows];
     for c in r.netlist.cells() {
@@ -131,8 +131,8 @@ fn legalized_placement_is_legal() {
 fn sis_minimizes_area() {
     let net = test_pla_network(5);
     let opts = FlowOptions::default();
-    let sis = sis_flow(&net, &opts);
-    let dagon = dagon_flow(&net, &opts);
+    let sis = sis_flow(&net, &opts).unwrap();
+    let dagon = dagon_flow(&net, &opts).unwrap();
     assert!(sis.cell_area < dagon.cell_area);
 }
 
@@ -141,7 +141,7 @@ fn sis_minimizes_area() {
 fn methodology_trace_is_consistent() {
     let net = test_pla_network(6);
     let opts = FlowOptions { target_utilization: 0.45, ..Default::default() };
-    let out = run_methodology(&net, &[0.0, 0.001, 0.01], 1.0, &opts);
+    let out = run_methodology(&net, &[0.0, 0.001, 0.01], 1.0, &opts).unwrap();
     for w in out.steps.windows(2) {
         assert!(w[0].k < w[1].k);
         assert!(!w[0].accepted, "loop must stop at the first accepted step");
@@ -157,8 +157,8 @@ fn methodology_trace_is_consistent() {
 fn prepare_is_deterministic() {
     let net = test_pla_network(7);
     let opts = FlowOptions::default();
-    let a = prepare(&net, &opts);
-    let b = prepare(&net, &opts);
+    let a = prepare(&net, &opts).unwrap();
+    let b = prepare(&net, &opts).unwrap();
     assert_eq!(a.base_gates, b.base_gates);
     assert_eq!(a.floorplan, b.floorplan);
     assert_eq!(a.positions.len(), b.positions.len());
@@ -172,7 +172,7 @@ fn prepare_is_deterministic() {
 fn sta_results_are_sane() {
     let net = test_pla_network(8);
     let opts = FlowOptions::default();
-    let r = congestion_flow(&net, 0.001, &opts);
+    let r = congestion_flow(&net, 0.001, &opts).unwrap();
     let crit = r.sta.critical_arrival();
     assert!(crit > 0.0);
     for a in &r.sta.po_arrival {

@@ -56,7 +56,7 @@ fn pla_text_roundtrip() {
 #[test]
 fn mapped_verilog_export_is_complete() {
     let net = pla().to_network();
-    let r = congestion_flow(&net, 0.1, &FlowOptions::default());
+    let r = congestion_flow(&net, 0.1, &FlowOptions::default()).unwrap();
     let v = to_verilog(&r.netlist, "top");
     assert!(v.matches(" u").count() >= r.netlist.num_cells());
     for name in r.netlist.input_names() {
@@ -76,7 +76,7 @@ fn dot_exports() {
     let d1 = subject_to_dot(&graph, "subject");
     assert!(d1.starts_with("digraph"));
     assert_eq!(d1.matches('{').count(), d1.matches('}').count());
-    let r = congestion_flow(&net, 0.1, &FlowOptions::default());
+    let r = congestion_flow(&net, 0.1, &FlowOptions::default()).unwrap();
     let d2 = mapped_to_dot(&r.netlist, "mapped");
     assert_eq!(d2.matches("shape=component").count(), r.netlist.num_cells());
 }
@@ -88,7 +88,7 @@ fn full_flow_matches_pla_truth_table() {
     let pla = pla();
     let net = pla.to_network();
     let lib = corelib018();
-    let r = congestion_flow(&net, 0.5, &FlowOptions::default());
+    let r = congestion_flow(&net, 0.5, &FlowOptions::default()).unwrap();
     for m in 0..256u32 {
         let asg: Vec<bool> = (0..8).map(|i| m >> i & 1 == 1).collect();
         assert_eq!(

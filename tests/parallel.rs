@@ -47,9 +47,9 @@ fn parallel_k_sweep_is_bit_identical_to_serial_across_seeds() {
     for seed in [2002_u64, 77] {
         let network = net(seed);
         let opts = FlowOptions::default();
-        let prep = prepare(&network, &opts);
-        let serial = k_sweep_prepared(&prep, &ks, &opts);
-        let parallel = k_sweep_prepared_pool(&prep, &ks, &opts, &Pool::new(4));
+        let prep = prepare(&network, &opts).unwrap();
+        let serial = k_sweep_prepared(&prep, &ks, &opts).unwrap();
+        let parallel = k_sweep_prepared_pool(&prep, &ks, &opts, &Pool::new(4)).unwrap();
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.k, b.k, "rows must come back in input K order");
@@ -76,8 +76,9 @@ fn batch_on_four_workers_matches_one_worker() {
     for (a, b) in one.jobs.iter().zip(&four.jobs) {
         assert_eq!(a.name, b.name, "report rows must stay in manifest order");
         let (ra, rb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
-        assert_eq!(ra.len(), rb.len());
-        for (x, y) in ra.iter().zip(rb) {
+        assert_eq!(ra.rows.len(), rb.rows.len());
+        assert_eq!(ra.degraded, rb.degraded);
+        for (x, y) in ra.rows.iter().zip(&rb.rows) {
             assert_eq!(x.k, y.k);
             assert_rows_identical(&x.result, &y.result);
         }

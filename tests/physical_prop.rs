@@ -111,7 +111,7 @@ proptest! {
         let cfg = RouteConfig::default();
         let a = Point::new(3.2, 3.2);
         let b = Point::new(3.2 + 6.4 * x as f64, 3.2 + 6.4 * y as f64);
-        let r = route_pin_sets(&[vec![a, b]], &fp, &cfg);
+        let r = route_pin_sets(&[vec![a, b]], &fp, &cfg).expect("routable pin set");
         let expect = (x as f64 + y as f64) * 6.4;
         prop_assert!((r.total_wirelength - expect).abs() < 1e-9);
         prop_assert!((r.net_wirelength.iter().sum::<f64>() - r.total_wirelength).abs() < 1e-9);

@@ -30,7 +30,7 @@ fn run_flow() -> casyn::flow::FlowResult {
     })
     .to_network();
     let opts = FlowOptions { optimize: Some(OptimizeOptions::default()), ..FlowOptions::default() };
-    congestion_flow(&net, 0.01, &opts)
+    congestion_flow(&net, 0.01, &opts).unwrap()
 }
 
 #[test]
