@@ -1,0 +1,97 @@
+//! Perf-regression gate: measures the fixed gate design and compares it
+//! against a committed `casyn.bench.stages.v1` baseline.
+//!
+//! ```text
+//! perf_gate --out BENCH_baseline.json          record a fresh baseline
+//! perf_gate --compare BENCH_baseline.json      fail (exit 1) on regression
+//! options:
+//!   --iterations <n>   min-over-n measurement (default 3)
+//!   --tolerance <f>    relative band, 0.5 = +50% (default 0.5)
+//!   --scale <f>        multiply the measurement before writing/comparing
+//!                      (self-test hook: a 0.01-scaled baseline must trip)
+//! ```
+//!
+//! Run: `cargo run --release -p casyn-bench --bin perf_gate -- <options>`
+
+use casyn_bench::perf::{compare, measure, PerfBaseline, Tolerance};
+use std::process::ExitCode;
+
+struct GateArgs {
+    out: Option<String>,
+    baseline: Option<String>,
+    iterations: usize,
+    tolerance: f64,
+    scale: f64,
+}
+
+fn parse(argv: &[String]) -> Result<GateArgs, String> {
+    let mut args =
+        GateArgs { out: None, baseline: None, iterations: 3, tolerance: 0.5, scale: 1.0 };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--out" => args.out = Some(next("--out")?),
+            "--compare" => args.baseline = Some(next("--compare")?),
+            "--iterations" => {
+                args.iterations =
+                    next("--iterations")?.parse().map_err(|e| format!("--iterations: {e}"))?
+            }
+            "--tolerance" => {
+                args.tolerance =
+                    next("--tolerance")?.parse().map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--scale" => {
+                args.scale = next("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    if args.out.is_none() && args.baseline.is_none() {
+        return Err("pass --out <path> and/or --compare <baseline>".into());
+    }
+    Ok(args)
+}
+
+fn run(args: &GateArgs) -> Result<(), String> {
+    let current = measure(args.iterations).scaled(args.scale);
+    println!("perf gate: min over {} iteration(s)", args.iterations);
+    println!("{:>12}  {:>10}  {:>12}", "stage", "wall ms", "peak KiB");
+    for s in &current.stages {
+        println!("{:>12}  {:>10.3}  {:>12.1}", s.stage, s.wall_ms, s.peak_bytes as f64 / 1024.0);
+    }
+    println!("{:>12}  {:>10.3}", "total", current.total_ms);
+    if let Some(path) = &args.out {
+        std::fs::write(path, current.to_json().to_string_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let baseline = PerfBaseline::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        let tol = Tolerance { ratio: args.tolerance, ..Default::default() };
+        let regressions = compare(&current, &baseline, &tol);
+        if regressions.is_empty() {
+            println!("perf gate: within +{:.0}% of {path}", 100.0 * tol.ratio);
+        } else {
+            for r in &regressions {
+                eprintln!("perf gate REGRESSION: {r}");
+            }
+            return Err(format!("{} metric(s) regressed against {path}", regressions.len()));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv).and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,6 +15,8 @@ use casyn_flow::{FlowOptions, Prepared};
 use casyn_netlist::network::Network;
 use casyn_place::Floorplan;
 
+pub mod perf;
+
 /// The experiment setup of one paper benchmark: the prepared design and
 /// the fixed floorplan every mapping is evaluated against.
 pub struct Experiment {

@@ -1,0 +1,344 @@
+//! Perf-regression gate: measure per-stage wall clock and peak heap of
+//! a fixed synthetic flow, persist it as `casyn.bench.stages.v1`, and
+//! diff a fresh measurement against a committed baseline.
+//!
+//! The measurement is the *minimum* over a few serial iterations — the
+//! min is the closest thing to the machine's noise floor, so the gate
+//! compares capability, not scheduler luck. The comparison allows a
+//! relative band plus a small absolute slack per metric: CI runners are
+//! shared hardware, and a 0.4 ms stage must not fail the build over
+//! 0.2 ms of jitter.
+
+use casyn_flow::{congestion_flow_prepared, prepare, FlowOptions};
+use casyn_netlist::bench::{random_pla, PlaGenConfig};
+use casyn_obs::json::JsonValue;
+
+/// One stage's measured floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSample {
+    /// Stage name (`decompose`, `place`, `map`, ...).
+    pub stage: String,
+    /// Minimum wall clock over the iterations, in milliseconds.
+    pub wall_ms: f64,
+    /// Minimum live-heap high-water mark over the iterations, in bytes.
+    pub peak_bytes: u64,
+}
+
+/// A perf baseline: the stage floors of the gate's fixed design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBaseline {
+    /// Per-stage floors, in execution order.
+    pub stages: Vec<StageSample>,
+    /// Minimum whole-flow wall clock, in milliseconds.
+    pub total_ms: f64,
+    /// Iterations the minimum was taken over.
+    pub iterations: usize,
+}
+
+/// Tolerance band for [`compare`]: `current` regresses a metric when
+/// `current > baseline * (1 + ratio) + abs`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative headroom (0.5 = +50%).
+    pub ratio: f64,
+    /// Absolute wall-clock slack, in milliseconds.
+    pub abs_ms: f64,
+    /// Absolute heap slack, in bytes.
+    pub abs_bytes: u64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        // sized for shared CI runners: half again over baseline plus a
+        // millisecond / megabyte of absolute jitter room
+        Tolerance { ratio: 0.5, abs_ms: 1.0, abs_bytes: 1 << 20 }
+    }
+}
+
+/// One metric that exceeded its band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Stage name, or `"total"`.
+    pub stage: String,
+    /// `"wall_ms"` or `"peak_bytes"`.
+    pub metric: String,
+    /// Fresh measurement.
+    pub current: f64,
+    /// Committed baseline.
+    pub baseline: f64,
+    /// Largest value the band would have allowed.
+    pub allowed: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}.{}: {:.3} exceeds baseline {:.3} (allowed {:.3})",
+            self.stage, self.metric, self.current, self.baseline, self.allowed
+        )
+    }
+}
+
+/// Measures the gate's fixed design: a serial congestion flow at K = 0.5,
+/// repeated `iterations` times, keeping each stage's minimum wall clock
+/// and peak heap. Metric collection is switched on for the duration so
+/// the allocator high-water marks are live.
+pub fn measure(iterations: usize) -> PerfBaseline {
+    let network = random_pla(&PlaGenConfig {
+        inputs: 12,
+        outputs: 8,
+        terms: 60,
+        min_literals: 3,
+        max_literals: 6,
+        mean_outputs_per_term: 1.5,
+        seed: 7,
+    })
+    .to_network();
+    let opts = FlowOptions::default();
+    let prep = prepare(&network, &opts).expect("perf gate: prepare failed");
+    casyn_obs::set_enabled(true);
+    // warm-up: page in the library and the allocator, untimed
+    let _ = congestion_flow_prepared(&prep, 0.5, &opts);
+    let mut best: Option<PerfBaseline> = None;
+    for _ in 0..iterations.max(1) {
+        let r = congestion_flow_prepared(&prep, 0.5, &opts).expect("perf gate: flow failed");
+        let run = PerfBaseline {
+            stages: r
+                .telemetry
+                .stages
+                .iter()
+                .map(|s| StageSample {
+                    stage: s.stage.clone(),
+                    wall_ms: s.wall_ms,
+                    peak_bytes: s.peak_bytes,
+                })
+                .collect(),
+            total_ms: r.telemetry.total_ms,
+            iterations: iterations.max(1),
+        };
+        best = Some(match best {
+            None => run,
+            Some(b) => min_merge(b, run),
+        });
+    }
+    best.expect("iterations >= 1")
+}
+
+/// Element-wise minimum of two measurements (stages matched by name; a
+/// stage missing from either side keeps the one that has it).
+fn min_merge(a: PerfBaseline, b: PerfBaseline) -> PerfBaseline {
+    let mut stages = a.stages;
+    for sb in b.stages {
+        match stages.iter_mut().find(|s| s.stage == sb.stage) {
+            Some(sa) => {
+                sa.wall_ms = sa.wall_ms.min(sb.wall_ms);
+                sa.peak_bytes = sa.peak_bytes.min(sb.peak_bytes);
+            }
+            None => stages.push(sb),
+        }
+    }
+    PerfBaseline { stages, total_ms: a.total_ms.min(b.total_ms), iterations: a.iterations }
+}
+
+impl PerfBaseline {
+    /// Multiplies every number by `factor` — the self-test uses a scaled
+    /// baseline to prove the gate trips.
+    pub fn scaled(&self, factor: f64) -> PerfBaseline {
+        PerfBaseline {
+            stages: self
+                .stages
+                .iter()
+                .map(|s| StageSample {
+                    stage: s.stage.clone(),
+                    wall_ms: s.wall_ms * factor,
+                    peak_bytes: (s.peak_bytes as f64 * factor) as u64,
+                })
+                .collect(),
+            total_ms: self.total_ms * factor,
+            iterations: self.iterations,
+        }
+    }
+
+    /// Serializes as a `casyn.bench.stages.v1` document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("schema".into(), JsonValue::Str("casyn.bench.stages.v1".into())),
+            ("iterations".into(), JsonValue::Number(self.iterations as f64)),
+            ("total_ms".into(), JsonValue::Number(self.total_ms)),
+            (
+                "stages".into(),
+                JsonValue::Array(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            JsonValue::object(vec![
+                                ("stage".into(), JsonValue::Str(s.stage.clone())),
+                                ("wall_ms".into(), JsonValue::Number(s.wall_ms)),
+                                ("peak_bytes".into(), JsonValue::Number(s.peak_bytes as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a `casyn.bench.stages.v1` document.
+    pub fn from_json(text: &str) -> Result<PerfBaseline, String> {
+        let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+        if schema != "casyn.bench.stages.v1" {
+            return Err(format!("schema {schema:?} is not casyn.bench.stages.v1"));
+        }
+        let stages = doc
+            .get("stages")
+            .and_then(|v| v.as_array())
+            .ok_or("missing \"stages\" array")?
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Ok(StageSample {
+                    stage: s
+                        .get("stage")
+                        .and_then(|v| v.as_str())
+                        .ok_or(format!("stage {i}: missing name"))?
+                        .to_string(),
+                    wall_ms: s
+                        .get("wall_ms")
+                        .and_then(|v| v.as_f64())
+                        .ok_or(format!("stage {i}: missing wall_ms"))?,
+                    peak_bytes: s
+                        .get("peak_bytes")
+                        .and_then(|v| v.as_f64())
+                        .ok_or(format!("stage {i}: missing peak_bytes"))?
+                        as u64,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(PerfBaseline {
+            stages,
+            total_ms: doc.get("total_ms").and_then(|v| v.as_f64()).ok_or("missing total_ms")?,
+            iterations: doc.get("iterations").and_then(|v| v.as_f64()).unwrap_or(1.0) as usize,
+        })
+    }
+}
+
+/// Diffs `current` against `baseline`: every stage metric (and the flow
+/// total) whose fresh value exceeds the tolerance band is returned.
+/// Stages present on only one side are ignored — renaming a stage should
+/// not fail the gate, shifting its cost into a sibling will.
+pub fn compare(
+    current: &PerfBaseline,
+    baseline: &PerfBaseline,
+    tol: &Tolerance,
+) -> Vec<Regression> {
+    let band_ms = |b: f64| b * (1.0 + tol.ratio) + tol.abs_ms;
+    let band_bytes = |b: f64| b * (1.0 + tol.ratio) + tol.abs_bytes as f64;
+    let mut out = Vec::new();
+    for c in &current.stages {
+        let Some(b) = baseline.stages.iter().find(|s| s.stage == c.stage) else {
+            continue;
+        };
+        if c.wall_ms > band_ms(b.wall_ms) {
+            out.push(Regression {
+                stage: c.stage.clone(),
+                metric: "wall_ms".into(),
+                current: c.wall_ms,
+                baseline: b.wall_ms,
+                allowed: band_ms(b.wall_ms),
+            });
+        }
+        if (c.peak_bytes as f64) > band_bytes(b.peak_bytes as f64) {
+            out.push(Regression {
+                stage: c.stage.clone(),
+                metric: "peak_bytes".into(),
+                current: c.peak_bytes as f64,
+                baseline: b.peak_bytes as f64,
+                allowed: band_bytes(b.peak_bytes as f64),
+            });
+        }
+    }
+    if current.total_ms > band_ms(baseline.total_ms) {
+        out.push(Regression {
+            stage: "total".into(),
+            metric: "wall_ms".into(),
+            current: current.total_ms,
+            baseline: baseline.total_ms,
+            allowed: band_ms(baseline.total_ms),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfBaseline {
+        PerfBaseline {
+            stages: vec![
+                StageSample { stage: "place".into(), wall_ms: 40.0, peak_bytes: 8 << 20 },
+                StageSample { stage: "route".into(), wall_ms: 25.0, peak_bytes: 4 << 20 },
+            ],
+            total_ms: 70.0,
+            iterations: 3,
+        }
+    }
+
+    #[test]
+    fn self_comparison_is_clean() {
+        let b = sample();
+        assert!(compare(&b, &b, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn deflated_baseline_trips_the_gate() {
+        let b = sample();
+        let regressions = compare(&b, &b.scaled(0.01), &Tolerance::default());
+        assert!(!regressions.is_empty());
+        assert!(regressions.iter().any(|r| r.stage == "place" && r.metric == "wall_ms"));
+        assert!(regressions.iter().any(|r| r.metric == "peak_bytes"));
+        assert!(regressions.iter().any(|r| r.stage == "total"));
+    }
+
+    #[test]
+    fn small_jitter_stays_inside_the_band() {
+        let b = sample();
+        let mut c = b.clone();
+        c.stages[0].wall_ms *= 1.3; // +30% < ratio 0.5
+        c.total_ms += 0.5; // < abs_ms 1.0
+        assert!(compare(&c, &b, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn renamed_stages_are_ignored_shifted_cost_is_not() {
+        let b = sample();
+        let mut c = b.clone();
+        c.stages[1].stage = "reroute".into();
+        assert!(compare(&c, &b, &Tolerance::default()).is_empty());
+        c.stages[0].wall_ms = 100.0;
+        assert_eq!(compare(&c, &b, &Tolerance::default()).len(), 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let b = sample();
+        let text = b.to_json().to_string_pretty();
+        let back = PerfBaseline::from_json(&text).unwrap();
+        assert_eq!(b, back);
+        assert!(PerfBaseline::from_json("{}").is_err());
+        assert!(PerfBaseline::from_json(r#"{"schema": "casyn.batch.v1"}"#).is_err());
+    }
+
+    #[test]
+    fn measure_records_the_flow_stages() {
+        let b = measure(1);
+        let names: Vec<&str> = b.stages.iter().map(|s| s.stage.as_str()).collect();
+        for stage in ["decompose", "place", "map", "route", "sta"] {
+            assert!(names.contains(&stage), "missing {stage} in {names:?}");
+        }
+        assert!(b.total_ms > 0.0);
+        assert!(b.stages.iter().all(|s| s.wall_ms >= 0.0));
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! casyn map <design.pla|design.blif> [options]    run one full flow
+//! casyn run <design> [options]                    alias for sweep (default K ladder)
 //! casyn sweep <design> --ks 0,0.1,1 [options]     K sweep (paper Tables 2/4)
 //! casyn loop <design> [options]                   the Fig. 3 methodology loop
 //! casyn batch <manifest.json> [options]           run many designs concurrently
@@ -37,6 +38,12 @@
 //!   --metrics-out <p>  collect stage metrics and write telemetry JSON
 //!   --heatmap <path>   write the final congestion heat map as JSON
 //!   --trace            debug-level stage logging (same as CASYN_LOG=debug)
+//!   --trace-out <p>    record the hierarchical span timeline and write it
+//!                      in Chrome trace-event format (load in Perfetto or
+//!                      chrome://tracing); for batch, pass a directory to
+//!                      get one trace file per job plus a trace_path field
+//!                      on each report row
+//!   --spans-out <p>    write the same span timeline as casyn.trace.v1 JSON
 //! ```
 //!
 //! The batch manifest is a JSON document, either a top-level array of
@@ -96,6 +103,8 @@ struct Args {
     metrics_out: Option<String>,
     heatmap: Option<String>,
     trace: bool,
+    trace_out: Option<String>,
+    spans_out: Option<String>,
     jobs: Option<usize>,
     out: Option<String>,
     validate: bool,
@@ -107,7 +116,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: casyn <map|sweep|loop|batch|heatmap> \
+        "usage: casyn <map|run|sweep|loop|batch|heatmap> \
          <design.pla|design.blif|manifest.json|heatmap.json> [options]"
     );
     eprintln!("run `casyn help` for the option list");
@@ -148,6 +157,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         metrics_out: None,
         heatmap: None,
         trace: false,
+        trace_out: None,
+        spans_out: None,
         jobs: None,
         out: None,
         validate: false,
@@ -188,6 +199,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--metrics-out" => args.metrics_out = Some(next("--metrics-out")?),
             "--heatmap" => args.heatmap = Some(next("--heatmap")?),
             "--trace" => args.trace = true,
+            "--trace-out" => args.trace_out = Some(next("--trace-out")?),
+            "--spans-out" => args.spans_out = Some(next("--spans-out")?),
             "--jobs" => {
                 let n: usize = next("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
                 if n == 0 {
@@ -443,6 +456,7 @@ fn row_doc(e: &KSweepEntry) -> JsonValue {
         ("violations".into(), JsonValue::Number(e.result.route.violations as f64)),
         ("wirelength_um".into(), JsonValue::Number(e.result.route.total_wirelength)),
         ("critical_ns".into(), JsonValue::Number(e.result.sta.critical_arrival())),
+        ("telemetry".into(), e.result.telemetry.to_json()),
     ])
 }
 
@@ -457,6 +471,7 @@ fn job_doc(
     wall_ms: f64,
     error: Option<&FlowError>,
     rows: Vec<JsonValue>,
+    trace_path: Option<&str>,
 ) -> JsonValue {
     let mut doc = vec![
         ("name".into(), JsonValue::Str(name.into())),
@@ -469,11 +484,14 @@ fn job_doc(
     if let Some(e) = error {
         doc.push(("error".into(), e.to_json()));
     }
+    if let Some(p) = trace_path {
+        doc.push(("trace_path".into(), JsonValue::Str(p.into())));
+    }
     doc.push(("rows".into(), JsonValue::Array(rows)));
     JsonValue::object(doc)
 }
 
-fn finished_job_doc(m: &ManifestJob, jr: &BatchJobReport) -> JsonValue {
+fn finished_job_doc(m: &ManifestJob, jr: &BatchJobReport, trace_path: Option<&str>) -> JsonValue {
     match &jr.outcome {
         Ok(s) => job_doc(
             &m.name,
@@ -484,6 +502,7 @@ fn finished_job_doc(m: &ManifestJob, jr: &BatchJobReport) -> JsonValue {
             jr.wall_ms,
             None,
             s.rows.iter().map(row_doc).collect(),
+            trace_path,
         ),
         Err(e) => job_doc(
             &m.name,
@@ -494,13 +513,14 @@ fn finished_job_doc(m: &ManifestJob, jr: &BatchJobReport) -> JsonValue {
             jr.wall_ms,
             Some(e),
             Vec::new(),
+            trace_path,
         ),
     }
 }
 
 fn load_error_doc(m: &ManifestJob, e: &str) -> JsonValue {
     let error = FlowError::bad_input(Stage::Batch, e.to_string());
-    job_doc(&m.name, &m.design, "error", false, 0, 0.0, Some(&error), Vec::new())
+    job_doc(&m.name, &m.design, "error", false, 0, 0.0, Some(&error), Vec::new(), None)
 }
 
 /// Atomically replaces `path` with `doc` (write to `.tmp`, then rename),
@@ -510,6 +530,74 @@ fn write_report_file(path: &str, doc: &JsonValue) -> Result<(), String> {
     fs::write(&tmp, doc.to_string_pretty()).map_err(|e| format!("cannot write {tmp}: {e}"))?;
     fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))?;
     Ok(())
+}
+
+/// When `--trace-out` names a directory (batch only), per-job trace files
+/// are written there instead of one combined file.
+fn trace_dir(args: &Args) -> Option<&str> {
+    let p = args.trace_out.as_deref()?;
+    (args.command == "batch" && (p.ends_with('/') || std::path::Path::new(p).is_dir())).then_some(p)
+}
+
+/// Writes the drained span timeline behind `--trace-out` (Chrome
+/// trace-event format) and `--spans-out` (casyn.trace.v1). The Chrome
+/// file is skipped in batch directory mode — per-job files already hold
+/// those events.
+fn write_traces(args: &Args, events: &[obs::trace::TraceEvent]) -> Result<(), String> {
+    if let Some(path) = &args.spans_out {
+        fs::write(path, obs::trace::to_trace_json(events).to_string_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.trace_out {
+        if trace_dir(args).is_none() {
+            fs::write(path, obs::trace::to_chrome_trace(events).to_string_pretty())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Slices one batch job's events out of the full timeline: everything on
+/// the `batch.job` span's worker track inside its interval. Jobs on one
+/// worker run sequentially, so interval containment is unambiguous.
+fn job_trace_events(
+    events: &[obs::trace::TraceEvent],
+    span: &obs::trace::TraceEvent,
+) -> Vec<obs::trace::TraceEvent> {
+    let end = span.start_us + span.dur_us;
+    events
+        .iter()
+        .filter(|e| e.thread == span.thread && e.start_us >= span.start_us && e.start_us <= end)
+        .cloned()
+        .collect()
+}
+
+/// Batch directory mode: writes `dir/<job>.trace.json` (Chrome format)
+/// for every `batch.job` span in the timeline and returns job → path.
+fn write_job_traces(
+    dir: &str,
+    events: &[obs::trace::TraceEvent],
+) -> Result<HashMap<String, String>, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let mut paths = HashMap::new();
+    for span in
+        events.iter().filter(|e| e.kind == obs::trace::EventKind::Span && e.name == "batch.job")
+    {
+        let Some(job) = span.attrs.iter().find_map(|(k, v)| match v {
+            obs::trace::AttrValue::Str(s) if k == "job" => Some(s.clone()),
+            _ => None,
+        }) else {
+            continue;
+        };
+        let sub = job_trace_events(events, span);
+        let path = format!("{}/{job}.trace.json", dir.trim_end_matches('/'));
+        fs::write(&path, obs::trace::to_chrome_trace(&sub).to_string_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        paths.insert(job, path);
+    }
+    Ok(paths)
 }
 
 /// Writes a `casyn.crash.v1` reproducer bundle for one failed batch job.
@@ -654,7 +742,9 @@ fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
             };
-            docs[job_manifest[ji]] = Some(finished_job_doc(&manifest[job_manifest[ji]], jr));
+            // trace paths exist only after the batch drains the timeline;
+            // the final report fills them in
+            docs[job_manifest[ji]] = Some(finished_job_doc(&manifest[job_manifest[ji]], jr, None));
             if let Some(out) = &args.out {
                 let done: Vec<JsonValue> = docs.iter().flatten().cloned().collect();
                 let doc = JsonValue::object(vec![
@@ -667,6 +757,17 @@ fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
             }
         },
     );
+    // drain the span timeline once the pool is quiet; in directory mode
+    // every job gets its own Chrome trace file, referenced from its row
+    let traced = if args.trace_out.is_some() || args.spans_out.is_some() {
+        obs::trace::take_events()
+    } else {
+        Vec::new()
+    };
+    let trace_paths = match trace_dir(args) {
+        Some(dir) => write_job_traces(dir, &traced)?,
+        None => HashMap::new(),
+    };
     // final report, in manifest order; the in-memory BatchReport is
     // authoritative for every job that ran (jobs that never started do
     // not reach the checkpoint callback)
@@ -735,7 +836,11 @@ fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
                         }
                     }
                 }
-                job_docs.push(finished_job_doc(m, jr));
+                job_docs.push(finished_job_doc(
+                    m,
+                    jr,
+                    trace_paths.get(&m.name).map(String::as_str),
+                ));
             }
         }
     }
@@ -759,6 +864,7 @@ fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
         println!("wrote {path}");
     }
     write_observability(args, None)?;
+    write_traces(args, &traced)?;
     if failed > 0 {
         return Err(format!("{failed} of {} batch jobs failed", manifest.len()));
     }
@@ -792,6 +898,12 @@ fn run(args: &Args) -> Result<(), String> {
     if args.metrics_out.is_some() {
         obs::set_enabled(true);
     }
+    if args.trace_out.is_some() || args.spans_out.is_some() {
+        // span recording wants the metrics/alloc side enabled too, so the
+        // spans carry peak_bytes attributes
+        obs::set_enabled(true);
+        obs::trace::set_enabled(true);
+    }
     if args.command == "heatmap" {
         return run_heatmap_command(args);
     }
@@ -802,6 +914,16 @@ fn run(args: &Args) -> Result<(), String> {
     if args.command == "batch" {
         return run_batch_command(args, &pool);
     }
+    let result = run_flow_command(args, &pool);
+    if args.trace_out.is_some() || args.spans_out.is_some() {
+        // written even when the flow failed: the partial timeline is most
+        // useful exactly then
+        write_traces(args, &obs::trace::take_events())?;
+    }
+    result
+}
+
+fn run_flow_command(args: &Args, pool: &Pool) -> Result<(), String> {
     let design = load_design(&args.input)?;
     let opts = flow_options(args);
     if !design.is_combinational() {
@@ -842,13 +964,15 @@ fn run(args: &Args) -> Result<(), String> {
             write_artifacts(args, &network, &r)?;
             write_observability(args, Some(&r))?;
         }
-        "sweep" => {
+        // `run` is the everyday spelling: sweep the default K ladder on
+        // the pool
+        "sweep" | "run" => {
             println!("{:>10} {:>12} {:>8} {:>8} {:>8}", "K", "area", "cells", "util%", "viol");
             let last = if pool.workers() > 1 {
                 // Parallel rows: the metrics registry aggregates across all
                 // K rows (plus the pool's exec.* keys); per-row attribution
                 // needs --jobs 1. The rows themselves are bit-identical.
-                let mut rows = k_sweep_prepared_pool(&prep, &args.ks, &opts, &pool)
+                let mut rows = k_sweep_prepared_pool(&prep, &args.ks, &opts, pool)
                     .map_err(|e| e.to_string())?;
                 for e in &rows {
                     println!(
@@ -992,6 +1116,32 @@ mod tests {
         let b = parse_args(&sv(&["map", "x.pla"])).unwrap();
         assert!(b.metrics_out.is_none() && b.heatmap.is_none() && !b.trace);
         assert!(parse_args(&sv(&["map", "x.pla", "--metrics-out"])).is_err());
+    }
+
+    #[test]
+    fn parse_trace_out_flags() {
+        let a = parse_args(&sv(&[
+            "run",
+            "x.pla",
+            "--trace-out",
+            "t.json",
+            "--spans-out",
+            "s.json",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(a.spans_out.as_deref(), Some("s.json"));
+        let b = parse_args(&sv(&["map", "x.pla"])).unwrap();
+        assert!(b.trace_out.is_none() && b.spans_out.is_none());
+        assert!(parse_args(&sv(&["map", "x.pla", "--trace-out"])).is_err());
+        // directory mode only applies to batch
+        let c = parse_args(&sv(&["batch", "m.json", "--trace-out", "traces/"])).unwrap();
+        assert_eq!(trace_dir(&c), Some("traces/"));
+        let d = parse_args(&sv(&["sweep", "x.pla", "--trace-out", "traces/"])).unwrap();
+        assert_eq!(trace_dir(&d), None);
     }
 
     #[test]

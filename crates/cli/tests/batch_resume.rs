@@ -47,9 +47,15 @@ fn read_json(path: &Path) -> JsonValue {
         .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
 }
 
-/// Wall-clock fields are the only run-to-run nondeterminism in a report.
+/// Wall-clock fields (`wall_ms` per job and per telemetry stage,
+/// `total_ms` per row telemetry) are the only run-to-run nondeterminism
+/// in a report.
 fn strip_wall_ms(report: &str) -> String {
-    report.lines().filter(|l| !l.contains("\"wall_ms\"")).collect::<Vec<_>>().join("\n")
+    report
+        .lines()
+        .filter(|l| !l.contains("\"wall_ms\"") && !l.contains("\"total_ms\""))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[test]

@@ -79,21 +79,40 @@ pub fn map(
     opts: &MapOptions,
 ) -> MapResult {
     assert_eq!(positions.len(), graph.num_vertices(), "one position per subject vertex");
-    let forest = partition(graph, opts.scheme, positions);
+    let forest = {
+        let mut span = obs::trace::span("map.partition");
+        let forest = partition(graph, opts.scheme, positions);
+        span.attr_num("trees", forest.trees.len() as f64);
+        forest
+    };
     let fanout_counts = graph.fanout_counts();
     let bool_matcher = opts.boolean_matching.then(|| BoolMatcher::new(lib));
-    let covers: Vec<TreeCover> = forest
-        .trees
-        .iter()
-        .map(|t| {
-            let shared = shared_nodes(t, &fanout_counts);
-            let extra = match &bool_matcher {
-                Some(bm) => bool_matches(t, bm, &shared),
-                None => Vec::new(),
-            };
-            cover_tree_with(t, lib, positions, &shared, opts.cost, &extra)
-        })
-        .collect();
+    let covers: Vec<TreeCover> = {
+        let mut span = obs::trace::span("map.cover");
+        span.attr_num("trees", forest.trees.len() as f64);
+        forest
+            .trees
+            .iter()
+            .map(|t| {
+                // per-tree spans only for non-trivial trees: small trees
+                // dominate the count but not the time, and would swamp
+                // the trace
+                let mut tree_span = (t.nodes.len() >= 16).then(|| {
+                    let mut s = obs::trace::span("map.cover_tree");
+                    s.attr_num("nodes", t.nodes.len() as f64);
+                    s
+                });
+                let shared = shared_nodes(t, &fanout_counts);
+                let extra = match &bool_matcher {
+                    Some(bm) => bool_matches(t, bm, &shared),
+                    None => Vec::new(),
+                };
+                let cover = cover_tree_with(t, lib, positions, &shared, opts.cost, &extra);
+                tree_span.take();
+                cover
+            })
+            .collect()
+    };
     let mut emitter = Emitter {
         graph,
         lib,

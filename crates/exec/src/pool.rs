@@ -128,7 +128,10 @@ impl Pool {
                 return Err(JobError::Deadline);
             }
             let t0 = Instant::now();
+            let mut job_span = obs::trace::span("exec.job");
+            job_span.attr_num("idx", idx as f64);
             let out = catch_unwind(AssertUnwindSafe(|| f(&items[idx])));
+            drop(job_span);
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             st.busy_ms += ms;
             obs::hist_record("exec.job_ms", ms);
@@ -165,6 +168,9 @@ impl Pool {
                 let (slots, deques, injector, stats) = (&slots, &deques, &injector, &stats);
                 let run_one = &run_one;
                 s.spawn(move || {
+                    // name the track before the first span so every job
+                    // this worker runs lands on the `w{wid}` timeline
+                    obs::trace::set_thread_label(&format!("w{wid}"));
                     let mut st = WorkerStats::default();
                     while let Some(idx) = claim(wid, deques, injector, &mut st) {
                         let res = run_one(idx, &mut st);

@@ -187,11 +187,20 @@ where
         |&i| {
             let job = &jobs[i];
             let t = Instant::now();
+            let mut job_span = obs::trace::span("batch.job");
+            job_span.attr_str("job", &job.name);
             let mut attempts = 0u32;
             let outcome = loop {
                 attempts += 1;
                 if attempts > 1 {
                     obs::counter_add("retry.attempts", 1);
+                    obs::trace::instant(
+                        "batch.retry",
+                        &[
+                            ("job", obs::trace::AttrValue::Str(job.name.clone())),
+                            ("attempt", obs::trace::AttrValue::Num(attempts as f64)),
+                        ],
+                    );
                     obs::log::warn(&format!("job {}: retry attempt {attempts}", job.name));
                 }
                 let result = catch_unwind(AssertUnwindSafe(|| runner(job)));
@@ -208,6 +217,8 @@ where
                     break Err(err);
                 }
             };
+            job_span.attr_num("attempts", attempts as f64);
+            drop(job_span);
             let report = BatchJobReport {
                 name: job.name.clone(),
                 outcome,

@@ -143,9 +143,21 @@ pub struct FlowError {
 }
 
 impl FlowError {
-    /// Builds an error from its parts.
+    /// Builds an error from its parts. When tracing is on, every typed
+    /// failure (invariant-check trips, injected faults surfacing as
+    /// errors, route failures) also drops a `flow.error` instant on the
+    /// current thread's track, so failures are visible in the timeline
+    /// next to the span they interrupted.
     pub fn new(stage: Stage, kind: FlowErrorKind, detail: impl Into<String>) -> FlowError {
-        FlowError { stage, kind, detail: detail.into() }
+        let e = FlowError { stage, kind, detail: detail.into() };
+        casyn_obs::trace::instant(
+            "flow.error",
+            &[
+                ("stage", casyn_obs::trace::AttrValue::Str(e.stage.name().into())),
+                ("kind", casyn_obs::trace::AttrValue::Str(e.kind.name().into())),
+            ],
+        );
+        e
     }
 
     /// An invariant-check failure at `stage`.

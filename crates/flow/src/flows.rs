@@ -82,7 +82,17 @@ impl Default for FlowOptions {
 /// return (they raise inside [`FaultPlan::fire`]).
 pub(crate) fn fire_fault(opts: &FlowOptions, stage: Stage) -> Result<bool, FlowError> {
     let Some(plan) = &opts.fault else { return Ok(false) };
-    match plan.fire(stage.name()) {
+    let fired = plan.fire(stage.name());
+    if let Some(kind) = &fired {
+        casyn_obs::trace::instant(
+            "fault.injected",
+            &[
+                ("stage", casyn_obs::trace::AttrValue::Str(stage.name().into())),
+                ("kind", casyn_obs::trace::AttrValue::Str(format!("{kind:?}").to_lowercase())),
+            ],
+        );
+    }
+    match fired {
         None => Ok(false),
         Some(FaultKind::Corrupt) => Ok(true),
         Some(FaultKind::Deadline) => Err(FlowError::new(
@@ -150,6 +160,8 @@ pub struct FlowResult {
 /// Runs the front end: optional extraction, decomposition, floorplan
 /// derivation and the initial placement of the unbound netlist.
 pub fn prepare(network: &Network, opts: &FlowOptions) -> Result<Prepared, FlowError> {
+    let mut root = casyn_obs::trace::span("prepare");
+    root.attr_num("network_nodes", network.num_nodes() as f64);
     let mut telemetry = FlowTelemetry::default();
     let mut network = network.clone();
     if let Some(eff) = &opts.optimize {
@@ -213,6 +225,11 @@ pub fn full_flow(
     map_opts: &MapOptions,
     opts: &FlowOptions,
 ) -> Result<FlowResult, FlowError> {
+    let mut root = casyn_obs::trace::span("flow");
+    root.attr_str("scheme", &format!("{:?}", map_opts.scheme));
+    if let CostKind::AreaWire { k } = map_opts.cost {
+        root.attr_num("k", k);
+    }
     let mut telemetry = prep.telemetry.clone();
     telemetry.observe_live_nodes(prep.graph.num_vertices());
     if fire_fault(opts, Stage::Partition)? {

@@ -74,11 +74,17 @@ pub fn format_routing_table(title: &str, rows: &[(&str, &FlowResult)]) -> String
 }
 
 /// Formats per-stage telemetry as a table: one line per stage with its
-/// wall clock and the metrics it moved (`key=value`, space-separated).
+/// wall clock, allocator traffic (allocated / peak live, in KiB; zeros
+/// when the `alloc-track` feature is off or obs is disabled), and the
+/// metrics it moved (`key=value`, space-separated).
 pub fn format_telemetry_table(title: &str, t: &FlowTelemetry) -> String {
+    let kib = |b: u64| b as f64 / 1024.0;
     let mut s = String::new();
     s.push_str(&format!("{title}\n"));
-    s.push_str(&format!("{:>10}  {:>10}  metrics\n", "stage", "wall ms"));
+    s.push_str(&format!(
+        "{:>10}  {:>10}  {:>11}  {:>10}  metrics\n",
+        "stage", "wall ms", "alloc KiB", "peak KiB"
+    ));
     for stage in &t.stages {
         let metrics = stage
             .metrics
@@ -86,11 +92,22 @@ pub fn format_telemetry_table(title: &str, t: &FlowTelemetry) -> String {
             .map(|(k, v)| format!("{k}={}", casyn_obs::json::fmt_f64(*v)))
             .collect::<Vec<_>>()
             .join(" ");
-        s.push_str(&format!("{:>10}  {:>10.3}  {}\n", stage.stage, stage.wall_ms, metrics));
+        s.push_str(&format!(
+            "{:>10}  {:>10.3}  {:>11.1}  {:>10.1}  {}\n",
+            stage.stage,
+            stage.wall_ms,
+            kib(stage.alloc_bytes),
+            kib(stage.peak_bytes),
+            metrics
+        ));
     }
     s.push_str(&format!(
-        "{:>10}  {:>10.3}  peak_live_nodes={}\n",
-        "total", t.total_ms, t.peak_live_nodes
+        "{:>10}  {:>10.3}  {:>11}  {:>10.1}  peak_live_nodes={}\n",
+        "total",
+        t.total_ms,
+        "",
+        kib(t.peak_alloc_bytes),
+        t.peak_live_nodes
     ));
     s
 }
@@ -172,6 +189,7 @@ mod tests {
         let s = format_telemetry_table("Telemetry", &r.telemetry);
         assert!(s.contains("Telemetry"));
         assert!(s.contains("wall ms"));
+        assert!(s.contains("peak KiB"));
         for stage in ["decompose", "place", "map", "route", "sta"] {
             assert!(s.contains(stage), "missing stage {stage} in:\n{s}");
         }

@@ -22,9 +22,17 @@ pub struct StageTelemetry {
     /// Wall-clock time spent in the stage, in milliseconds.
     pub wall_ms: f64,
     /// Metrics the stage moved, as representative numbers (counter
-    /// deltas, final gauge values, histogram means). Empty when metric
+    /// deltas, final gauge values, histogram means — histograms also
+    /// expand to `<key>.p50/.p95/.p99` estimates). Empty when metric
     /// collection was disabled during the run.
     pub metrics: BTreeMap<String, f64>,
+    /// Heap bytes allocated while the stage ran (0 when metric
+    /// collection was disabled or `alloc-track` is off). Process-global:
+    /// under `--jobs N` the window includes sibling jobs.
+    pub alloc_bytes: u64,
+    /// High-water mark of live heap bytes during the stage (same
+    /// caveats as `alloc_bytes`).
+    pub peak_bytes: u64,
 }
 
 /// Telemetry for one whole flow run (front end + per-K back end).
@@ -38,6 +46,9 @@ pub struct FlowTelemetry {
     /// vertices before mapping, mapped cells after) — a memory-pressure
     /// proxy.
     pub peak_live_nodes: usize,
+    /// Largest per-stage live-heap high-water mark, in bytes (0 when
+    /// metric collection was disabled or `alloc-track` is off).
+    pub peak_alloc_bytes: u64,
 }
 
 impl FlowTelemetry {
@@ -73,6 +84,7 @@ impl FlowTelemetry {
             ("schema".into(), JsonValue::Str("casyn.telemetry.v1".into())),
             ("total_ms".into(), JsonValue::Number(self.total_ms)),
             ("peak_live_nodes".into(), JsonValue::Number(self.peak_live_nodes as f64)),
+            ("peak_alloc_bytes".into(), JsonValue::Number(self.peak_alloc_bytes as f64)),
             (
                 "stages".into(),
                 JsonValue::Array(
@@ -82,6 +94,8 @@ impl FlowTelemetry {
                             JsonValue::object(vec![
                                 ("stage".into(), JsonValue::Str(s.stage.clone())),
                                 ("wall_ms".into(), JsonValue::Number(s.wall_ms)),
+                                ("alloc_bytes".into(), JsonValue::Number(s.alloc_bytes as f64)),
+                                ("peak_bytes".into(), JsonValue::Number(s.peak_bytes as f64)),
                                 ("metrics".into(), JsonValue::from_map(&s.metrics)),
                             ])
                         })
@@ -103,6 +117,9 @@ pub fn metric_json(v: &MetricValue) -> JsonValue {
             ("mean".into(), JsonValue::Number(h.mean())),
             ("min".into(), JsonValue::Number(h.min)),
             ("max".into(), JsonValue::Number(h.max)),
+            ("p50".into(), JsonValue::Number(h.p50())),
+            ("p95".into(), JsonValue::Number(h.p95())),
+            ("p99".into(), JsonValue::Number(h.p99())),
         ]),
     }
 }
@@ -114,29 +131,65 @@ pub fn snapshot_json(snap: &obs::Snapshot) -> JsonValue {
 
 /// Scoped per-stage collector: remembers the registry state at stage
 /// entry and, on [`StageScope::end`], appends a [`StageTelemetry`] with
-/// the wall clock and the metric delta.
+/// the wall clock, the metric delta, and the heap-allocation window.
+/// Also opens a trace span named after the stage, so every stage shows
+/// up on its thread's track when tracing is on.
 #[derive(Debug)]
 pub(crate) struct StageScope {
     timer: obs::StageTimer,
     before: obs::Snapshot,
+    alloc_before: u64,
+    span: obs::trace::SpanGuard,
 }
 
 impl StageScope {
     pub(crate) fn begin(stage: &'static str) -> Self {
         let before = if obs::enabled() { obs::snapshot() } else { obs::Snapshot::default() };
-        StageScope { timer: obs::StageTimer::start(stage), before }
+        let alloc_before = if obs::enabled() {
+            obs::alloc::reset_peak();
+            obs::alloc::allocated_bytes()
+        } else {
+            0
+        };
+        StageScope {
+            timer: obs::StageTimer::start(stage),
+            before,
+            alloc_before,
+            span: obs::trace::span(stage),
+        }
     }
 
-    pub(crate) fn end(self, telemetry: &mut FlowTelemetry) {
+    pub(crate) fn end(mut self, telemetry: &mut FlowTelemetry) {
         let stage = self.timer.stage().to_string();
+        let (alloc_bytes, peak_bytes) = if obs::enabled() {
+            (
+                obs::alloc::allocated_bytes().saturating_sub(self.alloc_before),
+                obs::alloc::peak_bytes(),
+            )
+        } else {
+            (0, 0)
+        };
         let wall_ms = self.timer.finish();
         let metrics = if obs::enabled() {
-            obs::delta(&self.before).metrics.into_iter().map(|(k, v)| (k, v.as_f64())).collect()
+            let mut out: BTreeMap<String, f64> = BTreeMap::new();
+            for (k, v) in obs::delta(&self.before).metrics {
+                if let obs::MetricValue::Histogram(h) = &v {
+                    out.insert(format!("{k}.p50"), h.p50());
+                    out.insert(format!("{k}.p95"), h.p95());
+                    out.insert(format!("{k}.p99"), h.p99());
+                }
+                out.insert(k, v.as_f64());
+            }
+            out
         } else {
             BTreeMap::new()
         };
+        if peak_bytes > 0 {
+            self.span.attr_num("peak_bytes", peak_bytes as f64);
+        }
         telemetry.total_ms += wall_ms;
-        telemetry.stages.push(StageTelemetry { stage, wall_ms, metrics });
+        telemetry.peak_alloc_bytes = telemetry.peak_alloc_bytes.max(peak_bytes);
+        telemetry.stages.push(StageTelemetry { stage, wall_ms, metrics, alloc_bytes, peak_bytes });
     }
 }
 
@@ -151,11 +204,20 @@ mod tests {
                     stage: "map".into(),
                     wall_ms: 3.25,
                     metrics: [("map.matches_tried".to_string(), 42.0)].into_iter().collect(),
+                    alloc_bytes: 2048,
+                    peak_bytes: 4096,
                 },
-                StageTelemetry { stage: "route".into(), wall_ms: 1.5, metrics: BTreeMap::new() },
+                StageTelemetry {
+                    stage: "route".into(),
+                    wall_ms: 1.5,
+                    metrics: BTreeMap::new(),
+                    alloc_bytes: 0,
+                    peak_bytes: 0,
+                },
             ],
             total_ms: 4.75,
             peak_live_nodes: 99,
+            peak_alloc_bytes: 4096,
         }
     }
 
@@ -174,6 +236,8 @@ mod tests {
         assert!(s.contains("\"stage\": \"map\""));
         assert!(s.contains("\"map.matches_tried\": 42"));
         assert!(s.contains("\"peak_live_nodes\": 99"));
+        assert!(s.contains("\"peak_alloc_bytes\": 4096"));
+        assert!(s.contains("\"alloc_bytes\": 2048"));
     }
 
     #[test]
@@ -187,6 +251,8 @@ mod tests {
         assert!(s.contains("\"t.hits\": 3"));
         assert!(s.contains("\"count\": 2"));
         assert!(s.contains("\"mean\": 4"));
+        assert!(s.contains("\"p50\""));
+        assert!(s.contains("\"p99\""));
     }
 
     #[test]

@@ -54,8 +54,18 @@ impl Default for OptimizeOptions {
 /// number of new nodes created.
 pub fn optimize(net: &mut Network, opts: &OptimizeOptions) -> usize {
     let lits_before = net.literal_count();
-    let k = extract_kernels(net, opts.max_kernel_extractions, opts.kernel_cube_limit);
-    let c = extract_cubes(net, opts.max_cube_extractions);
+    let k = {
+        let mut span = obs::trace::span("logic.extract_kernels");
+        let k = extract_kernels(net, opts.max_kernel_extractions, opts.kernel_cube_limit);
+        span.attr_num("kernels", k as f64);
+        k
+    };
+    let c = {
+        let mut span = obs::trace::span("logic.extract_cubes");
+        let c = extract_cubes(net, opts.max_cube_extractions);
+        span.attr_num("cubes", c as f64);
+        c
+    };
     if obs::enabled() {
         obs::counter_add("logic.kernels_extracted", k as u64);
         obs::counter_add("logic.cubes_extracted", c as u64);

@@ -7,6 +7,10 @@
 //!   histograms keyed `stage.metric` (e.g. `route.iterations`,
 //!   `map.matches_tried`, `place.fm_passes`);
 //! - [`StageTimer`] / [`span!`] for wall-clock scoping;
+//! - [`trace`]: a hierarchical, thread-aware span tree with Chrome
+//!   trace-event and `casyn.trace.v1` sinks;
+//! - [`alloc`]: per-process heap accounting via a counting global
+//!   allocator (the default-on `alloc-track` feature);
 //! - leveled stderr logging controlled by the `CASYN_LOG` env var or
 //!   [`log::set_level`] (the CLI's `--trace` flag);
 //! - a tiny [`json`] writer used by the telemetry exporters.
@@ -16,14 +20,22 @@
 //! paths (match enumeration, maze expansion) pay only a branch. Stages
 //! additionally batch counts locally and flush once per unit of work.
 
+pub mod alloc;
 pub mod json;
 pub mod log;
 mod registry;
+pub mod trace;
 
 pub use registry::{
     counter_add, delta, enabled, gauge_set, global, hist_record, reset, set_enabled, snapshot,
     Histogram, MetricValue, Registry, Snapshot,
 };
+
+/// The counting allocator measuring every workspace crate (the
+/// `alloc-track` feature, on by default). See [`alloc`].
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static COUNTING_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 use std::time::Instant;
 

@@ -103,9 +103,20 @@ pub fn enabled(l: Level) -> bool {
 
 /// Emits `msg` to stderr when `l` is enabled. Prefer the level-named
 /// helpers, which let the caller skip formatting entirely.
+///
+/// Each line carries elapsed milliseconds since the trace epoch and the
+/// thread's track label (`main`, `w0`, …) so interleaved `--jobs N`
+/// output stays attributable:
+/// `[casyn INFO +12.3ms w1] stage route: start`.
 pub fn emit(l: Level, msg: &str) {
     if enabled(l) {
-        eprintln!("[casyn {}] {}", l.tag(), msg);
+        eprintln!(
+            "[casyn {} +{:.1}ms {}] {}",
+            l.tag(),
+            crate::trace::elapsed_ms(),
+            crate::trace::thread_label(),
+            msg
+        );
     }
 }
 

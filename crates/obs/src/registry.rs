@@ -66,6 +66,56 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// The value range bucket `i` covers: `[0, 1)` for bucket 0,
+    /// `[2^(i-1), 2^i)` above.
+    fn bucket_bounds(i: usize) -> (f64, f64) {
+        if i == 0 {
+            (0.0, 1.0)
+        } else {
+            (2f64.powi(i as i32 - 1), 2f64.powi(i as i32))
+        }
+    }
+
+    /// Estimates the `p`-quantile (`p` in `[0, 1]`) from the log2
+    /// buckets by linear interpolation inside the bucket the rank falls
+    /// in, clamped to the observed `[min, max]`. Exact to within one
+    /// bucket width — good enough to tell p50 from a p99 tail, which is
+    /// what the telemetry table needs. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = p.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= target {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Histogram::percentile`]).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Histogram::percentile`]).
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::percentile`]).
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
 }
 
 /// One named metric.
@@ -324,6 +374,40 @@ mod tests {
         assert_eq!(h.buckets[HIST_BUCKETS - 1], 1);
         assert_eq!(h.min, 0.2);
         assert_eq!(h.max, 1e300);
+    }
+
+    #[test]
+    fn percentiles_estimate_within_bucket_resolution() {
+        let reg = Registry::new();
+        // 100 values 1..=100: p50 ≈ 50, p95 ≈ 95, p99 ≈ 99; the log2
+        // buckets bound each estimate to its bucket's range.
+        for v in 1..=100 {
+            reg.hist_record("t.lat", v as f64);
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("t.lat").unwrap();
+        let p50 = h.p50();
+        assert!((32.0..64.0).contains(&p50), "p50 {p50} outside its bucket");
+        let p95 = h.p95();
+        assert!((64.0..=100.0).contains(&p95), "p95 {p95} outside its bucket");
+        let p99 = h.p99();
+        assert!(p99 >= p95, "p99 {p99} below p95 {p95}");
+        assert!(p99 <= 100.0, "p99 {p99} above observed max");
+
+        // monotone in p, clamped to observed range
+        assert!(h.percentile(0.0) >= h.min);
+        assert_eq!(h.percentile(1.0), h.max);
+
+        // empty histogram reports 0
+        assert_eq!(Histogram::new().p50(), 0.0);
+
+        // single value: every quantile is that value
+        let reg = Registry::new();
+        reg.hist_record("t.one", 7.0);
+        let snap = reg.snapshot();
+        let one = snap.histogram("t.one").unwrap();
+        assert_eq!(one.p50(), 7.0);
+        assert_eq!(one.p99(), 7.0);
     }
 
     #[test]

@@ -86,6 +86,8 @@ pub fn place(inst: &PlaceInstance, fp: &Floorplan, opts: &PlacerOptions) -> Vec<
         return pos;
     }
     for sweep in 0..opts.sweeps.max(1) {
+        let mut span = obs::trace::span("place.sweep");
+        span.attr_num("sweep", sweep as f64);
         pos = bisection_sweep(inst, fp, opts, pos);
         obs::log::trace(&format!("place: sweep {sweep} done"));
     }

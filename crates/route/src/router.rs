@@ -211,6 +211,8 @@ pub fn route_pin_sets_with_blockage(
     let mut reroutes = 0u64;
     let telemetry = obs::enabled();
     for iter in 0..cfg.max_iters.max(1) {
+        let mut iter_span = obs::trace::span("route.iter");
+        iter_span.attr_num("iter", iter as f64);
         iterations = iter + 1;
         let margin = 4 + 4 * iter;
         let mut any = false;
@@ -238,6 +240,8 @@ pub fn route_pin_sets_with_blockage(
         }
         reroutes += rerouted_this_iter;
         let over = grid.update_history(cfg.history_increment);
+        iter_span.attr_num("rerouted", rerouted_this_iter as f64);
+        iter_span.attr_num("overflow", grid.total_overflow());
         if telemetry {
             // per-iteration overflow trajectory and history-cost growth
             obs::hist_record("route.iter_overflow", grid.total_overflow());

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Perf-regression gate around `cargo run -p casyn-bench --bin perf_gate`.
+#
+#   scripts/perf_gate.sh            compare against BENCH_baseline.json
+#                                   (records a fresh baseline and soft-passes
+#                                   when none is committed yet)
+#   scripts/perf_gate.sh --selftest prove the gate works: a self-comparison
+#                                   must pass and a 100x-deflated baseline
+#                                   must trip
+#
+# PERF_GATE_SOFT=1 downgrades a regression to a warning — the CI default
+# until the committed baseline has settled across runner generations.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${PERF_GATE_BASELINE:-BENCH_baseline.json}"
+GATE=(cargo run --quiet --release -p casyn-bench --bin perf_gate --)
+
+if [[ "${1:-}" == "--selftest" ]]; then
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    "${GATE[@]}" --iterations 2 --out "$tmp/self.json"
+    "${GATE[@]}" --iterations 2 --compare "$tmp/self.json"
+    echo "perf_gate selftest: self-comparison passed"
+    "${GATE[@]}" --iterations 2 --scale 0.01 --out "$tmp/deflated.json"
+    if "${GATE[@]}" --iterations 2 --compare "$tmp/deflated.json"; then
+        echo "perf_gate selftest: FAILED — deflated baseline did not trip" >&2
+        exit 1
+    fi
+    echo "perf_gate selftest: deflated baseline tripped as expected"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "perf_gate: no $BASELINE committed yet — recording one (soft pass)"
+    "${GATE[@]}" --out "$BASELINE"
+    exit 0
+fi
+
+if "${GATE[@]}" --compare "$BASELINE"; then
+    exit 0
+elif [[ "${PERF_GATE_SOFT:-0}" == "1" ]]; then
+    echo "perf_gate: regression detected but PERF_GATE_SOFT=1 — not failing the build" >&2
+    exit 0
+else
+    exit 1
+fi

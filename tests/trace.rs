@@ -1,0 +1,174 @@
+//! Hierarchical span tracing, end to end: a full flow run must leave a
+//! well-formed span tree, the sinks must emit parseable documents, and —
+//! the determinism contract — recording a trace must not change any flow
+//! result.
+
+use casyn::exec::Pool;
+use casyn::flow::{congestion_flow, k_sweep_prepared_pool, prepare, FlowOptions};
+use casyn::netlist::bench::{random_pla, PlaGenConfig};
+use casyn::obs;
+use casyn::obs::json::JsonValue;
+use casyn::obs::trace::{EventKind, TraceEvent};
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+/// The trace collector is process-wide state; tests that toggle it must
+/// not interleave.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match TRACE_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn net(seed: u64) -> casyn::netlist::network::Network {
+    random_pla(&PlaGenConfig {
+        inputs: 10,
+        outputs: 6,
+        terms: 40,
+        min_literals: 3,
+        max_literals: 6,
+        mean_outputs_per_term: 1.4,
+        seed,
+    })
+    .to_network()
+}
+
+/// Runs one traced congestion flow and returns the drained timeline.
+fn traced_flow_events() -> Vec<TraceEvent> {
+    obs::trace::set_enabled(true);
+    obs::trace::clear();
+    let r = congestion_flow(&net(11), 0.5, &FlowOptions::default()).unwrap();
+    assert!(r.num_cells > 0); // flow completed
+    obs::trace::set_enabled(false);
+    obs::trace::take_events()
+}
+
+#[test]
+fn full_flow_leaves_a_well_formed_span_tree() {
+    let _guard = lock();
+    let events = traced_flow_events();
+    let spans: HashMap<u64, &TraceEvent> =
+        events.iter().filter(|e| e.kind == EventKind::Span).map(|e| (e.id, e)).collect();
+    assert!(spans.len() >= 5, "expected a real timeline, got {} spans", spans.len());
+
+    // ≥5 distinct span names, covering front end, covering, and routing
+    let names: HashSet<&str> = spans.values().map(|e| e.name.as_str()).collect();
+    for expected in ["flow", "decompose", "map.partition", "map.cover", "route.iter"] {
+        assert!(names.contains(expected), "missing span {expected:?} in {names:?}");
+    }
+
+    for e in &events {
+        // every recorded parent exists
+        let Some(pid) = e.parent else { continue };
+        let parent = spans
+            .get(&pid)
+            .unwrap_or_else(|| panic!("event {} ({}) has unknown parent {pid}", e.id, e.name));
+        // same-thread nesting: a child runs on its parent's track
+        assert_eq!(e.thread, parent.thread, "span {} crossed threads", e.name);
+        // child intervals sit inside the parent (50 µs of clock slack:
+        // start/end are sampled by different Instant reads)
+        let eps = 50.0;
+        assert!(
+            e.start_us + eps >= parent.start_us
+                && e.start_us + e.dur_us <= parent.start_us + parent.dur_us + eps,
+            "span {} [{:.0}, {:.0}] escapes parent {} [{:.0}, {:.0}]",
+            e.name,
+            e.start_us,
+            e.start_us + e.dur_us,
+            parent.name,
+            parent.start_us,
+            parent.start_us + parent.dur_us,
+        );
+        // no cycles: walk to a root with a step budget
+        let mut cursor = pid;
+        let mut steps = 0;
+        while let Some(next) = spans[&cursor].parent {
+            cursor = next;
+            steps += 1;
+            assert!(steps <= events.len(), "parent cycle through span {}", e.name);
+        }
+    }
+}
+
+#[test]
+fn trace_v1_round_trips_through_the_vendored_parser() {
+    let _guard = lock();
+    let events = traced_flow_events();
+    let text = obs::trace::to_trace_json(&events).to_string_pretty();
+    let doc = JsonValue::parse(&text).expect("casyn.trace.v1 must reparse");
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("casyn.trace.v1"));
+    let parsed = doc.get("events").unwrap().as_array().unwrap();
+    assert_eq!(parsed.len(), events.len());
+    for (j, e) in parsed.iter().zip(&events) {
+        assert_eq!(j.get("name").unwrap().as_str(), Some(e.name.as_str()));
+        assert_eq!(j.get("id").unwrap().as_f64(), Some(e.id as f64));
+        assert_eq!(j.get("thread").unwrap().as_str(), Some(e.thread.as_str()));
+    }
+}
+
+#[test]
+fn chrome_sink_emits_complete_events_with_timing() {
+    let _guard = lock();
+    let events = traced_flow_events();
+    let doc = obs::trace::to_chrome_trace(&events);
+    let items = doc.as_array().expect("chrome trace is a bare event array");
+    let complete: Vec<_> =
+        items.iter().filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X")).collect();
+    assert!(complete.len() >= 5);
+    for e in &complete {
+        assert!(e.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(e.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(e.get("tid").unwrap().as_f64().unwrap() >= 1.0);
+        assert_eq!(e.get("pid").unwrap().as_f64(), Some(1.0));
+        assert!(e.get("name").unwrap().as_str().is_some());
+    }
+}
+
+#[test]
+fn pool_sweep_spreads_spans_over_worker_tracks() {
+    let _guard = lock();
+    obs::trace::set_enabled(true);
+    obs::trace::clear();
+    let network = net(12);
+    let opts = FlowOptions::default();
+    let prep = prepare(&network, &opts).unwrap();
+    let ks = [0.0, 0.1, 0.5, 1.0];
+    let rows = k_sweep_prepared_pool(&prep, &ks, &opts, &Pool::new(2)).unwrap();
+    assert_eq!(rows.len(), ks.len());
+    obs::trace::set_enabled(false);
+    let events = obs::trace::take_events();
+    let worker_tracks: HashSet<&str> =
+        events.iter().filter(|e| e.thread.starts_with('w')).map(|e| e.thread.as_str()).collect();
+    assert!(
+        worker_tracks.len() >= 2,
+        "2-worker sweep must populate at least two worker tracks, got {worker_tracks:?}"
+    );
+    // every pool job ran inside an exec.job span on a worker track
+    let jobs: Vec<_> =
+        events.iter().filter(|e| e.kind == EventKind::Span && e.name == "exec.job").collect();
+    assert_eq!(jobs.len(), ks.len());
+    assert!(jobs.iter().all(|e| e.thread.starts_with('w')));
+}
+
+#[test]
+fn tracing_never_changes_flow_results() {
+    let _guard = lock();
+    let network = net(13);
+    let opts = FlowOptions::default();
+    obs::trace::set_enabled(false);
+    obs::trace::clear();
+    let plain = congestion_flow(&network, 0.5, &opts).unwrap();
+    obs::trace::set_enabled(true);
+    obs::trace::clear();
+    let traced = congestion_flow(&network, 0.5, &opts).unwrap();
+    obs::trace::set_enabled(false);
+    assert!(!obs::trace::take_events().is_empty());
+    assert_eq!(plain.num_cells, traced.num_cells);
+    assert_eq!(plain.cell_area, traced.cell_area);
+    assert_eq!(plain.route.violations, traced.route.violations);
+    assert_eq!(plain.route.total_wirelength, traced.route.total_wirelength);
+    assert_eq!(plain.sta.critical_arrival(), traced.sta.critical_arrival());
+}
