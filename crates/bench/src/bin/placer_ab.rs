@@ -1,0 +1,159 @@
+//! Placer A/B bench: recursive bisection vs. direct k-way multilevel
+//! placement on the example designs (plus one synthetic), at equal seed.
+//!
+//! For every design x backend the bench reports the total HPWL of the
+//! subject-graph placement, the routed result at a fixed K = 0.1
+//! (violations and wirelength), and the placement wall clock. It also
+//! re-runs the k-way placer on a 4-worker pool and asserts the positions
+//! are bit-identical to the serial run — the engine's core guarantee.
+//!
+//! Emits `BENCH_place.json` (CI uploads it as an artifact).
+//!
+//! Run: `cargo run --release -p casyn-bench --bin placer_ab`
+
+use casyn_exec::Pool;
+use casyn_flow::{congestion_flow_prepared, prepare, prepare_pool, FlowOptions};
+use casyn_netlist::bench::{random_pla, PlaGenConfig};
+use casyn_netlist::network::Network;
+use casyn_netlist::{Pla, Point};
+use casyn_obs::json::JsonValue;
+use casyn_place::instance::from_subject;
+use casyn_place::metrics::total_hpwl_of_instance;
+use casyn_place::PlacerBackend;
+use std::time::Instant;
+
+const FIXED_K: f64 = 0.1;
+
+fn load(path: &str) -> Network {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("bench: cannot read {path}: {e}"));
+    let pla: Pla = text.parse().unwrap_or_else(|e| panic!("bench: {path}: {e}"));
+    pla.to_network()
+}
+
+struct Row {
+    backend: PlacerBackend,
+    hpwl: f64,
+    violations: usize,
+    wirelength: f64,
+    place_ms: f64,
+}
+
+/// Runs one backend on one design and measures placement + routed quality.
+fn run_one(network: &Network, backend: PlacerBackend) -> Row {
+    let mut opts = FlowOptions::default();
+    opts.placer.backend = backend;
+    let t0 = Instant::now();
+    let prep = prepare(network, &opts).expect("bench: prepare failed");
+    let place_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // HPWL of the subject placement the mapper will consume
+    let si = from_subject(&prep.graph, &prep.floorplan);
+    let mut cell_pos = vec![Point::new(0.0, 0.0); si.instance.num_cells()];
+    for (v, c) in si.cell_of_vertex.iter().enumerate() {
+        if let Some(c) = c {
+            cell_pos[*c] = prep.positions[v];
+        }
+    }
+    let hpwl = total_hpwl_of_instance(&si.instance, &cell_pos);
+    let r = congestion_flow_prepared(&prep, FIXED_K, &opts).expect("bench: flow failed");
+    Row {
+        backend,
+        hpwl,
+        violations: r.route.violations,
+        wirelength: r.route.total_wirelength,
+        place_ms,
+    }
+}
+
+fn main() {
+    let designs: Vec<(String, Network)> = vec![
+        ("ex_a".into(), load("examples/designs/ex_a.pla")),
+        ("ex_b".into(), load("examples/designs/ex_b.pla")),
+        (
+            "rand14".into(),
+            random_pla(&PlaGenConfig {
+                inputs: 14,
+                outputs: 10,
+                terms: 90,
+                min_literals: 3,
+                max_literals: 7,
+                mean_outputs_per_term: 1.6,
+                seed: 42,
+            })
+            .to_network(),
+        ),
+    ];
+
+    println!("placer_ab: {} designs, fixed K = {FIXED_K}", designs.len());
+    println!(
+        "  {:<8} {:<8} {:>12} {:>8} {:>12} {:>9}",
+        "design", "placer", "hpwl um", "viol", "wirelen um", "place ms"
+    );
+
+    let mut docs = Vec::new();
+    let mut kway_hpwl_wins = 0usize;
+    for (name, network) in &designs {
+        let rows = [run_one(network, PlacerBackend::Bisect), run_one(network, PlacerBackend::KWay)];
+        for r in &rows {
+            println!(
+                "  {:<8} {:<8} {:>12.0} {:>8} {:>12.0} {:>9.1}",
+                name,
+                r.backend.name(),
+                r.hpwl,
+                r.violations,
+                r.wirelength,
+                r.place_ms
+            );
+        }
+        let [bisect, kway] = &rows;
+        if kway.hpwl < bisect.hpwl {
+            kway_hpwl_wins += 1;
+        }
+        // the parallel k-way path must reproduce the serial placement
+        let mut opts = FlowOptions::default();
+        opts.placer.backend = PlacerBackend::KWay;
+        let serial = prepare_pool(network, &opts, &Pool::new(1)).expect("bench: serial prepare");
+        let parallel = prepare_pool(network, &opts, &Pool::new(4)).expect("bench: pool prepare");
+        assert_eq!(
+            serial.positions, parallel.positions,
+            "{name}: k-way parallel placement diverged from serial"
+        );
+        docs.push(JsonValue::object(vec![
+            ("design".into(), JsonValue::Str(name.clone())),
+            ("k".into(), JsonValue::Number(FIXED_K)),
+            (
+                "backends".into(),
+                JsonValue::Array(
+                    rows.iter()
+                        .map(|r| {
+                            JsonValue::object(vec![
+                                ("placer".into(), JsonValue::Str(r.backend.name().into())),
+                                ("hpwl_um".into(), JsonValue::Number(r.hpwl)),
+                                ("violations".into(), JsonValue::Number(r.violations as f64)),
+                                ("wirelength_um".into(), JsonValue::Number(r.wirelength)),
+                                ("place_wall_ms".into(), JsonValue::Number(r.place_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("kway_wins_hpwl".into(), JsonValue::Bool(kway.hpwl < bisect.hpwl)),
+            ("parallel_identical".into(), JsonValue::Bool(true)),
+        ]));
+    }
+
+    println!("k-way wins HPWL on {kway_hpwl_wins}/{} designs", designs.len());
+    let doc = JsonValue::object(vec![
+        ("schema".into(), JsonValue::Str("casyn.bench.placer_ab.v1".into())),
+        ("fixed_k".into(), JsonValue::Number(FIXED_K)),
+        ("designs".into(), JsonValue::Array(docs)),
+        ("kway_hpwl_wins".into(), JsonValue::Number(kway_hpwl_wins as f64)),
+    ]);
+    std::fs::write("BENCH_place.json", doc.to_string_pretty()).expect("write BENCH_place.json");
+    println!("wrote BENCH_place.json");
+    assert!(
+        kway_hpwl_wins >= 2,
+        "k-way must beat bisection HPWL on at least 2 of {} designs",
+        designs.len()
+    );
+}

@@ -12,6 +12,8 @@
 //!   --k <f>            congestion factor K (map; default 0.5)
 //!   --ks <list>        comma-separated K values (sweep/batch default)
 //!   --scheme <s>       dagon | cone | pdp (default pdp)
+//!   --placer <b>       global placement backend: kway | bisect (default
+//!                      kway; the CASYN_PLACER env var sets the same)
 //!   --util <f>         target K=0 utilization for the derived die (default 0.611)
 //!   --layers <n>       metal layers (default 3)
 //!   --jobs <n>         worker threads for sweep/batch (default: CASYN_JOBS
@@ -53,7 +55,7 @@
 //! {"jobs": [
 //!   {"design": "examples/designs/count8.pla", "ks": [0.0, 0.1, 1.0],
 //!    "name": "count8", "util": 0.611, "layers": 3, "optimize": false,
-//!    "deadline_ms": 60000, "fault_plan": "map:panic:1"}
+//!    "placer": "kway", "deadline_ms": 60000, "fault_plan": "map:panic:1"}
 //! ]}
 //! ```
 //!
@@ -69,7 +71,7 @@ use casyn_flow::batch::{
 };
 use casyn_flow::telemetry::snapshot_json;
 use casyn_flow::{
-    full_flow, k_sweep_prepared_pool, prepare, run_methodology_prepared, sequential_flow,
+    full_flow, k_sweep_prepared_pool, prepare_pool, run_methodology_prepared, sequential_flow,
     FlowError, FlowOptions, KSweepEntry, Stage,
 };
 use casyn_logic::OptimizeOptions;
@@ -80,6 +82,7 @@ use casyn_netlist::verilog::to_verilog;
 use casyn_netlist::Pla;
 use casyn_obs as obs;
 use casyn_obs::json::JsonValue;
+use casyn_place::PlacerBackend;
 use casyn_route::CongestionMap;
 use std::collections::HashMap;
 use std::fs;
@@ -106,6 +109,7 @@ struct Args {
     trace_out: Option<String>,
     spans_out: Option<String>,
     jobs: Option<usize>,
+    placer: Option<PlacerBackend>,
     out: Option<String>,
     validate: bool,
     retries: u32,
@@ -160,6 +164,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         trace_out: None,
         spans_out: None,
         jobs: None,
+        placer: None,
         out: None,
         validate: false,
         retries: 0,
@@ -208,6 +213,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.jobs = Some(n);
             }
+            "--placer" => {
+                let v = next("--placer")?;
+                args.placer = Some(
+                    PlacerBackend::parse(&v)
+                        .ok_or(format!("--placer: unknown backend {v:?} (kway | bisect)"))?,
+                );
+            }
             "--out" => args.out = Some(next("--out")?),
             "--validate" => args.validate = true,
             "--retries" => {
@@ -250,6 +262,9 @@ fn flow_options(args: &Args) -> FlowOptions {
     }
     if args.validate {
         opts.validate = true;
+    }
+    if let Some(b) = args.placer {
+        opts.placer.backend = b;
     }
     opts.fault = args.fault_plan.as_ref().map(|p| p.fresh());
     opts
@@ -336,6 +351,7 @@ struct ManifestJob {
     deadline_ms: Option<f64>,
     inject_panic: bool,
     fault_plan: Option<String>,
+    placer: Option<PlacerBackend>,
 }
 
 fn file_stem(path: &str) -> String {
@@ -397,6 +413,16 @@ fn parse_manifest(text: &str, defaults: &Args) -> Result<Vec<ManifestJob>, Strin
                         .to_string(),
                 ),
             };
+            let placer = match j.get("placer") {
+                None => defaults.placer,
+                Some(v) => {
+                    let s = v.as_str().ok_or(format!("job {i}: \"placer\" must be a string"))?;
+                    Some(
+                        PlacerBackend::parse(s)
+                            .ok_or(format!("job {i}: unknown placer {s:?} (kway | bisect)"))?,
+                    )
+                }
+            };
             Ok(ManifestJob {
                 name: j
                     .get("name")
@@ -413,6 +439,7 @@ fn parse_manifest(text: &str, defaults: &Args) -> Result<Vec<ManifestJob>, Strin
                     .transpose()?,
                 inject_panic: bool_field(j, "inject_panic", i)?,
                 fault_plan,
+                placer,
                 design,
             })
         })
@@ -695,6 +722,9 @@ fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
                 if args.validate {
                     opts.validate = true;
                 }
+                if let Some(b) = m.placer {
+                    opts.placer.backend = b;
+                }
                 opts.fault = fault;
                 job_manifest.push(slots.len());
                 slots.push(Slot::Run(jobs.len()));
@@ -942,7 +972,7 @@ fn run_flow_command(args: &Args, pool: &Pool) -> Result<(), String> {
         return Ok(());
     }
     let network = design.core;
-    let prep = prepare(&network, &opts).map_err(|e| e.to_string())?;
+    let prep = prepare_pool(&network, &opts, pool).map_err(|e| e.to_string())?;
     println!(
         "{}: {} base gates, die {:.0} um^2 ({} rows)",
         args.input,
@@ -1202,6 +1232,45 @@ mod tests {
 
     fn defaults() -> Args {
         parse_args(&sv(&["batch", "m.json"])).unwrap()
+    }
+
+    #[test]
+    fn parse_placer_flag() {
+        let a = parse_args(&sv(&["run", "x.pla", "--placer", "bisect"])).unwrap();
+        assert_eq!(a.placer, Some(PlacerBackend::Bisect));
+        assert_eq!(flow_options(&a).placer.backend, PlacerBackend::Bisect);
+        let b = parse_args(&sv(&["run", "x.pla", "--placer", "k-way"])).unwrap();
+        assert_eq!(b.placer, Some(PlacerBackend::KWay));
+        // unset leaves the FlowOptions default (kway unless CASYN_PLACER says
+        // otherwise) untouched
+        let c = parse_args(&sv(&["run", "x.pla"])).unwrap();
+        assert!(c.placer.is_none());
+        let e = parse_args(&sv(&["run", "x.pla", "--placer", "annealing"])).unwrap_err();
+        assert!(e.contains("annealing"), "got: {e}");
+        assert!(parse_args(&sv(&["run", "x.pla", "--placer"])).is_err());
+    }
+
+    #[test]
+    fn manifest_placer_field() {
+        let jobs = parse_manifest(
+            r#"[{"design": "a.pla", "placer": "bisect"}, {"design": "b.pla"}]"#,
+            &defaults(),
+        )
+        .unwrap();
+        assert_eq!(jobs[0].placer, Some(PlacerBackend::Bisect));
+        assert_eq!(jobs[1].placer, None);
+        // the CLI-level --placer is the per-job fallback
+        let mut d = defaults();
+        d.placer = Some(PlacerBackend::Bisect);
+        let jobs =
+            parse_manifest(r#"[{"design": "a.pla", "placer": "kway"}, {"design": "b.pla"}]"#, &d)
+                .unwrap();
+        assert_eq!(jobs[0].placer, Some(PlacerBackend::KWay));
+        assert_eq!(jobs[1].placer, Some(PlacerBackend::Bisect));
+        let e =
+            parse_manifest(r#"[{"design": "a.pla", "placer": "magic"}]"#, &defaults()).unwrap_err();
+        assert!(e.contains("magic"), "got: {e}");
+        assert!(parse_manifest(r#"[{"design": "a.pla", "placer": 3}]"#, &defaults()).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::telemetry::{FlowTelemetry, StageScope};
 use casyn_core::{
     buffer_fanout, map, BufferOptions, CostKind, MapOptions, MapStats, PartitionScheme,
 };
+use casyn_exec::Pool;
 use casyn_exec::{FaultKind, FaultPlan};
 use casyn_library::{corelib018, Library};
 use casyn_logic::{decompose, optimize, OptimizeOptions};
@@ -23,7 +24,7 @@ use casyn_netlist::network::Network;
 use casyn_netlist::subject::SubjectGraph;
 use casyn_netlist::Point;
 use casyn_place::instance::assign_mapped_ports;
-use casyn_place::{legalize_rows, place_subject, Floorplan, PlacerOptions};
+use casyn_place::{legalize_rows, place_subject_pool, Floorplan, PlacerOptions};
 use casyn_route::{route_mapped, RouteConfig, RouteResult};
 use casyn_timing::{analyze_routed, StaResult, TimingConfig};
 
@@ -159,7 +160,22 @@ pub struct FlowResult {
 
 /// Runs the front end: optional extraction, decomposition, floorplan
 /// derivation and the initial placement of the unbound netlist.
+/// Placement runs serially; use [`prepare_pool`] to fan its k-way
+/// refinement out on a pool.
 pub fn prepare(network: &Network, opts: &FlowOptions) -> Result<Prepared, FlowError> {
+    prepare_pool(network, opts, &Pool::serial())
+}
+
+/// [`prepare`] with the placement stage's parallel refinement running on
+/// `pool`. The result is bit-identical to [`prepare`] for any worker
+/// count — the k-way placer's region-pair jobs are pure functions of a
+/// per-round snapshot, applied in deterministic pair order (and the
+/// bisection backend ignores the pool entirely).
+pub fn prepare_pool(
+    network: &Network,
+    opts: &FlowOptions,
+    pool: &Pool,
+) -> Result<Prepared, FlowError> {
     let mut root = casyn_obs::trace::span("prepare");
     root.attr_num("network_nodes", network.num_nodes() as f64);
     let mut telemetry = FlowTelemetry::default();
@@ -197,7 +213,7 @@ pub fn prepare(network: &Network, opts: &FlowOptions) -> Result<Prepared, FlowEr
         return Err(unsupported_corrupt(Stage::Floorplan));
     }
     let scope = StageScope::begin("place");
-    let placed = place_subject(&graph, &floorplan, &opts.placer);
+    let placed = place_subject_pool(&graph, &floorplan, &opts.placer, pool);
     scope.end(&mut telemetry);
     let mut positions = placed.map_err(|e| FlowError::invariant(Stage::Place, e.to_string()))?;
     if fire_fault(opts, Stage::Place)? && !positions.is_empty() {

@@ -42,8 +42,8 @@ pub use batch::{
 };
 pub use error::{FlowError, FlowErrorKind, Stage};
 pub use flows::{
-    congestion_flow, congestion_flow_prepared, dagon_flow, full_flow, prepare, sis_flow,
-    FlowOptions, FlowResult, Prepared,
+    congestion_flow, congestion_flow_prepared, dagon_flow, full_flow, prepare, prepare_pool,
+    sis_flow, FlowOptions, FlowResult, Prepared,
 };
 pub use methodology::{
     run_methodology, run_methodology_prepared, MethodologyResult, MethodologyStep,

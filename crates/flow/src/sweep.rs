@@ -112,18 +112,45 @@ pub fn find_min_routable_k(
     find_min_routable_k_pool(prep, opts, k_min, k_max, &Pool::serial())
 }
 
-/// [`find_min_routable_k`] with the ladder probes fanned out across a
+/// [`find_min_routable_k`] with the *ladder* probes fanned out across a
 /// [`Pool`]. The serial path stops at the first passing rung; the
 /// parallel path probes every rung concurrently and picks the first
 /// passing one, so both select the same rung and return bit-identical
 /// results (each probe is a pure function of the shared [`Prepared`]).
-/// The bisection refinement is inherently sequential and stays serial.
+/// Only the ladder parallelizes: the follow-up [`refine_k_boundary`]
+/// phase is serial by design, because each of its probes depends on the
+/// previous probe's routability verdict — see its docs for why (and note
+/// it is a bisection of the *K interval*, unrelated to the placement
+/// layer's bisection backend).
 pub fn find_min_routable_k_pool(
     prep: &Prepared,
     opts: &FlowOptions,
     k_min: f64,
     k_max: f64,
     pool: &Pool,
+) -> Result<Option<KSweepEntry>, FlowError> {
+    find_min_routable_k_traced(prep, opts, k_min, k_max, pool, &mut ProbeTrace::default())
+}
+
+/// The Ks one [`find_min_routable_k`] search actually probed: the
+/// selected ladder rung and every boundary-refinement probe in order.
+/// Used to assert that worker count never changes the search trajectory.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ProbeTrace {
+    /// The first passing ladder rung (`None` when nothing routed).
+    rung: Option<f64>,
+    /// The refinement probes, in the order they ran.
+    refine_probes: Vec<f64>,
+}
+
+/// [`find_min_routable_k_pool`] recording the probed Ks into `trace`.
+fn find_min_routable_k_traced(
+    prep: &Prepared,
+    opts: &FlowOptions,
+    k_min: f64,
+    k_max: f64,
+    pool: &Pool,
+    trace: &mut ProbeTrace,
 ) -> Result<Option<KSweepEntry>, FlowError> {
     let rungs = ladder_rungs(k_min, k_max)?;
     let mut first_pass: Option<(usize, FlowResult)> = None;
@@ -154,14 +181,34 @@ pub fn find_min_routable_k_pool(
         }
     }
     let Some((pass_idx, hi_r)) = first_pass else { return Ok(None) };
-    let mut lo = if pass_idx == 0 { 0.0 } else { rungs[pass_idx - 1] };
-    let (mut hi_k, mut hi_r) = (rungs[pass_idx], hi_r);
-    // bisect (on a log-ish scale) to tighten the boundary
+    trace.rung = Some(rungs[pass_idx]);
+    let lo = if pass_idx == 0 { 0.0 } else { rungs[pass_idx - 1] };
+    let entry = refine_k_boundary(prep, opts, lo, rungs[pass_idx], hi_r, &mut trace.refine_probes)?;
+    Ok(Some(entry))
+}
+
+/// Tightens the routability boundary between the last failing K (`lo`)
+/// and the first passing rung (`hi_k`) with four log-scale midpoint
+/// probes. This phase is serial *by design*, not by omission: each
+/// probe's K is chosen from the previous probe's routability verdict, so
+/// there is no independent work to hand a pool — unlike the ladder,
+/// whose rungs are fixed up front. Every probed K is appended to
+/// `probed`, which lets tests pin down that the trajectory is identical
+/// for any worker count.
+fn refine_k_boundary(
+    prep: &Prepared,
+    opts: &FlowOptions,
+    mut lo: f64,
+    mut hi_k: f64,
+    mut hi_r: FlowResult,
+    probed: &mut Vec<f64>,
+) -> Result<KSweepEntry, FlowError> {
     for _ in 0..4 {
         let mid = if lo == 0.0 { hi_k / 2.0 } else { (lo * hi_k).sqrt() };
         if mid <= 0.0 || mid >= hi_k {
             break;
         }
+        probed.push(mid);
         let r = congestion_flow_prepared(prep, mid, opts)?;
         if r.route.violations == 0 {
             hi_k = mid;
@@ -170,7 +217,7 @@ pub fn find_min_routable_k_pool(
             lo = mid;
         }
     }
-    Ok(Some(KSweepEntry { k: hi_k, result: hi_r }))
+    Ok(KSweepEntry { k: hi_k, result: hi_r })
 }
 
 #[cfg(test)]
@@ -282,6 +329,30 @@ mod tests {
         assert_eq!(serial.k, parallel.k);
         assert_eq!(serial.result.cell_area, parallel.result.cell_area);
         assert_eq!(serial.result.route.violations, parallel.result.route.violations);
+    }
+
+    #[test]
+    fn ladder_and_refine_probe_the_same_ks_for_any_worker_count() {
+        // regression for the docs/code drift around "the bisection
+        // refinement stays serial": the pool parallelizes only the
+        // ladder, so the selected rung AND the serial refinement's probe
+        // trajectory must be identical under 1 and 4 workers
+        let net = small_net();
+        let opts = FlowOptions { target_utilization: 0.35, ..Default::default() };
+        let prep = crate::flows::prepare(&net, &opts).unwrap();
+        let mut t1 = ProbeTrace::default();
+        let mut t4 = ProbeTrace::default();
+        let one = find_min_routable_k_traced(&prep, &opts, 0.01, 16.0, &Pool::new(1), &mut t1)
+            .unwrap()
+            .expect("routable on a loose die");
+        let four = find_min_routable_k_traced(&prep, &opts, 0.01, 16.0, &Pool::new(4), &mut t4)
+            .unwrap()
+            .expect("routable on a loose die");
+        assert_eq!(t1.rung, t4.rung, "both worker counts must select the same ladder rung");
+        assert_eq!(t1.refine_probes, t4.refine_probes, "refinement must probe the same Ks");
+        assert!(!t1.refine_probes.is_empty(), "the boundary refinement must actually probe");
+        assert_eq!(one.k, four.k);
+        assert_eq!(one.result.route.violations, four.result.route.violations);
     }
 
     #[test]

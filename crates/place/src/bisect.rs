@@ -10,41 +10,11 @@
 use crate::fm::{refine, FmNet, FmProblem};
 use crate::image::Floorplan;
 use crate::instance::{PinRef, PlaceInstance};
+use crate::spread::{spread_in_rect, Rect};
+use crate::PlacerOptions;
 use casyn_netlist::Point;
 use casyn_obs as obs;
 use std::collections::VecDeque;
-
-/// Tuning knobs for [`place`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PlacerOptions {
-    /// Regions with at most this many cells are spread directly.
-    pub leaf_cells: usize,
-    /// FM passes per bisection.
-    pub fm_passes: usize,
-    /// FM balance tolerance (fraction of region weight).
-    pub balance_tol: f64,
-    /// Global placement sweeps: each sweep re-runs the full recursive
-    /// bisection seeded with the previous sweep's positions, which makes
-    /// the initial partitions and the terminal-propagation anchors far
-    /// more accurate than a cold start.
-    pub sweeps: usize,
-    /// Place the split line proportional to the partition weights
-    /// (uniform density under loose balance) instead of at the region
-    /// midpoint.
-    pub proportional_split: bool,
-}
-
-impl Default for PlacerOptions {
-    fn default() -> Self {
-        PlacerOptions {
-            leaf_cells: 2,
-            fm_passes: 6,
-            balance_tol: 0.3,
-            sweeps: 6,
-            proportional_split: false,
-        }
-    }
-}
 
 #[derive(Debug)]
 struct Region {
@@ -56,30 +26,20 @@ struct Region {
 }
 
 impl Region {
+    fn rect(&self) -> Rect {
+        Rect { x0: self.x0, y0: self.y0, x1: self.x1, y1: self.y1 }
+    }
+
     fn center(&self) -> Point {
-        Point::new((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+        self.rect().center()
     }
 }
 
-/// Places `inst` on the floorplan; returns one position per movable cell.
-/// Deterministic: no randomness is involved, ties resolve by cell index.
-///
-/// # Example
-///
-/// ```
-/// use casyn_place::{place, Floorplan, PlacerOptions};
-/// use casyn_place::instance::{PinRef, PlaceInstance, PlaceNet};
-///
-/// let fp = Floorplan::with_rows_and_area(4, 4.0 * 6.4 * 60.0);
-/// let inst = PlaceInstance {
-///     cell_width: vec![1.92, 1.92],
-///     nets: vec![PlaceNet { pins: vec![PinRef::Cell(0), PinRef::Cell(1)] }],
-/// };
-/// let pos = place(&inst, &fp, &PlacerOptions::default());
-/// assert_eq!(pos.len(), 2);
-/// assert!(pos.iter().all(|p| p.x <= fp.die_width && p.y <= fp.die_height));
-/// ```
-pub fn place(inst: &PlaceInstance, fp: &Floorplan, opts: &PlacerOptions) -> Vec<Point> {
+/// Places `inst` on the floorplan with recursive min-cut bisection;
+/// returns one position per movable cell. Deterministic: no randomness
+/// is involved, ties resolve by cell index. Callers normally go through
+/// [`crate::place`], which dispatches on [`crate::PlacerBackend`].
+pub fn place_bisect(inst: &PlaceInstance, fp: &Floorplan, opts: &PlacerOptions) -> Vec<Point> {
     let n = inst.num_cells();
     let mut pos = vec![Point::new(fp.die_width / 2.0, fp.die_height / 2.0); n];
     if n == 0 {
@@ -250,77 +210,16 @@ fn bisection_sweep(
     pos
 }
 
-/// Spreads the cells of a leaf region on a uniform grid inside it,
-/// ordered by the centroid of each cell's connections so neighbours land
-/// on nearby slots.
+/// Spreads the cells of a leaf region on a uniform grid inside it — the
+/// shared [`crate::spread`] helper, also used by the k-way backend's
+/// finest-level regions.
 fn spread_leaf(
     region: &Region,
     inst: &PlaceInstance,
     nets_of_cell: &[Vec<usize>],
     pos: &mut [Point],
 ) {
-    let n = region.cells.len();
-    if n == 0 {
-        return;
-    }
-    if n == 1 {
-        pos[region.cells[0]] = region.center();
-        return;
-    }
-    // centroid of every pin connected to each cell (self included)
-    let centroid = |c: usize| -> Point {
-        let mut x = 0.0;
-        let mut y = 0.0;
-        let mut k = 0.0;
-        for &ni in &nets_of_cell[c] {
-            for pin in &inst.nets[ni].pins {
-                let p = match pin {
-                    PinRef::Cell(o) => pos[*o],
-                    PinRef::Fixed(p) => *p,
-                };
-                x += p.x;
-                y += p.y;
-                k += 1.0;
-            }
-        }
-        if k == 0.0 {
-            region.center()
-        } else {
-            Point::new(x / k, y / k)
-        }
-    };
-    let w = region.x1 - region.x0;
-    let h = region.y1 - region.y0;
-    let cols = ((n as f64 * w / h.max(1e-9)).sqrt().ceil() as usize).clamp(1, n);
-    let rows = n.div_ceil(cols);
-    let mut order: Vec<(Point, usize)> = region.cells.iter().map(|&c| (centroid(c), c)).collect();
-    // row-major by centroid: y first, then x inside the row band
-    order.sort_by(|a, b| a.0.y.total_cmp(&b.0.y).then(a.1.cmp(&b.1)));
-    let mut slots: Vec<(usize, usize)> = Vec::with_capacity(n);
-    for row in 0..rows {
-        for col in 0..cols {
-            if slots.len() < n {
-                slots.push((row, col));
-            }
-        }
-    }
-    // within each row band, order by centroid x
-    let mut i = 0;
-    while i < order.len() {
-        let row = slots[i].0;
-        let mut j = i;
-        while j < order.len() && slots[j].0 == row {
-            j += 1;
-        }
-        order[i..j].sort_by(|a, b| a.0.x.total_cmp(&b.0.x).then(a.1.cmp(&b.1)));
-        i = j;
-    }
-    for ((_, c), (row, col)) in order.iter().zip(&slots) {
-        pos[*c] = Point::new(
-            region.x0 + (*col as f64 + 0.5) * w / cols as f64,
-            region.y0 + (*row as f64 + 0.5) * h / rows as f64,
-        );
-    }
+    spread_in_rect(region.rect(), &region.cells, inst, nets_of_cell, pos);
 }
 
 #[cfg(test)]
@@ -342,7 +241,7 @@ mod tests {
     fn all_cells_inside_die() {
         let inst = chain_instance(100);
         let fp = Floorplan::with_rows_and_area(10, 64.0 * 64.0 * 10.0);
-        let pos = place(&inst, &fp, &PlacerOptions::default());
+        let pos = place_bisect(&inst, &fp, &PlacerOptions::default());
         assert_eq!(pos.len(), 100);
         for p in &pos {
             assert!(p.x >= 0.0 && p.x <= fp.die_width, "x out of die: {p:?}");
@@ -354,7 +253,7 @@ mod tests {
     fn chain_places_better_than_random_spread() {
         let inst = chain_instance(128);
         let fp = Floorplan::with_rows_and_area(8, 6.4 * 8.0 * 51.2);
-        let pos = place(&inst, &fp, &PlacerOptions::default());
+        let pos = place_bisect(&inst, &fp, &PlacerOptions::default());
         let placed = total_hpwl_of_instance(&inst, &pos);
         // compare to a pathological placement: cells at alternating corners
         let bad: Vec<Point> = (0..128)
@@ -388,7 +287,7 @@ mod tests {
                 PlaceNet { pins: vec![PinRef::Cell(0), PinRef::Cell(1)] },
             ],
         };
-        let pos = place(&inst, &fp, &PlacerOptions { leaf_cells: 1, ..Default::default() });
+        let pos = place_bisect(&inst, &fp, &PlacerOptions { leaf_cells: 1, ..Default::default() });
         assert!(
             pos[0].x < pos[1].x,
             "cell 0 ({:?}) should sit left of cell 1 ({:?})",
@@ -401,8 +300,8 @@ mod tests {
     fn deterministic() {
         let inst = chain_instance(64);
         let fp = Floorplan::with_rows_and_area(8, 8.0 * 6.4 * 40.0);
-        let a = place(&inst, &fp, &PlacerOptions::default());
-        let b = place(&inst, &fp, &PlacerOptions::default());
+        let a = place_bisect(&inst, &fp, &PlacerOptions::default());
+        let b = place_bisect(&inst, &fp, &PlacerOptions::default());
         assert_eq!(a.len(), b.len());
         for (p, q) in a.iter().zip(&b) {
             assert_eq!(p, q);
@@ -413,14 +312,14 @@ mod tests {
     fn empty_instance() {
         let inst = PlaceInstance::default();
         let fp = Floorplan::with_rows_and_area(2, 1000.0);
-        assert!(place(&inst, &fp, &PlacerOptions::default()).is_empty());
+        assert!(place_bisect(&inst, &fp, &PlacerOptions::default()).is_empty());
     }
 
     #[test]
     fn leaf_spread_has_no_duplicate_positions() {
         let inst = PlaceInstance { cell_width: vec![1.92; 7], nets: Vec::new() };
         let fp = Floorplan::with_rows_and_area(4, 4.0 * 6.4 * 30.0);
-        let pos = place(&inst, &fp, &PlacerOptions { leaf_cells: 8, ..Default::default() });
+        let pos = place_bisect(&inst, &fp, &PlacerOptions { leaf_cells: 8, ..Default::default() });
         for i in 0..pos.len() {
             for j in i + 1..pos.len() {
                 assert!(

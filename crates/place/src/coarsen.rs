@@ -1,0 +1,272 @@
+//! Multilevel coarsening of a placement hypergraph.
+//!
+//! Heavy-edge clustering in the hMETIS tradition: cells are visited in
+//! index order and greedily matched to the unmatched neighbour they share
+//! the most (size-discounted) net weight with; matched pairs collapse
+//! into one cluster whose width is the sum of its members. Repeating the
+//! matching yields a hierarchy of progressively smaller hypergraphs; the
+//! k-way placer partitions the coarsest one and refines the assignment
+//! back down through the levels.
+//!
+//! Everything here is deterministic: visit order is cell index, ties
+//! resolve toward the smaller neighbour index, and cluster ids are
+//! assigned in first-appearance order.
+
+use crate::instance::{PinRef, PlaceInstance, PlaceNet};
+use casyn_obs as obs;
+use std::collections::HashSet;
+
+/// One coarsening step: the clustered hypergraph plus the projection map
+/// from the finer level it was built from.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The clustered placement problem.
+    pub inst: PlaceInstance,
+    /// For each cell of the *finer* level, its cluster index in `inst`.
+    pub cluster_of: Vec<usize>,
+}
+
+/// Nets with more pins than this contribute nothing to the matching
+/// weight: a huge net says little about which two cells belong together,
+/// and skipping it keeps matching near-linear.
+const MATCH_NET_LIMIT: usize = 16;
+
+/// Coarsening stops once a level shrinks the cell count by less than
+/// this factor — further rounds would only merge what the weight cap
+/// forbids.
+const STALL_RATIO: f64 = 0.9;
+
+/// Builds the multilevel hierarchy of `inst`: `levels[0]` is the first
+/// clustering of `inst`, `levels.last()` the coarsest. Returns an empty
+/// vector when `inst` is already at or below `target_cells` (the k-way
+/// placer then partitions the flat instance directly). The per-cluster
+/// weight cap keeps any cluster from exceeding a `target_cells`-fraction
+/// of the total width, so the coarsest level still admits a balanced
+/// k-way assignment.
+pub fn coarsen(inst: &PlaceInstance, target_cells: usize) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let target = target_cells.max(1);
+    let total_w = inst.total_width();
+    let max_cell_w = inst.cell_width.iter().fold(0.0f64, |a, &b| a.max(b));
+    // a cluster may hold ~1.5 regions' worth of weight before matching
+    // refuses to grow it further
+    let cap = (total_w / target as f64 * 1.5).max(max_cell_w);
+    let mut current = inst;
+    while current.num_cells() > target {
+        let level = cluster_once(current, cap);
+        let shrunk = level.inst.num_cells();
+        if shrunk as f64 > current.num_cells() as f64 * STALL_RATIO {
+            break; // matching stalled; deeper levels would be no-ops
+        }
+        levels.push(level);
+        current = &levels.last().expect("just pushed").inst;
+    }
+    if obs::enabled() {
+        obs::counter_add("place.coarsen.levels", levels.len() as u64);
+        if let Some(last) = levels.last() {
+            obs::gauge_set("place.coarsen.coarsest_cells", last.inst.num_cells() as f64);
+        }
+    }
+    levels
+}
+
+/// One heavy-edge matching pass over `inst`; `cap` bounds the combined
+/// width of any produced cluster.
+fn cluster_once(inst: &PlaceInstance, cap: f64) -> CoarseLevel {
+    let n = inst.num_cells();
+    let nets_of_cell = inst.nets_of_cells();
+    let mut cluster_of = vec![usize::MAX; n];
+    let mut num_clusters = 0usize;
+    // scratch: accumulated connection weight to each candidate neighbour,
+    // reset per cell via the touched list
+    let mut weight = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+    for u in 0..n {
+        if cluster_of[u] != usize::MAX {
+            continue;
+        }
+        touched.clear();
+        for &ni in &nets_of_cell[u] {
+            let pins = &inst.nets[ni].pins;
+            if pins.len() > MATCH_NET_LIMIT || pins.len() < 2 {
+                continue;
+            }
+            let w = 1.0 / (pins.len() - 1) as f64;
+            for pin in pins {
+                if let PinRef::Cell(v) = pin {
+                    let v = *v;
+                    if v != u && cluster_of[v] == usize::MAX {
+                        if weight[v] == 0.0 {
+                            touched.push(v);
+                        }
+                        weight[v] += w;
+                    }
+                }
+            }
+        }
+        // best unmatched neighbour: max weight, ties to the smaller index
+        let mut best: Option<usize> = None;
+        for &v in &touched {
+            if inst.cell_width[u] + inst.cell_width[v] > cap {
+                continue;
+            }
+            match best {
+                None => best = Some(v),
+                Some(b) => {
+                    if weight[v] > weight[b] || (weight[v] == weight[b] && v < b) {
+                        best = Some(v);
+                    }
+                }
+            }
+        }
+        cluster_of[u] = num_clusters;
+        if let Some(v) = best {
+            cluster_of[v] = num_clusters;
+        }
+        num_clusters += 1;
+        for &v in &touched {
+            weight[v] = 0.0;
+        }
+    }
+    CoarseLevel { inst: project_instance(inst, &cluster_of, num_clusters), cluster_of }
+}
+
+/// Builds the coarse hypergraph: cluster widths are member sums; each net
+/// maps its cell pins through `cluster_of` (deduplicated), keeps its
+/// fixed pins (exact duplicates dropped), and survives only if it still
+/// spans at least two distinct pins.
+fn project_instance(
+    inst: &PlaceInstance,
+    cluster_of: &[usize],
+    num_clusters: usize,
+) -> PlaceInstance {
+    let mut coarse = PlaceInstance { cell_width: vec![0.0; num_clusters], nets: Vec::new() };
+    for (c, &w) in inst.cell_width.iter().enumerate() {
+        coarse.cell_width[cluster_of[c]] += w;
+    }
+    let mut seen_cluster = vec![u32::MAX; num_clusters];
+    let mut seen_fixed: HashSet<(u64, u64)> = HashSet::new();
+    for (ni, net) in inst.nets.iter().enumerate() {
+        let stamp = ni as u32;
+        seen_fixed.clear();
+        let mut pins: Vec<PinRef> = Vec::new();
+        for pin in &net.pins {
+            match pin {
+                PinRef::Cell(c) => {
+                    let cl = cluster_of[*c];
+                    if seen_cluster[cl] != stamp {
+                        seen_cluster[cl] = stamp;
+                        pins.push(PinRef::Cell(cl));
+                    }
+                }
+                PinRef::Fixed(p) => {
+                    if seen_fixed.insert((p.x.to_bits(), p.y.to_bits())) {
+                        pins.push(PinRef::Fixed(*p));
+                    }
+                }
+            }
+        }
+        if pins.len() >= 2 {
+            coarse.nets.push(PlaceNet { pins });
+        }
+    }
+    coarse
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casyn_netlist::Point;
+
+    fn chain(n: usize) -> PlaceInstance {
+        let mut inst = PlaceInstance { cell_width: vec![1.92; n], nets: Vec::new() };
+        for i in 0..n - 1 {
+            inst.nets.push(PlaceNet { pins: vec![PinRef::Cell(i), PinRef::Cell(i + 1)] });
+        }
+        inst
+    }
+
+    #[test]
+    fn chain_halves_per_level() {
+        let inst = chain(64);
+        let levels = coarsen(&inst, 8);
+        assert!(!levels.is_empty());
+        // heavy-edge matching on a chain pairs neighbours: 64 -> 32 -> 16 -> 8
+        assert_eq!(levels[0].inst.num_cells(), 32);
+        assert!(levels.last().unwrap().inst.num_cells() <= 8);
+        for level in &levels {
+            // total width is conserved at every level
+            assert!((level.inst.total_width() - inst.total_width()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_maps_are_consistent() {
+        let inst = chain(40);
+        let levels = coarsen(&inst, 5);
+        let mut fine_cells = inst.num_cells();
+        for level in &levels {
+            assert_eq!(level.cluster_of.len(), fine_cells);
+            for &cl in &level.cluster_of {
+                assert!(cl < level.inst.num_cells(), "cluster id out of range");
+            }
+            fine_cells = level.inst.num_cells();
+        }
+    }
+
+    #[test]
+    fn internal_nets_collapse_and_fixed_pins_survive() {
+        // two cells joined by one net, plus a port net: after clustering
+        // into one cluster the cell-cell net dies, the port net survives
+        let inst = PlaceInstance {
+            cell_width: vec![1.92, 1.92],
+            nets: vec![
+                PlaceNet { pins: vec![PinRef::Cell(0), PinRef::Cell(1)] },
+                PlaceNet { pins: vec![PinRef::Cell(0), PinRef::Fixed(Point::new(0.0, 3.0))] },
+            ],
+        };
+        let levels = coarsen(&inst, 1);
+        assert_eq!(levels.len(), 1);
+        let coarse = &levels[0].inst;
+        assert_eq!(coarse.num_cells(), 1);
+        assert_eq!(coarse.nets.len(), 1);
+        assert!(matches!(coarse.nets[0].pins[1], PinRef::Fixed(_)));
+    }
+
+    #[test]
+    fn weight_cap_prevents_superclusters() {
+        // a star would otherwise collapse into the hub; the cap keeps
+        // every cluster to at most ~1.5 regions of weight
+        let n = 32;
+        let mut inst = PlaceInstance { cell_width: vec![1.0; n], nets: Vec::new() };
+        for i in 1..n {
+            inst.nets.push(PlaceNet { pins: vec![PinRef::Cell(0), PinRef::Cell(i)] });
+        }
+        let levels = coarsen(&inst, 8);
+        let cap = 32.0 / 8.0 * 1.5;
+        for level in &levels {
+            for &w in &level.inst.cell_width {
+                assert!(w <= cap + 1e-9, "cluster weight {w} exceeds cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_instance_yields_no_levels() {
+        let inst = chain(4);
+        assert!(coarsen(&inst, 8).is_empty());
+        assert!(coarsen(&PlaceInstance::default(), 8).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = chain(50);
+        let a = coarsen(&inst, 6);
+        let b = coarsen(&inst, 6);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cluster_of, y.cluster_of);
+            assert_eq!(x.inst.cell_width, y.inst.cell_width);
+        }
+    }
+}

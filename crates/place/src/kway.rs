@@ -1,0 +1,884 @@
+//! Direct k-way, wire-aware multilevel placement.
+//!
+//! The die is divided into a `gx × gy` grid of gcell regions; a placement
+//! is an assignment of cells to regions, with every cell sitting at its
+//! region's centre until the finest level spreads them out. The instance
+//! is coarsened by heavy-edge clustering ([`crate::coarsen`]), the
+//! coarsest clusters are assigned to regions from connectivity-averaged
+//! anchor positions, and the assignment is refined at every level by
+//! k-way pass moves whose gain is the *delta in net bounding-box HPWL* —
+//! the Steiner-metric surrogate the router actually feels — rather than
+//! cut size.
+//!
+//! # Parallel refinement and determinism
+//!
+//! Refinement runs in rounds. Each round pairs up disjoint adjacent
+//! regions in a brick-wall schedule (horizontal even / horizontal odd /
+//! vertical even / vertical odd); every pair job reads only the immutable
+//! start-of-round assignment snapshot plus its own two regions' cells, so
+//! the jobs are independent pure functions. They fan out on the
+//! [`casyn_exec::Pool`] via `par_map`, whose results come back in input
+//! (pair) order, and the moves are applied after the round in that order.
+//! Pairs never share a region within a round, so the applied state is
+//! independent of execution interleaving: the parallel result is
+//! bit-identical to the serial one by construction.
+
+use crate::coarsen::coarsen;
+use crate::image::Floorplan;
+use crate::instance::{PinRef, PlaceInstance};
+use crate::refine::{median_improve, RefineOptions};
+use crate::spread::{spread_in_rect, Rect};
+use crate::PlacerOptions;
+use casyn_exec::Pool;
+use casyn_netlist::Point;
+use casyn_obs as obs;
+use std::collections::HashMap;
+
+/// Minimum HPWL gain for a refinement move: strictly positive so that
+/// zero-gain oscillations cannot ping-pong between rounds.
+const MIN_GAIN: f64 = 1e-9;
+
+/// Inner improvement passes inside one pair job.
+const PAIR_PASSES: usize = 2;
+
+/// The gcell region grid: the die cut into `gx × gy` equal rectangles,
+/// region `r` at column `r % gx`, row `r / gx` (row 0 at the bottom).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RegionGrid {
+    gx: usize,
+    gy: usize,
+    die_w: f64,
+    die_h: f64,
+}
+
+impl RegionGrid {
+    /// A grid of at least `k_target` regions whose cells are near-square
+    /// on this die.
+    fn new(fp: &Floorplan, k_target: usize) -> Self {
+        let k = k_target.max(1);
+        let gy = ((k as f64 * fp.die_height / fp.die_width.max(1e-9)).sqrt().round() as usize)
+            .clamp(1, k);
+        let gx = k.div_ceil(gy);
+        RegionGrid { gx, gy, die_w: fp.die_width, die_h: fp.die_height }
+    }
+
+    fn k(&self) -> usize {
+        self.gx * self.gy
+    }
+
+    fn rect(&self, r: usize) -> Rect {
+        let (cx, cy) = (r % self.gx, r / self.gx);
+        let (w, h) = (self.die_w / self.gx as f64, self.die_h / self.gy as f64);
+        Rect {
+            x0: cx as f64 * w,
+            y0: cy as f64 * h,
+            x1: (cx + 1) as f64 * w,
+            y1: (cy + 1) as f64 * h,
+        }
+    }
+
+    fn center(&self, r: usize) -> Point {
+        self.rect(r).center()
+    }
+
+    /// The region whose rectangle contains `p` (clamped into the die).
+    fn nearest(&self, p: Point) -> usize {
+        let cx = ((p.x / (self.die_w / self.gx as f64)) as usize).min(self.gx - 1);
+        let cy = ((p.y / (self.die_h / self.gy as f64)) as usize).min(self.gy - 1);
+        cy * self.gx + cx
+    }
+
+    /// The four brick-wall rounds of disjoint adjacent region pairs:
+    /// horizontal even / horizontal odd / vertical even / vertical odd.
+    /// Within a round no region appears twice, so the pairs can refine
+    /// concurrently; pair order inside a round is deterministic
+    /// (row-major), which fixes the move application order.
+    fn pair_rounds(&self) -> Vec<Vec<(usize, usize)>> {
+        let id = |x: usize, y: usize| y * self.gx + x;
+        let mut rounds = Vec::with_capacity(4);
+        for offset in [0usize, 1] {
+            let mut pairs = Vec::new();
+            for y in 0..self.gy {
+                let mut x = offset;
+                while x + 1 < self.gx {
+                    pairs.push((id(x, y), id(x + 1, y)));
+                    x += 2;
+                }
+            }
+            rounds.push(pairs);
+        }
+        for offset in [0usize, 1] {
+            let mut pairs = Vec::new();
+            for y in (offset..self.gy).step_by(2) {
+                if y + 1 >= self.gy {
+                    break;
+                }
+                for x in 0..self.gx {
+                    pairs.push((id(x, y), id(x, y + 1)));
+                }
+            }
+            rounds.push(pairs);
+        }
+        rounds
+    }
+}
+
+/// Places `inst` with the direct k-way multilevel backend. Deterministic
+/// for a fixed instance and options; the pool only changes wall-clock
+/// time, never the result (see the module docs).
+pub(crate) fn place_kway(
+    inst: &PlaceInstance,
+    fp: &Floorplan,
+    opts: &PlacerOptions,
+    pool: &Pool,
+) -> Vec<Point> {
+    let n = inst.num_cells();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut span = obs::trace::span("place.kway");
+    span.attr_num("cells", n as f64);
+    let grid = RegionGrid::new(fp, n.div_ceil(opts.region_cells.max(1)));
+    span.attr_num("regions", grid.k() as f64);
+    let k = grid.k();
+    let cap = inst.total_width() / k as f64 * (1.0 + opts.balance_tol.max(0.0));
+
+    // coarsen to ~2 clusters per region so the initial assignment has
+    // slack to balance
+    let levels = coarsen(inst, 2 * k);
+    let coarsest: &PlaceInstance = levels.last().map_or(inst, |l| &l.inst);
+
+    // initial k-way assignment of the coarsest clusters
+    let anchors = anchor_positions(coarsest, fp);
+    let mut assign = initial_assign(coarsest, &grid, &anchors, cap);
+
+    // refine at the coarsest level, then uncoarsen + refine per level
+    let mut level_no = 0usize;
+    refine_level(coarsest, &grid, &mut assign, cap, opts, pool, level_no);
+    for li in (0..levels.len()).rev() {
+        level_no += 1;
+        let finer: &PlaceInstance = if li == 0 { inst } else { &levels[li - 1].inst };
+        assign = levels[li].cluster_of.iter().map(|&cl| assign[cl]).collect();
+        refine_level(finer, &grid, &mut assign, cap, opts, pool, level_no);
+    }
+    obs::counter_add("place.kway.levels", (level_no + 1) as u64);
+
+    // finest level: spread each region's cells inside its rectangle,
+    // then polish toward per-cell medians (serial, deterministic)
+    let nets_of_cell = inst.nets_of_cells();
+    let mut pos: Vec<Point> = assign.iter().map(|&r| grid.center(r)).collect();
+    let cells_of = cells_of_regions(&assign, k);
+    for (r, cells) in cells_of.iter().enumerate() {
+        spread_in_rect(grid.rect(r), cells, inst, &nets_of_cell, &mut pos);
+    }
+    // multi-resolution polish: coarse bins first so cells can cross the
+    // die toward their medians, then finer bins to settle local detail.
+    // The coarse stages keep a tight density cap so long-range moves
+    // cannot pile cells into one corner of a large bin, and every stage
+    // ends by unstacking near-coincident cells (medians pull all the
+    // cells sharing a net onto one point; the density cap only gates
+    // cross-bin moves) so the next stage re-optimizes from spread-out
+    // positions instead of compounding the pile-up — the k-way
+    // counterpart of the bisection placer's leaf spread.
+    let mut polish_moves = 0usize;
+    for (bin_size, max_density) in [(4.0 * 12.8, 1.2), (2.0 * 12.8, 1.4)] {
+        let ropts = RefineOptions { iterations: 4, bin_size, max_density };
+        polish_moves += median_improve(inst, fp, &mut pos, &ropts);
+        unstack_bins(inst, fp, &nets_of_cell, &mut pos, 1.6);
+    }
+
+    // bound the gcell-level density the router will feel: push excess
+    // cells out of over-full fine bins into the cheapest neighbouring
+    // bin with slack, then separate any still-coincident cells
+    relax_density(inst, fp, &nets_of_cell, &mut pos, 12.8, 1.8);
+    unstack_bins(inst, fp, &nets_of_cell, &mut pos, 1.6);
+    // last mile: greedy position swaps between nearby cells — a swap
+    // permutes occupied locations, so the density profile (and therefore
+    // routability) is untouched while HPWL strictly decreases
+    polish_moves += swap_polish(inst, fp, &nets_of_cell, &mut pos, 12.8, 4);
+    obs::counter_add("place.kway.polish_moves", polish_moves as u64);
+    pos
+}
+
+/// Greedy tail polish that swaps the positions of two cells whenever the
+/// swap lowers the summed HPWL of their nets. Candidate pairs come from
+/// the same or right/upper neighbouring `bin_size` bin, visited in index
+/// order over `passes` sweeps; a swap relocates no occupied site, so cell
+/// density is invariant. Returns the number of swaps applied.
+fn swap_polish(
+    inst: &PlaceInstance,
+    fp: &Floorplan,
+    nets_of_cell: &[Vec<usize>],
+    pos: &mut [Point],
+    bin_size: f64,
+    passes: usize,
+) -> usize {
+    let nx = ((fp.die_width / bin_size).ceil() as usize).max(1);
+    let ny = ((fp.die_height / bin_size).ceil() as usize).max(1);
+    // summed HPWL of the union of both cells' nets under current `pos`
+    let pair_cost = |a: usize, b: usize, pos: &[Point]| -> f64 {
+        let mut cost = 0.0;
+        for (which, &c) in [a, b].iter().enumerate() {
+            for &ni in &nets_of_cell[c] {
+                // count shared nets once (when seen from `a`)
+                if which == 1 && nets_of_cell[a].contains(&ni) {
+                    continue;
+                }
+                let (mut lo_x, mut hi_x, mut lo_y, mut hi_y) =
+                    (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+                for pin in &inst.nets[ni].pins {
+                    let p = match pin {
+                        PinRef::Cell(o) => pos[*o],
+                        PinRef::Fixed(p) => *p,
+                    };
+                    lo_x = lo_x.min(p.x);
+                    hi_x = hi_x.max(p.x);
+                    lo_y = lo_y.min(p.y);
+                    hi_y = hi_y.max(p.y);
+                }
+                if lo_x.is_finite() {
+                    cost += (hi_x - lo_x) + (hi_y - lo_y);
+                }
+            }
+        }
+        cost
+    };
+    let mut swaps = 0usize;
+    for _ in 0..passes {
+        let mut bin_cells: Vec<Vec<usize>> = vec![Vec::new(); nx * ny];
+        for (c, p) in pos.iter().enumerate() {
+            let bx = ((p.x / bin_size) as usize).min(nx - 1);
+            let by = ((p.y / bin_size) as usize).min(ny - 1);
+            bin_cells[by * nx + bx].push(c);
+        }
+        let mut moved = false;
+        for b in 0..nx * ny {
+            let (bx, by) = (b % nx, b / nx);
+            // candidates: own bin plus right and upper neighbours, so
+            // every adjacent bin pair is tried exactly once
+            let mut cand = bin_cells[b].clone();
+            if bx + 1 < nx {
+                cand.extend_from_slice(&bin_cells[b + 1]);
+            }
+            if by + 1 < ny {
+                cand.extend_from_slice(&bin_cells[b + nx]);
+            }
+            for &a in &bin_cells[b] {
+                for &c in &cand {
+                    if c <= a {
+                        continue;
+                    }
+                    let before = pair_cost(a, c, pos);
+                    pos.swap(a, c);
+                    let after = pair_cost(a, c, pos);
+                    if before - after > MIN_GAIN {
+                        swaps += 1;
+                        moved = true;
+                    } else {
+                        pos.swap(a, c); // undo
+                    }
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    swaps
+}
+
+/// Caps the per-bin cell-width density at `max_density` times the die
+/// average by walking excess cells out of over-full `bin_size` bins into
+/// a 4-neighbour bin with slack, cheapest HPWL delta first. A few rounds
+/// let excess percolate across several bins. Deterministic: bins, cells
+/// and neighbours are visited in index order, ties resolve by cell index.
+fn relax_density(
+    inst: &PlaceInstance,
+    fp: &Floorplan,
+    nets_of_cell: &[Vec<usize>],
+    pos: &mut [Point],
+    bin_size: f64,
+    max_density: f64,
+) {
+    const ROUNDS: usize = 8;
+    let nx = ((fp.die_width / bin_size).ceil() as usize).max(1);
+    let ny = ((fp.die_height / bin_size).ceil() as usize).max(1);
+    if nx * ny < 2 {
+        return;
+    }
+    let max_w = inst.cell_width.iter().copied().fold(0.0f64, f64::max);
+    // never set the cap below one cell: a die with few cells would
+    // otherwise see every occupied bin as over-full and thrash
+    let cap = (inst.total_width() / (nx * ny) as f64 * max_density).max(max_w);
+    let bin_of = |p: Point| -> (usize, usize) {
+        (((p.x / bin_size) as usize).min(nx - 1), ((p.y / bin_size) as usize).min(ny - 1))
+    };
+    // nearest point of bin (bx, by) to `p`, inset so bin_of maps into it
+    let point_in_bin = |p: Point, bx: usize, by: usize| -> Point {
+        let inset = bin_size / 16.0;
+        // edge bins may be partial: keep lo <= hi even when the die
+        // boundary cuts into the inset band
+        let hi_x = ((bx + 1) as f64 * bin_size - inset).min(fp.die_width);
+        let lo_x = (bx as f64 * bin_size + inset).min(hi_x);
+        let hi_y = ((by + 1) as f64 * bin_size - inset).min(fp.die_height);
+        let lo_y = (by as f64 * bin_size + inset).min(hi_y);
+        Point::new(p.x.clamp(lo_x, hi_x), p.y.clamp(lo_y, hi_y))
+    };
+    // HPWL delta of moving cell `c` to `q` with every other pin frozen
+    let move_cost = |c: usize, q: Point, pos: &[Point]| -> f64 {
+        let mut delta = 0.0;
+        for &ni in &nets_of_cell[c] {
+            let (mut lo_x, mut hi_x, mut lo_y, mut hi_y) =
+                (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+            for pin in &inst.nets[ni].pins {
+                let p = match pin {
+                    PinRef::Cell(o) if *o == c => continue,
+                    PinRef::Cell(o) => pos[*o],
+                    PinRef::Fixed(p) => *p,
+                };
+                lo_x = lo_x.min(p.x);
+                hi_x = hi_x.max(p.x);
+                lo_y = lo_y.min(p.y);
+                hi_y = hi_y.max(p.y);
+            }
+            if !lo_x.is_finite() {
+                continue;
+            }
+            let hpwl = |p: Point| (hi_x.max(p.x) - lo_x.min(p.x)) + (hi_y.max(p.y) - lo_y.min(p.y));
+            delta += hpwl(q) - hpwl(pos[c]);
+        }
+        delta
+    };
+    for _ in 0..ROUNDS {
+        let mut fill = vec![0.0f64; nx * ny];
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); nx * ny];
+        for (c, p) in pos.iter().enumerate() {
+            let (bx, by) = bin_of(*p);
+            fill[by * nx + bx] += inst.cell_width[c];
+            members[by * nx + bx].push(c);
+        }
+        let mut moved_any = false;
+        for b in 0..nx * ny {
+            if fill[b] <= cap {
+                continue;
+            }
+            let (bx, by) = (b % nx, b / nx);
+            let neighbours: Vec<(usize, usize)> =
+                [(bx.wrapping_sub(1), by), (bx + 1, by), (bx, by.wrapping_sub(1)), (bx, by + 1)]
+                    .into_iter()
+                    .filter(|&(x, y)| x < nx && y < ny)
+                    .collect();
+            // cheapest outbound move per member cell
+            let mut candidates: Vec<(f64, usize, usize)> = Vec::new(); // (cost, cell, dest bin)
+            for &c in &members[b] {
+                let mut best: Option<(f64, usize)> = None;
+                for &(x, y) in &neighbours {
+                    let nb = y * nx + x;
+                    if fill[nb] + inst.cell_width[c] > cap {
+                        continue;
+                    }
+                    let cost = move_cost(c, point_in_bin(pos[c], x, y), pos);
+                    if best.is_none_or(|(bc, _)| cost < bc) {
+                        best = Some((cost, nb));
+                    }
+                }
+                if let Some((cost, nb)) = best {
+                    candidates.push((cost, c, nb));
+                }
+            }
+            candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (_, c, nb) in candidates {
+                if fill[b] <= cap {
+                    break;
+                }
+                if fill[nb] + inst.cell_width[c] > cap {
+                    continue; // the chosen neighbour filled up this round
+                }
+                pos[c] = point_in_bin(pos[c], nb % nx, nb / nx);
+                fill[b] -= inst.cell_width[c];
+                fill[nb] += inst.cell_width[c];
+                moved_any = true;
+            }
+        }
+        if !moved_any {
+            break;
+        }
+    }
+}
+
+/// Spreads every stack of near-coincident cells (cells whose median
+/// polish converged on the same point) over a small rectangle around the
+/// stack, sized so each cell gets about one standard-cell slot of area.
+/// Local by construction: a lone cell never moves, and a stack of `m`
+/// cells moves at most ~`sqrt(m)` cell widths.
+fn unstack_bins(
+    inst: &PlaceInstance,
+    fp: &Floorplan,
+    nets_of_cell: &[Vec<usize>],
+    pos: &mut [Point],
+    bin_size: f64,
+) {
+    let nx = ((fp.die_width / bin_size).ceil() as usize).max(1);
+    let ny = ((fp.die_height / bin_size).ceil() as usize).max(1);
+    let mut bin_cells: Vec<Vec<usize>> = vec![Vec::new(); nx * ny];
+    for (c, p) in pos.iter().enumerate() {
+        let bx = ((p.x / bin_size) as usize).min(nx - 1);
+        let by = ((p.y / bin_size) as usize).min(ny - 1);
+        bin_cells[by * nx + bx].push(c);
+    }
+    for cells in bin_cells.iter().filter(|cells| cells.len() >= 2) {
+        // centre of mass of the stack, one standard-cell slot per member
+        let (mut cx, mut cy, mut area) = (0.0, 0.0, 0.0);
+        for &c in cells {
+            cx += pos[c].x;
+            cy += pos[c].y;
+            area += inst.cell_width[c] * (crate::image::ROW_HEIGHT / 2.0);
+        }
+        let (cx, cy) = (cx / cells.len() as f64, cy / cells.len() as f64);
+        let half = (area.sqrt() / 2.0).clamp(bin_size / 4.0, 2.0 * bin_size);
+        let rect = Rect {
+            x0: (cx - half).clamp(0.0, (fp.die_width - 2.0 * half).max(0.0)),
+            y0: (cy - half).clamp(0.0, (fp.die_height - 2.0 * half).max(0.0)),
+            x1: (cx + half).clamp((2.0 * half).min(fp.die_width), fp.die_width),
+            y1: (cy + half).clamp((2.0 * half).min(fp.die_height), fp.die_height),
+        };
+        spread_in_rect(rect, cells, inst, nets_of_cell, pos);
+    }
+}
+
+/// Connectivity-averaged anchor positions used to seed the initial
+/// assignment: clusters touching fixed pins start at their centroid,
+/// the rest at the die centre, and a few Jacobi sweeps pull every
+/// cluster toward the average of its connected pins.
+fn anchor_positions(inst: &PlaceInstance, fp: &Floorplan) -> Vec<Point> {
+    const SWEEPS: usize = 40;
+    let n = inst.num_cells();
+    let nets_of_cell = inst.nets_of_cells();
+    let center = Point::new(fp.die_width / 2.0, fp.die_height / 2.0);
+    let mut pos = vec![center; n];
+    for c in 0..n {
+        let (mut x, mut y, mut m) = (0.0, 0.0, 0.0);
+        for &ni in &nets_of_cell[c] {
+            for pin in &inst.nets[ni].pins {
+                if let PinRef::Fixed(p) = pin {
+                    x += p.x;
+                    y += p.y;
+                    m += 1.0;
+                }
+            }
+        }
+        if m > 0.0 {
+            pos[c] = Point::new(x / m, y / m);
+        }
+    }
+    for _ in 0..SWEEPS {
+        let prev = pos.clone();
+        for c in 0..n {
+            let (mut x, mut y, mut m) = (0.0, 0.0, 0.0);
+            for &ni in &nets_of_cell[c] {
+                for pin in &inst.nets[ni].pins {
+                    let p = match pin {
+                        PinRef::Cell(o) if *o == c => continue,
+                        PinRef::Cell(o) => prev[*o],
+                        PinRef::Fixed(p) => *p,
+                    };
+                    x += p.x;
+                    y += p.y;
+                    m += 1.0;
+                }
+            }
+            if m > 0.0 {
+                pos[c] = Point::new(x / m, y / m);
+            }
+        }
+    }
+    pos
+}
+
+/// Assigns clusters to regions: heaviest first (ties by index), each to
+/// the nearest region with remaining capacity, falling back to the
+/// least-filled region when none fits.
+fn initial_assign(
+    inst: &PlaceInstance,
+    grid: &RegionGrid,
+    anchors: &[Point],
+    cap: f64,
+) -> Vec<usize> {
+    let k = grid.k();
+    let n = inst.num_cells();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| inst.cell_width[b].total_cmp(&inst.cell_width[a]).then(a.cmp(&b)));
+    let mut fill = vec![0.0f64; k];
+    let mut assign = vec![0usize; n];
+    for &c in &order {
+        let w = inst.cell_width[c];
+        // fast path: the region containing the anchor, when it has room
+        let home = grid.nearest(anchors[c]);
+        if fill[home] + w <= cap {
+            fill[home] += w;
+            assign[c] = home;
+            continue;
+        }
+        let mut best: Option<usize> = None;
+        let mut best_d = f64::INFINITY;
+        for (r, f) in fill.iter().enumerate() {
+            if f + w > cap {
+                continue;
+            }
+            let d = anchors[c].manhattan(grid.center(r));
+            if d < best_d {
+                best_d = d;
+                best = Some(r);
+            }
+        }
+        let r = best.unwrap_or_else(|| {
+            // every region is at capacity: spill into the least filled
+            (0..k).min_by(|&a, &b| fill[a].total_cmp(&fill[b]).then(a.cmp(&b))).expect("k >= 1")
+        });
+        fill[r] += w;
+        assign[c] = r;
+    }
+    assign
+}
+
+/// Index-sorted cell lists per region.
+fn cells_of_regions(assign: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); k];
+    for (c, &r) in assign.iter().enumerate() {
+        out[r].push(c);
+    }
+    out
+}
+
+/// Refines one level's assignment: `kway_passes` sweeps over the four
+/// brick-wall pair rounds, each round's pair jobs fanned out on the pool
+/// against the start-of-round snapshot.
+fn refine_level(
+    inst: &PlaceInstance,
+    grid: &RegionGrid,
+    assign: &mut [usize],
+    cap: f64,
+    opts: &PlacerOptions,
+    pool: &Pool,
+    level_no: usize,
+) {
+    let k = grid.k();
+    if k < 2 || inst.num_cells() == 0 {
+        return;
+    }
+    let mut span = obs::trace::span("place.kway.level");
+    span.attr_num("level", level_no as f64);
+    span.attr_num("cells", inst.num_cells() as f64);
+    span.attr_num("regions", k as f64);
+    let nets_of_cell = inst.nets_of_cells();
+    let rounds = grid.pair_rounds();
+    let mut fill = vec![0.0f64; k];
+    for (c, &r) in assign.iter().enumerate() {
+        fill[r] += inst.cell_width[c];
+    }
+    let mut level_moves = 0u64;
+    for _pass in 0..opts.kway_passes.max(1) {
+        let mut pass_moves = 0u64;
+        for round in &rounds {
+            if round.is_empty() {
+                continue;
+            }
+            let cells_of = cells_of_regions(assign, k);
+            // snapshot-round fan-out: each pair job is a pure function of
+            // the frozen `assign`/`fill`, results come back in pair order
+            let snapshot: &[usize] = assign;
+            let moves_of_pair = pool.par_map(round, |&(a, b)| {
+                refine_pair(
+                    inst,
+                    &nets_of_cell,
+                    grid,
+                    snapshot,
+                    (a, &cells_of[a], fill[a]),
+                    (b, &cells_of[b], fill[b]),
+                    cap,
+                )
+            });
+            for moves in &moves_of_pair {
+                for &(c, to) in moves {
+                    fill[assign[c]] -= inst.cell_width[c];
+                    fill[to] += inst.cell_width[c];
+                    assign[c] = to;
+                    pass_moves += 1;
+                }
+            }
+        }
+        level_moves += pass_moves;
+        if pass_moves == 0 {
+            break;
+        }
+    }
+    span.attr_num("moves", level_moves as f64);
+    obs::counter_add("place.kway.moves", level_moves);
+    obs::counter_add("place.kway.rounds", (rounds.len() * opts.kway_passes.max(1)) as u64);
+}
+
+/// Improves one region pair against the round snapshot: cells of `a` and
+/// `b` are visited in index order and moved to the opposite region when
+/// that strictly reduces the summed HPWL of their nets (evaluated with
+/// pair cells at their *local* region centres and all external cells at
+/// their snapshot centres), subject to the capacity cap. Returns the
+/// surviving moves as `(cell, new_region)`.
+#[allow(clippy::too_many_arguments)]
+fn refine_pair(
+    inst: &PlaceInstance,
+    nets_of_cell: &[Vec<usize>],
+    grid: &RegionGrid,
+    snapshot: &[usize],
+    (a, cells_a, fill_a): (usize, &[usize], f64),
+    (b, cells_b, fill_b): (usize, &[usize], f64),
+    cap: f64,
+) -> Vec<(usize, usize)> {
+    let mut cells: Vec<usize> = Vec::with_capacity(cells_a.len() + cells_b.len());
+    cells.extend_from_slice(cells_a);
+    cells.extend_from_slice(cells_b);
+    cells.sort_unstable();
+    let mut local: HashMap<usize, usize> = HashMap::with_capacity(cells.len());
+    for &c in cells_a {
+        local.insert(c, a);
+    }
+    for &c in cells_b {
+        local.insert(c, b);
+    }
+    let (mut fa, mut fb) = (fill_a, fill_b);
+    for _ in 0..PAIR_PASSES {
+        let mut changed = false;
+        for &c in &cells {
+            let cur = local[&c];
+            let other = if cur == a { b } else { a };
+            let w = inst.cell_width[c];
+            let other_fill = if other == a { fa } else { fb };
+            if other_fill + w > cap {
+                continue;
+            }
+            // delta HPWL of moving c from cur to other, everything else
+            // at its current (local or snapshot) region centre
+            let mut delta = 0.0;
+            for &ni in &nets_of_cell[c] {
+                delta += net_hpwl_at(inst, ni, c, grid.center(other), &local, snapshot, grid)
+                    - net_hpwl_at(inst, ni, c, grid.center(cur), &local, snapshot, grid);
+            }
+            if delta < -MIN_GAIN {
+                if cur == a {
+                    fa -= w;
+                    fb += w;
+                } else {
+                    fb -= w;
+                    fa += w;
+                }
+                local.insert(c, other);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut moves = Vec::new();
+    for &c in &cells {
+        let r = local[&c];
+        if r != snapshot[c] {
+            moves.push((c, r));
+        }
+    }
+    moves
+}
+
+/// HPWL of net `ni` with cell `c` at `c_pos`, pair cells at their local
+/// region centres and everything else at its snapshot region centre.
+fn net_hpwl_at(
+    inst: &PlaceInstance,
+    ni: usize,
+    c: usize,
+    c_pos: Point,
+    local: &HashMap<usize, usize>,
+    snapshot: &[usize],
+    grid: &RegionGrid,
+) -> f64 {
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for pin in &inst.nets[ni].pins {
+        let p = match pin {
+            PinRef::Cell(o) if *o == c => c_pos,
+            PinRef::Cell(o) => grid.center(local.get(o).copied().unwrap_or(snapshot[*o])),
+            PinRef::Fixed(p) => *p,
+        };
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    if min_x > max_x {
+        return 0.0;
+    }
+    (max_x - min_x) + (max_y - min_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::PlaceNet;
+    use crate::metrics::total_hpwl_of_instance;
+    use crate::PlacerBackend;
+
+    fn kway_opts() -> PlacerOptions {
+        PlacerOptions { backend: PlacerBackend::KWay, ..Default::default() }
+    }
+
+    fn chain_instance(n: usize) -> PlaceInstance {
+        let mut inst = PlaceInstance { cell_width: vec![1.92; n], nets: Vec::new() };
+        for i in 0..n - 1 {
+            inst.nets.push(PlaceNet { pins: vec![PinRef::Cell(i), PinRef::Cell(i + 1)] });
+        }
+        inst
+    }
+
+    #[test]
+    fn grid_geometry_and_pairs_are_disjoint() {
+        let fp = Floorplan::with_rows_and_area(10, 64.0 * 640.0);
+        let grid = RegionGrid::new(&fp, 12);
+        assert!(grid.k() >= 12);
+        for r in 0..grid.k() {
+            let rect = grid.rect(r);
+            assert!(rect.x0 < rect.x1 && rect.y0 < rect.y1);
+            assert_eq!(grid.nearest(grid.center(r)), r, "centre maps back to its region");
+        }
+        for round in grid.pair_rounds() {
+            let mut seen = std::collections::HashSet::new();
+            for (a, b) in round {
+                assert!(seen.insert(a), "region {a} paired twice in one round");
+                assert!(seen.insert(b), "region {b} paired twice in one round");
+            }
+        }
+    }
+
+    #[test]
+    fn all_cells_inside_die() {
+        let inst = chain_instance(100);
+        let fp = Floorplan::with_rows_and_area(10, 64.0 * 64.0 * 10.0);
+        let pos = place_kway(&inst, &fp, &kway_opts(), &Pool::serial());
+        assert_eq!(pos.len(), 100);
+        for p in &pos {
+            assert!(p.x >= 0.0 && p.x <= fp.die_width, "x out of die: {p:?}");
+            assert!(p.y >= 0.0 && p.y <= fp.die_height, "y out of die: {p:?}");
+        }
+    }
+
+    #[test]
+    fn chain_places_better_than_pathological() {
+        let inst = chain_instance(128);
+        let fp = Floorplan::with_rows_and_area(8, 6.4 * 8.0 * 51.2);
+        let pos = place_kway(&inst, &fp, &kway_opts(), &Pool::serial());
+        let placed = total_hpwl_of_instance(&inst, &pos);
+        let bad: Vec<Point> = (0..128)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Point::new(0.0, 0.0)
+                } else {
+                    Point::new(fp.die_width, fp.die_height)
+                }
+            })
+            .collect();
+        let worst = total_hpwl_of_instance(&inst, &bad);
+        assert!(
+            placed < worst / 4.0,
+            "k-way placement ({placed:.1}) should beat the pathological one ({worst:.1})"
+        );
+    }
+
+    #[test]
+    fn fixed_terminals_attract_connected_cells() {
+        let fp = Floorplan::with_rows_and_area(4, 4.0 * 6.4 * 100.0);
+        let inst = PlaceInstance {
+            cell_width: vec![1.92, 1.92],
+            nets: vec![
+                PlaceNet { pins: vec![PinRef::Fixed(Point::new(0.0, 12.8)), PinRef::Cell(0)] },
+                PlaceNet {
+                    pins: vec![PinRef::Fixed(Point::new(fp.die_width, 12.8)), PinRef::Cell(1)],
+                },
+                PlaceNet { pins: vec![PinRef::Cell(0), PinRef::Cell(1)] },
+            ],
+        };
+        let opts = PlacerOptions { region_cells: 1, ..kway_opts() };
+        let pos = place_kway(&inst, &fp, &opts, &Pool::serial());
+        assert!(
+            pos[0].x < pos[1].x,
+            "cell 0 ({:?}) should sit left of cell 1 ({:?})",
+            pos[0],
+            pos[1]
+        );
+    }
+
+    #[test]
+    fn parallel_refinement_is_bit_identical_to_serial() {
+        for n in [37usize, 128, 300] {
+            let inst = chain_instance(n);
+            let fp = Floorplan::with_rows_and_area(10, 10.0 * 6.4 * (n as f64));
+            let serial = place_kway(&inst, &fp, &kway_opts(), &Pool::serial());
+            for workers in [2, 4, 8] {
+                let par = place_kway(&inst, &fp, &kway_opts(), &Pool::new(workers));
+                assert_eq!(serial, par, "n={n} workers={workers} diverged from serial");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let inst = chain_instance(64);
+        let fp = Floorplan::with_rows_and_area(8, 8.0 * 6.4 * 40.0);
+        let a = place_kway(&inst, &fp, &kway_opts(), &Pool::serial());
+        let b = place_kway(&inst, &fp, &kway_opts(), &Pool::serial());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_single_cell_instances() {
+        let fp = Floorplan::with_rows_and_area(2, 1000.0);
+        assert!(
+            place_kway(&PlaceInstance::default(), &fp, &kway_opts(), &Pool::serial()).is_empty()
+        );
+        let one = PlaceInstance { cell_width: vec![1.92], nets: Vec::new() };
+        let pos = place_kway(&one, &fp, &kway_opts(), &Pool::serial());
+        assert_eq!(pos.len(), 1);
+        assert!(pos[0].x > 0.0 && pos[0].x < fp.die_width);
+    }
+
+    #[test]
+    fn no_duplicate_positions_after_spread() {
+        let inst = PlaceInstance { cell_width: vec![1.92; 7], nets: Vec::new() };
+        let fp = Floorplan::with_rows_and_area(4, 4.0 * 6.4 * 30.0);
+        let pos = place_kway(&inst, &fp, &kway_opts(), &Pool::serial());
+        for i in 0..pos.len() {
+            for j in i + 1..pos.len() {
+                assert!(
+                    pos[i].manhattan(pos[j]) > 1e-9,
+                    "cells {i} and {j} coincide at {:?}",
+                    pos[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_capacity_is_respected_by_initial_assignment() {
+        let inst = chain_instance(64);
+        let fp = Floorplan::with_rows_and_area(8, 8.0 * 6.4 * 40.0);
+        let grid = RegionGrid::new(&fp, 8);
+        let cap = inst.total_width() / grid.k() as f64 * 1.3;
+        let anchors = anchor_positions(&inst, &fp);
+        let assign = initial_assign(&inst, &grid, &anchors, cap);
+        let mut fill = vec![0.0f64; grid.k()];
+        for (c, &r) in assign.iter().enumerate() {
+            fill[r] += inst.cell_width[c];
+        }
+        for (r, &f) in fill.iter().enumerate() {
+            assert!(f <= cap + 1e-9, "region {r} overfull: {f} > {cap}");
+        }
+    }
+}

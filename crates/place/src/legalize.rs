@@ -192,6 +192,39 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_yields_empty_legalization() {
+        let fp = fp();
+        let out = legalize_rows(&[], &[], &fp);
+        assert!(out.pos.is_empty() && out.row_of.is_empty());
+        assert_eq!(out.row_fill, vec![0.0; fp.num_rows]);
+        assert_eq!(out.displacement, 0.0);
+        assert_eq!(out.overflow_cells, 0);
+    }
+
+    #[test]
+    fn single_cell_snaps_to_nearest_row() {
+        let fp = fp();
+        // desired y between rows 1 and 2, nearer row 1; x already interior
+        let y = (fp.row_y(1) + fp.row_y(2)) / 2.0 - 0.1;
+        let out = legalize_rows(&[Point::new(40.0, y)], &[2.0], &fp);
+        assert_eq!(out.overflow_cells, 0);
+        assert_eq!(out.row_of, vec![1]);
+        assert!((out.pos[0].y - fp.row_y(1)).abs() < 1e-9);
+        assert!((out.pos[0].x - 40.0).abs() < 1e-9, "x should not move: {:?}", out.pos[0]);
+    }
+
+    #[test]
+    fn single_cell_outside_die_is_clamped_into_it() {
+        let fp = fp();
+        let out = legalize_rows(&[Point::new(-50.0, 1e9)], &[4.0], &fp);
+        assert_eq!(out.overflow_cells, 0);
+        let left = out.pos[0].x - 2.0;
+        let right = out.pos[0].x + 2.0;
+        assert!(left >= -1e-9 && right <= fp.die_width + 1e-9);
+        assert_eq!(out.row_of[0], fp.num_rows - 1, "huge y lands in the top row");
+    }
+
+    #[test]
     fn displacement_is_small_for_legal_input() {
         let fp = fp();
         let desired = vec![Point::new(20.0, fp.row_y(1)), Point::new(70.0, fp.row_y(2))];

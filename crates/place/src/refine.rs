@@ -1,6 +1,6 @@
 //! Median-improvement placement refinement.
 //!
-//! After recursive bisection, each cell is iteratively moved toward the
+//! After global placement (either backend), each cell is iteratively moved toward the
 //! median of its connected pins — the optimal single-cell position under
 //! the HPWL objective. A per-bin density clamp stops cells from
 //! collapsing onto their nets' centroids; the subsequent row legalization
@@ -163,6 +163,39 @@ mod tests {
         let fp = Floorplan::with_rows_and_area(2, 1000.0);
         let mut pos: Vec<Point> = Vec::new();
         assert_eq!(median_improve(&inst, &fp, &mut pos, &RefineOptions::default()), 0);
+    }
+
+    #[test]
+    fn single_cell_moves_to_median_of_fixed_pins() {
+        // one movable cell tied to three fixed ports: the optimal spot is
+        // the per-axis median of the connected pins
+        let mut inst = PlaceInstance { cell_width: vec![1.92], nets: Vec::new() };
+        for p in [Point::new(10.0, 40.0), Point::new(30.0, 10.0), Point::new(50.0, 20.0)] {
+            inst.nets.push(PlaceNet { pins: vec![PinRef::Cell(0), PinRef::Fixed(p)] });
+        }
+        let fp = Floorplan::with_rows_and_area(10, 10.0 * 6.4 * 64.0);
+        let mut pos = vec![Point::new(0.0, 0.0)];
+        // one bin spanning the die: with a single cell the per-bin density
+        // cap (2x the average fill) is below one cell width, so any
+        // cross-bin move would be vetoed regardless of wirelength
+        let opts = RefineOptions { bin_size: 64.0, ..RefineOptions::default() };
+        median_improve(&inst, &fp, &mut pos, &opts);
+        assert!((pos[0].x - 30.0).abs() < 1e-9 && (pos[0].y - 20.0).abs() < 1e-9, "{:?}", pos[0]);
+    }
+
+    #[test]
+    fn all_fixed_port_nets_leave_nothing_to_move() {
+        // nets made of fixed ports only: no cell appears on any net, so
+        // every cell is isolated and refinement is a no-op
+        let mut inst = PlaceInstance { cell_width: vec![1.92; 3], nets: Vec::new() };
+        inst.nets.push(PlaceNet {
+            pins: vec![PinRef::Fixed(Point::new(0.0, 0.0)), PinRef::Fixed(Point::new(9.0, 9.0))],
+        });
+        let fp = Floorplan::with_rows_and_area(4, 4.0 * 6.4 * 50.0);
+        let mut pos = vec![Point::new(3.0, 3.0), Point::new(6.0, 6.0), Point::new(9.0, 9.0)];
+        let before = pos.clone();
+        assert_eq!(median_improve(&inst, &fp, &mut pos, &RefineOptions::default()), 0);
+        assert_eq!(pos, before);
     }
 
     #[test]

@@ -6,10 +6,12 @@
 
 use casyn::exec::Pool;
 use casyn::flow::{
-    k_sweep_prepared, k_sweep_prepared_pool, prepare, run_batch, BatchJob, FlowOptions,
+    k_sweep_prepared, k_sweep_prepared_pool, prepare, prepare_pool, run_batch, BatchJob,
+    FlowOptions,
 };
 use casyn::netlist::bench::{random_pla, PlaGenConfig};
 use casyn::netlist::network::Network;
+use casyn::place::PlacerBackend;
 
 fn net(seed: u64) -> Network {
     random_pla(&PlaGenConfig {
@@ -38,6 +40,36 @@ fn assert_rows_identical(a: &casyn::flow::FlowResult, b: &casyn::flow::FlowResul
         assert_eq!(ca.lib_cell, cb.lib_cell);
         assert_eq!(ca.inputs, cb.inputs);
         assert_eq!(ca.pos, cb.pos);
+    }
+}
+
+#[test]
+fn same_seed_same_placement_for_both_backends() {
+    // Each backend is a deterministic function of the netlist alone: two
+    // independent preparations of the same design must agree bit for bit.
+    for backend in [PlacerBackend::Bisect, PlacerBackend::KWay] {
+        let network = net(2002);
+        let mut opts = FlowOptions::default();
+        opts.placer.backend = backend;
+        let a = prepare(&network, &opts).unwrap();
+        let b = prepare(&network, &opts).unwrap();
+        assert_eq!(a.positions, b.positions, "{backend} placement is not reproducible");
+        assert!(!a.positions.is_empty());
+    }
+}
+
+#[test]
+fn kway_placement_on_four_workers_matches_serial() {
+    // The k-way placer fans region-pair refinement out over the pool;
+    // moves are computed against a frozen start-of-round snapshot and
+    // applied in pair order, so worker count must not leak into results.
+    for seed in [2002_u64, 77] {
+        let network = net(seed);
+        let mut opts = FlowOptions::default();
+        opts.placer.backend = PlacerBackend::KWay;
+        let serial = prepare_pool(&network, &opts, &Pool::new(1)).unwrap();
+        let parallel = prepare_pool(&network, &opts, &Pool::new(4)).unwrap();
+        assert_eq!(serial.positions, parallel.positions);
     }
 }
 

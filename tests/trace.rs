@@ -135,6 +135,9 @@ fn pool_sweep_spreads_spans_over_worker_tracks() {
     let network = net(12);
     let opts = FlowOptions::default();
     let prep = prepare(&network, &opts).unwrap();
+    // placement itself fans pair-refinement jobs out on a pool; drop its
+    // spans so the counts below cover exactly the sweep's per-K jobs
+    obs::trace::clear();
     let ks = [0.0, 0.1, 0.5, 1.0];
     let rows = k_sweep_prepared_pool(&prep, &ks, &opts, &Pool::new(2)).unwrap();
     assert_eq!(rows.len(), ks.len());
