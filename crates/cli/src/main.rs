@@ -6,7 +6,8 @@
 //! casyn sweep <design> --ks 0,0.1,1 [options]     K sweep (paper Tables 2/4)
 //! casyn loop <design> [options]                   the Fig. 3 methodology loop
 //! casyn batch <manifest.json> [options]           run many designs concurrently
-//! casyn heatmap <heatmap.json>                    inspect an exported heat map
+//! casyn heatmap <heatmap.json>                    render an exported heat map
+//! casyn diff <runA.json> <runB.json>              compare two casyn.run.v1 records
 //!
 //! options:
 //!   --k <f>            congestion factor K (map; default 0.5)
@@ -46,6 +47,19 @@
 //!                      get one trace file per job plus a trace_path field
 //!                      on each report row
 //!   --spans-out <p>    write the same span timeline as casyn.trace.v1 JSON
+//!   --route-out <p>    write the router convergence series as casyn.route.v1
+//!                      JSON (per-iteration overflow, reroutes, history cost)
+//!   --audit-out <p>    write the overflow-attribution report as
+//!                      casyn.audit.v1 JSON (per-boundary net demand shares)
+//!   --snapshot-stride <n>  embed a full congestion-map snapshot in the
+//!                      casyn.route.v1 series every n router iterations
+//!                      (0 = off, the default)
+//!   --ledger <dir>     append a content-addressed casyn.run.v1 record for
+//!                      this run to the ledger directory (map/run/sweep/loop);
+//!                      compare two records later with `casyn diff`
+//!   --tolerance <f>    diff: widen the wall-clock/allocation tolerance band
+//!                      to ±f× (default 1.0; stable metrics always compare
+//!                      exactly)
 //! ```
 //!
 //! The batch manifest is a JSON document, either a top-level array of
@@ -71,8 +85,9 @@ use casyn_flow::batch::{
 };
 use casyn_flow::telemetry::snapshot_json;
 use casyn_flow::{
-    full_flow, k_sweep_prepared_pool, prepare_pool, run_methodology_prepared, sequential_flow,
-    FlowError, FlowOptions, KSweepEntry, Stage,
+    diff_records, fnv1a64, format_diff, full_flow, k_sweep_prepared_pool, prepare_pool,
+    run_methodology_prepared, sequential_flow, DiffTolerance, FlowError, FlowOptions, KSweepEntry,
+    RunParams, RunRecord, Stage,
 };
 use casyn_logic::OptimizeOptions;
 use casyn_netlist::blif::{to_blif, Blif};
@@ -93,6 +108,8 @@ use std::sync::Mutex;
 struct Args {
     command: String,
     input: String,
+    /// Second positional input — only the `diff` command takes one.
+    input2: String,
     k: f64,
     ks: Vec<f64>,
     scheme: PartitionScheme,
@@ -108,6 +125,11 @@ struct Args {
     trace: bool,
     trace_out: Option<String>,
     spans_out: Option<String>,
+    route_out: Option<String>,
+    audit_out: Option<String>,
+    snapshot_stride: usize,
+    ledger: Option<String>,
+    tolerance: Option<f64>,
     jobs: Option<usize>,
     placer: Option<PlacerBackend>,
     out: Option<String>,
@@ -120,8 +142,8 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: casyn <map|run|sweep|loop|batch|heatmap> \
-         <design.pla|design.blif|manifest.json|heatmap.json> [options]"
+        "usage: casyn <map|run|sweep|loop|batch|heatmap|diff> \
+         <design.pla|design.blif|manifest.json|heatmap.json|run.json> [options]"
     );
     eprintln!("run `casyn help` for the option list");
     ExitCode::FAILURE
@@ -148,6 +170,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         command: argv.first().cloned().ok_or("missing command")?,
         input: String::new(),
+        input2: String::new(),
         k: 0.5,
         ks: vec![0.0, 0.1, 0.5, 1.0, 5.0],
         scheme: PartitionScheme::PlacementDriven,
@@ -163,6 +186,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         trace: false,
         trace_out: None,
         spans_out: None,
+        route_out: None,
+        audit_out: None,
+        snapshot_stride: 0,
+        ledger: None,
+        tolerance: None,
         jobs: None,
         placer: None,
         out: None,
@@ -206,6 +234,22 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--trace" => args.trace = true,
             "--trace-out" => args.trace_out = Some(next("--trace-out")?),
             "--spans-out" => args.spans_out = Some(next("--spans-out")?),
+            "--route-out" => args.route_out = Some(next("--route-out")?),
+            "--audit-out" => args.audit_out = Some(next("--audit-out")?),
+            "--snapshot-stride" => {
+                args.snapshot_stride = next("--snapshot-stride")?
+                    .parse()
+                    .map_err(|e| format!("--snapshot-stride: {e}"))?
+            }
+            "--ledger" => args.ledger = Some(next("--ledger")?),
+            "--tolerance" => {
+                let t: f64 =
+                    next("--tolerance")?.parse().map_err(|e| format!("--tolerance: {e}"))?;
+                if t.is_nan() || t < 0.0 {
+                    return Err("--tolerance must be a non-negative number".into());
+                }
+                args.tolerance = Some(t);
+            }
             "--jobs" => {
                 let n: usize = next("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
                 if n == 0 {
@@ -234,11 +278,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other if args.input.is_empty() && !other.starts_with('-') => {
                 args.input = other.to_string()
             }
+            // `diff` is the one command taking two positionals (run A, run B)
+            other
+                if args.command == "diff" && args.input2.is_empty() && !other.starts_with('-') =>
+            {
+                args.input2 = other.to_string()
+            }
             other => return Err(format!("unknown option: {other}")),
         }
     }
     if args.command != "help" && args.input.is_empty() {
         return Err("missing input design".into());
+    }
+    if args.command == "diff" && args.input2.is_empty() {
+        return Err("diff needs two casyn.run.v1 record paths".into());
     }
     Ok(args)
 }
@@ -257,6 +310,7 @@ fn load_design(path: &str) -> Result<casyn_netlist::seq::SeqNetwork, String> {
 fn flow_options(args: &Args) -> FlowOptions {
     let mut opts = FlowOptions { target_utilization: args.util, ..Default::default() };
     opts.route.layers = args.layers;
+    opts.route.snapshot_stride = args.snapshot_stride;
     if args.optimize {
         opts.optimize = Some(OptimizeOptions::default());
     }
@@ -287,6 +341,10 @@ fn report(r: &casyn_flow::FlowResult, clock: Option<f64>) {
         100.0 * r.route.congestion.max_util(),
         r.route.iterations
     );
+    print!("{}", casyn_flow::format_convergence_sparkline(&r.route.convergence));
+    if r.route.violations > 0 {
+        print!("{}", casyn_flow::format_audit_table("overflow attribution", &r.route.audit, 8));
+    }
     println!("critical path {} at {:.3} ns", r.sta.critical_endpoints(), r.sta.critical_arrival());
     if let Some(t) = clock {
         println!("clock {:.3} ns: WNS {:.3} ns, TNS {:.3} ns", t, r.sta.wns(t), r.sta.tns(t));
@@ -335,6 +393,72 @@ fn write_observability(args: &Args, r: Option<&casyn_flow::FlowResult>) -> Resul
         fs::write(path, r.route.congestion.to_json().to_string_pretty())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
+    }
+    if let Some(path) = &args.route_out {
+        let r = r.ok_or("--route-out needs a completed flow")?;
+        fs::write(path, r.route.to_json().to_string_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.audit_out {
+        let r = r.ok_or("--audit-out needs a completed flow")?;
+        fs::write(path, r.route.audit.to_json().to_string_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Appends a content-addressed `casyn.run.v1` record for this run to the
+/// `--ledger` directory (a no-op when the flag is absent). The design
+/// hash is FNV-1a over the raw design file bytes, so the same netlist
+/// under a different name still diffs cleanly.
+fn append_ledger(args: &Args, ks: &[f64], rows: &[KSweepEntry]) -> Result<(), String> {
+    let Some(dir) = &args.ledger else {
+        return Ok(());
+    };
+    if rows.is_empty() {
+        return Ok(());
+    }
+    let bytes = fs::read(&args.input).map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    let scheme = match args.scheme {
+        PartitionScheme::Dagon => "dagon",
+        PartitionScheme::Cone => "cone",
+        PartitionScheme::PlacementDriven => "pdp",
+    };
+    let params = RunParams {
+        scheme: scheme.to_string(),
+        placer: flow_options(args).placer.backend.name().to_string(),
+        layers: args.layers,
+        target_utilization: args.util,
+        ks: ks.to_vec(),
+        optimize: args.optimize,
+    };
+    let record = RunRecord::from_sweep(&file_stem(&args.input), fnv1a64(&bytes), params, rows);
+    let path = record
+        .append(std::path::Path::new(dir))
+        .map_err(|e| format!("cannot append to ledger {dir}: {e}"))?;
+    println!("ledger: {}", path.display());
+    Ok(())
+}
+
+/// `casyn diff <runA.json> <runB.json>`: loads two ledger records and
+/// compares them — stable quality metrics exactly, wall-clock and
+/// allocation inside a tolerance band. Exits non-zero on stable deltas,
+/// so CI can use it as a determinism gate.
+fn run_diff_command(args: &Args) -> Result<(), String> {
+    let a = RunRecord::load(std::path::Path::new(&args.input))
+        .map_err(|e| format!("{}: {e}", args.input))?;
+    let b = RunRecord::load(std::path::Path::new(&args.input2))
+        .map_err(|e| format!("{}: {e}", args.input2))?;
+    let tol = match args.tolerance {
+        Some(ratio) => DiffTolerance { ratio, ..Default::default() },
+        None => DiffTolerance::default(),
+    };
+    let d = diff_records(&a, &b, &tol);
+    print!("{}", format_diff(&file_stem(&args.input), &file_stem(&args.input2), &d));
+    if !d.is_clean() {
+        return Err(format!("{} stable delta(s) between the two runs", d.deltas.len()));
     }
     Ok(())
 }
@@ -918,6 +1042,7 @@ fn run_heatmap_command(args: &Args) -> Result<(), String> {
         v_cap
     );
     println!("peak congestion {:.1}%", 100.0 * map.max_util());
+    print!("{}", casyn_flow::format_congestion_heatmap(&file_stem(&args.input), &map));
     Ok(())
 }
 
@@ -936,6 +1061,9 @@ fn run(args: &Args) -> Result<(), String> {
     }
     if args.command == "heatmap" {
         return run_heatmap_command(args);
+    }
+    if args.command == "diff" {
+        return run_diff_command(args);
     }
     let pool = match args.jobs {
         Some(n) => Pool::new(n),
@@ -969,6 +1097,7 @@ fn run_flow_command(args: &Args, pool: &Pool) -> Result<(), String> {
         println!("minimum clock period: {:.3} ns", r.min_clock_period);
         write_artifacts(args, &design.core, &r.flow)?;
         write_observability(args, Some(&r.flow))?;
+        append_ledger(args, &[args.k], &[KSweepEntry { k: args.k, result: r.flow }])?;
         return Ok(());
     }
     let network = design.core;
@@ -993,16 +1122,17 @@ fn run_flow_command(args: &Args, pool: &Pool) -> Result<(), String> {
             report(&r, args.clock);
             write_artifacts(args, &network, &r)?;
             write_observability(args, Some(&r))?;
+            append_ledger(args, &[args.k], &[KSweepEntry { k: args.k, result: r }])?;
         }
         // `run` is the everyday spelling: sweep the default K ladder on
         // the pool
         "sweep" | "run" => {
             println!("{:>10} {:>12} {:>8} {:>8} {:>8}", "K", "area", "cells", "util%", "viol");
-            let last = if pool.workers() > 1 {
+            let rows = if pool.workers() > 1 {
                 // Parallel rows: the metrics registry aggregates across all
                 // K rows (plus the pool's exec.* keys); per-row attribution
                 // needs --jobs 1. The rows themselves are bit-identical.
-                let mut rows = k_sweep_prepared_pool(&prep, &args.ks, &opts, pool)
+                let rows = k_sweep_prepared_pool(&prep, &args.ks, &opts, pool)
                     .map_err(|e| e.to_string())?;
                 for e in &rows {
                     println!(
@@ -1014,9 +1144,9 @@ fn run_flow_command(args: &Args, pool: &Pool) -> Result<(), String> {
                         e.result.route.violations
                     );
                 }
-                rows.pop().map(|e| e.result)
+                rows
             } else {
-                let mut last = None;
+                let mut rows = Vec::with_capacity(args.ks.len());
                 for &k in &args.ks {
                     // Per-row reset keeps the final registry dump scoped to
                     // the same (last) row as the stage telemetry in
@@ -1028,11 +1158,12 @@ fn run_flow_command(args: &Args, pool: &Pool) -> Result<(), String> {
                         "{:>10} {:>12.0} {:>8} {:>8.2} {:>8}",
                         k, r.cell_area, r.num_cells, r.utilization_pct, r.route.violations
                     );
-                    last = Some(r);
+                    rows.push(KSweepEntry { k, result: r });
                 }
-                last
+                rows
             };
-            write_observability(args, last.as_ref())?;
+            write_observability(args, rows.last().map(|e| &e.result))?;
+            append_ledger(args, &args.ks, &rows)?;
         }
         "loop" => {
             let schedule = [0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0];
@@ -1051,6 +1182,9 @@ fn run_flow_command(args: &Args, pool: &Pool) -> Result<(), String> {
                 report(&out.result, args.clock);
                 write_artifacts(args, &network, &out.result)?;
                 write_observability(args, Some(&out.result))?;
+                // ledger the accepted K only: that row is the flow's output
+                let k = out.steps.iter().find(|s| s.accepted).map_or(0.0, |s| s.k);
+                append_ledger(args, &[k], &[KSweepEntry { k, result: out.result }])?;
             } else {
                 println!("did not converge: relax the floorplan or resynthesize");
                 write_observability(args, None)?;
@@ -1228,6 +1362,46 @@ mod tests {
         assert!(parse_args(&sv(&["batch", "m.json", "--jobs", "0"])).is_err());
         assert!(parse_args(&sv(&["batch", "m.json", "--jobs", "-1"])).is_err());
         assert!(parse_args(&sv(&["batch", "m.json", "--jobs"])).is_err());
+    }
+
+    #[test]
+    fn parse_diff_positionals() {
+        let a = parse_args(&sv(&["diff", "runs/a.json", "runs/b.json"])).unwrap();
+        assert_eq!(a.command, "diff");
+        assert_eq!(a.input, "runs/a.json");
+        assert_eq!(a.input2, "runs/b.json");
+        let b = parse_args(&sv(&["diff", "a.json", "b.json", "--tolerance", "2.5"])).unwrap();
+        assert_eq!(b.tolerance, Some(2.5));
+        // diff needs exactly two records; other commands still take one
+        assert!(parse_args(&sv(&["diff", "a.json"])).is_err());
+        assert!(parse_args(&sv(&["map", "x.pla", "y.pla"])).is_err());
+        assert!(parse_args(&sv(&["diff", "a.json", "b.json", "--tolerance", "-1"])).is_err());
+    }
+
+    #[test]
+    fn parse_audit_and_ledger_flags() {
+        let a = parse_args(&sv(&[
+            "run",
+            "x.pla",
+            "--ledger",
+            "runs",
+            "--route-out",
+            "route.json",
+            "--audit-out",
+            "audit.json",
+            "--snapshot-stride",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(a.ledger.as_deref(), Some("runs"));
+        assert_eq!(a.route_out.as_deref(), Some("route.json"));
+        assert_eq!(a.audit_out.as_deref(), Some("audit.json"));
+        assert_eq!(a.snapshot_stride, 4);
+        let b = parse_args(&sv(&["map", "x.pla"])).unwrap();
+        assert!(b.ledger.is_none() && b.route_out.is_none() && b.audit_out.is_none());
+        assert_eq!(b.snapshot_stride, 0);
+        assert!(parse_args(&sv(&["map", "x.pla", "--snapshot-stride"])).is_err());
+        assert!(parse_args(&sv(&["map", "x.pla", "--snapshot-stride", "x"])).is_err());
     }
 
     fn defaults() -> Args {

@@ -87,6 +87,7 @@ pub fn buffer_fanout(nl: &mut MappedNetlist, lib: &Library, opts: &BufferOptions
                 area: buf.area,
                 width: buf.width,
                 pos,
+                source_tree: None,
             });
             stats.buffers_inserted += 1;
             for (c, pin) in chunk {
@@ -124,6 +125,7 @@ mod tests {
             area: master.area,
             width: master.width,
             pos: Point::new(0.0, 0.0),
+            source_tree: None,
         });
         for k in 0..fanout {
             let s = nl.add_cell(MappedCell {
@@ -133,6 +135,7 @@ mod tests {
                 area: master.area,
                 width: master.width,
                 pos: Point::new((k % 10) as f64 * 10.0, (k / 10) as f64 * 10.0),
+                source_tree: None,
             });
             nl.add_output(format!("o{k}"), s);
         }

@@ -259,6 +259,7 @@ impl Emitter<'_> {
                     area: cell.area,
                     width: cell.width,
                     pos: sol.pos,
+                    source_tree: Some(t),
                 })
             }
         };

@@ -381,6 +381,7 @@ mod tests {
             area: 1.0,
             width: 1.0,
             pos: Point::default(),
+            source_tree: None,
         });
         nl.add_output("y", x);
         assert!(mapped_netlist(Stage::Map, &nl).is_ok());

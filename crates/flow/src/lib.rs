@@ -22,6 +22,8 @@
 //!   K until the congestion map is acceptable).
 //! * [`seq`] — sequential designs: flip-flop pass-through around the
 //!   combinational flow, with clocked STA.
+//! * [`ledger`] — content-addressed `casyn.run.v1` run records and the
+//!   cross-run diff behind `casyn diff`.
 //! * [`report`] — table formatting that mirrors the paper's layout.
 //! * [`telemetry`] — per-stage wall-clock and metric attribution
 //!   collected through `casyn-obs`, exportable as JSON.
@@ -30,6 +32,7 @@ pub mod batch;
 pub mod check;
 pub mod error;
 pub mod flows;
+pub mod ledger;
 pub mod methodology;
 pub mod report;
 pub mod seq;
@@ -45,10 +48,15 @@ pub use flows::{
     congestion_flow, congestion_flow_prepared, dagon_flow, full_flow, prepare, prepare_pool,
     sis_flow, FlowOptions, FlowResult, Prepared,
 };
+pub use ledger::{
+    diff_records, fnv1a64, format_diff, DiffTolerance, LedgerError, RunDiff, RunParams, RunRecord,
+    RunRow, StageRow,
+};
 pub use methodology::{
     run_methodology, run_methodology_prepared, MethodologyResult, MethodologyStep,
 };
 pub use report::{
+    format_audit_table, format_congestion_heatmap, format_convergence_sparkline,
     format_k_sweep_table, format_routing_table, format_sta_table, format_telemetry_table,
 };
 pub use seq::{sequential_flow, simulate_mapped_seq, SeqFlowResult};

@@ -3,6 +3,7 @@
 use crate::flows::FlowResult;
 use crate::sweep::KSweepEntry;
 use crate::telemetry::FlowTelemetry;
+use casyn_route::{CongestionMap, OverflowAudit, RouteConvergence};
 
 /// Formats a K-sweep as the paper's Table 2/4 layout, extended with the
 /// router's convergence columns:
@@ -134,6 +135,101 @@ pub fn format_sta_table(title: &str, rows: &[(&str, &FlowResult)]) -> String {
     s
 }
 
+/// Formats the overflow-attribution report as a table of the `top`
+/// offender nets:
+/// `net | driver | tree | demand | share% | boundaries | bbox`.
+/// Returns a one-line all-clear when the audit is empty.
+pub fn format_audit_table(title: &str, audit: &OverflowAudit, top: usize) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n"));
+    if audit.is_clean() {
+        s.push_str("no overflowed boundaries\n");
+        return s;
+    }
+    s.push_str(&format!(
+        "overflow {:.1} track-segments over {} boundaries\n",
+        audit.total_overflow,
+        audit.boundaries.len()
+    ));
+    s.push_str(&format!(
+        "{:>6}  {:>16}  {:>6}  {:>8}  {:>7}  {:>10}  bbox (gcells)\n",
+        "net", "driver", "tree", "demand", "share%", "boundaries"
+    ));
+    for o in audit.offenders.iter().take(top) {
+        let tree = o.tree.map_or("-".to_string(), |t| t.to_string());
+        s.push_str(&format!(
+            "{:>6}  {:>16}  {:>6}  {:>8.1}  {:>7.1}  {:>10}  ({}, {})-({}, {})\n",
+            o.net,
+            o.label,
+            tree,
+            o.demand,
+            100.0 * o.share,
+            o.boundaries,
+            o.bbox.0,
+            o.bbox.1,
+            o.bbox.2,
+            o.bbox.3
+        ));
+    }
+    if audit.offenders.len() > top {
+        s.push_str(&format!("... and {} more nets\n", audit.offenders.len() - top));
+    }
+    s
+}
+
+/// Renders the router's overflow trajectory as a one-line Unicode
+/// sparkline (scaled to the series maximum) followed by a summary:
+///
+/// ```text
+/// route convergence: █▆▅▃▂▁▁ (7 iters, overflow 42.0 -> 0.0)
+/// ```
+pub fn format_convergence_sparkline(conv: &RouteConvergence) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let series = conv.overflow_series();
+    if series.is_empty() {
+        return "route convergence: (no iterations)\n".to_string();
+    }
+    let max = series.iter().fold(0.0f64, |a, &b| a.max(b));
+    let spark: String = series
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                let idx = ((v / max) * (BARS.len() - 1) as f64).round() as usize;
+                BARS[idx.min(BARS.len() - 1)]
+            }
+        })
+        .collect();
+    format!(
+        "route convergence: {spark} ({} iters, overflow {:.1} -> {:.1})\n",
+        series.len(),
+        series.first().copied().unwrap_or(0.0),
+        series.last().copied().unwrap_or(0.0)
+    )
+}
+
+/// Renders a congestion map as a bordered ASCII heatmap with the legend
+/// of [`CongestionMap`]'s `Display` impl (`.` < 50%, `-` < 80%, `+` <
+/// 100%, `#` ≥ 100%), so the CLI can print the Fig. 3 artifact directly.
+pub fn format_congestion_heatmap(title: &str, map: &CongestionMap) -> String {
+    let body = format!("{map}");
+    let width = map.nx();
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{title} ({}x{} gcells, max util {:.0}%, legend . <50% - <80% + <100% # >=100%)\n",
+        map.nx(),
+        map.ny(),
+        100.0 * map.max_util()
+    ));
+    s.push_str(&format!("+{}+\n", "-".repeat(width)));
+    for line in body.lines() {
+        s.push_str(&format!("|{line}|\n"));
+    }
+    s.push_str(&format!("+{}+\n", "-".repeat(width)));
+    s
+}
+
 fn trim_k(k: f64) -> String {
     if k == 0.0 {
         "0.0".to_string()
@@ -201,5 +297,54 @@ mod tests {
         assert_eq!(trim_k(0.0), "0.0");
         assert_eq!(trim_k(0.0001), "0.0001");
         assert_eq!(trim_k(1.0), "1");
+    }
+
+    #[test]
+    fn audit_table_renders_offenders_or_all_clear() {
+        let r = one_result();
+        let s = format_audit_table("Audit", &r.route.audit, 8);
+        assert!(s.starts_with("Audit\n"));
+        if r.route.audit.is_clean() {
+            assert!(s.contains("no overflowed boundaries"));
+        } else {
+            assert!(s.contains("driver") && s.contains("share%"));
+        }
+        // congested pin-set route: offenders must show up
+        use casyn_netlist::Point;
+        use casyn_route::{route_pin_sets, RouteConfig};
+        let fp = casyn_place::Floorplan::with_rows_and_area(3, (3.0 * 6.4) * (8.0 * 6.4));
+        let nets: Vec<Vec<Point>> = (0..40)
+            .map(|i| {
+                let y = 3.2 + 6.4 * ((i % 3) as f64);
+                vec![Point::new(3.2, y), Point::new(3.2 + 6.4 * 6.0, y)]
+            })
+            .collect();
+        let cfg = RouteConfig { max_iters: 10, ..Default::default() };
+        let rr = route_pin_sets(&nets, &fp, &cfg).unwrap();
+        let s = format_audit_table("Audit", &rr.audit, 4);
+        assert!(s.contains("net0") || s.contains("net"), "{s}");
+        assert!(s.contains("boundaries"));
+        assert!(s.contains("... and"), "40 offenders truncated to 4:\n{s}");
+    }
+
+    #[test]
+    fn sparkline_tracks_series_length() {
+        let r = one_result();
+        let s = format_convergence_sparkline(&r.route.convergence);
+        assert!(s.contains("route convergence:"));
+        assert!(s.contains(&format!("({} iters", r.route.iterations)));
+        let empty = format_convergence_sparkline(&Default::default());
+        assert!(empty.contains("no iterations"));
+    }
+
+    #[test]
+    fn heatmap_frame_matches_grid_width() {
+        let r = one_result();
+        let s = format_congestion_heatmap("Congestion", &r.route.congestion);
+        let nx = r.route.congestion.nx();
+        assert!(s.contains("legend"));
+        let border = format!("+{}+", "-".repeat(nx));
+        assert_eq!(s.matches(&border).count(), 2, "{s}");
+        assert_eq!(s.lines().count(), 3 + r.route.congestion.ny());
     }
 }

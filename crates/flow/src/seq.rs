@@ -95,6 +95,7 @@ pub fn sequential_flow(
                 area: dff_master.area,
                 width: dff_master.width,
                 pos,
+                source_tree: None,
             });
             // every consumer of the latch's pseudo-input now reads the DFF
             nl.replace_signal(SignalRef::Pi(q_base + i as u32), dff);

@@ -105,6 +105,7 @@ mod tests {
             area: 8.192,
             width: 1.28,
             pos: Point::default(),
+            source_tree: None,
         });
         nl.add_output("y", c);
         let dot = mapped_to_dot(&nl, "m");

@@ -36,6 +36,12 @@ pub struct MappedCell {
     /// Position on the layout image (centre of the cell). Starts at the
     /// centre of mass assigned by the mapper; legalization overwrites it.
     pub pos: Point,
+    /// Subject-graph tree this cell was covered from, when the mapper
+    /// emitted it (`None` for cells synthesized outside tree covering —
+    /// buffers, sequential elements, hand-built test netlists). Carried
+    /// for congestion attribution: it links a routing hotspot back to
+    /// the mapping decision that produced the offending net.
+    pub source_tree: Option<u32>,
 }
 
 /// A net: one driver and its fanout pins.
@@ -372,6 +378,7 @@ mod tests {
             area: 8.192,
             width: 1.28,
             pos: Point::default(),
+            source_tree: None,
         }
     }
 
@@ -383,6 +390,7 @@ mod tests {
             area: 12.288,
             width: 1.92,
             pos: Point::default(),
+            source_tree: None,
         }
     }
 

@@ -83,6 +83,7 @@ mod tests {
             area: 12.288,
             width: 1.92,
             pos: Point::default(),
+            source_tree: None,
         });
         nl.add_output("y", n);
         let v = to_verilog(&nl, "top");

@@ -86,6 +86,13 @@ impl Histogram {
         if self.count == 0 {
             return 0.0;
         }
+        // Degenerate observed range: a single distinct value has nothing
+        // to interpolate (every quantile IS that value), and NaN-only
+        // input never tightens the seed bounds (min stays +inf above
+        // max at -inf), which would make the clamp below panic.
+        if self.min >= self.max {
+            return if self.min.is_finite() { self.min } else { 0.0 };
+        }
         let target = p.clamp(0.0, 1.0) * self.count as f64;
         let mut cum = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -408,6 +415,67 @@ mod tests {
         let one = snap.histogram("t.one").unwrap();
         assert_eq!(one.p50(), 7.0);
         assert_eq!(one.p99(), 7.0);
+    }
+
+    #[test]
+    fn percentile_empty_histogram_is_zero_at_every_p() {
+        let h = Histogram::new();
+        for p in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(h.percentile(p), 0.0, "empty histogram at p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_single_value_is_exact_not_interpolated() {
+        // 7.3 sits mid-bucket (4, 8); naive interpolation would report
+        // bucket positions like 4.0 or 6.0 instead of the value itself
+        let reg = Registry::new();
+        for _ in 0..10 {
+            reg.hist_record("t.single", 7.3);
+        }
+        let h = reg.snapshot().histogram("t.single").unwrap().clone();
+        for p in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile(p), 7.3, "single-value histogram at p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_single_bucket_stays_inside_observed_range() {
+        // 900, 950, 1000 all land in bucket (512, 1024): interpolation
+        // must clamp to the observed [900, 1000], never report 512ish
+        let reg = Registry::new();
+        for v in [900.0, 950.0, 1000.0] {
+            reg.hist_record("t.bucket", v);
+        }
+        let h = reg.snapshot().histogram("t.bucket").unwrap().clone();
+        for p in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let v = h.percentile(p);
+            assert!((900.0..=1000.0).contains(&v), "p={p} gave {v} outside [900, 1000]");
+        }
+    }
+
+    #[test]
+    fn percentile_survives_nan_records() {
+        // NaN never tightens min/max; the quantile must not panic on the
+        // inverted seed bounds and reports the empty-equivalent 0
+        let reg = Registry::new();
+        reg.hist_record("t.nan", f64::NAN);
+        reg.hist_record("t.nan", f64::NAN);
+        let h = reg.snapshot().histogram("t.nan").unwrap().clone();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_p_outside_unit_interval() {
+        let reg = Registry::new();
+        for v in 1..=32 {
+            reg.hist_record("t.clamp", v as f64);
+        }
+        let h = reg.snapshot().histogram("t.clamp").unwrap().clone();
+        assert_eq!(h.percentile(-0.5), h.percentile(0.0));
+        assert_eq!(h.percentile(1.5), h.percentile(1.0));
+        assert_eq!(h.percentile(1.5), h.max);
     }
 
     #[test]

@@ -211,6 +211,7 @@ mod tests {
             area: 8.192,
             width: 1.28,
             pos: Point::default(),
+            source_tree: None,
         });
         nl.add_output("y", c);
         let fp = Floorplan::with_rows_and_area(2, 1000.0);

@@ -14,11 +14,16 @@
 //! * [`grid`] — the capacitated routing grid.
 //! * [`router`] — MST decomposition, A* search, the negotiation loop.
 //! * [`congestion`] — congestion maps and acceptance tests.
+//! * [`audit`] — per-boundary overflow attribution by net.
 
+pub mod audit;
 pub mod congestion;
 pub mod grid;
 pub mod router;
 
+pub use audit::{BoundaryAudit, NetOffender, NetShare, OverflowAudit};
 pub use congestion::{heatmap_json, CongestionMap, HeatmapError};
 pub use grid::{GcellCoord, RouteConfig, RouteGrid};
-pub use router::{route_mapped, route_pin_sets, RouteError, RouteResult};
+pub use router::{
+    route_mapped, route_pin_sets, RouteConvergence, RouteError, RouteIterStats, RouteResult,
+};

@@ -1,10 +1,12 @@
 //! Net decomposition, A* maze routing and the PathFinder negotiation loop.
 
+use crate::audit::{build_audit, OverflowAudit};
 use crate::congestion::CongestionMap;
 use crate::grid::{GcellCoord, RouteConfig, RouteGrid};
-use casyn_netlist::mapped::MappedNetlist;
+use casyn_netlist::mapped::{MappedNetlist, SignalRef};
 use casyn_netlist::Point;
 use casyn_obs as obs;
+use casyn_obs::json::JsonValue;
 use casyn_place::Floorplan;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -85,6 +87,58 @@ impl fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// One negotiation iteration's summary, recorded as the rip-up-and-
+/// reroute loop runs. This is the per-iteration ground truth behind the
+/// paper's Fig. 3 decision — whether PathFinder is converging or the
+/// design needs a larger K.
+#[derive(Debug, Clone)]
+pub struct RouteIterStats {
+    /// Iteration index (0-based).
+    pub iter: usize,
+    /// Total overflow in track-segments after this iteration.
+    pub overflow: f64,
+    /// Number of gcell boundaries over capacity after this iteration.
+    pub overflowed_edges: usize,
+    /// Two-pin connections ripped up and rerouted this iteration.
+    pub rerouted: usize,
+    /// Maximum boundary utilization (load / capacity) after this
+    /// iteration.
+    pub max_util: f64,
+    /// Accumulated PathFinder history cost over all edges.
+    pub history_cost: f64,
+    /// Full congestion snapshot, present on every
+    /// [`RouteConfig::snapshot_stride`]-th iteration when the stride is
+    /// non-zero.
+    pub snapshot: Option<CongestionMap>,
+}
+
+/// The per-iteration convergence series of one routing run. Its length
+/// always equals [`RouteResult::iterations`]: one entry is recorded at
+/// the end of every negotiation iteration, including the final one.
+#[derive(Debug, Clone, Default)]
+pub struct RouteConvergence {
+    /// One record per negotiation iteration, in order.
+    pub iters: Vec<RouteIterStats>,
+}
+
+impl RouteConvergence {
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.iters.len()
+    }
+
+    /// True when no iterations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.iters.is_empty()
+    }
+
+    /// The overflow trajectory, one value per iteration — the series the
+    /// sparkline renderer draws.
+    pub fn overflow_series(&self) -> Vec<f64> {
+        self.iters.iter().map(|s| s.overflow).collect()
+    }
+}
+
 /// The outcome of global routing.
 #[derive(Debug, Clone)]
 pub struct RouteResult {
@@ -106,12 +160,68 @@ pub struct RouteResult {
     pub net_wirelength: Vec<f64>,
     /// The final congestion map.
     pub congestion: CongestionMap,
+    /// Per-iteration convergence series (`convergence.len() ==
+    /// iterations`).
+    pub convergence: RouteConvergence,
+    /// Overflow attribution: which nets drive the demand on each
+    /// over-capacity boundary. Empty when the design routed cleanly.
+    pub audit: OverflowAudit,
 }
 
 impl RouteResult {
     /// True when the design routed without violations.
     pub fn is_routable(&self) -> bool {
         self.violations == 0
+    }
+
+    /// Serializes the routing outcome and its convergence series as a
+    /// `casyn.route.v1` document:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "casyn.route.v1",
+    ///   "iterations": 4, "violations": 0, "overflow": 0,
+    ///   "overflowed_edges": 0, "total_wirelength": 123.4,
+    ///   "series": [
+    ///     {"iter": 0, "overflow": 9.5, "overflowed_edges": 3,
+    ///      "rerouted": 40, "max_util": 1.2, "history_cost": 1.9,
+    ///      "snapshot": { ...casyn.heatmap.v1... }},
+    ///     ...
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// `snapshot` entries appear only on iterations selected by
+    /// [`RouteConfig::snapshot_stride`].
+    pub fn to_json(&self) -> JsonValue {
+        let series = self
+            .convergence
+            .iters
+            .iter()
+            .map(|s| {
+                let mut fields = vec![
+                    ("iter".into(), JsonValue::Number(s.iter as f64)),
+                    ("overflow".into(), JsonValue::Number(s.overflow)),
+                    ("overflowed_edges".into(), JsonValue::Number(s.overflowed_edges as f64)),
+                    ("rerouted".into(), JsonValue::Number(s.rerouted as f64)),
+                    ("max_util".into(), JsonValue::Number(s.max_util)),
+                    ("history_cost".into(), JsonValue::Number(s.history_cost)),
+                ];
+                if let Some(snap) = &s.snapshot {
+                    fields.push(("snapshot".into(), snap.to_json()));
+                }
+                JsonValue::object(fields)
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("schema".into(), JsonValue::Str("casyn.route.v1".into())),
+            ("iterations".into(), JsonValue::Number(self.iterations as f64)),
+            ("violations".into(), JsonValue::Number(self.violations as f64)),
+            ("overflow".into(), JsonValue::Number(self.overflow)),
+            ("overflowed_edges".into(), JsonValue::Number(self.overflowed_edges as f64)),
+            ("total_wirelength".into(), JsonValue::Number(self.total_wirelength)),
+            ("series".into(), JsonValue::Array(series)),
+        ])
     }
 }
 
@@ -139,7 +249,25 @@ pub fn route_mapped(
         .iter()
         .map(|c| (c.pos, (c.inputs.len() + 1) as f64 * cfg.pin_blockage))
         .collect();
-    route_pin_sets_with_blockage(&pin_sets, &blockages, fp, cfg)
+    let mut result = route_pin_sets_with_blockage(&pin_sets, &blockages, fp, cfg)?;
+    // attribute offender nets back to their driver and, when the mapper
+    // recorded one, the subject-graph tree the driver cell was covered
+    // from — the audit's link from a hot boundary to the mapping decision
+    // that caused it
+    let nets = nl.nets();
+    for off in &mut result.audit.offenders {
+        match nets[off.net].driver {
+            SignalRef::Pi(i) => {
+                off.label = format!("pi:{}", nl.input_names()[i as usize]);
+            }
+            SignalRef::Cell(c) => {
+                let cell = &nl.cells()[c as usize];
+                off.label = format!("{}#{c}", cell.name);
+                off.tree = cell.source_tree;
+            }
+        }
+    }
+    Ok(result)
 }
 
 /// Routes arbitrary pin sets (one per net) over the floorplan.
@@ -183,6 +311,7 @@ pub fn route_pin_sets_with_blockage(
     // net -> unique gcells -> MST -> two-pin connections
     let mut connections: Vec<(GcellCoord, GcellCoord)> = Vec::new();
     let mut net_of_connection: Vec<usize> = Vec::new();
+    let mut net_bbox: Vec<(u16, u16, u16, u16)> = vec![(0, 0, 0, 0); nets.len()];
     for (ni, pins) in nets.iter().enumerate() {
         for (pi, p) in pins.iter().enumerate() {
             // a non-finite coordinate would alias into an arbitrary gcell
@@ -192,6 +321,12 @@ pub fn route_pin_sets_with_blockage(
             }
         }
         let mut cells: Vec<GcellCoord> = pins.iter().map(|p| grid.gcell_of(fp.clamp(*p))).collect();
+        if let Some(first) = cells.first() {
+            let bb = cells.iter().fold((first.x, first.y, first.x, first.y), |bb, c| {
+                (bb.0.min(c.x), bb.1.min(c.y), bb.2.max(c.x), bb.3.max(c.y))
+            });
+            net_bbox[ni] = bb;
+        }
         cells.sort();
         cells.dedup();
         if cells.len() < 2 {
@@ -209,6 +344,7 @@ pub fn route_pin_sets_with_blockage(
     let mut iterations = 0;
     // batched locally; one registry flush per routing run
     let mut reroutes = 0u64;
+    let mut convergence = RouteConvergence::default();
     let telemetry = obs::enabled();
     for iter in 0..cfg.max_iters.max(1) {
         let mut iter_span = obs::trace::span("route.iter");
@@ -240,18 +376,39 @@ pub fn route_pin_sets_with_blockage(
         }
         reroutes += rerouted_this_iter;
         let over = grid.update_history(cfg.history_increment);
+        let overflow_now = grid.total_overflow();
+        let max_util_now = grid.max_utilization();
+        let history_now = grid.total_history();
         iter_span.attr_num("rerouted", rerouted_this_iter as f64);
-        iter_span.attr_num("overflow", grid.total_overflow());
+        iter_span.attr_num("overflow", overflow_now);
+        iter_span.attr_num("overflowed_edges", over as f64);
+        iter_span.attr_num("max_util", max_util_now);
+        iter_span.attr_num("history_cost", history_now);
+        convergence.iters.push(RouteIterStats {
+            iter,
+            overflow: overflow_now,
+            overflowed_edges: over,
+            rerouted: rerouted_this_iter as usize,
+            max_util: max_util_now,
+            history_cost: history_now,
+            snapshot: (cfg.snapshot_stride > 0 && iter % cfg.snapshot_stride == 0)
+                .then(|| CongestionMap::from_grid(&grid)),
+        });
         if telemetry {
             // per-iteration overflow trajectory and history-cost growth
-            obs::hist_record("route.iter_overflow", grid.total_overflow());
-            obs::gauge_set("route.history_cost", grid.total_history());
+            obs::hist_record("route.iter_overflow", overflow_now);
+            obs::gauge_set("route.history_cost", history_now);
         }
         obs::log::trace(&format!(
-            "route: iter {iter}: rerouted {rerouted_this_iter}, overflow {:.1}",
-            grid.total_overflow()
+            "route: iter {iter}: rerouted {rerouted_this_iter}, overflow {overflow_now:.1}"
         ));
         if over == 0 || !any {
+            if over == 0 {
+                obs::trace::instant(
+                    "route.converged",
+                    &[("iter", obs::trace::AttrValue::Num(iter as f64))],
+                );
+            }
             break;
         }
         // structurally unroutable: overflow is a large fraction of all
@@ -280,6 +437,7 @@ pub fn route_pin_sets_with_blockage(
     for (ci, path) in paths.iter().enumerate() {
         net_wirelength[net_of_connection[ci]] += path.len() as f64 * grid.gcell_size();
     }
+    let audit = build_audit(&grid, &paths, &net_of_connection, &net_bbox);
     Ok(RouteResult {
         violations: overflow.round() as usize,
         overflow,
@@ -288,6 +446,8 @@ pub fn route_pin_sets_with_blockage(
         iterations,
         net_wirelength,
         congestion: CongestionMap::from_grid(&grid),
+        convergence,
+        audit,
     })
 }
 
@@ -352,9 +512,21 @@ fn mst_edges(cells: &[GcellCoord]) -> Result<Vec<(GcellCoord, GcellCoord)>, (usi
 
 /// A grid edge on a committed path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EdgeRef {
-    H { x: usize, y: usize },
-    V { x: usize, y: usize },
+pub(crate) enum EdgeRef {
+    /// Horizontal boundary between gcells `(x, y)` and `(x+1, y)`.
+    H {
+        /// Left gcell column.
+        x: usize,
+        /// Row.
+        y: usize,
+    },
+    /// Vertical boundary between gcells `(x, y)` and `(x, y+1)`.
+    V {
+        /// Column.
+        x: usize,
+        /// Lower gcell row.
+        y: usize,
+    },
 }
 
 fn rip_up(grid: &mut RouteGrid, path: &[EdgeRef]) {

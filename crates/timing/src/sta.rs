@@ -122,6 +122,7 @@ impl StaResult {
 ///     area: master.area,
 ///     width: master.width,
 ///     pos: Point::new(50.0, 0.0),
+///     source_tree: None,
 /// });
 /// nl.add_output("y", y);
 /// let sta = analyze(&nl, &lib, &TimingConfig::default());
@@ -309,7 +310,15 @@ mod tests {
     fn cell(lib: &Library, name: &str, inputs: Vec<SignalRef>, pos: Point) -> MappedCell {
         let id = lib.find(name).unwrap();
         let c = lib.cell(id);
-        MappedCell { lib_cell: id, name: c.name.clone(), inputs, area: c.area, width: c.width, pos }
+        MappedCell {
+            lib_cell: id,
+            name: c.name.clone(),
+            inputs,
+            area: c.area,
+            width: c.width,
+            pos,
+            source_tree: None,
+        }
     }
 
     /// A two-inverter chain: arrival must accumulate monotonically.

@@ -265,6 +265,7 @@ mod tests {
                 area: master.area,
                 width: master.width,
                 pos: Point::new(spacing * (k + 1) as f64, 0.0),
+                source_tree: None,
             });
         }
         nl.add_output("o", src);
