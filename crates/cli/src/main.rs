@@ -8,6 +8,10 @@
 //! casyn batch <manifest.json> [options]           run many designs concurrently
 //! casyn heatmap <heatmap.json>                    render an exported heat map
 //! casyn diff <runA.json> <runB.json>              compare two casyn.run.v1 records
+//! casyn serve [--listen host:port]                run the synthesis service
+//! casyn submit <manifest.json> --server h:p       submit jobs to a running service
+//! casyn shutdown --server h:p                     gracefully drain a running service
+//! casyn loadgen [options]                         service throughput bench (BENCH_serve.json)
 //!
 //! options:
 //!   --k <f>            congestion factor K (map; default 0.5)
@@ -60,6 +64,13 @@
 //!   --tolerance <f>    diff: widen the wall-clock/allocation tolerance band
 //!                      to ±f× (default 1.0; stable metrics always compare
 //!                      exactly)
+//!   --listen <h:p>     serve: listen address (default 127.0.0.1:7878;
+//!                      port 0 binds an ephemeral port)
+//!   --server <h:p>     submit/shutdown: address of the running service
+//!   --queue-cap <n>    serve/loadgen: admission queue capacity (default 64;
+//!                      submissions that do not fit are rejected with 429)
+//!   --clients <n>      loadgen: concurrent client threads (default 2)
+//!   --designs <n>      loadgen: distinct synthetic designs (default 6)
 //! ```
 //!
 //! The batch manifest is a JSON document, either a top-level array of
@@ -85,16 +96,16 @@ use casyn_flow::batch::{
 };
 use casyn_flow::telemetry::snapshot_json;
 use casyn_flow::{
-    diff_records, fnv1a64, format_diff, full_flow, k_sweep_prepared_pool, prepare_pool,
-    run_methodology_prepared, sequential_flow, DiffTolerance, FlowError, FlowOptions, KSweepEntry,
-    RunParams, RunRecord, Stage,
+    diff_records, file_stem, fnv1a64, format_diff, full_flow, k_row_json, k_sweep_prepared_pool,
+    load_design, parse_manifest, prepare_pool, run_methodology_prepared, sequential_flow,
+    DiffTolerance, FlowError, FlowOptions, KSweepEntry, ManifestDefaults, ManifestJob, RunParams,
+    RunRecord, Stage,
 };
 use casyn_logic::OptimizeOptions;
-use casyn_netlist::blif::{to_blif, Blif};
+use casyn_netlist::blif::to_blif;
 use casyn_netlist::dot::mapped_to_dot;
 use casyn_netlist::network::Network;
 use casyn_netlist::verilog::to_verilog;
-use casyn_netlist::Pla;
 use casyn_obs as obs;
 use casyn_obs::json::JsonValue;
 use casyn_place::PlacerBackend;
@@ -138,12 +149,17 @@ struct Args {
     resume: Option<String>,
     fault_plan: Option<FaultPlan>,
     crash_dir: Option<String>,
+    listen: String,
+    server: Option<String>,
+    queue_cap: usize,
+    clients: usize,
+    designs: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: casyn <map|run|sweep|loop|batch|heatmap|diff> \
-         <design.pla|design.blif|manifest.json|heatmap.json|run.json> [options]"
+        "usage: casyn <map|run|sweep|loop|batch|heatmap|diff|serve|submit|shutdown|loadgen> \
+         [<design.pla|design.blif|manifest.json|heatmap.json|run.json>] [options]"
     );
     eprintln!("run `casyn help` for the option list");
     ExitCode::FAILURE
@@ -199,6 +215,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         resume: None,
         fault_plan: None,
         crash_dir: None,
+        listen: "127.0.0.1:7878".into(),
+        server: None,
+        queue_cap: 64,
+        clients: 2,
+        designs: 6,
     };
     let mut it = argv[1..].iter();
     while let Some(a) = it.next() {
@@ -270,6 +291,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.retries = next("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?
             }
             "--resume" => args.resume = Some(next("--resume")?),
+            "--listen" => args.listen = next("--listen")?,
+            "--server" => args.server = Some(next("--server")?),
+            "--queue-cap" => {
+                args.queue_cap =
+                    next("--queue-cap")?.parse().map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--clients" => {
+                let n: usize = next("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?;
+                if n == 0 {
+                    return Err("--clients must be at least 1".into());
+                }
+                args.clients = n;
+            }
+            "--designs" => {
+                let n: usize = next("--designs")?.parse().map_err(|e| format!("--designs: {e}"))?;
+                if n == 0 {
+                    return Err("--designs must be at least 1".into());
+                }
+                args.designs = n;
+            }
             "--fault-plan" => args.fault_plan = Some(parse_fault_plan(&next("--fault-plan")?)?),
             "--crash-dir" => args.crash_dir = Some(next("--crash-dir")?),
             "--clock" => {
@@ -287,24 +328,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown option: {other}")),
         }
     }
-    if args.command != "help" && args.input.is_empty() {
+    // service commands have no input positional (submit's is the manifest)
+    let no_input = matches!(args.command.as_str(), "help" | "serve" | "shutdown" | "loadgen");
+    if !no_input && args.input.is_empty() {
         return Err("missing input design".into());
     }
     if args.command == "diff" && args.input2.is_empty() {
         return Err("diff needs two casyn.run.v1 record paths".into());
     }
     Ok(args)
-}
-
-fn load_design(path: &str) -> Result<casyn_netlist::seq::SeqNetwork, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if path.ends_with(".blif") {
-        let blif: Blif = text.parse().map_err(|e| format!("{path}: {e}"))?;
-        Ok(blif.into_seq())
-    } else {
-        let pla: Pla = text.parse().map_err(|e| format!("{path}: {e}"))?;
-        Ok(casyn_netlist::seq::SeqNetwork::combinational(pla.to_network()))
-    }
 }
 
 fn flow_options(args: &Args) -> FlowOptions {
@@ -463,111 +495,16 @@ fn run_diff_command(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// One batch-manifest entry, with CLI defaults already applied.
-#[derive(Debug, Clone)]
-struct ManifestJob {
-    name: String,
-    design: String,
-    ks: Vec<f64>,
-    util: f64,
-    layers: usize,
-    optimize: bool,
-    deadline_ms: Option<f64>,
-    inject_panic: bool,
-    fault_plan: Option<String>,
-    placer: Option<PlacerBackend>,
-}
-
-fn file_stem(path: &str) -> String {
-    std::path::Path::new(path)
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| path.to_string())
-}
-
-/// Parses a batch manifest: a top-level job array or `{"jobs": [...]}`.
-/// Missing per-job fields fall back to the CLI-level option values.
-fn parse_manifest(text: &str, defaults: &Args) -> Result<Vec<ManifestJob>, String> {
-    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
-    let entries = if let JsonValue::Array(items) = &doc {
-        items.as_slice()
-    } else {
-        doc.get("jobs")
-            .and_then(|j| j.as_array())
-            .ok_or("manifest must be a job array or an object with a \"jobs\" array")?
-    };
-    if entries.is_empty() {
-        return Err("manifest has no jobs".into());
+/// The manifest fallbacks this CLI invocation implies (`--ks`, `--util`,
+/// `--layers`, `--optimize`, `--placer` become the per-job defaults).
+fn manifest_defaults(args: &Args) -> ManifestDefaults {
+    ManifestDefaults {
+        ks: args.ks.clone(),
+        util: args.util,
+        layers: args.layers,
+        optimize: args.optimize,
+        placer: args.placer,
     }
-    let f64_field = |j: &JsonValue, key: &str, dflt: f64, i: usize| -> Result<f64, String> {
-        match j.get(key) {
-            None => Ok(dflt),
-            Some(v) => v.as_f64().ok_or(format!("job {i}: \"{key}\" must be a number")),
-        }
-    };
-    let bool_field = |j: &JsonValue, key: &str, i: usize| -> Result<bool, String> {
-        match j.get(key) {
-            None => Ok(false),
-            Some(v) => v.as_bool().ok_or(format!("job {i}: \"{key}\" must be a boolean")),
-        }
-    };
-    entries
-        .iter()
-        .enumerate()
-        .map(|(i, j)| {
-            let design = j
-                .get("design")
-                .and_then(|v| v.as_str())
-                .ok_or(format!("job {i}: missing \"design\" path"))?
-                .to_string();
-            let ks = match j.get("ks") {
-                None => defaults.ks.clone(),
-                Some(v) => v
-                    .as_array()
-                    .ok_or(format!("job {i}: \"ks\" must be an array"))?
-                    .iter()
-                    .map(|k| k.as_f64().ok_or(format!("job {i}: \"ks\" entries must be numbers")))
-                    .collect::<Result<_, _>>()?,
-            };
-            let fault_plan = match j.get("fault_plan") {
-                None => None,
-                Some(v) => Some(
-                    v.as_str()
-                        .ok_or(format!("job {i}: \"fault_plan\" must be a string"))?
-                        .to_string(),
-                ),
-            };
-            let placer = match j.get("placer") {
-                None => defaults.placer,
-                Some(v) => {
-                    let s = v.as_str().ok_or(format!("job {i}: \"placer\" must be a string"))?;
-                    Some(
-                        PlacerBackend::parse(s)
-                            .ok_or(format!("job {i}: unknown placer {s:?} (kway | bisect)"))?,
-                    )
-                }
-            };
-            Ok(ManifestJob {
-                name: j
-                    .get("name")
-                    .and_then(|v| v.as_str())
-                    .map(str::to_string)
-                    .unwrap_or_else(|| file_stem(&design)),
-                ks,
-                util: f64_field(j, "util", defaults.util, i)?,
-                layers: f64_field(j, "layers", defaults.layers as f64, i)? as usize,
-                optimize: bool_field(j, "optimize", i)? || defaults.optimize,
-                deadline_ms: j
-                    .get("deadline_ms")
-                    .map(|v| v.as_f64().ok_or(format!("job {i}: \"deadline_ms\" must be a number")))
-                    .transpose()?,
-                inject_panic: bool_field(j, "inject_panic", i)?,
-                fault_plan,
-                placer,
-                design,
-            })
-        })
-        .collect()
 }
 
 /// Reads a previous batch report or checkpoint and returns the job
@@ -596,19 +533,6 @@ fn load_resume(path: &str) -> Result<HashMap<(String, String), JsonValue>, Strin
         }
     }
     Ok(done)
-}
-
-fn row_doc(e: &KSweepEntry) -> JsonValue {
-    JsonValue::object(vec![
-        ("k".into(), JsonValue::Number(e.k)),
-        ("cell_area".into(), JsonValue::Number(e.result.cell_area)),
-        ("num_cells".into(), JsonValue::Number(e.result.num_cells as f64)),
-        ("utilization_pct".into(), JsonValue::Number(e.result.utilization_pct)),
-        ("violations".into(), JsonValue::Number(e.result.route.violations as f64)),
-        ("wirelength_um".into(), JsonValue::Number(e.result.route.total_wirelength)),
-        ("critical_ns".into(), JsonValue::Number(e.result.sta.critical_arrival())),
-        ("telemetry".into(), e.result.telemetry.to_json()),
-    ])
 }
 
 /// One per-job entry of a `casyn.batch.v1` / `casyn.checkpoint.v1` doc.
@@ -652,7 +576,7 @@ fn finished_job_doc(m: &ManifestJob, jr: &BatchJobReport, trace_path: Option<&st
             jr.attempts,
             jr.wall_ms,
             None,
-            s.rows.iter().map(row_doc).collect(),
+            s.rows.iter().map(k_row_json).collect(),
             trace_path,
         ),
         Err(e) => job_doc(
@@ -802,7 +726,7 @@ enum Slot {
 fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
     let text =
         fs::read_to_string(&args.input).map_err(|e| format!("cannot read {}: {e}", args.input))?;
-    let manifest = parse_manifest(&text, args)?;
+    let manifest = parse_manifest(&text, &manifest_defaults(args))?;
     let resumed = match &args.resume {
         Some(path) => load_resume(path)?,
         None => HashMap::new(),
@@ -821,34 +745,16 @@ fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
             .fault_plan
             .clone()
             .or_else(|| m.inject_panic.then(|| "decompose:panic:1".to_string()));
-        let loaded = load_design(&m.design)
-            .and_then(|d| {
-                if d.is_combinational() {
-                    Ok(d.core)
-                } else {
-                    Err(format!("{}: sequential designs are not supported in batch", m.design))
-                }
-            })
-            .and_then(|network| {
-                let fault = match &plan_spec {
-                    Some(spec) => Some(parse_fault_plan(spec)?),
-                    None => args.fault_plan.as_ref().map(|p| p.fresh()),
-                };
-                Ok((network, fault))
-            });
+        let loaded = m.load_network().and_then(|(network, _raw)| {
+            let fault = match &plan_spec {
+                Some(spec) => Some(parse_fault_plan(spec)?),
+                None => args.fault_plan.as_ref().map(|p| p.fresh()),
+            };
+            Ok((network, fault))
+        });
         match loaded {
             Ok((network, fault)) => {
-                let mut opts = FlowOptions { target_utilization: m.util, ..Default::default() };
-                opts.route.layers = m.layers;
-                if m.optimize {
-                    opts.optimize = Some(OptimizeOptions::default());
-                }
-                if args.validate {
-                    opts.validate = true;
-                }
-                if let Some(b) = m.placer {
-                    opts.placer.backend = b;
-                }
+                let mut opts = m.flow_options(args.validate);
                 opts.fault = fault;
                 job_manifest.push(slots.len());
                 slots.push(Slot::Run(jobs.len()));
@@ -1025,6 +931,221 @@ fn run_batch_command(args: &Args, pool: &Pool) -> Result<(), String> {
     Ok(())
 }
 
+/// `casyn serve`: runs the synthesis service until a `POST /shutdown`
+/// drains it.
+fn run_serve_command(args: &Args) -> Result<(), String> {
+    let server = casyn_serve::Server::start(casyn_serve::ServeConfig {
+        addr: args.listen.clone(),
+        workers: args.jobs.unwrap_or(0),
+        queue_capacity: args.queue_cap,
+        retries: args.retries,
+        ..Default::default()
+    })?;
+    println!("casyn-serve listening on {}", server.endpoint());
+    server.wait()
+}
+
+/// `casyn submit <manifest.json> --server h:p`: submits a batch manifest
+/// to a running service and waits for every job's result.
+fn run_submit_command(args: &Args) -> Result<(), String> {
+    let addr = args.server.as_deref().ok_or("submit needs --server host:port")?;
+    let text =
+        fs::read_to_string(&args.input).map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    let (status, doc) = casyn_serve::request_json(addr, "POST", "/jobs", Some(&text))?;
+    if status != 202 {
+        let msg = doc.get("error").and_then(|v| v.as_str()).unwrap_or("unknown error");
+        return Err(format!("submit rejected ({status}): {msg}"));
+    }
+    let jobs =
+        doc.get("jobs").and_then(|v| v.as_array()).ok_or("malformed submit response")?.to_vec();
+    let mut failed = 0usize;
+    for j in &jobs {
+        let id = j.get("id").and_then(|v| v.as_f64()).unwrap_or(-1.0) as i64;
+        let name = j.get("name").and_then(|v| v.as_str()).unwrap_or("?").to_string();
+        let cache = j.get("cache").and_then(|v| v.as_str()).unwrap_or("?").to_string();
+        let (_, r) =
+            casyn_serve::request_json(addr, "GET", &format!("/jobs/{id}/result?wait=1"), None)?;
+        let state = r.get("status").and_then(|v| v.as_str()).unwrap_or("?");
+        let rows = r.get("rows").and_then(|v| v.as_array()).map_or(0, <[_]>::len);
+        let wall = r.get("wall_ms").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        if state == "done" {
+            println!("[{name}] done (cache {cache}, {rows} K rows, {wall:.0} ms)");
+        } else {
+            failed += 1;
+            let err = r.get("error").and_then(|v| v.as_str()).unwrap_or("unknown error");
+            println!("[{name}] {state}: {err}");
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} of {} submitted jobs failed", jobs.len()));
+    }
+    Ok(())
+}
+
+/// `casyn shutdown --server h:p`: asks a running service to drain.
+fn run_shutdown_command(args: &Args) -> Result<(), String> {
+    let addr = args.server.as_deref().ok_or("shutdown needs --server host:port")?;
+    let (status, doc) = casyn_serve::request_json(addr, "POST", "/shutdown", None)?;
+    if status != 200 {
+        return Err(format!("shutdown rejected ({status})"));
+    }
+    println!("server {addr} {}", doc.get("status").and_then(|v| v.as_str()).unwrap_or("draining"));
+    Ok(())
+}
+
+/// Latency/throughput numbers for one loadgen round.
+struct LoadRound {
+    wall_ms: f64,
+    mean_ms: f64,
+    jobs_per_sec: f64,
+    cache_hits: usize,
+}
+
+/// Submits every design once (spread across client threads) and waits
+/// for all results; fails on any job failure.
+fn loadgen_round(addr: &str, manifests: &[String], clients: usize) -> Result<LoadRound, String> {
+    let t0 = std::time::Instant::now();
+    let lat: Mutex<Vec<(f64, bool)>> = Mutex::new(Vec::new());
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..clients.min(manifests.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let Some(m) = manifests.get(i) else { return };
+                let j0 = std::time::Instant::now();
+                let one = || -> Result<(f64, bool), String> {
+                    let (status, doc) = casyn_serve::request_json(addr, "POST", "/jobs", Some(m))?;
+                    if status != 202 {
+                        return Err(format!("submit rejected with {status}"));
+                    }
+                    let job = doc
+                        .get("jobs")
+                        .and_then(|v| v.as_array())
+                        .and_then(|a| a.first())
+                        .ok_or("malformed submit response")?;
+                    let id = job.get("id").and_then(|v| v.as_f64()).unwrap_or(-1.0) as i64;
+                    let hit = job.get("cache").and_then(|v| v.as_str()) == Some("hit");
+                    let (_, r) = casyn_serve::request_json(
+                        addr,
+                        "GET",
+                        &format!("/jobs/{id}/result?wait=1"),
+                        None,
+                    )?;
+                    match r.get("status").and_then(|v| v.as_str()) {
+                        Some("done") => Ok((j0.elapsed().as_secs_f64() * 1e3, hit)),
+                        other => Err(format!("job ended {:?}", other.unwrap_or("unknown"))),
+                    }
+                };
+                match one() {
+                    Ok(sample) => lat.lock().unwrap().push(sample),
+                    Err(e) => errors.lock().unwrap().push(e),
+                }
+            });
+        }
+    });
+    let errors = errors.into_inner().unwrap();
+    if let Some(e) = errors.first() {
+        return Err(format!("loadgen round failed ({} jobs): {e}", errors.len()));
+    }
+    let lat = lat.into_inner().unwrap();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mean_ms = lat.iter().map(|(ms, _)| ms).sum::<f64>() / lat.len() as f64;
+    Ok(LoadRound {
+        wall_ms,
+        mean_ms,
+        jobs_per_sec: lat.len() as f64 / (wall_ms / 1e3),
+        cache_hits: lat.iter().filter(|(_, hit)| *hit).count(),
+    })
+}
+
+/// `casyn loadgen`: starts an in-process service on an ephemeral port,
+/// drives it over real HTTP with concurrent clients (a cold round then a
+/// warm round of identical resubmissions), and writes `BENCH_serve.json`.
+fn run_loadgen_command(args: &Args) -> Result<(), String> {
+    use casyn_netlist::bench::{random_pla, PlaGenConfig};
+    let workers = args.jobs.unwrap_or(4);
+    let server = casyn_serve::Server::start(casyn_serve::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: args.queue_cap.max(args.designs),
+        ..Default::default()
+    })?;
+    let addr = server.endpoint();
+    println!(
+        "loadgen: {} designs, {} clients, {workers} workers on {addr}",
+        args.designs, args.clients
+    );
+    // distinct seeds give distinct designs; inline sources keep the
+    // exchange filesystem-free, as a remote client would be
+    let manifests: Vec<String> = (0..args.designs)
+        .map(|i| {
+            let pla = random_pla(&PlaGenConfig {
+                terms: 24,
+                seed: 1000 + i as u64,
+                ..Default::default()
+            });
+            let blif = to_blif(&pla.to_network(), &format!("lg{i}"));
+            JsonValue::object(vec![(
+                "jobs".into(),
+                JsonValue::Array(vec![JsonValue::object(vec![
+                    ("name".into(), JsonValue::Str(format!("lg{i}"))),
+                    ("source".into(), JsonValue::Str(blif)),
+                    ("format".into(), JsonValue::Str("blif".into())),
+                    (
+                        "ks".into(),
+                        JsonValue::Array(vec![JsonValue::Number(0.0), JsonValue::Number(1.0)]),
+                    ),
+                ])]),
+            )])
+            .to_string_pretty()
+        })
+        .collect();
+    let cold = loadgen_round(&addr, &manifests, args.clients)?;
+    let warm = loadgen_round(&addr, &manifests, args.clients)?;
+    let (_, metrics) = casyn_serve::request_json(&addr, "GET", "/metrics", None)?;
+    let counter = |k: &str| -> f64 {
+        metrics.get("metrics").and_then(|m| m.get(k)).and_then(|v| v.as_f64()).unwrap_or(0.0)
+    };
+    casyn_serve::request_json(&addr, "POST", "/shutdown", None)?;
+    server.wait()?;
+    let speedup = if warm.mean_ms > 0.0 { cold.mean_ms / warm.mean_ms } else { 0.0 };
+    println!(
+        "cold: {:.1} jobs/s (mean {:.0} ms)   warm: {:.1} jobs/s (mean {:.1} ms)   speedup {speedup:.0}x",
+        cold.jobs_per_sec, cold.mean_ms, warm.jobs_per_sec, warm.mean_ms
+    );
+    let round_doc = |r: &LoadRound| {
+        JsonValue::object(vec![
+            ("wall_ms".into(), JsonValue::Number(r.wall_ms)),
+            ("mean_ms".into(), JsonValue::Number(r.mean_ms)),
+            ("jobs_per_sec".into(), JsonValue::Number(r.jobs_per_sec)),
+            ("cache_hits".into(), JsonValue::Number(r.cache_hits as f64)),
+        ])
+    };
+    let doc = JsonValue::object(vec![
+        ("schema".into(), JsonValue::Str("casyn.bench.serve.v1".into())),
+        ("workers".into(), JsonValue::Number(workers as f64)),
+        ("clients".into(), JsonValue::Number(args.clients as f64)),
+        ("designs".into(), JsonValue::Number(args.designs as f64)),
+        ("cold".into(), round_doc(&cold)),
+        ("warm".into(), round_doc(&warm)),
+        ("speedup_mean".into(), JsonValue::Number(speedup)),
+        (
+            "cache".into(),
+            JsonValue::object(vec![
+                ("hits".into(), JsonValue::Number(counter("serve.cache_hits"))),
+                ("computes".into(), JsonValue::Number(counter("serve.computes"))),
+                ("deduped".into(), JsonValue::Number(counter("serve.deduped"))),
+                ("prepare_hits".into(), JsonValue::Number(counter("serve.prepare_hits"))),
+            ]),
+        ),
+    ]);
+    let path = args.out.as_deref().unwrap_or("BENCH_serve.json");
+    write_report_file(path, &doc)?;
+    println!("wrote {path}");
+    Ok(())
+}
+
 /// `casyn heatmap <heatmap.json>`: parses and summarizes an exported
 /// congestion heat map, with line/field diagnostics on malformed input.
 fn run_heatmap_command(args: &Args) -> Result<(), String> {
@@ -1064,6 +1185,13 @@ fn run(args: &Args) -> Result<(), String> {
     }
     if args.command == "diff" {
         return run_diff_command(args);
+    }
+    match args.command.as_str() {
+        "serve" => return run_serve_command(args),
+        "submit" => return run_submit_command(args),
+        "shutdown" => return run_shutdown_command(args),
+        "loadgen" => return run_loadgen_command(args),
+        _ => {}
     }
     let pool = match args.jobs {
         Some(n) => Pool::new(n),
@@ -1344,6 +1472,29 @@ mod tests {
     }
 
     #[test]
+    fn parse_service_flags() {
+        // serve/shutdown/loadgen take no input positional
+        let a =
+            parse_args(&sv(&["serve", "--listen", "0.0.0.0:9000", "--queue-cap", "8"])).unwrap();
+        assert_eq!(a.command, "serve");
+        assert_eq!(a.listen, "0.0.0.0:9000");
+        assert_eq!(a.queue_cap, 8);
+        let b = parse_args(&sv(&["shutdown", "--server", "127.0.0.1:7878"])).unwrap();
+        assert_eq!(b.server.as_deref(), Some("127.0.0.1:7878"));
+        let c = parse_args(&sv(&["loadgen", "--clients", "4", "--designs", "9"])).unwrap();
+        assert_eq!((c.clients, c.designs), (4, 9));
+        // defaults
+        let d = parse_args(&sv(&["serve"])).unwrap();
+        assert_eq!(d.listen, "127.0.0.1:7878");
+        assert_eq!((d.queue_cap, d.clients, d.designs), (64, 2, 6));
+        assert!(d.server.is_none());
+        // submit still requires an input manifest; zero clients/designs rejected
+        assert!(parse_args(&sv(&["submit", "--server", "h:1"])).is_err());
+        assert!(parse_args(&sv(&["loadgen", "--clients", "0"])).is_err());
+        assert!(parse_args(&sv(&["loadgen", "--designs", "0"])).is_err());
+    }
+
+    #[test]
     fn parse_errors() {
         assert!(parse_args(&sv(&["map"])).is_err());
         assert!(parse_args(&sv(&["map", "x.pla", "--scheme", "bogus"])).is_err());
@@ -1404,10 +1555,6 @@ mod tests {
         assert!(parse_args(&sv(&["map", "x.pla", "--snapshot-stride", "x"])).is_err());
     }
 
-    fn defaults() -> Args {
-        parse_args(&sv(&["batch", "m.json"])).unwrap()
-    }
-
     #[test]
     fn parse_placer_flag() {
         let a = parse_args(&sv(&["run", "x.pla", "--placer", "bisect"])).unwrap();
@@ -1425,79 +1572,39 @@ mod tests {
     }
 
     #[test]
-    fn manifest_placer_field() {
-        let jobs = parse_manifest(
-            r#"[{"design": "a.pla", "placer": "bisect"}, {"design": "b.pla"}]"#,
-            &defaults(),
-        )
+    fn manifest_defaults_follow_cli_flags() {
+        // manifest parsing itself lives in casyn-flow; the CLI's job is
+        // mapping its flags onto the per-job fallbacks
+        let a = parse_args(&sv(&[
+            "batch",
+            "m.json",
+            "--ks",
+            "0,2",
+            "--util",
+            "0.5",
+            "--layers",
+            "4",
+            "--optimize",
+            "--placer",
+            "bisect",
+        ]))
         .unwrap();
-        assert_eq!(jobs[0].placer, Some(PlacerBackend::Bisect));
-        assert_eq!(jobs[1].placer, None);
-        // the CLI-level --placer is the per-job fallback
-        let mut d = defaults();
-        d.placer = Some(PlacerBackend::Bisect);
+        let d = manifest_defaults(&a);
+        assert_eq!(d.ks, vec![0.0, 2.0]);
+        assert_eq!(d.util, 0.5);
+        assert_eq!(d.layers, 4);
+        assert!(d.optimize);
+        assert_eq!(d.placer, Some(PlacerBackend::Bisect));
         let jobs =
             parse_manifest(r#"[{"design": "a.pla", "placer": "kway"}, {"design": "b.pla"}]"#, &d)
                 .unwrap();
         assert_eq!(jobs[0].placer, Some(PlacerBackend::KWay));
         assert_eq!(jobs[1].placer, Some(PlacerBackend::Bisect));
-        let e =
-            parse_manifest(r#"[{"design": "a.pla", "placer": "magic"}]"#, &defaults()).unwrap_err();
-        assert!(e.contains("magic"), "got: {e}");
-        assert!(parse_manifest(r#"[{"design": "a.pla", "placer": 3}]"#, &defaults()).is_err());
-    }
-
-    #[test]
-    fn manifest_fields_and_defaults() {
-        let jobs = parse_manifest(
-            r#"{"jobs": [
-                {"design": "a/count8.pla"},
-                {"design": "b.pla", "name": "bee", "ks": [0.0, 2.5], "util": 0.5,
-                 "layers": 4, "optimize": true, "deadline_ms": 1500, "inject_panic": true,
-                 "fault_plan": "route:deadline:1"}
-            ]}"#,
-            &defaults(),
-        )
-        .unwrap();
-        assert_eq!(jobs.len(), 2);
-        assert_eq!(jobs[0].name, "count8");
-        assert_eq!(jobs[0].ks, defaults().ks);
-        assert_eq!(jobs[0].util, defaults().util);
-        assert_eq!(jobs[0].layers, 3);
-        assert!(!jobs[0].optimize && jobs[0].deadline_ms.is_none() && !jobs[0].inject_panic);
-        assert!(jobs[0].fault_plan.is_none());
-        assert_eq!(jobs[1].name, "bee");
-        assert_eq!(jobs[1].ks, vec![0.0, 2.5]);
-        assert_eq!(jobs[1].util, 0.5);
-        assert_eq!(jobs[1].layers, 4);
-        assert!(jobs[1].optimize && jobs[1].inject_panic);
-        assert_eq!(jobs[1].deadline_ms, Some(1500.0));
-        assert_eq!(jobs[1].fault_plan.as_deref(), Some("route:deadline:1"));
-    }
-
-    #[test]
-    fn manifest_accepts_top_level_array() {
-        let jobs = parse_manifest(r#"[{"design": "x.pla"}]"#, &defaults()).unwrap();
-        assert_eq!(jobs.len(), 1);
-        assert_eq!(jobs[0].design, "x.pla");
-    }
-
-    #[test]
-    fn manifest_errors() {
-        let d = defaults();
-        assert!(parse_manifest("not json", &d).is_err());
-        assert!(parse_manifest(r#"{"jobs": []}"#, &d).unwrap_err().contains("no jobs"));
-        assert!(parse_manifest(r#"{"jobs": [{}]}"#, &d).unwrap_err().contains("design"));
-        assert!(parse_manifest(r#"{"jobs": 3}"#, &d).is_err());
-        assert!(parse_manifest(r#"[{"design": "x.pla", "ks": "0,1"}]"#, &d)
-            .unwrap_err()
-            .contains("ks"));
-        assert!(parse_manifest(r#"[{"design": "x.pla", "deadline_ms": "soon"}]"#, &d)
-            .unwrap_err()
-            .contains("deadline_ms"));
-        assert!(parse_manifest(r#"[{"design": "x.pla", "fault_plan": 3}]"#, &d)
-            .unwrap_err()
-            .contains("fault_plan"));
+        assert_eq!(jobs[1].ks, vec![0.0, 2.0]);
+        let plain = manifest_defaults(&parse_args(&sv(&["batch", "m.json"])).unwrap());
+        assert_eq!(plain.ks, ManifestDefaults::default().ks);
+        assert_eq!(plain.util, ManifestDefaults::default().util);
+        assert!(plain.placer.is_none());
     }
 
     #[test]

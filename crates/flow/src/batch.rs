@@ -21,7 +21,7 @@
 use crate::error::{FlowError, FlowErrorKind, Stage};
 use crate::flows::{congestion_flow_prepared, prepare, FlowOptions};
 use crate::sweep::{k_sweep_prepared, KSweepEntry};
-use casyn_exec::{panic_message, JobOptions, Pool};
+use casyn_exec::{panic_message, CancelToken, JobOptions, Pool};
 use casyn_netlist::network::Network;
 use casyn_obs as obs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -54,11 +54,16 @@ pub struct BatchOptions {
     /// at `2 × max(ks)` (or 1.0 if all ks are 0) and mark the job
     /// `degraded` instead of leaving only unroutable rows.
     pub escalate_k: bool,
+    /// Cancels the whole batch: jobs that have not started when the
+    /// token fires are skipped with a cancellation error (running jobs
+    /// always finish). `casyn serve` uses this for fast drain on
+    /// shutdown.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { retries: 0, escalate_k: true }
+        BatchOptions { retries: 0, escalate_k: true, cancel: None }
     }
 }
 
@@ -163,11 +168,12 @@ where
 }
 
 /// [`run_batch_with`] plus a completion callback: `on_done(index,
-/// report)` runs on the worker thread as soon as job `index` finishes
-/// (any outcome). The CLI uses it to checkpoint incrementally so an
-/// interrupted batch can resume. Jobs that never start (pool-level
-/// cancellation or deadline) do not reach the callback; their reports
-/// appear only in the returned [`BatchReport`].
+/// report)` runs as soon as job `index`'s outcome is known — on the
+/// worker thread for jobs that ran, and in a final flush on the calling
+/// thread for jobs that never started (pool-level cancellation or
+/// deadline). The callback therefore fires exactly once per job, so a
+/// checkpoint written from it is complete even when the batch is
+/// cancelled mid-run and the remaining jobs are drained unstarted.
 pub fn run_batch_observed<F, G>(
     jobs: &[BatchJob],
     pool: &Pool,
@@ -183,7 +189,7 @@ where
     let indices: Vec<usize> = (0..jobs.len()).collect();
     let outcomes = pool.try_par_map_with(
         &indices,
-        |i| JobOptions { deadline: jobs[i].deadline, ..Default::default() },
+        |i| JobOptions { deadline: jobs[i].deadline, cancel: bopts.cancel.clone() },
         |&i| {
             let job = &jobs[i];
             let t = Instant::now();
@@ -232,14 +238,22 @@ where
     let jobs = jobs
         .iter()
         .zip(outcomes)
-        .map(|(job, outcome)| match outcome {
+        .enumerate()
+        .map(|(i, (job, outcome))| match outcome {
             Ok(report) => report,
-            Err(e) => BatchJobReport {
-                name: job.name.clone(),
-                outcome: Err(FlowError::from(e)),
-                wall_ms: 0.0,
-                attempts: 0,
-            },
+            Err(e) => {
+                // final flush: jobs drained unstarted (cancelled or past
+                // their deadline) still reach the callback, so an
+                // incremental checkpoint covers every slot of the batch
+                let report = BatchJobReport {
+                    name: job.name.clone(),
+                    outcome: Err(FlowError::from(e)),
+                    wall_ms: 0.0,
+                    attempts: 0,
+                };
+                on_done(i, &report);
+                report
+            }
         })
         .collect();
     BatchReport { jobs, wall_ms: t0.elapsed().as_secs_f64() * 1e3, workers: pool.workers() }
@@ -381,6 +395,60 @@ mod tests {
             run_batch_job(&j, &BatchOptions { escalate_k: false, ..Default::default() }).unwrap();
         assert!(!plain.degraded);
         assert_eq!(plain.rows.len(), j.ks.len());
+    }
+
+    #[test]
+    fn cancelled_batch_flushes_every_slot_and_resumes_cleanly() {
+        use std::sync::Mutex;
+        // the first job cancels the batch while it is running: with one
+        // worker, jobs b..d are then drained unstarted. The checkpoint
+        // callback must still see all four slots (the graceful-drain
+        // contract), and re-running just the cancelled slots must merge
+        // into the same rows a clean run produces.
+        let jobs = [job(3, "a"), job(4, "b"), job(5, "c"), job(6, "d")];
+        let token = CancelToken::new();
+        let bopts = BatchOptions { cancel: Some(token.clone()), ..Default::default() };
+        let checkpoint: Mutex<Vec<Option<bool>>> = Mutex::new(vec![None; jobs.len()]);
+        let report = run_batch_observed(
+            &jobs,
+            &Pool::serial(),
+            &bopts,
+            |j| {
+                if j.name == "a" {
+                    token.cancel();
+                }
+                run_batch_job(j, &bopts)
+            },
+            |i, r| checkpoint.lock().unwrap()[i] = Some(r.outcome.is_ok()),
+        );
+        assert!(report.jobs[0].outcome.is_ok(), "the running job finishes");
+        for r in &report.jobs[1..] {
+            let e = r.outcome.as_ref().unwrap_err();
+            assert_eq!(e.kind, FlowErrorKind::Cancelled, "{e}");
+            assert_eq!(r.attempts, 0);
+        }
+        let flushed = checkpoint.into_inner().unwrap();
+        assert_eq!(flushed, vec![Some(true), Some(false), Some(false), Some(false)]);
+
+        // resume: run only the slots the checkpoint recorded as failed
+        let todo: Vec<BatchJob> = report
+            .jobs
+            .iter()
+            .zip(&jobs)
+            .filter(|(r, _)| r.outcome.is_err())
+            .map(|(_, j)| j.clone())
+            .collect();
+        let resumed = run_batch(&todo, &Pool::serial());
+        assert_eq!(resumed.num_ok(), 3);
+        let clean = run_batch(&jobs, &Pool::serial());
+        for (r, c) in resumed.jobs.iter().zip(&clean.jobs[1..]) {
+            let (rr, cc) = (r.outcome.as_ref().unwrap(), c.outcome.as_ref().unwrap());
+            for (x, y) in rr.rows.iter().zip(&cc.rows) {
+                assert_eq!(x.k, y.k);
+                assert_eq!(x.result.cell_area, y.result.cell_area);
+                assert_eq!(x.result.route.total_wirelength, y.result.route.total_wirelength);
+            }
+        }
     }
 
     #[test]

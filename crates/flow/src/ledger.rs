@@ -21,6 +21,7 @@
 //! compared against a tolerance band and reported separately as
 //! informational *timing notes* that never fail a diff.
 
+use crate::content_key::KeyBuilder;
 use crate::flows::FlowResult;
 use crate::sweep::KSweepEntry;
 use crate::telemetry::FlowTelemetry;
@@ -33,17 +34,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// 64-bit FNV-1a over a byte string — the ledger's content hash.
-/// Dependency-free and stable across platforms; collision resistance is
-/// not a goal (records are not adversarial), addressability is.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+pub use crate::content_key::fnv1a64;
 
 /// The parameters that identify a run configuration. Part of the
 /// content hash: two runs with different parameters never share an
@@ -223,43 +214,38 @@ impl RunRecord {
     /// The content address: FNV-1a over the stable fields (design
     /// identity, parameters, quality metrics), excluding wall-clock and
     /// allocation telemetry. Identical-input runs of a deterministic
-    /// build hash identically.
+    /// build hash identically. Derivation lives in
+    /// [`crate::content_key`], shared with the serve artifact cache.
     pub fn content_hash(&self) -> u64 {
-        let mut canon = String::new();
-        canon.push_str(&self.design);
-        canon.push('\n');
-        canon.push_str(&format!("{:016x}\n", self.design_hash));
         let p = &self.params;
-        canon.push_str(&format!(
-            "{}|{}|{}|{}|{}\n",
-            p.scheme, p.placer, p.layers, p.target_utilization, p.optimize
-        ));
-        for k in &p.ks {
-            canon.push_str(&format!("{k} "));
-        }
-        canon.push('\n');
+        let mut b = KeyBuilder::new("casyn.run.v1")
+            .str(&self.design)
+            .hash(self.design_hash)
+            .str(&p.scheme)
+            .str(&p.placer)
+            .int(p.layers as u64)
+            .num(p.target_utilization)
+            .bool(p.optimize)
+            .nums(&p.ks);
         for r in &self.rows {
-            canon.push_str(&format!(
-                "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}\n",
-                r.k,
-                r.cell_area,
-                r.num_cells,
-                r.utilization_pct,
-                r.violations,
-                r.overflow,
-                r.route_iterations,
-                r.wirelength_um,
-                r.hpwl_um,
-                r.critical_ns
-            ));
+            b = b
+                .num(r.k)
+                .num(r.cell_area)
+                .int(r.num_cells as u64)
+                .num(r.utilization_pct)
+                .int(r.violations as u64)
+                .num(r.overflow)
+                .int(r.route_iterations as u64)
+                .num(r.wirelength_um)
+                .num(r.hpwl_um)
+                .num(r.critical_ns);
             // stage names are stable (the pipeline shape), readings are not
+            b = b.int(r.stages.len() as u64);
             for s in &r.stages {
-                canon.push_str(&s.stage);
-                canon.push(' ');
+                b = b.str(&s.stage);
             }
-            canon.push('\n');
         }
-        fnv1a64(canon.as_bytes())
+        b.finish()
     }
 
     /// Serializes the record as a `casyn.run.v1` document. Hashes are

@@ -22,17 +22,24 @@
 //!   K until the congestion map is acceptable).
 //! * [`seq`] — sequential designs: flip-flop pass-through around the
 //!   combinational flow, with clocked STA.
+//! * [`content_key`] — the shared stable-field FNV-1a canonicalizer
+//!   behind ledger addresses and the serve artifact cache (timings
+//!   never enter a key).
 //! * [`ledger`] — content-addressed `casyn.run.v1` run records and the
 //!   cross-run diff behind `casyn diff`.
+//! * [`manifest`] — batch-manifest parsing shared by `casyn batch` and
+//!   the serve job API (inline design sources included).
 //! * [`report`] — table formatting that mirrors the paper's layout.
 //! * [`telemetry`] — per-stage wall-clock and metric attribution
 //!   collected through `casyn-obs`, exportable as JSON.
 
 pub mod batch;
 pub mod check;
+pub mod content_key;
 pub mod error;
 pub mod flows;
 pub mod ledger;
+pub mod manifest;
 pub mod methodology;
 pub mod report;
 pub mod seq;
@@ -43,14 +50,19 @@ pub use batch::{
     run_batch, run_batch_job, run_batch_observed, run_batch_opts, run_batch_with, BatchJob,
     BatchJobReport, BatchOptions, BatchReport, JobSuccess,
 };
+pub use content_key::{fnv1a64, library_fingerprint, KeyBuilder};
 pub use error::{FlowError, FlowErrorKind, Stage};
 pub use flows::{
     congestion_flow, congestion_flow_prepared, dagon_flow, full_flow, prepare, prepare_pool,
     sis_flow, FlowOptions, FlowResult, Prepared,
 };
 pub use ledger::{
-    diff_records, fnv1a64, format_diff, DiffTolerance, LedgerError, RunDiff, RunParams, RunRecord,
-    RunRow, StageRow,
+    diff_records, format_diff, DiffTolerance, LedgerError, RunDiff, RunParams, RunRecord, RunRow,
+    StageRow,
+};
+pub use manifest::{
+    file_stem, load_design, parse_design, parse_manifest, parse_manifest_value, DesignFormat,
+    ManifestDefaults, ManifestJob,
 };
 pub use methodology::{
     run_methodology, run_methodology_prepared, MethodologyResult, MethodologyStep,
@@ -58,6 +70,7 @@ pub use methodology::{
 pub use report::{
     format_audit_table, format_congestion_heatmap, format_convergence_sparkline,
     format_k_sweep_table, format_routing_table, format_sta_table, format_telemetry_table,
+    k_row_json,
 };
 pub use seq::{sequential_flow, simulate_mapped_seq, SeqFlowResult};
 pub use sweep::{

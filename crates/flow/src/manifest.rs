@@ -1,0 +1,397 @@
+//! Batch-manifest parsing, shared by `casyn batch` and the `casyn-serve`
+//! job API.
+//!
+//! A manifest is a JSON document, either a top-level array of jobs or
+//! `{"jobs": [...]}`. Every field but the design identity is optional
+//! and falls back to [`ManifestDefaults`]:
+//!
+//! ```json
+//! {"jobs": [
+//!   {"design": "examples/designs/count8.pla", "ks": [0.0, 0.1, 1.0],
+//!    "name": "count8", "util": 0.611, "layers": 3, "optimize": false,
+//!    "placer": "kway", "deadline_ms": 60000, "fault_plan": "map:panic:1"}
+//! ]}
+//! ```
+//!
+//! A job names its design either by path (`design`) or inline
+//! (`source`, the design text itself, with `format` `"pla"` or
+//! `"blif"`; the serve API uses inline sources so clients need no
+//! shared filesystem). `inject_panic: true` is the legacy spelling of
+//! `"fault_plan": "decompose:panic:1"`.
+
+use crate::flows::FlowOptions;
+use casyn_logic::OptimizeOptions;
+use casyn_netlist::blif::Blif;
+use casyn_netlist::network::Network;
+use casyn_netlist::seq::SeqNetwork;
+use casyn_netlist::Pla;
+use casyn_obs::json::JsonValue;
+use casyn_place::PlacerBackend;
+use std::fs;
+
+/// The fallback values a manifest entry inherits when it omits a field.
+/// The CLI builds one from its flags; serve uses the server defaults.
+#[derive(Debug, Clone)]
+pub struct ManifestDefaults {
+    /// K values to sweep.
+    pub ks: Vec<f64>,
+    /// Target K=0 utilization for the derived die.
+    pub util: f64,
+    /// Metal layers.
+    pub layers: usize,
+    /// Run technology-independent optimization first.
+    pub optimize: bool,
+    /// Global placement backend (None = the flow default).
+    pub placer: Option<PlacerBackend>,
+}
+
+impl Default for ManifestDefaults {
+    fn default() -> Self {
+        ManifestDefaults {
+            ks: vec![0.0, 0.1, 0.5, 1.0, 5.0],
+            util: 0.611,
+            layers: 3,
+            optimize: false,
+            placer: None,
+        }
+    }
+}
+
+/// The textual format of a design source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignFormat {
+    /// Espresso two-level PLA.
+    Pla,
+    /// Berkeley BLIF.
+    Blif,
+}
+
+impl DesignFormat {
+    /// From a manifest `format` field value.
+    pub fn parse(s: &str) -> Option<DesignFormat> {
+        match s {
+            "pla" => Some(DesignFormat::Pla),
+            "blif" => Some(DesignFormat::Blif),
+            _ => None,
+        }
+    }
+
+    /// From a design path extension (`.blif` is BLIF, everything else
+    /// reads as PLA — the historical CLI behavior).
+    pub fn from_path(path: &str) -> DesignFormat {
+        if path.ends_with(".blif") {
+            DesignFormat::Blif
+        } else {
+            DesignFormat::Pla
+        }
+    }
+}
+
+/// One batch-manifest entry, with defaults already applied.
+#[derive(Debug, Clone)]
+pub struct ManifestJob {
+    /// Display name (defaults to the design file stem).
+    pub name: String,
+    /// Design path — or, for inline jobs, the display identity.
+    pub design: String,
+    /// Inline design text; when set, `design` is never read from disk.
+    pub source: Option<String>,
+    /// Format of `source` (from the `format` field, default PLA). For
+    /// path jobs the format follows the file extension instead.
+    pub format: DesignFormat,
+    /// K values to sweep.
+    pub ks: Vec<f64>,
+    /// Target utilization.
+    pub util: f64,
+    /// Metal layers.
+    pub layers: usize,
+    /// Technology-independent optimization.
+    pub optimize: bool,
+    /// Per-job deadline in milliseconds.
+    pub deadline_ms: Option<f64>,
+    /// Legacy spelling of `fault_plan: "decompose:panic:1"`.
+    pub inject_panic: bool,
+    /// Deterministic fault-injection spec (validated by the caller).
+    pub fault_plan: Option<String>,
+    /// Placement backend override.
+    pub placer: Option<PlacerBackend>,
+}
+
+/// The file stem of a path (`a/count8.pla` → `count8`), used as the
+/// default job name.
+pub fn file_stem(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+/// Parses design text in the given format into a sequential network
+/// (combinational designs pass through with no latches).
+pub fn parse_design(text: &str, format: DesignFormat, what: &str) -> Result<SeqNetwork, String> {
+    match format {
+        DesignFormat::Blif => {
+            let blif: Blif = text.parse().map_err(|e| format!("{what}: {e}"))?;
+            Ok(blif.into_seq())
+        }
+        DesignFormat::Pla => {
+            let pla: Pla = text.parse().map_err(|e| format!("{what}: {e}"))?;
+            Ok(SeqNetwork::combinational(pla.to_network()))
+        }
+    }
+}
+
+/// Reads and parses a design file by extension (`.blif` is BLIF,
+/// everything else PLA).
+pub fn load_design(path: &str) -> Result<SeqNetwork, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_design(&text, DesignFormat::from_path(path), path)
+}
+
+impl ManifestJob {
+    /// The design text and its format: the inline `source` when present,
+    /// else the `design` path's contents. The returned text is what the
+    /// content address hashes.
+    pub fn design_text(&self) -> Result<(String, DesignFormat), String> {
+        match &self.source {
+            Some(text) => Ok((text.clone(), self.format)),
+            None => {
+                let text = fs::read_to_string(&self.design)
+                    .map_err(|e| format!("cannot read {}: {e}", self.design))?;
+                Ok((text, DesignFormat::from_path(&self.design)))
+            }
+        }
+    }
+
+    /// Loads the job's combinational network plus the raw design text
+    /// (for content addressing). Sequential designs are rejected — the
+    /// batch runner and serve sweep combinational flows only.
+    pub fn load_network(&self) -> Result<(Network, String), String> {
+        let (text, format) = self.design_text()?;
+        let seq = parse_design(&text, format, &self.design)?;
+        if seq.is_combinational() {
+            Ok((seq.core, text))
+        } else {
+            Err(format!("{}: sequential designs are not supported in batch", self.design))
+        }
+    }
+
+    /// The flow options this entry asks for (fault plan excluded — the
+    /// caller validates and injects it).
+    pub fn flow_options(&self, validate: bool) -> FlowOptions {
+        let mut opts = FlowOptions { target_utilization: self.util, ..Default::default() };
+        opts.route.layers = self.layers;
+        if self.optimize {
+            opts.optimize = Some(OptimizeOptions::default());
+        }
+        if validate {
+            opts.validate = true;
+        }
+        if let Some(b) = self.placer {
+            opts.placer.backend = b;
+        }
+        opts
+    }
+}
+
+/// Parses a batch manifest from text. See [`parse_manifest_value`] for
+/// the field rules.
+pub fn parse_manifest(text: &str, defaults: &ManifestDefaults) -> Result<Vec<ManifestJob>, String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    parse_manifest_value(&doc, defaults)
+}
+
+/// Parses an already-parsed manifest document: a top-level job array or
+/// `{"jobs": [...]}`. Missing per-job fields fall back to `defaults`.
+/// Serve parses request bodies with explicit [`casyn_obs::json::JsonLimits`]
+/// first and hands the document here.
+pub fn parse_manifest_value(
+    doc: &JsonValue,
+    defaults: &ManifestDefaults,
+) -> Result<Vec<ManifestJob>, String> {
+    let entries = if let JsonValue::Array(items) = doc {
+        items.as_slice()
+    } else {
+        doc.get("jobs")
+            .and_then(|j| j.as_array())
+            .ok_or("manifest must be a job array or an object with a \"jobs\" array")?
+    };
+    if entries.is_empty() {
+        return Err("manifest has no jobs".into());
+    }
+    let f64_field = |j: &JsonValue, key: &str, dflt: f64, i: usize| -> Result<f64, String> {
+        match j.get(key) {
+            None => Ok(dflt),
+            Some(v) => v.as_f64().ok_or(format!("job {i}: \"{key}\" must be a number")),
+        }
+    };
+    let bool_field = |j: &JsonValue, key: &str, i: usize| -> Result<bool, String> {
+        match j.get(key) {
+            None => Ok(false),
+            Some(v) => v.as_bool().ok_or(format!("job {i}: \"{key}\" must be a boolean")),
+        }
+    };
+    let str_field = |j: &JsonValue, key: &str, i: usize| -> Result<Option<String>, String> {
+        match j.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or(format!("job {i}: \"{key}\" must be a string")),
+        }
+    };
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let source = str_field(j, "source", i)?;
+            let name_field = str_field(j, "name", i)?;
+            let design = match str_field(j, "design", i)? {
+                Some(d) => d,
+                // inline jobs may omit the path; their identity is the name
+                None if source.is_some() => name_field
+                    .clone()
+                    .ok_or(format!("job {i}: inline \"source\" needs a \"name\" or \"design\""))?,
+                None => return Err(format!("job {i}: missing \"design\" path")),
+            };
+            let format = match str_field(j, "format", i)? {
+                Some(f) => DesignFormat::parse(&f)
+                    .ok_or(format!("job {i}: unknown format {f:?} (pla | blif)"))?,
+                None => DesignFormat::from_path(&design),
+            };
+            let ks = match j.get("ks") {
+                None => defaults.ks.clone(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or(format!("job {i}: \"ks\" must be an array"))?
+                    .iter()
+                    .map(|k| k.as_f64().ok_or(format!("job {i}: \"ks\" entries must be numbers")))
+                    .collect::<Result<_, _>>()?,
+            };
+            let placer = match j.get("placer") {
+                None => defaults.placer,
+                Some(v) => {
+                    let s = v.as_str().ok_or(format!("job {i}: \"placer\" must be a string"))?;
+                    Some(
+                        PlacerBackend::parse(s)
+                            .ok_or(format!("job {i}: unknown placer {s:?} (kway | bisect)"))?,
+                    )
+                }
+            };
+            Ok(ManifestJob {
+                name: name_field.unwrap_or_else(|| file_stem(&design)),
+                source,
+                format,
+                ks,
+                util: f64_field(j, "util", defaults.util, i)?,
+                layers: f64_field(j, "layers", defaults.layers as f64, i)? as usize,
+                optimize: bool_field(j, "optimize", i)? || defaults.optimize,
+                deadline_ms: j
+                    .get("deadline_ms")
+                    .map(|v| v.as_f64().ok_or(format!("job {i}: \"deadline_ms\" must be a number")))
+                    .transpose()?,
+                inject_panic: bool_field(j, "inject_panic", i)?,
+                fault_plan: str_field(j, "fault_plan", i)?,
+                placer,
+                design,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> ManifestDefaults {
+        ManifestDefaults::default()
+    }
+
+    #[test]
+    fn manifest_fields_and_defaults() {
+        let jobs = parse_manifest(
+            r#"{"jobs": [
+                {"design": "a/count8.pla"},
+                {"design": "b.pla", "name": "bee", "ks": [0.0, 2.5], "util": 0.5,
+                 "layers": 4, "optimize": true, "deadline_ms": 1500, "inject_panic": true,
+                 "fault_plan": "route:deadline:1"}
+            ]}"#,
+            &d(),
+        )
+        .unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].name, "count8");
+        assert_eq!(jobs[0].ks, d().ks);
+        assert_eq!(jobs[0].util, d().util);
+        assert_eq!(jobs[0].layers, 3);
+        assert!(!jobs[0].optimize && jobs[0].deadline_ms.is_none() && !jobs[0].inject_panic);
+        assert!(jobs[0].fault_plan.is_none() && jobs[0].source.is_none());
+        assert_eq!(jobs[0].format, DesignFormat::Pla);
+        assert_eq!(jobs[1].name, "bee");
+        assert_eq!(jobs[1].ks, vec![0.0, 2.5]);
+        assert_eq!(jobs[1].util, 0.5);
+        assert_eq!(jobs[1].layers, 4);
+        assert!(jobs[1].optimize && jobs[1].inject_panic);
+        assert_eq!(jobs[1].deadline_ms, Some(1500.0));
+        assert_eq!(jobs[1].fault_plan.as_deref(), Some("route:deadline:1"));
+    }
+
+    #[test]
+    fn manifest_accepts_top_level_array() {
+        let jobs = parse_manifest(r#"[{"design": "x.pla"}]"#, &d()).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].design, "x.pla");
+    }
+
+    #[test]
+    fn manifest_errors() {
+        assert!(parse_manifest("not json", &d()).is_err());
+        assert!(parse_manifest(r#"{"jobs": []}"#, &d()).unwrap_err().contains("no jobs"));
+        assert!(parse_manifest(r#"{"jobs": [{}]}"#, &d()).unwrap_err().contains("design"));
+        assert!(parse_manifest(r#"{"jobs": 3}"#, &d()).is_err());
+        assert!(parse_manifest(r#"[{"design": "x.pla", "ks": "0,1"}]"#, &d())
+            .unwrap_err()
+            .contains("ks"));
+        assert!(parse_manifest(r#"[{"design": "x.pla", "deadline_ms": "soon"}]"#, &d())
+            .unwrap_err()
+            .contains("deadline_ms"));
+        assert!(parse_manifest(r#"[{"design": "x.pla", "fault_plan": 3}]"#, &d())
+            .unwrap_err()
+            .contains("fault_plan"));
+        assert!(parse_manifest(r#"[{"design": "x.pla", "format": "vhdl"}]"#, &d())
+            .unwrap_err()
+            .contains("vhdl"));
+    }
+
+    #[test]
+    fn inline_source_jobs() {
+        let pla = ".i 1\n.o 1\n.p 1\n1 1\n.e\n";
+        let text = format!(r#"[{{"name": "tiny", "source": {:?}, "format": "pla"}}]"#, pla);
+        let jobs = parse_manifest(&text, &d()).unwrap();
+        assert_eq!(jobs[0].name, "tiny");
+        assert_eq!(jobs[0].design, "tiny");
+        assert_eq!(jobs[0].source.as_deref(), Some(pla));
+        let (net, raw) = jobs[0].load_network().unwrap();
+        assert_eq!(raw, pla);
+        assert!(net.num_nodes() > 0);
+        // an inline job with neither name nor design is rejected
+        let e = parse_manifest(r#"[{"source": ".i 1"}]"#, &d()).unwrap_err();
+        assert!(e.contains("name"), "got: {e}");
+    }
+
+    #[test]
+    fn flow_options_reflect_entry() {
+        let jobs = parse_manifest(
+            r#"[{"design": "x.pla", "util": 0.5, "layers": 4, "optimize": true,
+                 "placer": "bisect"}]"#,
+            &d(),
+        )
+        .unwrap();
+        let opts = jobs[0].flow_options(true);
+        assert_eq!(opts.target_utilization, 0.5);
+        assert_eq!(opts.route.layers, 4);
+        assert!(opts.optimize.is_some());
+        assert!(opts.validate);
+        assert_eq!(opts.placer.backend, PlacerBackend::Bisect);
+    }
+}

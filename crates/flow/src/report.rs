@@ -3,6 +3,7 @@
 use crate::flows::FlowResult;
 use crate::sweep::KSweepEntry;
 use crate::telemetry::FlowTelemetry;
+use casyn_obs::json::JsonValue;
 use casyn_route::{CongestionMap, OverflowAudit, RouteConvergence};
 
 /// Formats a K-sweep as the paper's Table 2/4 layout, extended with the
@@ -228,6 +229,22 @@ pub fn format_congestion_heatmap(title: &str, map: &CongestionMap) -> String {
     }
     s.push_str(&format!("+{}+\n", "-".repeat(width)));
     s
+}
+
+/// Serializes one K-sweep row as the JSON shape shared by the CLI's
+/// `casyn.batch.v1` reports and the serve job API: quality metrics plus
+/// the row's stage telemetry.
+pub fn k_row_json(e: &KSweepEntry) -> JsonValue {
+    JsonValue::object(vec![
+        ("k".into(), JsonValue::Number(e.k)),
+        ("cell_area".into(), JsonValue::Number(e.result.cell_area)),
+        ("num_cells".into(), JsonValue::Number(e.result.num_cells as f64)),
+        ("utilization_pct".into(), JsonValue::Number(e.result.utilization_pct)),
+        ("violations".into(), JsonValue::Number(e.result.route.violations as f64)),
+        ("wirelength_um".into(), JsonValue::Number(e.result.route.total_wirelength)),
+        ("critical_ns".into(), JsonValue::Number(e.result.sta.critical_arrival())),
+        ("telemetry".into(), e.result.telemetry.to_json()),
+    ])
 }
 
 fn trim_k(k: f64) -> String {

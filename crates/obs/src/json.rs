@@ -36,9 +36,30 @@ impl JsonValue {
     }
 
     /// Parses a JSON document (exactly one top-level value, trailing
-    /// whitespace allowed).
+    /// whitespace allowed) under [`JsonLimits::default`].
     pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        JsonValue::parse_with_limits(text, &JsonLimits::default())
+    }
+
+    /// Parses with explicit resource limits. Untrusted input (e.g. HTTP
+    /// request bodies) should come through here with limits sized to the
+    /// endpoint: the recursive-descent reader otherwise converts attacker
+    /// nesting depth into native stack depth.
+    pub fn parse_with_limits(text: &str, limits: &JsonLimits) -> Result<JsonValue, JsonParseError> {
+        if text.len() > limits.max_bytes {
+            return Err(JsonParseError {
+                line: 1,
+                col: 1,
+                reason: format!(
+                    "document of {} bytes exceeds the {}-byte limit",
+                    text.len(),
+                    limits.max_bytes
+                ),
+                kind: JsonErrorKind::TooLarge,
+            });
+        }
+        let mut p =
+            Parser { bytes: text.as_bytes(), pos: 0, depth: 0, max_depth: limits.max_depth };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -99,6 +120,45 @@ impl JsonValue {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Serializes on a single line with no insignificant whitespace —
+    /// the shape NDJSON streams and log lines need.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(v) => out.push_str(&fmt_f64(*v)),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -173,7 +233,43 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// A JSON syntax error with its 1-based position in the source text.
+/// Resource limits for [`JsonValue::parse_with_limits`].
+///
+/// The defaults are generous enough for every document this workspace
+/// produces (manifests, telemetry, ledgers, heatmaps) while still
+/// bounding what a hostile document can cost: nesting depth becomes
+/// native stack depth in the recursive-descent reader, and byte size
+/// bounds allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonLimits {
+    /// Maximum container nesting depth (`[[...]]` counts one level per
+    /// bracket). Exceeding it yields [`JsonErrorKind::TooDeep`].
+    pub max_depth: usize,
+    /// Maximum document size in bytes, checked before parsing starts.
+    /// Exceeding it yields [`JsonErrorKind::TooLarge`].
+    pub max_bytes: usize,
+}
+
+impl Default for JsonLimits {
+    fn default() -> Self {
+        JsonLimits { max_depth: 128, max_bytes: 64 << 20 }
+    }
+}
+
+/// Coarse classification of a [`JsonParseError`], so callers can map
+/// resource-limit violations to different handling (e.g. HTTP 413)
+/// than plain syntax errors (HTTP 400).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Malformed JSON text.
+    Syntax,
+    /// Container nesting exceeded [`JsonLimits::max_depth`].
+    TooDeep,
+    /// Document exceeded [`JsonLimits::max_bytes`].
+    TooLarge,
+}
+
+/// A JSON parse error with its 1-based position in the source text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonParseError {
     /// 1-based line of the offending byte.
@@ -182,6 +278,8 @@ pub struct JsonParseError {
     pub col: usize,
     /// What went wrong.
     pub reason: String,
+    /// Syntax error or resource-limit violation.
+    pub kind: JsonErrorKind,
 }
 
 impl fmt::Display for JsonParseError {
@@ -195,10 +293,16 @@ impl std::error::Error for JsonParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn error(&self, reason: &str) -> JsonParseError {
+        self.error_kind(reason, JsonErrorKind::Syntax)
+    }
+
+    fn error_kind(&self, reason: &str, kind: JsonErrorKind) -> JsonParseError {
         let mut line = 1;
         let mut col = 1;
         for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
@@ -209,7 +313,7 @@ impl<'a> Parser<'a> {
                 col += 1;
             }
         }
-        JsonParseError { line, col, reason: reason.to_string() }
+        JsonParseError { line, col, reason: reason.to_string(), kind }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -242,8 +346,8 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<JsonValue, JsonParseError> {
         match self.peek() {
-            Some(b'{') => self.object_body(),
-            Some(b'[') => self.array_body(),
+            Some(b'{') => self.nested(Parser::object_body),
+            Some(b'[') => self.nested(Parser::array_body),
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
@@ -252,6 +356,22 @@ impl<'a> Parser<'a> {
             Some(c) => Err(self.error(&format!("unexpected character '{}'", c as char))),
             None => Err(self.error("unexpected end of input")),
         }
+    }
+
+    fn nested(
+        &mut self,
+        body: fn(&mut Self) -> Result<JsonValue, JsonParseError>,
+    ) -> Result<JsonValue, JsonParseError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(self.error_kind(
+                &format!("nesting exceeds the depth limit of {}", self.max_depth),
+                JsonErrorKind::TooDeep,
+            ));
+        }
+        let v = body(self);
+        self.depth -= 1;
+        v
     }
 
     fn object_body(&mut self) -> Result<JsonValue, JsonParseError> {
@@ -420,6 +540,10 @@ mod tests {
         ]);
         let parsed = JsonValue::parse(&v.to_string_pretty()).unwrap();
         assert_eq!(parsed, v);
+        // the compact writer round-trips to the same value, on one line
+        let compact = v.to_string_compact();
+        assert!(!compact.contains('\n'));
+        assert_eq!(JsonValue::parse(&compact).unwrap(), v);
     }
 
     #[test]
@@ -466,6 +590,57 @@ mod tests {
         assert_eq!(v.as_str(), Some("a\"b\\c\ndA é"));
         let u = JsonValue::parse("\"\\u0041\\u00e9\\t\"").unwrap();
         assert_eq!(u.as_str(), Some("Aé\t"));
+    }
+
+    #[test]
+    fn malformed_escapes_are_syntax_errors() {
+        for text in ["\"\\q\"", "\"\\u12\"", "\"\\u12zz\"", "\"\\", "\"\\u\""] {
+            let err = JsonValue::parse(text).unwrap_err();
+            assert_eq!(err.kind, JsonErrorKind::Syntax, "{text} -> {err}");
+        }
+        // a lone surrogate half is tolerated (maps to the replacement char)
+        let v = JsonValue::parse("\"\\ud800\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{fffd}"));
+    }
+
+    #[test]
+    fn depth_limit_rejects_hostile_nesting() {
+        // 100k nested arrays would overflow the native stack without the
+        // guard; the typed error fires at the configured depth instead.
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let err = JsonValue::parse(&deep).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooDeep, "{err}");
+        assert!(err.reason.contains("128"), "{err}");
+
+        // mixed object/array nesting counts both container kinds
+        let mixed = "{\"a\":".repeat(300) + "1" + &"}".repeat(300);
+        let err = JsonValue::parse(&mixed).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooDeep);
+
+        // nesting at the limit parses fine
+        let limits = JsonLimits { max_depth: 8, max_bytes: usize::MAX };
+        let ok = "[".repeat(8) + &"]".repeat(8);
+        assert!(JsonValue::parse_with_limits(&ok, &limits).is_ok());
+        let over = "[".repeat(9) + &"]".repeat(9);
+        let err = JsonValue::parse_with_limits(&over, &limits).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooDeep);
+        assert!(err.reason.contains('8'), "{err}");
+    }
+
+    #[test]
+    fn size_limit_rejects_oversized_documents() {
+        let limits = JsonLimits { max_depth: 128, max_bytes: 16 };
+        let err = JsonValue::parse_with_limits("[1, 2, 3, 4, 5, 6]", &limits).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooLarge, "{err}");
+        assert!(err.reason.contains("16-byte"), "{err}");
+        assert!(JsonValue::parse_with_limits("[1, 2, 3]", &limits).is_ok());
+    }
+
+    #[test]
+    fn syntax_errors_are_typed_syntax() {
+        for text in ["", "[1, 2,]", "nope", "{\"a\" 1}", "[1e999]"] {
+            assert_eq!(JsonValue::parse(text).unwrap_err().kind, JsonErrorKind::Syntax, "{text}");
+        }
     }
 
     #[test]

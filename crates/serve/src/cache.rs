@@ -1,0 +1,101 @@
+//! Bounded least-recently-used caches keyed by 64-bit content hashes.
+//!
+//! Two instances back the service: the *result cache* (content address →
+//! finished row documents) and the *prepare cache* (design + prepare
+//! parameters → shared [`casyn_flow::Prepared`] front end), so jobs that
+//! differ only in their K schedule reuse the expensive prefix.
+
+use std::collections::HashMap;
+
+/// A fixed-capacity LRU map over `u64` keys. Recency is a logical tick
+/// bumped on every access; eviction scans for the stalest entry (the
+/// caches hold at most a few hundred entries, so O(n) eviction is
+/// cheaper than maintaining an ordered index).
+#[derive(Debug)]
+pub struct Lru<V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<u64, (u64, V)>,
+}
+
+impl<V> Lru<V> {
+    /// An empty cache holding at most `cap` entries (`cap` 0 disables
+    /// caching: every insert is immediately dropped).
+    pub fn new(cap: usize) -> Self {
+        Lru { cap, tick: 0, map: HashMap::new() }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most-recently used.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&key) {
+            Some((t, v)) => {
+                *t = tick;
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            if let Some(stalest) = self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| *k) {
+                self.map.remove(&stalest);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = Lru::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(1), Some(&"a")); // 1 is now fresher than 2
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(&"a"));
+        assert_eq!(c.get(3), Some(&"c"));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_evicting() {
+        let mut c = Lru::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(1, "a2");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Some(&"a2"));
+        assert_eq!(c.get(2), Some(&"b"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = Lru::new(0);
+        c.insert(1, "a");
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+    }
+}

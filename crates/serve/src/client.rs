@@ -1,0 +1,113 @@
+//! A tiny blocking HTTP/1.1 client for talking to a [`crate::Server`].
+//!
+//! The server closes the connection after every response, so bodies are
+//! read to EOF — no chunked decoding, no keep-alive. This is what the
+//! CLI's `submit`, `shutdown` and `loadgen` commands use, and what CI
+//! smoke tests drive the daemon with (no curl dependency).
+
+use casyn_obs::json::JsonValue;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (close-delimited).
+    pub body: String,
+}
+
+impl Response {
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<JsonValue, String> {
+        JsonValue::parse(&self.body).map_err(|e| format!("bad response body: {e}"))
+    }
+}
+
+/// Sends `raw` bytes to `addr` and reads the response to EOF.
+pub fn raw(addr: &str, raw: &str) -> Result<Response, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120))).map_err(|e| format!("socket: {e}"))?;
+    // The server may respond and close before the whole request is
+    // written (413 refuses oversized bodies up front), which can fail the
+    // write or reset the read mid-flight — surface those errors only when
+    // no response arrived at all.
+    let send_err = stream.write_all(raw.as_bytes()).err();
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            Err(e) if bytes.is_empty() => {
+                return Err(match send_err {
+                    Some(se) => format!("send failed: {se}"),
+                    None => format!("read failed: {e}"),
+                });
+            }
+            Err(_) => break,
+        }
+    }
+    if bytes.is_empty() {
+        if let Some(se) = send_err {
+            return Err(format!("send failed: {se}"));
+        }
+    }
+    let text = String::from_utf8(bytes).map_err(|e| format!("non-UTF-8 response: {e}"))?;
+    let (head, body) =
+        text.split_once("\r\n\r\n").ok_or_else(|| format!("malformed response from {addr}"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line from {addr}"))?;
+    Ok(Response { status, body: body.to_string() })
+}
+
+/// Performs one request (`GET /jobs/3`, `POST /jobs` + manifest, ...).
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<Response, String> {
+    let body = body.unwrap_or("");
+    let text = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    raw(addr, &text)
+}
+
+/// [`request`] plus JSON parsing of the body.
+pub fn request_json(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, JsonValue), String> {
+    let r = request(addr, method, path, body)?;
+    let doc = r.json()?;
+    Ok((r.status, doc))
+}
+
+/// Polls `GET /healthz` until the server answers 200 or `timeout`
+/// expires. Used by CI smoke tests after daemonizing the server.
+pub fn wait_ready(addr: &str, timeout: Duration) -> Result<(), String> {
+    let t0 = Instant::now();
+    loop {
+        if let Ok(r) = request(addr, "GET", "/healthz", None) {
+            if r.status == 200 {
+                return Ok(());
+            }
+        }
+        if t0.elapsed() > timeout {
+            return Err(format!("server at {addr} not ready after {timeout:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

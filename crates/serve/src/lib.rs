@@ -1,0 +1,48 @@
+//! `casyn-serve` — synthesis as a long-running service.
+//!
+//! A thread-per-connection HTTP/1.1 server (std only, no async runtime)
+//! that accepts batch-manifest job submissions, runs them on the
+//! `casyn-exec` pool through the `casyn-flow` batch runner, and answers
+//! identical resubmissions from a content-addressed artifact cache.
+//!
+//! * [`http`] — minimal HTTP/1.1 request parsing and response writing,
+//!   with explicit body limits (oversized → 413, chunked → 411).
+//! * [`cache`] — the LRU caches behind the service: full results keyed
+//!   by content address, and prepare-once artifacts shared between jobs
+//!   that differ only in their K schedule.
+//! * [`client`] — a tiny blocking HTTP client for the CLI's `submit`,
+//!   `shutdown` and `loadgen` commands (and CI smoke tests).
+//! * [`server`] — the service itself: job table, bounded admission
+//!   queue with backpressure, dispatcher, per-job event streams,
+//!   metrics endpoint and graceful drain.
+//!
+//! ## Endpoints
+//!
+//! | method | path | purpose |
+//! |--------|------|---------|
+//! | POST | `/jobs` | submit a batch manifest; 202 with per-job ids |
+//! | GET  | `/jobs/<id>` | job status document |
+//! | GET  | `/jobs/<id>/result` | rows; `?wait=1` blocks until terminal |
+//! | GET  | `/jobs/<id>/events` | NDJSON stage-progress stream |
+//! | GET  | `/metrics` | casyn-obs registry snapshot |
+//! | GET  | `/healthz` | liveness probe |
+//! | POST | `/shutdown` | graceful drain (`{"mode": "cancel"}` for fast) |
+//!
+//! ## Content addressing
+//!
+//! A job's cache key is built with [`casyn_flow::KeyBuilder`] from the
+//! design text hash, the library fingerprint and the flow parameters —
+//! never from timings, so a resubmit of the same logical job is a hit
+//! regardless of how long the first run took. Jobs carrying a fault
+//! plan bypass the cache entirely: an injected failure must never be
+//! replayed as a cached artifact.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use cache::Lru;
+pub use client::{request, request_json, wait_ready, Response};
+pub use http::{HttpError, Request};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,838 @@
+//! The synthesis service: job table, bounded admission queue, batch
+//! dispatcher, content-addressed artifact cache and graceful drain.
+//!
+//! ## Architecture
+//!
+//! One accept-loop thread spawns a handler thread per connection
+//! (requests are short; the only long-lived handlers are `result?wait=1`
+//! and `/jobs/<id>/events` streams, which block on a condvar, not a
+//! core). One dispatcher thread drains the admission queue in batches
+//! into [`casyn_flow::batch::run_batch_observed`] on the shared
+//! `casyn-exec` pool — so serve jobs inherit the batch runner's panic
+//! isolation, retries, per-job deadlines and cancellation semantics
+//! unchanged.
+//!
+//! ## Caching and dedup
+//!
+//! Each cacheable job gets a content address from [`KeyBuilder`]
+//! (design hash + library fingerprint + flow parameters, never
+//! timings). Submission classifies jobs in one pass under the state
+//! lock: result-cache hit (answered instantly), in-flight duplicate
+//! (attached as a follower of the running compute), or fresh (admitted
+//! to the queue, 429 when the whole request does not fit). The prepare
+//! cache additionally shares the expensive flow front end between jobs
+//! that differ only in their K schedule.
+
+use crate::cache::Lru;
+use crate::http::{self, HttpError, Request};
+use casyn_exec::{CancelToken, FaultPlan, Pool};
+use casyn_flow::batch::{
+    run_batch_job, run_batch_observed, BatchJob, BatchJobReport, BatchOptions, JobSuccess,
+};
+use casyn_flow::telemetry::snapshot_json;
+use casyn_flow::{
+    congestion_flow_prepared, fnv1a64, k_row_json, library_fingerprint, parse_manifest_value,
+    prepare, FlowError, FlowErrorKind, FlowOptions, KSweepEntry, KeyBuilder, ManifestDefaults,
+    ManifestJob, Prepared, Stage,
+};
+use casyn_netlist::network::Network;
+use casyn_obs as obs;
+use casyn_obs::json::{JsonErrorKind, JsonLimits, JsonValue};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 binds an ephemeral port (see
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Synthesis worker threads (0 = `Pool::from_env`).
+    pub workers: usize,
+    /// Maximum queued (admitted but not yet started) jobs; submissions
+    /// that do not fit are rejected whole with 429.
+    pub queue_capacity: usize,
+    /// Maximum request body size; larger submissions get 413.
+    pub max_body_bytes: usize,
+    /// Batch-runner retries per failed job.
+    pub retries: u32,
+    /// Entries in the result cache (content address → finished rows).
+    pub result_cache_cap: usize,
+    /// Entries in the prepare cache (front-end artifacts).
+    pub prepare_cache_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 0,
+            queue_capacity: 64,
+            max_body_bytes: 8 << 20,
+            retries: 0,
+            result_cache_cap: 256,
+            prepare_cache_cap: 32,
+        }
+    }
+}
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobStatus {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    fn terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled)
+    }
+}
+
+/// One row of the job table.
+struct JobRecord {
+    name: String,
+    design: String,
+    status: JobStatus,
+    /// How the result was (or will be) obtained: `"hit"`, `"dedup"`,
+    /// `"miss"`, or `"bypass"` for fault-plan jobs that skip the cache.
+    cache: &'static str,
+    rows: Option<Arc<JsonValue>>,
+    degraded: bool,
+    error: Option<String>,
+    wall_ms: f64,
+    events: Vec<String>,
+    submitted: Instant,
+}
+
+/// A finished result in the content-addressed cache.
+#[derive(Clone)]
+struct CachedResult {
+    rows: Arc<JsonValue>,
+    degraded: bool,
+}
+
+/// A prepare-cache slot: per-key mutex so concurrent jobs with the same
+/// front end compute it exactly once while distinct keys proceed in
+/// parallel.
+type PrepSlot = Arc<Mutex<Option<Arc<Prepared>>>>;
+
+/// An admitted job waiting for (or being run by) the dispatcher.
+struct Task {
+    job_id: usize,
+    mjob: ManifestJob,
+    network: Network,
+    fault: Option<FaultPlan>,
+    prep_key: u64,
+    /// `None` for fault-plan jobs: injected failures must never be
+    /// cached or deduped onto healthy submissions.
+    result_key: Option<u64>,
+}
+
+struct Inner {
+    jobs: Vec<JobRecord>,
+    queue: VecDeque<Task>,
+    /// Content address → follower job ids waiting on the in-flight
+    /// compute of the same artifact.
+    inflight: HashMap<u64, Vec<usize>>,
+    results: Lru<CachedResult>,
+    prepared: Lru<PrepSlot>,
+    draining: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Wakes the dispatcher (queue or drain-state changed).
+    queue_cv: Condvar,
+    /// Wakes result/event waiters (a job changed state).
+    state_cv: Condvar,
+    /// Fired by `POST /shutdown {"mode": "cancel"}`; queued jobs that
+    /// have not started are skipped and flushed as cancelled.
+    cancel: CancelToken,
+    stop_accept: AtomicBool,
+    addr: SocketAddr,
+    config: ServeConfig,
+}
+
+fn lock_inner(shared: &Shared) -> MutexGuard<'_, Inner> {
+    shared.inner.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A running synthesis service. Dropping the handle does not stop the
+/// server; use `POST /shutdown` (or [`Server::wait`] after one) to end
+/// it.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and dispatcher, and returns.
+    /// Metrics collection is switched on (the service exposes
+    /// `/metrics`).
+    pub fn start(config: ServeConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+        obs::set_enabled(true);
+        let pool = if config.workers == 0 { Pool::from_env() } else { Pool::new(config.workers) };
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                jobs: Vec::new(),
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                results: Lru::new(config.result_cache_cap),
+                prepared: Lru::new(config.prepare_cache_cap),
+                draining: false,
+            }),
+            queue_cv: Condvar::new(),
+            state_cv: Condvar::new(),
+            cancel: CancelToken::new(),
+            stop_accept: AtomicBool::new(false),
+            addr,
+            config,
+        });
+        let dispatcher = {
+            let shared = shared.clone();
+            thread::spawn(move || dispatcher_loop(&shared, &pool))
+        };
+        let acceptor = {
+            let shared = shared.clone();
+            thread::spawn(move || accept_loop(&shared, listener))
+        };
+        Ok(Server { addr, shared, threads: vec![dispatcher, acceptor] })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The address as `host:port`, ready for [`crate::client`].
+    pub fn endpoint(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Blocks until the server has fully drained after a
+    /// `POST /shutdown`.
+    pub fn wait(self) -> Result<(), String> {
+        for t in self.threads {
+            t.join().map_err(|_| "server thread panicked".to_string())?;
+        }
+        Ok(())
+    }
+
+    /// True once a shutdown has been requested.
+    pub fn draining(&self) -> bool {
+        lock_inner(&self.shared).draining
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop_accept.load(Ordering::SeqCst) {
+                    return; // the self-connect that unblocked us
+                }
+                let shared = shared.clone();
+                thread::spawn(move || handle_conn(&shared, stream));
+            }
+            Err(_) => {
+                if shared.stop_accept.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let req = match http::read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = http::respond_error(&mut stream, &e);
+            return;
+        }
+    };
+    let segs: Vec<String> =
+        req.path.split('/').filter(|s| !s.is_empty()).map(str::to_string).collect();
+    let seg_refs: Vec<&str> = segs.iter().map(String::as_str).collect();
+    // the events stream writes incrementally and owns the socket
+    if let ["jobs", id, "events"] = seg_refs.as_slice() {
+        if req.method == "GET" {
+            handle_events(shared, &mut stream, id);
+            return;
+        }
+    }
+    // shutdown also owns the socket: the acknowledgement must be on the
+    // wire before the drain starts, or process exit (wait() returning
+    // once the accept loop and dispatcher join) races this detached
+    // handler thread's response write and the client sees a bare close
+    if seg_refs.as_slice() == ["shutdown"] && req.method == "POST" {
+        handle_shutdown(shared, &mut stream, &req);
+        return;
+    }
+    let result: Result<(u16, JsonValue), HttpError> = match seg_refs.as_slice() {
+        ["jobs"] if req.method == "POST" => handle_submit(shared, &req),
+        ["jobs"] => Err(HttpError::method_not_allowed()),
+        ["jobs", id] if req.method == "GET" => handle_status(shared, id),
+        ["jobs", _] => Err(HttpError::method_not_allowed()),
+        ["jobs", id, "result"] if req.method == "GET" => {
+            handle_result(shared, id, req.query_flag("wait"))
+        }
+        ["jobs", _, "result"] | ["jobs", _, "events"] => Err(HttpError::method_not_allowed()),
+        ["metrics"] if req.method == "GET" => Ok((200, metrics_doc(shared))),
+        ["metrics"] => Err(HttpError::method_not_allowed()),
+        ["healthz"] if req.method == "GET" => {
+            Ok((200, JsonValue::object(vec![("status".into(), JsonValue::Str("ok".into()))])))
+        }
+        ["healthz"] => Err(HttpError::method_not_allowed()),
+        ["shutdown"] => Err(HttpError::method_not_allowed()),
+        _ => Err(HttpError::not_found(format!("no such endpoint: {}", req.path))),
+    };
+    let _ = match result {
+        Ok((status, doc)) => http::respond_json(&mut stream, status, &doc),
+        Err(e) => http::respond_error(&mut stream, &e),
+    };
+}
+
+fn parse_job_id(shared: &Shared, id: &str) -> Result<usize, HttpError> {
+    let id: usize = id.parse().map_err(|_| HttpError::not_found(format!("bad job id {id:?}")))?;
+    if id >= lock_inner(shared).jobs.len() {
+        return Err(HttpError::not_found(format!("no job {id}")));
+    }
+    Ok(id)
+}
+
+/// Replicates the CLI's fault-plan validation: unknown stage names fail
+/// the job at submit time instead of silently never firing.
+fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    let plan = FaultPlan::parse(spec)?;
+    for s in plan.specs() {
+        if Stage::parse(&s.stage).is_none() {
+            let known: Vec<&str> = Stage::ALL.iter().map(|st| st.name()).collect();
+            return Err(format!(
+                "fault plan: unknown stage {:?} (expected one of {})",
+                s.stage,
+                known.join(", ")
+            ));
+        }
+    }
+    Ok(plan)
+}
+
+/// Everything a manifest entry needs to run, plus its content address.
+struct LoadedJob {
+    network: Network,
+    fault: Option<FaultPlan>,
+    prep_key: u64,
+    result_key: Option<u64>,
+}
+
+/// Loads the design and derives the job's content address: design text
+/// hash, library fingerprint and flow parameters. Wall-clock never
+/// enters a key, so a resubmit hits regardless of how long the original
+/// run took.
+fn load_and_key(m: &ManifestJob) -> Result<LoadedJob, String> {
+    let plan_spec =
+        m.fault_plan.clone().or_else(|| m.inject_panic.then(|| "decompose:panic:1".to_string()));
+    let fault = plan_spec.as_deref().map(parse_fault_plan).transpose()?;
+    let (network, raw) = m.load_network()?;
+    let opts = m.flow_options(false);
+    let design_hash = fnv1a64(raw.as_bytes());
+    let lib_fp = library_fingerprint(&opts.lib);
+    let placer = opts.placer.backend.name();
+    let prep_key = KeyBuilder::new("casyn.serve.prep.v1")
+        .hash(design_hash)
+        .hash(lib_fp)
+        .num(m.util)
+        .int(m.layers as u64)
+        .bool(m.optimize)
+        .str(placer)
+        .finish();
+    let result_key = fault.is_none().then(|| {
+        KeyBuilder::new("casyn.serve.job.v1")
+            .hash(design_hash)
+            .hash(lib_fp)
+            .num(m.util)
+            .int(m.layers as u64)
+            .bool(m.optimize)
+            .str(placer)
+            .nums(&m.ks)
+            .finish()
+    });
+    Ok(LoadedJob { network, fault, prep_key, result_key })
+}
+
+fn push_event(rec: &mut JobRecord, mut fields: Vec<(String, JsonValue)>) {
+    let t_ms = rec.submitted.elapsed().as_secs_f64() * 1e3;
+    fields.push(("t_ms".into(), JsonValue::Number(t_ms)));
+    rec.events.push(JsonValue::object(fields).to_string_compact());
+}
+
+fn event(name: &str) -> Vec<(String, JsonValue)> {
+    vec![("event".into(), JsonValue::Str(name.into()))]
+}
+
+/// How submission classified one manifest entry.
+enum Admit {
+    LoadError(String),
+    Hit(CachedResult),
+    Dedup(u64),
+    Enqueue,
+}
+
+fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Result<(u16, JsonValue), HttpError> {
+    let text = String::from_utf8_lossy(&req.body).into_owned();
+    let limits = JsonLimits { max_bytes: shared.config.max_body_bytes, ..Default::default() };
+    let doc = JsonValue::parse_with_limits(&text, &limits).map_err(|e| match e.kind {
+        JsonErrorKind::TooLarge => HttpError::too_large(shared.config.max_body_bytes),
+        _ => HttpError::bad_request(format!("manifest: {e}")),
+    })?;
+    let manifest = parse_manifest_value(&doc, &ManifestDefaults::default())
+        .map_err(|e| HttpError::bad_request(format!("manifest: {e}")))?;
+    // design loading and content addressing happen outside the state lock
+    let loaded: Vec<(ManifestJob, Result<LoadedJob, String>)> = manifest
+        .into_iter()
+        .map(|m| {
+            let l = load_and_key(&m);
+            (m, l)
+        })
+        .collect();
+
+    let mut g = lock_inner(shared);
+    if g.draining {
+        return Err(HttpError::unavailable("server is draining"));
+    }
+    // classification pass: decide every job's fate before mutating, so a
+    // 429 rejects the whole request without admitting a partial batch
+    let mut admits = Vec::with_capacity(loaded.len());
+    let mut pending: HashSet<u64> = HashSet::new();
+    for (_, l) in &loaded {
+        match l {
+            Err(e) => admits.push(Admit::LoadError(e.clone())),
+            Ok(l) => match l.result_key {
+                Some(k) => {
+                    if let Some(c) = g.results.get(k) {
+                        admits.push(Admit::Hit(c.clone()));
+                    } else if g.inflight.contains_key(&k) || pending.contains(&k) {
+                        admits.push(Admit::Dedup(k));
+                    } else {
+                        pending.insert(k);
+                        admits.push(Admit::Enqueue);
+                    }
+                }
+                None => admits.push(Admit::Enqueue),
+            },
+        }
+    }
+    let slots = admits.iter().filter(|a| matches!(a, Admit::Enqueue)).count();
+    if g.queue.len() + slots > shared.config.queue_capacity {
+        obs::counter_add("serve.rejected", loaded.len() as u64);
+        return Err(HttpError::backpressure(format!(
+            "queue full: {} queued of capacity {}, {slots} more requested",
+            g.queue.len(),
+            shared.config.queue_capacity
+        )));
+    }
+    // admission pass
+    let mut out = Vec::with_capacity(loaded.len());
+    for ((m, l), admit) in loaded.into_iter().zip(admits) {
+        let id = g.jobs.len();
+        let mut rec = JobRecord {
+            name: m.name.clone(),
+            design: m.design.clone(),
+            status: JobStatus::Queued,
+            cache: "miss",
+            rows: None,
+            degraded: false,
+            error: None,
+            wall_ms: 0.0,
+            events: Vec::new(),
+            submitted: Instant::now(),
+        };
+        push_event(&mut rec, event("submitted"));
+        obs::counter_add("serve.submitted", 1);
+        match admit {
+            Admit::LoadError(e) => {
+                rec.status = JobStatus::Failed;
+                rec.cache = "none";
+                rec.error = Some(e.clone());
+                let mut ev = event("failed");
+                ev.push(("error".into(), JsonValue::Str(e)));
+                push_event(&mut rec, ev);
+                obs::counter_add("serve.jobs_failed", 1);
+            }
+            Admit::Hit(c) => {
+                rec.status = JobStatus::Done;
+                rec.cache = "hit";
+                rec.rows = Some(c.rows);
+                rec.degraded = c.degraded;
+                push_event(&mut rec, event("cache_hit"));
+                push_event(&mut rec, event("done"));
+                obs::counter_add("serve.cache_hits", 1);
+                obs::counter_add("serve.jobs_done", 1);
+            }
+            Admit::Dedup(k) => {
+                rec.cache = "dedup";
+                push_event(&mut rec, event("deduped"));
+                g.inflight.entry(k).or_default().push(id);
+                obs::counter_add("serve.deduped", 1);
+            }
+            Admit::Enqueue => {
+                let l = l.expect("classified Enqueue from Ok");
+                if l.result_key.is_none() {
+                    rec.cache = "bypass";
+                }
+                push_event(&mut rec, event("queued"));
+                if let Some(k) = l.result_key {
+                    g.inflight.insert(k, Vec::new());
+                }
+                g.queue.push_back(Task {
+                    job_id: id,
+                    mjob: m.clone(),
+                    network: l.network,
+                    fault: l.fault,
+                    prep_key: l.prep_key,
+                    result_key: l.result_key,
+                });
+                obs::counter_add("serve.queued", 1);
+            }
+        }
+        out.push(JsonValue::object(vec![
+            ("id".into(), JsonValue::Number(id as f64)),
+            ("name".into(), JsonValue::Str(m.name)),
+            ("status".into(), JsonValue::Str(rec.status.as_str().into())),
+            ("cache".into(), JsonValue::Str(rec.cache.into())),
+        ]));
+        g.jobs.push(rec);
+    }
+    drop(g);
+    shared.queue_cv.notify_all();
+    shared.state_cv.notify_all();
+    Ok((202, JsonValue::object(vec![("jobs".into(), JsonValue::Array(out))])))
+}
+
+fn status_doc(rec: &JobRecord, id: usize, with_rows: bool) -> JsonValue {
+    let mut doc = vec![
+        ("id".into(), JsonValue::Number(id as f64)),
+        ("name".into(), JsonValue::Str(rec.name.clone())),
+        ("design".into(), JsonValue::Str(rec.design.clone())),
+        ("status".into(), JsonValue::Str(rec.status.as_str().into())),
+        ("cache".into(), JsonValue::Str(rec.cache.into())),
+        ("degraded".into(), JsonValue::Bool(rec.degraded)),
+        ("wall_ms".into(), JsonValue::Number(rec.wall_ms)),
+        ("events".into(), JsonValue::Number(rec.events.len() as f64)),
+    ];
+    if let Some(e) = &rec.error {
+        doc.push(("error".into(), JsonValue::Str(e.clone())));
+    }
+    if with_rows {
+        let rows = match &rec.rows {
+            Some(r) => (**r).clone(),
+            None => JsonValue::Array(Vec::new()),
+        };
+        doc.push(("rows".into(), rows));
+    }
+    JsonValue::object(doc)
+}
+
+fn handle_status(shared: &Shared, id: &str) -> Result<(u16, JsonValue), HttpError> {
+    let id = parse_job_id(shared, id)?;
+    let g = lock_inner(shared);
+    Ok((200, status_doc(&g.jobs[id], id, false)))
+}
+
+fn handle_result(shared: &Shared, id: &str, wait: bool) -> Result<(u16, JsonValue), HttpError> {
+    let id = parse_job_id(shared, id)?;
+    let mut g = lock_inner(shared);
+    if wait {
+        let deadline = Instant::now() + Duration::from_secs(600);
+        while !g.jobs[id].status.terminal() {
+            if Instant::now() > deadline {
+                return Err(HttpError::conflict(format!("job {id} still running")));
+            }
+            let (ng, _) = shared
+                .state_cv
+                .wait_timeout(g, Duration::from_millis(500))
+                .unwrap_or_else(|p| p.into_inner());
+            g = ng;
+        }
+    } else if !g.jobs[id].status.terminal() {
+        return Err(HttpError::conflict(format!(
+            "job {id} is {}; poll again or pass ?wait=1",
+            g.jobs[id].status.as_str()
+        )));
+    }
+    Ok((200, status_doc(&g.jobs[id], id, true)))
+}
+
+fn handle_events(shared: &Shared, stream: &mut TcpStream, id: &str) {
+    let id = match parse_job_id(shared, id) {
+        Ok(id) => id,
+        Err(e) => {
+            let _ = http::respond_error(stream, &e);
+            return;
+        }
+    };
+    if http::start_ndjson_stream(stream).is_err() {
+        return;
+    }
+    let mut sent = 0usize;
+    loop {
+        let (chunk, terminal) = {
+            let mut g = lock_inner(shared);
+            loop {
+                let rec = &g.jobs[id];
+                if rec.events.len() > sent || rec.status.terminal() {
+                    let chunk: Vec<String> = rec.events[sent..].to_vec();
+                    sent = rec.events.len();
+                    break (chunk, rec.status.terminal());
+                }
+                let (ng, _) = shared
+                    .state_cv
+                    .wait_timeout(g, Duration::from_millis(500))
+                    .unwrap_or_else(|p| p.into_inner());
+                g = ng;
+            }
+        };
+        for line in &chunk {
+            use std::io::Write;
+            if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+                return; // client went away
+            }
+        }
+        {
+            use std::io::Write;
+            let _ = stream.flush();
+        }
+        if terminal {
+            return;
+        }
+    }
+}
+
+fn metrics_doc(shared: &Shared) -> JsonValue {
+    {
+        let g = lock_inner(shared);
+        obs::gauge_set("serve.queue_depth", g.queue.len() as f64);
+        let inflight = g.jobs.iter().filter(|r| !r.status.terminal()).count();
+        obs::gauge_set("serve.inflight", inflight as f64);
+    }
+    JsonValue::object(vec![
+        ("schema".into(), JsonValue::Str("casyn.metrics.v1".into())),
+        ("metrics".into(), snapshot_json(&obs::snapshot())),
+    ])
+}
+
+fn handle_shutdown(shared: &Arc<Shared>, stream: &mut TcpStream, req: &Request) {
+    let body = String::from_utf8_lossy(&req.body);
+    let cancel_mode = if body.trim().is_empty() {
+        false
+    } else {
+        match JsonValue::parse(&body) {
+            Ok(doc) => doc.get("mode").and_then(|v| v.as_str()) == Some("cancel"),
+            Err(e) => {
+                let _ = http::respond_error(
+                    stream,
+                    &HttpError::bad_request(format!("shutdown body: {e}")),
+                );
+                return;
+            }
+        }
+    };
+    // acknowledge first: once the flags below flip, wait() can return
+    // and the process may exit before a later write would land
+    let doc = JsonValue::object(vec![
+        ("status".into(), JsonValue::Str("draining".into())),
+        ("mode".into(), JsonValue::Str(if cancel_mode { "cancel".into() } else { "drain".into() })),
+    ]);
+    let _ = http::respond_json(stream, 200, &doc);
+    {
+        let mut g = lock_inner(shared);
+        g.draining = true;
+    }
+    if cancel_mode {
+        // queued-but-unstarted jobs are skipped at claim time and
+        // flushed as cancelled; running jobs always finish
+        shared.cancel.cancel();
+    }
+    shared.queue_cv.notify_all();
+    shared.state_cv.notify_all();
+    shared.stop_accept.store(true, Ordering::SeqCst);
+    // unblock the accept loop so it can observe the flag
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn dispatcher_loop(shared: &Arc<Shared>, pool: &Pool) {
+    loop {
+        let tasks: Vec<Task> = {
+            let mut g = lock_inner(shared);
+            loop {
+                if !g.queue.is_empty() {
+                    break g.queue.drain(..).collect();
+                }
+                if g.draining {
+                    return;
+                }
+                g = shared.queue_cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        run_tasks(shared, pool, &tasks);
+    }
+}
+
+fn mark_running(shared: &Shared, job_id: usize) {
+    let mut g = lock_inner(shared);
+    if g.jobs[job_id].status == JobStatus::Queued {
+        g.jobs[job_id].status = JobStatus::Running;
+        push_event(&mut g.jobs[job_id], event("started"));
+    }
+    drop(g);
+    shared.state_cv.notify_all();
+}
+
+/// Returns the shared front-end artifact for `key`, computing it at
+/// most once per key even under concurrent requests (each key has its
+/// own mutex, so distinct designs still prepare in parallel).
+fn prepared_for(
+    shared: &Shared,
+    key: u64,
+    network: &Network,
+    opts: &FlowOptions,
+) -> Result<Arc<Prepared>, FlowError> {
+    let slot: PrepSlot = {
+        let mut g = lock_inner(shared);
+        match g.prepared.get(key) {
+            Some(s) => s.clone(),
+            None => {
+                let s: PrepSlot = Arc::new(Mutex::new(None));
+                g.prepared.insert(key, s.clone());
+                s
+            }
+        }
+    };
+    let mut s = slot.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(p) = s.as_ref() {
+        obs::counter_add("serve.prepare_hits", 1);
+        return Ok(p.clone());
+    }
+    let p = Arc::new(prepare(network, opts)?);
+    *s = Some(p.clone());
+    Ok(p)
+}
+
+fn run_tasks(shared: &Arc<Shared>, pool: &Pool, tasks: &[Task]) {
+    let bopts = BatchOptions {
+        retries: shared.config.retries,
+        escalate_k: false,
+        cancel: Some(shared.cancel.clone()),
+    };
+    let jobs: Vec<BatchJob> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut opts = t.mjob.flow_options(false);
+            opts.fault = t.fault.as_ref().map(|p| p.fresh());
+            BatchJob {
+                // the name carries the task index: the runner only gets
+                // &BatchJob, and display names live in the job table
+                name: i.to_string(),
+                network: t.network.clone(),
+                ks: t.mjob.ks.clone(),
+                opts,
+                deadline: t.mjob.deadline_ms.map(|ms| Duration::from_secs_f64(ms / 1e3)),
+            }
+        })
+        .collect();
+    let runner = |j: &BatchJob| -> Result<JobSuccess, FlowError> {
+        let ti: usize = j.name.parse().expect("batch job name is the task index");
+        let t = &tasks[ti];
+        mark_running(shared, t.job_id);
+        obs::counter_add("serve.computes", 1);
+        if t.fault.is_some() {
+            // fault-plan jobs take the stock batch path so injected
+            // failures hit the same stages they would under `casyn batch`
+            return run_batch_job(j, &bopts);
+        }
+        let prep = prepared_for(shared, t.prep_key, &j.network, &j.opts)?;
+        let mut rows = Vec::with_capacity(j.ks.len());
+        for &k in &j.ks {
+            let result = congestion_flow_prepared(&prep, k, &j.opts)?;
+            {
+                let mut g = lock_inner(shared);
+                let mut ev = event("k_done");
+                ev.push(("k".into(), JsonValue::Number(k)));
+                ev.push(("violations".into(), JsonValue::Number(result.route.violations as f64)));
+                push_event(&mut g.jobs[t.job_id], ev);
+            }
+            shared.state_cv.notify_all();
+            rows.push(KSweepEntry { k, result });
+        }
+        Ok(JobSuccess { rows, degraded: false })
+    };
+    let on_done = |i: usize, jr: &BatchJobReport| finish_job(shared, &tasks[i], jr);
+    run_batch_observed(&jobs, pool, &bopts, runner, on_done);
+}
+
+fn finish_job(shared: &Shared, t: &Task, jr: &BatchJobReport) {
+    let mut g = lock_inner(shared);
+    match &jr.outcome {
+        Ok(s) => {
+            let rows = Arc::new(JsonValue::Array(s.rows.iter().map(k_row_json).collect()));
+            if let Some(k) = t.result_key {
+                g.results.insert(k, CachedResult { rows: rows.clone(), degraded: s.degraded });
+            }
+            let followers = t.result_key.and_then(|k| g.inflight.remove(&k)).unwrap_or_default();
+            for id in std::iter::once(t.job_id).chain(followers) {
+                let rec = &mut g.jobs[id];
+                rec.status = JobStatus::Done;
+                rec.rows = Some(rows.clone());
+                rec.degraded = s.degraded;
+                rec.wall_ms = jr.wall_ms;
+                push_event(rec, event("done"));
+                obs::counter_add("serve.jobs_done", 1);
+            }
+        }
+        Err(e) => {
+            let cancelled = e.kind == FlowErrorKind::Cancelled;
+            let status = if cancelled { JobStatus::Cancelled } else { JobStatus::Failed };
+            let followers = t.result_key.and_then(|k| g.inflight.remove(&k)).unwrap_or_default();
+            for id in std::iter::once(t.job_id).chain(followers) {
+                let rec = &mut g.jobs[id];
+                rec.status = status;
+                rec.error = Some(e.to_string());
+                rec.wall_ms = jr.wall_ms;
+                let mut ev = event(status.as_str());
+                ev.push(("error".into(), JsonValue::Str(e.to_string())));
+                push_event(rec, ev);
+                obs::counter_add(
+                    if cancelled { "serve.jobs_cancelled" } else { "serve.jobs_failed" },
+                    1,
+                );
+            }
+        }
+    }
+    drop(g);
+    shared.state_cv.notify_all();
+}

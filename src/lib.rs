@@ -22,6 +22,7 @@
 //! | [`flow`] | `casyn-flow` | end-to-end flows, K sweeps, batch runner, the Fig. 3 methodology |
 //! | [`exec`] | `casyn-exec` | deterministic work-stealing pool, cancellation, deadlines |
 //! | [`obs`] | `casyn-obs` | metrics registry, stage tracing, telemetry JSON |
+//! | [`serve`] | `casyn-serve` | HTTP job service with a content-addressed artifact cache |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub use casyn_netlist as netlist;
 pub use casyn_obs as obs;
 pub use casyn_place as place;
 pub use casyn_route as route;
+pub use casyn_serve as serve;
 pub use casyn_timing as timing;
 
 /// One-import convenience for application code.

@@ -1,0 +1,333 @@
+//! End-to-end tests for the synthesis service: real sockets on ephemeral
+//! ports, content-addressed cache hits, request dedup, HTTP error
+//! discipline, backpressure, and graceful drain.
+
+use casyn::netlist::bench::{random_pla, PlaGenConfig};
+use casyn::netlist::blif::to_blif;
+use casyn::obs;
+use casyn::obs::json::JsonValue;
+use casyn::serve::{client, request_json, ServeConfig, Server};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The metrics registry is process-wide and `Server::start` enables it;
+/// tests that read counter deltas must not interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match OBS_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn start(config: ServeConfig) -> Server {
+    Server::start(ServeConfig { addr: "127.0.0.1:0".into(), ..config }).unwrap()
+}
+
+/// Single-job manifest with an inline BLIF source, as a remote client
+/// with no shared filesystem would send it.
+fn manifest(name: &str, seed: u64, terms: usize, ks: &[f64]) -> String {
+    let pla = random_pla(&PlaGenConfig { terms, seed, ..Default::default() });
+    let blif = to_blif(&pla.to_network(), name);
+    JsonValue::object(vec![(
+        "jobs".into(),
+        JsonValue::Array(vec![JsonValue::object(vec![
+            ("name".into(), JsonValue::Str(name.into())),
+            ("source".into(), JsonValue::Str(blif)),
+            ("format".into(), JsonValue::Str("blif".into())),
+            ("ks".into(), JsonValue::Array(ks.iter().map(|&k| JsonValue::Number(k)).collect())),
+        ])]),
+    )])
+    .to_string_pretty()
+}
+
+/// Submits a manifest and returns the first job's (id, cache tag).
+fn submit_one(addr: &str, body: &str) -> (i64, String) {
+    let (status, doc) = request_json(addr, "POST", "/jobs", Some(body)).unwrap();
+    assert_eq!(status, 202, "submit failed: {doc:?}");
+    let job = doc.get("jobs").and_then(|v| v.as_array()).and_then(|a| a.first()).unwrap();
+    (
+        job.get("id").and_then(|v| v.as_f64()).unwrap() as i64,
+        job.get("cache").and_then(|v| v.as_str()).unwrap().to_string(),
+    )
+}
+
+/// Blocks until the job is terminal and returns its result document.
+fn result_wait(addr: &str, id: i64) -> JsonValue {
+    let (status, doc) =
+        request_json(addr, "GET", &format!("/jobs/{id}/result?wait=1"), None).unwrap();
+    assert_eq!(status, 200, "result fetch failed: {doc:?}");
+    doc
+}
+
+fn counter(snap: &obs::Snapshot, key: &str) -> u64 {
+    snap.counter(key).unwrap_or(0)
+}
+
+#[test]
+fn identical_resubmit_hits_cache_without_rerouting() {
+    let _guard = lock();
+    let server = start(ServeConfig { workers: 2, ..Default::default() });
+    let addr = server.endpoint();
+    let m = manifest("accept", 7, 40, &[0.0, 0.5, 1.0]);
+
+    let t0 = Instant::now();
+    let (id0, cache0) = submit_one(&addr, &m);
+    let r0 = result_wait(&addr, id0);
+    let cold = t0.elapsed();
+    assert_eq!(cache0, "miss");
+    assert_eq!(r0.get("status").and_then(|v| v.as_str()), Some("done"));
+    let rows0 = r0.get("rows").and_then(|v| v.as_array()).unwrap().to_vec();
+    assert_eq!(rows0.len(), 3, "one row per K value");
+
+    // the resubmit must not touch the router: zero route.iterations delta,
+    // zero new computes, and at least 10x lower submit-to-result latency
+    let before = obs::snapshot();
+    let t1 = Instant::now();
+    let (id1, cache1) = submit_one(&addr, &m);
+    let r1 = result_wait(&addr, id1);
+    let warm = t1.elapsed();
+    let delta = obs::snapshot().delta_since(&before);
+
+    assert_ne!(id1, id0, "resubmit is a new job record");
+    assert_eq!(cache1, "hit");
+    assert_eq!(r1.get("status").and_then(|v| v.as_str()), Some("done"));
+    assert_eq!(counter(&delta, "route.iterations"), 0, "cache hit re-ran the router");
+    assert_eq!(counter(&delta, "serve.computes"), 0, "cache hit re-ran the flow");
+    assert_eq!(counter(&delta, "serve.cache_hits"), 1);
+    assert!(cold >= warm * 10, "expected >=10x speedup, got cold {cold:?} vs warm {warm:?}");
+
+    // both jobs report identical K-sweep rows
+    let rows1 = r1.get("rows").and_then(|v| v.as_array()).unwrap().to_vec();
+    assert_eq!(rows0.len(), rows1.len());
+    for (a, b) in rows0.iter().zip(rows1.iter()) {
+        assert_eq!(
+            a.get("wirelength_um").and_then(|v| v.as_f64()),
+            b.get("wirelength_um").and_then(|v| v.as_f64())
+        );
+    }
+
+    // the events stream is close-delimited NDJSON ending in a terminal event
+    let ev =
+        client::raw(&addr, &format!("GET /jobs/{id0}/events HTTP/1.1\r\nHost: t\r\n\r\n")).unwrap();
+    assert_eq!(ev.status, 200);
+    assert!(ev.body.contains("\"event\":\"submitted\""), "events: {}", ev.body);
+    assert!(ev.body.contains("\"event\":\"done\""), "events: {}", ev.body);
+
+    request_json(&addr, "POST", "/shutdown", None).unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn concurrent_identical_submits_dedupe_to_one_compute() {
+    let _guard = lock();
+    let server = start(ServeConfig { workers: 2, ..Default::default() });
+    let addr = server.endpoint();
+    let m = manifest("dedup", 11, 32, &[0.0, 1.0]);
+    let before = obs::snapshot();
+
+    let tags: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(|| {
+                    let (id, cache) = submit_one(&addr, &m);
+                    let r = result_wait(&addr, id);
+                    assert_eq!(r.get("status").and_then(|v| v.as_str()), Some("done"));
+                    cache
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let delta = obs::snapshot().delta_since(&before);
+    assert_eq!(counter(&delta, "serve.computes"), 1, "tags: {tags:?}");
+    assert_eq!(counter(&delta, "serve.jobs_done"), 4);
+    assert_eq!(tags.iter().filter(|t| *t == "miss").count(), 1, "tags: {tags:?}");
+    for t in &tags {
+        assert!(t == "miss" || t == "dedup" || t == "hit", "unexpected tag {t}");
+    }
+
+    request_json(&addr, "POST", "/shutdown", None).unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn http_layer_rejects_malformed_requests() {
+    let _guard = lock();
+    let server = start(ServeConfig { workers: 1, max_body_bytes: 1024, ..Default::default() });
+    let addr = server.endpoint();
+
+    let (status, _) = request_json(&addr, "GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = request_json(&addr, "GET", "/jobs/999", None).unwrap();
+    assert_eq!(status, 404, "unknown job id");
+    let (status, _) = request_json(&addr, "DELETE", "/jobs", None).unwrap();
+    assert_eq!(status, 405, "unsupported method");
+    let (status, doc) = request_json(&addr, "POST", "/jobs", Some("{not json")).unwrap();
+    assert_eq!(status, 400);
+    assert!(
+        doc.get("error").and_then(|v| v.as_str()).unwrap().contains("manifest"),
+        "error names the manifest: {doc:?}"
+    );
+    let (status, doc) =
+        request_json(&addr, "POST", "/jobs", Some("{\"jobs\": [{\"ks\": []}]}")).unwrap();
+    assert_eq!(status, 400);
+    assert!(doc.get("error").and_then(|v| v.as_str()).unwrap().contains("job 0"));
+
+    // chunked transfer encoding is rejected up front, not half-read
+    let r = client::raw(
+        &addr,
+        "POST /jobs HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+    )
+    .unwrap();
+    assert_eq!(r.status, 411);
+
+    // a body larger than the configured cap is refused before it is read
+    let big = format!("{{\"pad\": \"{}\"}}", "x".repeat(4096));
+    let r = client::request(&addr, "POST", "/jobs", Some(&big)).unwrap();
+    assert_eq!(r.status, 413);
+
+    request_json(&addr, "POST", "/shutdown", None).unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn full_queue_rejects_whole_request_with_429() {
+    let _guard = lock();
+    // capacity 0 makes rejection deterministic regardless of worker speed
+    let server = start(ServeConfig { workers: 1, queue_capacity: 0, ..Default::default() });
+    let addr = server.endpoint();
+    let before = obs::snapshot();
+
+    let (status, doc) =
+        request_json(&addr, "POST", "/jobs", Some(&manifest("bp", 3, 8, &[0.0]))).unwrap();
+    assert_eq!(status, 429);
+    assert!(doc.get("error").and_then(|v| v.as_str()).unwrap().contains("queue full"), "{doc:?}");
+
+    // rejection is atomic: no job record was admitted
+    let (status, _) = request_json(&addr, "GET", "/jobs/0", None).unwrap();
+    assert_eq!(status, 404);
+    let delta = obs::snapshot().delta_since(&before);
+    assert_eq!(counter(&delta, "serve.rejected"), 1);
+    assert_eq!(counter(&delta, "serve.queued"), 0);
+
+    request_json(&addr, "POST", "/shutdown", None).unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn fault_plan_jobs_fail_and_bypass_the_cache() {
+    let _guard = lock();
+    let server = start(ServeConfig { workers: 1, ..Default::default() });
+    let addr = server.endpoint();
+    let pla = random_pla(&PlaGenConfig { terms: 8, seed: 5, ..Default::default() });
+    let body = JsonValue::object(vec![(
+        "jobs".into(),
+        JsonValue::Array(vec![JsonValue::object(vec![
+            ("name".into(), JsonValue::Str("boom".into())),
+            ("source".into(), JsonValue::Str(to_blif(&pla.to_network(), "boom"))),
+            ("format".into(), JsonValue::Str("blif".into())),
+            ("ks".into(), JsonValue::Array(vec![JsonValue::Number(0.0)])),
+            ("fault_plan".into(), JsonValue::Str("decompose:panic:1".into())),
+        ])]),
+    )])
+    .to_string_pretty();
+    let before = obs::snapshot();
+
+    for round in 0..2 {
+        let (id, cache) = submit_one(&addr, &body);
+        assert_eq!(cache, "bypass", "fault jobs must never be cached (round {round})");
+        let (status, doc) =
+            request_json(&addr, "GET", &format!("/jobs/{id}/result?wait=1"), None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("failed"));
+        let err = doc.get("error").and_then(|v| v.as_str()).unwrap();
+        assert!(err.contains("decompose"), "error names the faulted stage: {err}");
+    }
+    let delta = obs::snapshot().delta_since(&before);
+    assert_eq!(counter(&delta, "serve.computes"), 2, "fault jobs recompute every time");
+    assert_eq!(counter(&delta, "serve.jobs_failed"), 2);
+    assert_eq!(counter(&delta, "serve.cache_hits"), 0);
+
+    request_json(&addr, "POST", "/shutdown", None).unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn shutdown_drains_queued_jobs_then_exits() {
+    let _guard = lock();
+    let server = start(ServeConfig { workers: 1, ..Default::default() });
+    let addr = server.endpoint();
+    let before = obs::snapshot();
+
+    let mut ids = Vec::new();
+    for i in 0..2 {
+        let (id, _) = submit_one(&addr, &manifest(&format!("drain{i}"), 100 + i, 16, &[0.0]));
+        ids.push(id);
+    }
+    let (status, doc) = request_json(&addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("draining"));
+    assert!(server.draining());
+    server.wait().unwrap();
+
+    // every admitted job reached a terminal state before the process let go
+    let delta = obs::snapshot().delta_since(&before);
+    let done = counter(&delta, "serve.jobs_done");
+    let failed = counter(&delta, "serve.jobs_failed");
+    let cancelled = counter(&delta, "serve.jobs_cancelled");
+    assert_eq!(done + failed + cancelled, 2, "done {done} failed {failed} cancelled {cancelled}");
+    assert_eq!(done, 2, "drain mode finishes queued work rather than dropping it");
+}
+
+#[test]
+fn cancel_shutdown_final_flushes_unstarted_jobs() {
+    let _guard = lock();
+    let server = start(ServeConfig { workers: 1, ..Default::default() });
+    let addr = server.endpoint();
+    let before = obs::snapshot();
+
+    // one slow-ish job per submission so the single worker develops a backlog
+    for i in 0..4 {
+        submit_one(&addr, &manifest(&format!("cx{i}"), 200 + i, 24, &[0.0, 1.0]));
+    }
+    let (status, doc) =
+        request_json(&addr, "POST", "/shutdown", Some("{\"mode\": \"cancel\"}")).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("mode").and_then(|v| v.as_str()), Some("cancel"));
+    server.wait().unwrap();
+
+    // the cancel token stops unclaimed jobs, and the batch runner's final
+    // flush still reports each of them exactly once
+    let delta = obs::snapshot().delta_since(&before);
+    let done = counter(&delta, "serve.jobs_done");
+    let failed = counter(&delta, "serve.jobs_failed");
+    let cancelled = counter(&delta, "serve.jobs_cancelled");
+    assert_eq!(done + failed + cancelled, 4, "done {done} failed {failed} cancelled {cancelled}");
+    assert!(cancelled >= 1, "expected at least one cancelled job, got {cancelled}");
+}
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let _guard = lock();
+    let server = start(ServeConfig { workers: 1, ..Default::default() });
+    let addr = server.endpoint();
+
+    let (status, doc) = request_json(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+
+    let (id, _) = submit_one(&addr, &manifest("mx", 31, 12, &[0.0]));
+    result_wait(&addr, id);
+    let (status, doc) = request_json(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("casyn.metrics.v1"));
+    let metrics = doc.get("metrics").unwrap();
+    assert!(metrics.get("serve.submitted").and_then(|v| v.as_f64()).unwrap_or(0.0) >= 1.0);
+    assert!(metrics.get("serve.inflight").is_some(), "inflight gauge exported");
+
+    request_json(&addr, "POST", "/shutdown", None).unwrap();
+    server.wait().unwrap();
+}
