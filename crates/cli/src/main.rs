@@ -69,6 +69,17 @@
 //!   --server <h:p>     submit/shutdown: address of the running service
 //!   --queue-cap <n>    serve/loadgen: admission queue capacity (default 64;
 //!                      submissions that do not fit are rejected with 429)
+//!   --state-dir <dir>  serve: durable state directory holding the
+//!                      casyn.wal.v1 job journal and the checksummed disk
+//!                      cache; on restart the journal is replayed, finished
+//!                      jobs are served from disk and unfinished ones re-run
+//!   --mem-limit <n>    serve: shed new submissions with 503 + Retry-After
+//!                      while live heap exceeds n bytes (k/m/g suffixes
+//!                      accepted; default 0 = watchdog off)
+//!   --result-wait <s>  serve: seconds a result?wait=1 request blocks
+//!                      before answering 409 (default 600)
+//!   --io-fault-plan <spec>  serve: I/O chaos plan armed at stages wal,
+//!                      cache and conn (e.g. "wal:torn_write:2,conn:conn_drop:1")
 //!   --clients <n>      loadgen: concurrent client threads (default 2)
 //!   --designs <n>      loadgen: distinct synthetic designs (default 6)
 //! ```
@@ -154,6 +165,10 @@ struct Args {
     queue_cap: usize,
     clients: usize,
     designs: usize,
+    state_dir: Option<String>,
+    mem_limit: u64,
+    result_wait: u64,
+    io_fault_plan: Option<FaultPlan>,
 }
 
 fn usage() -> ExitCode {
@@ -180,6 +195,23 @@ fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
         }
     }
     Ok(plan)
+}
+
+/// Parses a byte count with an optional binary `k`/`m`/`g` suffix
+/// (`--mem-limit 512m`).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let t = s.trim().to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = t.strip_suffix('k') {
+        (d, 1u64 << 10)
+    } else if let Some(d) = t.strip_suffix('m') {
+        (d, 1 << 20)
+    } else if let Some(d) = t.strip_suffix('g') {
+        (d, 1 << 30)
+    } else {
+        (t.as_str(), 1)
+    };
+    let n: u64 = digits.parse().map_err(|e| format!("--mem-limit: {e}"))?;
+    n.checked_mul(mult).ok_or_else(|| format!("--mem-limit: {s} overflows"))
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -220,6 +252,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         queue_cap: 64,
         clients: 2,
         designs: 6,
+        state_dir: None,
+        mem_limit: 0,
+        result_wait: 600,
+        io_fault_plan: None,
     };
     let mut it = argv[1..].iter();
     while let Some(a) = it.next() {
@@ -310,6 +346,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--designs must be at least 1".into());
                 }
                 args.designs = n;
+            }
+            "--state-dir" => args.state_dir = Some(next("--state-dir")?),
+            "--mem-limit" => args.mem_limit = parse_bytes(&next("--mem-limit")?)?,
+            "--result-wait" => {
+                args.result_wait =
+                    next("--result-wait")?.parse().map_err(|e| format!("--result-wait: {e}"))?
+            }
+            "--io-fault-plan" => {
+                let plan = FaultPlan::parse(&next("--io-fault-plan")?)?;
+                for s in plan.specs() {
+                    if !matches!(s.stage.as_str(), "wal" | "cache" | "conn") {
+                        return Err(format!(
+                            "io fault plan: unknown stage {:?} (expected wal, cache or conn)",
+                            s.stage
+                        ));
+                    }
+                }
+                args.io_fault_plan = Some(plan);
             }
             "--fault-plan" => args.fault_plan = Some(parse_fault_plan(&next("--fault-plan")?)?),
             "--crash-dir" => args.crash_dir = Some(next("--crash-dir")?),
@@ -598,13 +652,12 @@ fn load_error_doc(m: &ManifestJob, e: &str) -> JsonValue {
     job_doc(&m.name, &m.design, "error", false, 0, 0.0, Some(&error), Vec::new(), None)
 }
 
-/// Atomically replaces `path` with `doc` (write to `.tmp`, then rename),
+/// Atomically replaces `path` with `doc` through
+/// [`casyn_flow::write_atomic`] (write to a temp file, fsync, rename),
 /// so a batch killed mid-checkpoint never leaves a truncated report.
 fn write_report_file(path: &str, doc: &JsonValue) -> Result<(), String> {
-    let tmp = format!("{path}.tmp");
-    fs::write(&tmp, doc.to_string_pretty()).map_err(|e| format!("cannot write {tmp}: {e}"))?;
-    fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))?;
-    Ok(())
+    casyn_flow::write_atomic(std::path::Path::new(path), doc.to_string_pretty().as_bytes())
+        .map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// When `--trace-out` names a directory (batch only), per-job trace files
@@ -939,6 +992,10 @@ fn run_serve_command(args: &Args) -> Result<(), String> {
         workers: args.jobs.unwrap_or(0),
         queue_capacity: args.queue_cap,
         retries: args.retries,
+        state_dir: args.state_dir.as_ref().map(std::path::PathBuf::from),
+        mem_limit_bytes: args.mem_limit,
+        result_wait_secs: args.result_wait,
+        io_fault: args.io_fault_plan.as_ref().map(|p| p.fresh()),
         ..Default::default()
     })?;
     println!("casyn-serve listening on {}", server.endpoint());
@@ -1492,6 +1549,40 @@ mod tests {
         assert!(parse_args(&sv(&["submit", "--server", "h:1"])).is_err());
         assert!(parse_args(&sv(&["loadgen", "--clients", "0"])).is_err());
         assert!(parse_args(&sv(&["loadgen", "--designs", "0"])).is_err());
+    }
+
+    #[test]
+    fn parse_durability_flags() {
+        let a = parse_args(&sv(&[
+            "serve",
+            "--state-dir",
+            "/tmp/casyn-state",
+            "--mem-limit",
+            "512m",
+            "--result-wait",
+            "30",
+            "--io-fault-plan",
+            "wal:torn_write:2,cache:disk_full,conn:conn_drop:3",
+        ]))
+        .unwrap();
+        assert_eq!(a.state_dir.as_deref(), Some("/tmp/casyn-state"));
+        assert_eq!(a.mem_limit, 512 << 20);
+        assert_eq!(a.result_wait, 30);
+        assert_eq!(a.io_fault_plan.as_ref().unwrap().specs().len(), 3);
+        // defaults: durability off, 600 s result wait
+        let d = parse_args(&sv(&["serve"])).unwrap();
+        assert!(d.state_dir.is_none() && d.io_fault_plan.is_none());
+        assert_eq!((d.mem_limit, d.result_wait), (0, 600));
+        // suffix parsing covers k/g and plain bytes
+        assert_eq!(parse_bytes("4k").unwrap(), 4096);
+        assert_eq!(parse_bytes("1g").unwrap(), 1 << 30);
+        assert_eq!(parse_bytes("123").unwrap(), 123);
+        assert!(parse_bytes("lots").is_err());
+        // flow stages are not I/O stages: the plan is rejected up front
+        let e = parse_args(&sv(&["serve", "--io-fault-plan", "map:torn_write"])).unwrap_err();
+        assert!(e.contains("expected wal, cache or conn"), "got: {e}");
+        // and the generic --fault-plan still rejects the I/O stages
+        assert!(parse_args(&sv(&["map", "x.pla", "--fault-plan", "wal:torn_write"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Crash-recovery end to end against the real binary: a `casyn serve`
+//! daemon with a `--state-dir` is killed with SIGKILL while one job is
+//! complete and another is in flight, restarted, and must bring every
+//! job to a terminal state — serving the pre-crash result straight from
+//! the checksummed disk cache, with zero router work for it.
+
+use casyn_obs::json::JsonValue;
+use casyn_serve::request_json;
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn design(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/designs")
+        .join(name)
+        .canonicalize()
+        .unwrap()
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+/// Starts `casyn serve --state-dir <state>` on an ephemeral port and
+/// parses the bound address from the startup line.
+fn spawn_daemon(state: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_casyn"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--jobs",
+            "2",
+            "--state-dir",
+            state.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn casyn serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("casyn-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn one_job_manifest(name: &str, design_path: &str, ks: &str) -> String {
+    format!(r#"{{"jobs": [{{"design": "{design_path}", "name": "{name}", "ks": [{ks}]}}]}}"#)
+}
+
+/// Submits one job and returns its id.
+fn submit(addr: &str, manifest: &str) -> i64 {
+    let (status, doc) = request_json(addr, "POST", "/jobs", Some(manifest)).unwrap();
+    assert_eq!(status, 202, "submit: {doc:?}");
+    let job = doc.get("jobs").and_then(|v| v.as_array()).and_then(|a| a.first()).unwrap();
+    job.get("id").and_then(|v| v.as_f64()).unwrap() as i64
+}
+
+fn result_wait(addr: &str, id: i64) -> JsonValue {
+    let (status, doc) =
+        request_json(addr, "GET", &format!("/jobs/{id}/result?wait=1"), None).unwrap();
+    assert_eq!(status, 200, "result {id}: {doc:?}");
+    doc
+}
+
+fn metric(addr: &str, key: &str) -> f64 {
+    let (status, doc) = request_json(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    doc.get("metrics").and_then(|m| m.get(key)).and_then(|v| v.as_f64()).unwrap_or(0.0)
+}
+
+#[test]
+fn sigkill_mid_run_recovers_from_the_state_dir() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("serve_recover");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let state = dir.join("state");
+    let ma = one_job_manifest("done-before-crash", &design("ex_a.pla"), "0.0, 0.5");
+    let mb = one_job_manifest("inflight-at-crash", &design("ex_b.pla"), "0.0, 0.1, 0.5, 1.0");
+
+    // first life: job 0 completes, job 1 is admitted and then the
+    // process dies hard — no drain, no flush beyond the fsynced journal
+    let (mut child, addr) = spawn_daemon(&state);
+    let ida = submit(&addr, &ma);
+    let ra = result_wait(&addr, ida);
+    assert_eq!(ra.get("status").and_then(|v| v.as_str()), Some("done"));
+    let rows_before = ra.get("rows").and_then(|v| v.as_array()).unwrap().len();
+    assert!(rows_before > 0);
+    let idb = submit(&addr, &mb);
+    child.kill().unwrap(); // SIGKILL: the daemon gets no chance to clean up
+    child.wait().unwrap();
+
+    // the journal survived the kill
+    assert!(state.join("casyn.wal.v1").exists(), "journal must exist after SIGKILL");
+
+    // second life: replay brings both jobs to terminal states
+    let (mut child, addr) = spawn_daemon(&state);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, sa) = request_json(&addr, "GET", &format!("/jobs/{ida}"), None).unwrap();
+        let (_, sb) = request_json(&addr, "GET", &format!("/jobs/{idb}"), None).unwrap();
+        let terminal = |d: &JsonValue| {
+            matches!(
+                d.get("status").and_then(|v| v.as_str()),
+                Some("done") | Some("failed") | Some("cancelled")
+            )
+        };
+        if terminal(&sa) && terminal(&sb) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "jobs not terminal after restart: {sa:?} {sb:?}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // the pre-crash completed job is a disk cache hit with its rows intact
+    let ra2 = result_wait(&addr, ida);
+    assert_eq!(ra2.get("status").and_then(|v| v.as_str()), Some("done"));
+    assert_eq!(ra2.get("cache").and_then(|v| v.as_str()), Some("disk"));
+    assert_eq!(ra2.get("rows").and_then(|v| v.as_array()).unwrap().len(), rows_before);
+    // the in-flight job reached a real result, not an error
+    let rb2 = result_wait(&addr, idb);
+    assert_eq!(rb2.get("status").and_then(|v| v.as_str()), Some("done"));
+
+    // zero-reroute proof: resubmitting the recovered job's manifest does
+    // not move route.iterations (or run any flow) in this process
+    let iters = metric(&addr, "route.iterations");
+    let computes = metric(&addr, "serve.computes");
+    let ida2 = submit(&addr, &ma);
+    let ra3 = result_wait(&addr, ida2);
+    assert_eq!(ra3.get("status").and_then(|v| v.as_str()), Some("done"));
+    assert_eq!(metric(&addr, "route.iterations"), iters, "disk hit re-ran the router");
+    assert_eq!(metric(&addr, "serve.computes"), computes);
+    assert!(metric(&addr, "serve.cache.disk_hits") >= 1.0);
+
+    let (status, _) = request_json(&addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    child.wait().unwrap();
+}

@@ -30,6 +30,14 @@ pub enum FaultKind {
     /// Corrupt the stage's intermediate result so the stage-boundary
     /// invariant checker has something real to catch.
     Corrupt,
+    /// Cut a durable write short mid-record (the classic power-loss
+    /// artifact); injected through the `casyn-flow::durable` seam.
+    TornWrite,
+    /// Fail a durable write with an out-of-space I/O error.
+    DiskFull,
+    /// Drop a network connection before the response is written
+    /// (injected through the serve connection handler).
+    ConnDrop,
 }
 
 impl FaultKind {
@@ -39,6 +47,9 @@ impl FaultKind {
             FaultKind::Panic => "panic",
             FaultKind::Deadline => "deadline",
             FaultKind::Corrupt => "corrupt",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::DiskFull => "disk_full",
+            FaultKind::ConnDrop => "conn_drop",
         }
     }
 
@@ -47,6 +58,9 @@ impl FaultKind {
             "panic" => Some(FaultKind::Panic),
             "deadline" => Some(FaultKind::Deadline),
             "corrupt" => Some(FaultKind::Corrupt),
+            "torn_write" => Some(FaultKind::TornWrite),
+            "disk_full" => Some(FaultKind::DiskFull),
+            "conn_drop" => Some(FaultKind::ConnDrop),
             _ => None,
         }
     }
@@ -103,7 +117,8 @@ impl FaultPlan {
                 ));
             }
             let kind = FaultKind::parse(parts[1]).ok_or(format!(
-                "fault plan: unknown kind {:?} (expected panic, deadline or corrupt)",
+                "fault plan: unknown kind {:?} (expected panic, deadline, corrupt, \
+                 torn_write, disk_full or conn_drop)",
                 parts[1]
             ))?;
             let nth: u32 = match parts.get(2) {
@@ -269,5 +284,23 @@ mod tests {
         let q = FaultPlan::parse(&p.to_string()).unwrap();
         assert_eq!(p.specs(), q.specs());
         assert_eq!(p.seed(), q.seed());
+    }
+
+    #[test]
+    fn io_fault_kinds_parse_and_round_trip() {
+        let p = FaultPlan::parse("wal:torn_write:2,cache:disk_full,conn:conn_drop:3").unwrap();
+        assert_eq!(
+            p.specs(),
+            &[
+                FaultSpec { stage: "wal".into(), kind: FaultKind::TornWrite, nth: 2 },
+                FaultSpec { stage: "cache".into(), kind: FaultKind::DiskFull, nth: 1 },
+                FaultSpec { stage: "conn".into(), kind: FaultKind::ConnDrop, nth: 3 },
+            ]
+        );
+        let q = FaultPlan::parse(&p.to_string()).unwrap();
+        assert_eq!(p.specs(), q.specs());
+        // I/O kinds fire as returned values, never as panics
+        assert_eq!(p.arm("cache"), Some(FaultKind::DiskFull));
+        assert_eq!(p.fire("conn"), None, "nth 3 on the first conn occurrence");
     }
 }

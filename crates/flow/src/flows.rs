@@ -102,6 +102,10 @@ pub(crate) fn fire_fault(opts: &FlowOptions, stage: Stage) -> Result<bool, FlowE
             format!("injected fault: deadline at stage {stage}"),
         )),
         Some(FaultKind::Panic) => unreachable!("panic faults raise inside FaultPlan::fire"),
+        // I/O fault kinds are injected through the durable/socket seams,
+        // never at flow-stage boundaries; a plan scheduling one here is a
+        // no-op, matching how unknown stage names never fire
+        Some(FaultKind::TornWrite | FaultKind::DiskFull | FaultKind::ConnDrop) => Ok(false),
     }
 }
 

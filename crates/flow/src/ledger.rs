@@ -426,16 +426,16 @@ impl RunRecord {
 
     /// Appends the record to a ledger directory as
     /// `<design>-<content-hash>.json`, creating the directory if needed.
-    /// The write is atomic (temp file + rename); re-appending an
-    /// identical run rewrites the same address and is idempotent.
-    /// Returns the record's path.
+    /// The write goes through [`crate::durable::write_atomic`]
+    /// (write-then-fsync-then-rename); re-appending an identical run
+    /// rewrites the same address and is idempotent. Returns the
+    /// record's path.
     pub fn append(&self, dir: &Path) -> io::Result<PathBuf> {
         fs::create_dir_all(dir)?;
         let name = format!("{}-{:016x}.json", sanitize(&self.design), self.content_hash());
         let path = dir.join(&name);
-        let tmp = dir.join(format!(".{name}.tmp"));
-        fs::write(&tmp, self.to_json().to_string_pretty() + "\n")?;
-        fs::rename(&tmp, &path)?;
+        let text = self.to_json().to_string_pretty() + "\n";
+        crate::durable::write_atomic(&path, text.as_bytes())?;
         Ok(path)
     }
 

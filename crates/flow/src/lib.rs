@@ -25,6 +25,9 @@
 //! * [`content_key`] — the shared stable-field FNV-1a canonicalizer
 //!   behind ledger addresses and the serve artifact cache (timings
 //!   never enter a key).
+//! * [`durable`] — crash-safe file I/O: atomic write-then-fsync-then-
+//!   rename, FNV-1a-checksummed payloads and the append-only
+//!   `casyn.wal.v1` journal behind the serve state directory.
 //! * [`ledger`] — content-addressed `casyn.run.v1` run records and the
 //!   cross-run diff behind `casyn diff`.
 //! * [`manifest`] — batch-manifest parsing shared by `casyn batch` and
@@ -36,6 +39,7 @@
 pub mod batch;
 pub mod check;
 pub mod content_key;
+pub mod durable;
 pub mod error;
 pub mod flows;
 pub mod ledger;
@@ -51,6 +55,10 @@ pub use batch::{
     BatchJobReport, BatchOptions, BatchReport, JobSuccess,
 };
 pub use content_key::{fnv1a64, library_fingerprint, KeyBuilder};
+pub use durable::{
+    read_checksummed, write_atomic, write_atomic_faulted, write_checksummed, DurableError, Wal,
+    WalReplay, WAL_SCHEMA,
+};
 pub use error::{FlowError, FlowErrorKind, Stage};
 pub use flows::{
     congestion_flow, congestion_flow_prepared, dagon_flow, full_flow, prepare, prepare_pool,

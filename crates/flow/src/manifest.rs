@@ -176,6 +176,46 @@ impl ManifestJob {
         }
     }
 
+    /// Serializes the entry as a manifest-object with every field
+    /// explicit, so parsing it back through [`parse_manifest_value`]
+    /// reproduces the job regardless of the defaults in effect. This is
+    /// what the serve write-ahead log persists for admitted jobs: enough
+    /// to re-run the job after a crash without the original request.
+    pub fn to_json(&self) -> JsonValue {
+        let mut doc = vec![
+            ("name".into(), JsonValue::Str(self.name.clone())),
+            ("design".into(), JsonValue::Str(self.design.clone())),
+        ];
+        if let Some(src) = &self.source {
+            doc.push(("source".into(), JsonValue::Str(src.clone())));
+        }
+        let format = match self.format {
+            DesignFormat::Pla => "pla",
+            DesignFormat::Blif => "blif",
+        };
+        doc.push(("format".into(), JsonValue::Str(format.into())));
+        doc.push((
+            "ks".into(),
+            JsonValue::Array(self.ks.iter().map(|&k| JsonValue::Number(k)).collect()),
+        ));
+        doc.push(("util".into(), JsonValue::Number(self.util)));
+        doc.push(("layers".into(), JsonValue::Number(self.layers as f64)));
+        doc.push(("optimize".into(), JsonValue::Bool(self.optimize)));
+        if let Some(ms) = self.deadline_ms {
+            doc.push(("deadline_ms".into(), JsonValue::Number(ms)));
+        }
+        if self.inject_panic {
+            doc.push(("inject_panic".into(), JsonValue::Bool(true)));
+        }
+        if let Some(p) = &self.fault_plan {
+            doc.push(("fault_plan".into(), JsonValue::Str(p.clone())));
+        }
+        if let Some(b) = self.placer {
+            doc.push(("placer".into(), JsonValue::Str(b.name().into())));
+        }
+        JsonValue::object(doc)
+    }
+
     /// The flow options this entry asks for (fault plan excluded — the
     /// caller validates and injects it).
     pub fn flow_options(&self, validate: bool) -> FlowOptions {
@@ -377,6 +417,28 @@ mod tests {
         // an inline job with neither name nor design is rejected
         let e = parse_manifest(r#"[{"source": ".i 1"}]"#, &d()).unwrap_err();
         assert!(e.contains("name"), "got: {e}");
+    }
+
+    #[test]
+    fn to_json_round_trips_through_the_parser() {
+        let jobs = parse_manifest(
+            r#"[{"design": "x.pla", "ks": [0.0, 2.5], "util": 0.5, "layers": 4,
+                 "optimize": true, "deadline_ms": 1500, "fault_plan": "map:panic:1",
+                 "placer": "bisect"},
+                {"name": "tiny", "source": ".i 1\n.o 1\n.p 1\n1 1\n.e\n", "format": "pla"}]"#,
+            &d(),
+        )
+        .unwrap();
+        // parse back under *different* defaults: every field must survive
+        // (a placer of None means "flow default" and has no explicit
+        // spelling, so the replay side must keep the default placer None)
+        let hostile =
+            ManifestDefaults { ks: vec![9.9], util: 0.1, layers: 9, optimize: false, placer: None };
+        for job in &jobs {
+            let doc = JsonValue::Array(vec![job.to_json()]);
+            let back = parse_manifest_value(&doc, &hostile).unwrap();
+            assert_eq!(format!("{job:?}"), format!("{:?}", back[0]));
+        }
     }
 
     #[test]

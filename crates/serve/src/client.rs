@@ -4,6 +4,12 @@
 //! read to EOF — no chunked decoding, no keep-alive. This is what the
 //! CLI's `submit`, `shutdown` and `loadgen` commands use, and what CI
 //! smoke tests drive the daemon with (no curl dependency).
+//!
+//! Failures are typed ([`ClientError`]): a refused connection, a
+//! per-attempt timeout and a connection dropped mid-body are different
+//! events with different retry semantics. Idempotent requests (GETs)
+//! retry transient kinds with *deterministic* exponential backoff — a
+//! fixed delay ladder, no jitter — so loadgen runs remain reproducible.
 
 use casyn_obs::json::JsonValue;
 use std::io::{Read, Write};
@@ -26,11 +32,124 @@ impl Response {
     }
 }
 
-/// Sends `raw` bytes to `addr` and reads the response to EOF.
-pub fn raw(addr: &str, raw: &str) -> Result<Response, String> {
-    let mut stream =
-        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    stream.set_read_timeout(Some(Duration::from_secs(120))).map_err(|e| format!("socket: {e}"))?;
+/// What went wrong with one request, after any retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientErrorKind {
+    /// The server actively refused the connection (nothing listening).
+    ConnectRefused,
+    /// Any other connect failure (unreachable, DNS, ...).
+    Connect,
+    /// The per-attempt read deadline expired before a full response.
+    Timeout,
+    /// The connection closed before a complete response arrived —
+    /// either before any bytes, or mid-body with fewer bytes than the
+    /// declared `Content-Length`.
+    MidBodyEof,
+    /// Writing the request failed and no response was readable.
+    SendFailed,
+    /// A complete-looking response that could not be parsed.
+    Malformed,
+}
+
+impl ClientErrorKind {
+    /// Whether retrying can help, *given an idempotent request*. A
+    /// malformed response is a server bug, not a transient.
+    fn transient(self) -> bool {
+        !matches!(self, ClientErrorKind::Malformed)
+    }
+}
+
+/// A typed client failure: the kind, the peer, how many attempts were
+/// made, and the underlying detail.
+#[derive(Debug, Clone)]
+pub struct ClientError {
+    /// What class of failure this is.
+    pub kind: ClientErrorKind,
+    /// The address the request targeted.
+    pub addr: String,
+    /// Attempts performed (1 = no retry happened).
+    pub attempts: u32,
+    /// Human-readable detail from the failing operation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            ClientErrorKind::ConnectRefused => "connection refused",
+            ClientErrorKind::Connect => "connect failed",
+            ClientErrorKind::Timeout => "timed out",
+            ClientErrorKind::MidBodyEof => "connection closed mid-response",
+            ClientErrorKind::SendFailed => "send failed",
+            ClientErrorKind::Malformed => "malformed response",
+        };
+        write!(f, "{}: {kind} after {} attempt(s): {}", self.addr, self.attempts, self.detail)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Retry schedule for idempotent requests: `attempts` tries total, with
+/// a deterministic exponential delay ladder between them
+/// (`base * 2^i`, capped at `max_delay`) — no randomness, so two
+/// identical loadgen runs issue identical request timelines.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+    /// Per-attempt socket read/write timeout.
+    pub attempt_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            attempt_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (for non-idempotent requests).
+    pub fn none() -> Self {
+        RetryPolicy { attempts: 1, ..Default::default() }
+    }
+
+    /// The deterministic delay before retry `i` (0-based).
+    pub fn delay(&self, i: u32) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << i.min(20));
+        exp.min(self.max_delay)
+    }
+}
+
+/// Sends `raw` bytes to `addr` and reads the response to EOF — one
+/// attempt, no retries, `timeout` bounding each socket operation.
+pub fn raw_once(addr: &str, raw: &str, timeout: Duration) -> Result<Response, ClientError> {
+    let err = |kind: ClientErrorKind, detail: String| ClientError {
+        kind,
+        addr: addr.to_string(),
+        attempts: 1,
+        detail,
+    };
+    let mut stream = TcpStream::connect(addr).map_err(|e| {
+        let kind = if e.kind() == std::io::ErrorKind::ConnectionRefused {
+            ClientErrorKind::ConnectRefused
+        } else {
+            ClientErrorKind::Connect
+        };
+        err(kind, e.to_string())
+    })?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| err(ClientErrorKind::Connect, format!("socket: {e}")))?;
     // The server may respond and close before the whole request is
     // written (413 refuses oversized bodies up front), which can fail the
     // write or reset the read mid-flight — surface those errors only when
@@ -44,43 +163,121 @@ pub fn raw(addr: &str, raw: &str) -> Result<Response, String> {
             Ok(n) => bytes.extend_from_slice(&chunk[..n]),
             Err(e) if bytes.is_empty() => {
                 return Err(match send_err {
-                    Some(se) => format!("send failed: {se}"),
-                    None => format!("read failed: {e}"),
+                    Some(se) => err(ClientErrorKind::SendFailed, format!("send failed: {se}")),
+                    None if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                    {
+                        err(ClientErrorKind::Timeout, format!("no response within {timeout:?}"))
+                    }
+                    None => err(ClientErrorKind::MidBodyEof, format!("read failed: {e}")),
                 });
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(err(
+                    ClientErrorKind::Timeout,
+                    format!("response stalled after {} bytes", bytes.len()),
+                ));
             }
             Err(_) => break,
         }
     }
     if bytes.is_empty() {
-        if let Some(se) = send_err {
-            return Err(format!("send failed: {se}"));
-        }
+        return Err(match send_err {
+            Some(se) => err(ClientErrorKind::SendFailed, format!("send failed: {se}")),
+            None => err(
+                ClientErrorKind::MidBodyEof,
+                "connection closed before any response bytes".into(),
+            ),
+        });
     }
-    let text = String::from_utf8(bytes).map_err(|e| format!("non-UTF-8 response: {e}"))?;
-    let (head, body) =
-        text.split_once("\r\n\r\n").ok_or_else(|| format!("malformed response from {addr}"))?;
+    let text = String::from_utf8(bytes)
+        .map_err(|e| err(ClientErrorKind::Malformed, format!("non-UTF-8 response: {e}")))?;
+    let (head, body) = text.split_once("\r\n\r\n").ok_or_else(|| {
+        err(ClientErrorKind::MidBodyEof, "connection closed inside the response head".into())
+    })?;
     let status: u16 = head
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed status line from {addr}"))?;
+        .ok_or_else(|| err(ClientErrorKind::Malformed, "bad status line".into()))?;
+    // a declared Content-Length makes mid-body truncation detectable
+    if let Some(expect) = head
+        .lines()
+        .find_map(|l| l.split_once(':').filter(|(k, _)| k.eq_ignore_ascii_case("content-length")))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+    {
+        if body.len() < expect {
+            return Err(err(
+                ClientErrorKind::MidBodyEof,
+                format!("body truncated at {} of {expect} bytes", body.len()),
+            ));
+        }
+    }
     Ok(Response { status, body: body.to_string() })
 }
 
-/// Performs one request (`GET /jobs/3`, `POST /jobs` + manifest, ...).
+/// Sends `raw` bytes with the default single-attempt policy. Kept for
+/// callers that manage retries themselves.
+pub fn raw(addr: &str, raw_text: &str) -> Result<Response, String> {
+    raw_once(addr, raw_text, RetryPolicy::default().attempt_timeout).map_err(|e| e.to_string())
+}
+
+fn format_request(addr: &str, method: &str, path: &str, body: Option<&str>) -> String {
+    let body = body.unwrap_or("");
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Performs one request under `policy`. Only idempotent methods (GET)
+/// retry; everything else gets exactly one attempt regardless of the
+/// policy, because a resubmitted POST could double-admit jobs.
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+) -> Result<Response, ClientError> {
+    let text = format_request(addr, method, path, body);
+    let attempts = if method == "GET" { policy.attempts.max(1) } else { 1 };
+    let mut last: Option<ClientError> = None;
+    for i in 0..attempts {
+        if i > 0 {
+            std::thread::sleep(policy.delay(i - 1));
+        }
+        match raw_once(addr, &text, policy.attempt_timeout) {
+            Ok(r) => return Ok(r),
+            Err(e) => {
+                let transient = e.kind.transient();
+                last = Some(ClientError { attempts: i + 1, ..e });
+                if !transient {
+                    break;
+                }
+            }
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
+}
+
+/// Performs one request (`GET /jobs/3`, `POST /jobs` + manifest, ...)
+/// with the default retry policy (GETs retry transient failures).
 pub fn request(
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> Result<Response, String> {
-    let body = body.unwrap_or("");
-    let text = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n{body}",
-        body.len()
-    );
-    raw(addr, &text)
+    request_with(addr, method, path, body, &RetryPolicy::default()).map_err(|e| e.to_string())
 }
 
 /// [`request`] plus JSON parsing of the body.
@@ -99,8 +296,10 @@ pub fn request_json(
 /// expires. Used by CI smoke tests after daemonizing the server.
 pub fn wait_ready(addr: &str, timeout: Duration) -> Result<(), String> {
     let t0 = Instant::now();
+    let policy =
+        RetryPolicy { attempts: 1, attempt_timeout: Duration::from_secs(5), ..Default::default() };
     loop {
-        if let Ok(r) = request(addr, "GET", "/healthz", None) {
+        if let Ok(r) = request_with(addr, "GET", "/healthz", None, &policy) {
             if r.status == 200 {
                 return Ok(());
             }
@@ -109,5 +308,90 @@ pub fn wait_ready(addr: &str, timeout: Duration) -> Result<(), String> {
             return Err(format!("server at {addr} not ready after {timeout:?}"));
         }
         std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+    use std::thread;
+
+    #[test]
+    fn backoff_ladder_is_deterministic_and_capped() {
+        let p = RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(300),
+            attempt_timeout: Duration::from_secs(1),
+        };
+        let delays: Vec<u64> = (0..5).map(|i| p.delay(i).as_millis() as u64).collect();
+        assert_eq!(delays, vec![50, 100, 200, 300, 300], "base*2^i capped at max");
+        // and it is a pure function — same ladder every time
+        assert_eq!(p.delay(2), p.delay(2));
+    }
+
+    #[test]
+    fn connect_refused_is_typed_and_counted() {
+        // bind-then-drop leaves a port with nothing listening
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            attempt_timeout: Duration::from_millis(200),
+        };
+        let e = request_with(&addr, "GET", "/healthz", None, &policy).unwrap_err();
+        assert_eq!(e.kind, ClientErrorKind::ConnectRefused);
+        assert_eq!(e.attempts, 3, "idempotent GETs exhaust the retry budget");
+    }
+
+    #[test]
+    fn post_never_retries() {
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+            attempt_timeout: Duration::from_millis(200),
+        };
+        let e = request_with(&addr, "POST", "/jobs", Some("{}"), &policy).unwrap_err();
+        assert_eq!(e.attempts, 1, "a POST must not be resubmitted");
+    }
+
+    /// A server that closes mid-body is distinguishable from one that
+    /// refused the connection.
+    #[test]
+    fn mid_body_eof_is_typed() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap().to_string();
+        let server = thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut s, _) = l.accept().unwrap();
+                let mut buf = [0u8; 1024];
+                let _ = std::io::Read::read(&mut s, &mut buf);
+                // claim 100 bytes, deliver 5, hang up
+                let _ = s.write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\nConnection: close\r\n\r\nhello",
+                );
+            }
+        });
+        let policy = RetryPolicy {
+            attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+            attempt_timeout: Duration::from_millis(500),
+        };
+        let e = request_with(&addr, "GET", "/x", None, &policy).unwrap_err();
+        assert_eq!(e.kind, ClientErrorKind::MidBodyEof);
+        assert_eq!(e.attempts, 2, "mid-body EOF is transient for a GET");
+        server.join().unwrap();
     }
 }

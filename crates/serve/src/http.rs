@@ -47,35 +47,43 @@ pub struct HttpError {
     pub status: u16,
     /// Human-readable message (the response body's `error` field).
     pub message: String,
+    /// Seconds to wait before retrying (a `Retry-After` header); set by
+    /// overload shedding so well-behaved clients back off.
+    pub retry_after: Option<u64>,
 }
 
 impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError { status, message: message.into(), retry_after: None }
+    }
     pub fn bad_request(msg: impl Into<String>) -> Self {
-        HttpError { status: 400, message: msg.into() }
+        HttpError::new(400, msg)
     }
     pub fn not_found(msg: impl Into<String>) -> Self {
-        HttpError { status: 404, message: msg.into() }
+        HttpError::new(404, msg)
     }
     pub fn method_not_allowed() -> Self {
-        HttpError { status: 405, message: "method not allowed".into() }
+        HttpError::new(405, "method not allowed")
     }
     pub fn conflict(msg: impl Into<String>) -> Self {
-        HttpError { status: 409, message: msg.into() }
+        HttpError::new(409, msg)
     }
     pub fn length_required() -> Self {
-        HttpError {
-            status: 411,
-            message: "chunked transfer encoding is not supported; send Content-Length".into(),
-        }
+        HttpError::new(411, "chunked transfer encoding is not supported; send Content-Length")
     }
     pub fn too_large(limit: usize) -> Self {
-        HttpError { status: 413, message: format!("body exceeds the {limit} byte limit") }
+        HttpError::new(413, format!("body exceeds the {limit} byte limit"))
     }
     pub fn backpressure(msg: impl Into<String>) -> Self {
-        HttpError { status: 429, message: msg.into() }
+        HttpError::new(429, msg)
     }
     pub fn unavailable(msg: impl Into<String>) -> Self {
-        HttpError { status: 503, message: msg.into() }
+        HttpError::new(503, msg)
+    }
+    /// Adds a `Retry-After: secs` header to the rendered response.
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
     }
 }
 
@@ -167,25 +175,45 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
 
 /// Writes a JSON response with `Content-Length` and `Connection: close`.
 pub fn respond_json(stream: &mut TcpStream, status: u16, doc: &JsonValue) -> std::io::Result<()> {
+    respond_json_with(stream, status, doc, &[])
+}
+
+/// [`respond_json`] with extra response headers (name, value) lines.
+pub fn respond_json_with(
+    stream: &mut TcpStream,
+    status: u16,
+    doc: &JsonValue,
+    extra_headers: &[(String, String)],
+) -> std::io::Result<()> {
     let body = doc.to_string_pretty();
-    let head = format!(
+    let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: close\r\n",
         status_reason(status),
         body.len()
     );
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 
-/// Writes an [`HttpError`] as a JSON response.
+/// Writes an [`HttpError`] as a JSON response (including its
+/// `Retry-After` header when set).
 pub fn respond_error(stream: &mut TcpStream, err: &HttpError) -> std::io::Result<()> {
-    let doc = JsonValue::object(vec![
+    let mut doc = vec![
         ("error".into(), JsonValue::Str(err.message.clone())),
         ("status".into(), JsonValue::Number(err.status as f64)),
-    ]);
-    respond_json(stream, err.status, &doc)
+    ];
+    let mut headers = Vec::new();
+    if let Some(secs) = err.retry_after {
+        doc.push(("retry_after_s".into(), JsonValue::Number(secs as f64)));
+        headers.push(("Retry-After".to_string(), secs.to_string()));
+    }
+    respond_json_with(stream, err.status, &JsonValue::object(doc), &headers)
 }
 
 /// Starts a close-delimited NDJSON stream (no `Content-Length`; the

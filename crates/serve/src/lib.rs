@@ -9,12 +9,15 @@
 //!   with explicit body limits (oversized → 413, chunked → 411).
 //! * [`cache`] — the LRU caches behind the service: full results keyed
 //!   by content address, and prepare-once artifacts shared between jobs
-//!   that differ only in their K schedule.
+//!   that differ only in their K schedule — plus the checksummed
+//!   [`cache::DiskCache`] spill behind `--state-dir`.
 //! * [`client`] — a tiny blocking HTTP client for the CLI's `submit`,
-//!   `shutdown` and `loadgen` commands (and CI smoke tests).
+//!   `shutdown` and `loadgen` commands (and CI smoke tests), with typed
+//!   errors and deterministic exponential backoff for idempotent GETs.
 //! * [`server`] — the service itself: job table, bounded admission
 //!   queue with backpressure, dispatcher, per-job event streams,
-//!   metrics endpoint and graceful drain.
+//!   metrics endpoint, graceful drain, and (with a state directory) a
+//!   write-ahead job journal replayed on startup for crash recovery.
 //!
 //! ## Endpoints
 //!
@@ -42,7 +45,10 @@ pub mod client;
 pub mod http;
 pub mod server;
 
-pub use cache::Lru;
-pub use client::{request, request_json, wait_ready, Response};
+pub use cache::{DiskCache, Lru};
+pub use client::{
+    request, request_json, request_with, wait_ready, ClientError, ClientErrorKind, Response,
+    RetryPolicy,
+};
 pub use http::{HttpError, Request};
 pub use server::{ServeConfig, Server};

@@ -23,12 +23,13 @@
 //! cache additionally shares the expensive flow front end between jobs
 //! that differ only in their K schedule.
 
-use crate::cache::Lru;
+use crate::cache::{DiskCache, Lru};
 use crate::http::{self, HttpError, Request};
-use casyn_exec::{CancelToken, FaultPlan, Pool};
+use casyn_exec::{CancelToken, FaultKind, FaultPlan, Pool};
 use casyn_flow::batch::{
     run_batch_job, run_batch_observed, BatchJob, BatchJobReport, BatchOptions, JobSuccess,
 };
+use casyn_flow::durable::Wal;
 use casyn_flow::telemetry::snapshot_json;
 use casyn_flow::{
     congestion_flow_prepared, fnv1a64, k_row_json, library_fingerprint, parse_manifest_value,
@@ -40,6 +41,7 @@ use casyn_obs as obs;
 use casyn_obs::json::{JsonErrorKind, JsonLimits, JsonValue};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
@@ -64,6 +66,25 @@ pub struct ServeConfig {
     pub result_cache_cap: usize,
     /// Entries in the prepare cache (front-end artifacts).
     pub prepare_cache_cap: usize,
+    /// Durable state directory: the `casyn.wal.v1` job journal plus the
+    /// checksummed disk cache live here, and startup replays them.
+    /// `None` keeps all state in memory (the pre-durability behavior).
+    pub state_dir: Option<PathBuf>,
+    /// Live-heap byte budget: new submissions are shed with
+    /// 503 + `Retry-After` while the counting allocator reports more
+    /// live bytes than this. 0 disables the watchdog.
+    pub mem_limit_bytes: u64,
+    /// How long `GET /jobs/<id>/result?wait=1` blocks before answering
+    /// 409 (previously a hardcoded 600 s).
+    pub result_wait_secs: u64,
+    /// Per-connection socket read *and* write timeout, so a slow-reader
+    /// event stream cannot pin a handler thread forever.
+    pub io_timeout_secs: u64,
+    /// I/O chaos plan, armed at stage `"wal"` (journal appends),
+    /// `"cache"` (disk-cache writes) and `"conn"` (drops the connection
+    /// before the response). Test-only in practice; counters are shared
+    /// across all connections so `nth` is global.
+    pub io_fault: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +97,11 @@ impl Default for ServeConfig {
             retries: 0,
             result_cache_cap: 256,
             prepare_cache_cap: 32,
+            state_dir: None,
+            mem_limit_bytes: 0,
+            result_wait_secs: 600,
+            io_timeout_secs: 30,
+            io_fault: None,
         }
     }
 }
@@ -169,6 +195,9 @@ struct Shared {
     stop_accept: AtomicBool,
     addr: SocketAddr,
     config: ServeConfig,
+    /// The WAL + disk cache pair behind `--state-dir`; `None` when the
+    /// server runs memory-only.
+    durable: Option<Durable>,
 }
 
 fn lock_inner(shared: &Shared) -> MutexGuard<'_, Inner> {
@@ -194,21 +223,27 @@ impl Server {
         let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
         obs::set_enabled(true);
         let pool = if config.workers == 0 { Pool::from_env() } else { Pool::new(config.workers) };
+        let mut inner = Inner {
+            jobs: Vec::new(),
+            queue: VecDeque::new(),
+            inflight: HashMap::new(),
+            results: Lru::new(config.result_cache_cap),
+            prepared: Lru::new(config.prepare_cache_cap),
+            draining: false,
+        };
+        let durable = match &config.state_dir {
+            None => None,
+            Some(dir) => Some(recover_into(dir, config.io_fault.clone(), &mut inner)?),
+        };
         let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner {
-                jobs: Vec::new(),
-                queue: VecDeque::new(),
-                inflight: HashMap::new(),
-                results: Lru::new(config.result_cache_cap),
-                prepared: Lru::new(config.prepare_cache_cap),
-                draining: false,
-            }),
+            inner: Mutex::new(inner),
             queue_cv: Condvar::new(),
             state_cv: Condvar::new(),
             cancel: CancelToken::new(),
             stop_accept: AtomicBool::new(false),
             addr,
             config,
+            durable,
         });
         let dispatcher = {
             let shared = shared.clone();
@@ -266,7 +301,12 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 }
 
 fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    // read *and* write timeouts: a stalled client can neither starve the
+    // parser nor pin a handler thread on an unread response or event
+    // stream forever
+    let io_t = Duration::from_secs(shared.config.io_timeout_secs.max(1));
+    let _ = stream.set_read_timeout(Some(io_t));
+    let _ = stream.set_write_timeout(Some(io_t));
     let req = match http::read_request(&mut stream, shared.config.max_body_bytes) {
         Ok(r) => r,
         Err(e) => {
@@ -274,6 +314,16 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
             return;
         }
     };
+    // chaos: drop the connection after the request is read but before
+    // any response bytes are written — the client sees a clean close and
+    // (for idempotent requests) retries
+    if let Some(plan) = &shared.config.io_fault {
+        if plan.fire("conn") == Some(FaultKind::ConnDrop) {
+            obs::counter_add("serve.conn_dropped", 1);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+    }
     let segs: Vec<String> =
         req.path.split('/').filter(|s| !s.is_empty()).map(str::to_string).collect();
     let seg_refs: Vec<&str> = segs.iter().map(String::as_str).collect();
@@ -384,6 +434,289 @@ fn load_and_key(m: &ManifestJob) -> Result<LoadedJob, String> {
     Ok(LoadedJob { network, fault, prep_key, result_key })
 }
 
+// ---------------------------------------------------------------------------
+// Durability: the `casyn.wal.v1` job journal plus the checksummed disk
+// cache under `--state-dir`, and the startup replay that restores the
+// job table from them.
+//
+// Locking order is always `Inner` → `Wal`: lifecycle records are
+// appended while the state lock is held so journal order matches job-id
+// order (replay depends on `admitted` records arriving in id order).
+// ---------------------------------------------------------------------------
+
+/// The durable half of the server state.
+struct Durable {
+    wal: Mutex<Wal>,
+    cache: DiskCache,
+}
+
+impl Durable {
+    /// Appends one lifecycle record, downgrading failures to a warning:
+    /// an unwritable journal degrades durability, not availability. The
+    /// journal wedges itself after a torn append (the tail is in an
+    /// unknown state), so a single bad write cannot corrupt replay.
+    fn append(&self, rec: JsonValue) {
+        let mut wal = self.wal.lock().unwrap_or_else(|p| p.into_inner());
+        if let Err(e) = wal.append(&rec) {
+            obs::counter_add("serve.wal.errors", 1);
+            obs::log::warn(&format!("wal: append failed ({e}); durability degraded"));
+        }
+    }
+}
+
+fn wal_rec(t: &str, job: usize) -> Vec<(String, JsonValue)> {
+    vec![("t".into(), JsonValue::Str(t.into())), ("job".into(), JsonValue::Number(job as f64))]
+}
+
+/// The `admitted` record: everything replay needs to re-run the job —
+/// its display identity, content address and full manifest entry.
+fn wal_admitted(id: usize, m: &ManifestJob, result_key: Option<u64>) -> JsonValue {
+    let mut f = wal_rec("admitted", id);
+    f.push(("name".into(), JsonValue::Str(m.name.clone())));
+    f.push(("design".into(), JsonValue::Str(m.design.clone())));
+    if let Some(k) = result_key {
+        f.push(("result_key".into(), JsonValue::Str(format!("{k:016x}"))));
+    }
+    f.push(("manifest".into(), m.to_json()));
+    JsonValue::object(f)
+}
+
+fn wal_done(id: usize, result_key: Option<u64>, degraded: bool, wall_ms: f64) -> JsonValue {
+    let mut f = wal_rec("done", id);
+    if let Some(k) = result_key {
+        f.push(("result_key".into(), JsonValue::Str(format!("{k:016x}"))));
+    }
+    f.push(("degraded".into(), JsonValue::Bool(degraded)));
+    f.push(("wall_ms".into(), JsonValue::Number(wall_ms)));
+    JsonValue::object(f)
+}
+
+fn wal_failed(id: usize, error: &str) -> JsonValue {
+    let mut f = wal_rec("failed", id);
+    f.push(("error".into(), JsonValue::Str(error.into())));
+    JsonValue::object(f)
+}
+
+/// Reads a finished result out of the disk cache. Corruption was
+/// already quarantined (and counted) inside [`DiskCache::get`]; a doc
+/// that verified but lacks `rows` is schema drift and reads as a miss.
+fn disk_lookup(durable: &Durable, key: u64) -> Option<CachedResult> {
+    let doc = durable.cache.get("job", key)?;
+    let rows = doc.get("rows")?.clone();
+    let degraded = doc.get("degraded").and_then(JsonValue::as_bool).unwrap_or(false);
+    Some(CachedResult { rows: Arc::new(rows), degraded })
+}
+
+/// One job's state as folded from the replayed journal.
+struct Replayed {
+    name: String,
+    design: String,
+    status: JobStatus,
+    error: Option<String>,
+    degraded: bool,
+    wall_ms: f64,
+    result_key: Option<u64>,
+    manifest: Option<JsonValue>,
+}
+
+/// Re-parses the manifest entry embedded in an `admitted` record.
+fn replayed_manifest_job(mdoc: &JsonValue) -> Result<ManifestJob, String> {
+    let one = JsonValue::Array(vec![mdoc.clone()]);
+    let mut jobs = parse_manifest_value(&one, &ManifestDefaults::default())?;
+    Ok(jobs.remove(0))
+}
+
+/// Opens the durable state under `dir` and replays the journal into
+/// `inner`: jobs that reached `done` before the crash are served from
+/// the disk cache (re-enqueued if their artifact is missing or was
+/// quarantined), other terminal jobs keep their recorded outcome, and
+/// admitted-but-unfinished jobs are re-enqueued through the normal
+/// dispatcher path. A journal damaged anywhere but its final line is a
+/// typed, line-numbered error and the server refuses to start.
+fn recover_into(
+    dir: &std::path::Path,
+    fault: Option<FaultPlan>,
+    inner: &mut Inner,
+) -> Result<Durable, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("state-dir {}: {e}", dir.display()))?;
+    let cache = DiskCache::open(&dir.join("cache"), fault.clone())
+        .map_err(|e| format!("state-dir cache: {e}"))?;
+    let wal_path = dir.join("casyn.wal.v1");
+    let replay = Wal::replay(&wal_path).map_err(|e| {
+        format!(
+            "state-dir journal {}: {e}; refusing to start (move it aside to reset)",
+            wal_path.display()
+        )
+    })?;
+    obs::counter_add("serve.wal.replayed", replay.records.len() as u64);
+    if replay.torn_tail {
+        obs::log::warn("wal: tolerated a torn final record (crash artifact)");
+    }
+
+    // fold lifecycle records into per-job state (last record wins)
+    let mut folded: Vec<Replayed> = Vec::new();
+    for r in &replay.records {
+        let t = r.get("t").and_then(JsonValue::as_str).unwrap_or("");
+        let Some(id) = r.get("job").and_then(JsonValue::as_f64).map(|f| f as usize) else {
+            continue; // forward-compat: jobless records are skipped
+        };
+        if t == "admitted" {
+            if id != folded.len() {
+                return Err(format!(
+                    "state-dir journal: admitted job {id} out of order (expected {})",
+                    folded.len()
+                ));
+            }
+            folded.push(Replayed {
+                name: r.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_string(),
+                design: r.get("design").and_then(JsonValue::as_str).unwrap_or("?").to_string(),
+                status: JobStatus::Queued,
+                error: None,
+                degraded: false,
+                wall_ms: 0.0,
+                result_key: r
+                    .get("result_key")
+                    .and_then(JsonValue::as_str)
+                    .and_then(|s| u64::from_str_radix(s, 16).ok()),
+                manifest: r.get("manifest").cloned(),
+            });
+            continue;
+        }
+        let Some(f) = folded.get_mut(id) else { continue };
+        match t {
+            "started" => f.status = JobStatus::Running,
+            "done" => {
+                f.status = JobStatus::Done;
+                f.degraded = r.get("degraded").and_then(JsonValue::as_bool).unwrap_or(false);
+                f.wall_ms = r.get("wall_ms").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            }
+            "failed" => {
+                f.status = JobStatus::Failed;
+                f.error = Some(
+                    r.get("error").and_then(JsonValue::as_str).unwrap_or("unknown").to_string(),
+                );
+            }
+            "cancelled" => f.status = JobStatus::Cancelled,
+            _ => {} // forward-compat: unknown record types are skipped
+        }
+    }
+
+    let durable = Durable { wal: Mutex::new(cache_wal_open(&wal_path, fault)?), cache };
+    for (id, f) in folded.iter().enumerate() {
+        let mut rec = JobRecord {
+            name: f.name.clone(),
+            design: f.design.clone(),
+            status: JobStatus::Queued,
+            cache: "miss",
+            rows: None,
+            degraded: false,
+            error: None,
+            wall_ms: 0.0,
+            events: Vec::new(),
+            submitted: Instant::now(),
+        };
+        push_event(&mut rec, event("recovered"));
+        match f.status {
+            JobStatus::Done => {
+                match f.result_key.and_then(|k| disk_lookup(&durable, k)) {
+                    Some(c) => {
+                        rec.status = JobStatus::Done;
+                        rec.cache = "disk";
+                        rec.rows = Some(c.rows.clone());
+                        rec.degraded = c.degraded;
+                        rec.wall_ms = f.wall_ms;
+                        push_event(&mut rec, event("done"));
+                        if let Some(k) = f.result_key {
+                            inner.results.insert(k, c);
+                        }
+                    }
+                    // the artifact is gone (never spilled, or quarantined
+                    // as corrupt): recompute rather than serve nothing
+                    None => requeue_replayed(inner, &durable, id, &mut rec, f),
+                }
+            }
+            JobStatus::Failed | JobStatus::Cancelled => {
+                rec.status = f.status;
+                rec.cache = "none";
+                rec.error = f.error.clone();
+                rec.wall_ms = f.wall_ms;
+                push_event(&mut rec, event(f.status.as_str()));
+            }
+            JobStatus::Queued | JobStatus::Running => {
+                requeue_replayed(inner, &durable, id, &mut rec, f)
+            }
+        }
+        inner.jobs.push(rec);
+    }
+    Ok(durable)
+}
+
+/// Opens the journal for appending (the replay above already validated
+/// it). Split out so `recover_into` reads linearly.
+fn cache_wal_open(path: &std::path::Path, fault: Option<FaultPlan>) -> Result<Wal, String> {
+    Wal::open(path, fault).map_err(|e| format!("state-dir journal {}: {e}", path.display()))
+}
+
+/// Puts one unfinished (or artifact-less) replayed job back through the
+/// admission classifier: disk hit, follower of an already re-enqueued
+/// duplicate, or a fresh queue entry. The `admitted` record already
+/// exists, so only terminal records will follow.
+fn requeue_replayed(
+    inner: &mut Inner,
+    durable: &Durable,
+    id: usize,
+    rec: &mut JobRecord,
+    f: &Replayed,
+) {
+    let loaded = match &f.manifest {
+        None => Err("journal admitted record carries no manifest".to_string()),
+        Some(mdoc) => replayed_manifest_job(mdoc).and_then(|m| load_and_key(&m).map(|l| (m, l))),
+    };
+    match loaded {
+        Err(e) => {
+            rec.status = JobStatus::Failed;
+            rec.cache = "none";
+            rec.error = Some(format!("recovery: {e}"));
+            let mut ev = event("failed");
+            ev.push(("error".into(), JsonValue::Str(format!("recovery: {e}"))));
+            push_event(rec, ev);
+            obs::counter_add("serve.jobs_failed", 1);
+        }
+        Ok((m, l)) => {
+            if let Some(k) = l.result_key {
+                if let Some(c) = disk_lookup(durable, k) {
+                    rec.status = JobStatus::Done;
+                    rec.cache = "disk";
+                    rec.rows = Some(c.rows.clone());
+                    rec.degraded = c.degraded;
+                    push_event(rec, event("done"));
+                    inner.results.insert(k, c);
+                    return;
+                }
+                if let Some(followers) = inner.inflight.get_mut(&k) {
+                    rec.cache = "dedup";
+                    push_event(rec, event("deduped"));
+                    followers.push(id);
+                    return;
+                }
+                inner.inflight.insert(k, Vec::new());
+            } else {
+                rec.cache = "bypass";
+            }
+            push_event(rec, event("queued"));
+            obs::counter_add("serve.recovered", 1);
+            inner.queue.push_back(Task {
+                job_id: id,
+                mjob: m,
+                network: l.network,
+                fault: l.fault,
+                prep_key: l.prep_key,
+                result_key: l.result_key,
+            });
+        }
+    }
+}
+
 fn push_event(rec: &mut JobRecord, mut fields: Vec<(String, JsonValue)>) {
     let t_ms = rec.submitted.elapsed().as_secs_f64() * 1e3;
     fields.push(("t_ms".into(), JsonValue::Number(t_ms)));
@@ -397,12 +730,26 @@ fn event(name: &str) -> Vec<(String, JsonValue)> {
 /// How submission classified one manifest entry.
 enum Admit {
     LoadError(String),
-    Hit(CachedResult),
+    /// Served from cache; the `&'static str` is the tag (`"hit"` for
+    /// the in-memory LRU, `"disk"` for a spilled artifact).
+    Hit(CachedResult, &'static str),
     Dedup(u64),
     Enqueue,
 }
 
 fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Result<(u16, JsonValue), HttpError> {
+    // memory watchdog: shed before parsing the body into yet more heap
+    let limit = shared.config.mem_limit_bytes;
+    if limit > 0 {
+        let live = obs::alloc::current_bytes();
+        if live > limit {
+            obs::counter_add("serve.shed", 1);
+            return Err(HttpError::unavailable(format!(
+                "live heap {live} B exceeds the {limit} B --mem-limit; shedding"
+            ))
+            .with_retry_after(1));
+        }
+    }
     let text = String::from_utf8_lossy(&req.body).into_owned();
     let limits = JsonLimits { max_bytes: shared.config.max_body_bytes, ..Default::default() };
     let doc = JsonValue::parse_with_limits(&text, &limits).map_err(|e| match e.kind {
@@ -434,9 +781,15 @@ fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Result<(u16, JsonValue)
             Ok(l) => match l.result_key {
                 Some(k) => {
                     if let Some(c) = g.results.get(k) {
-                        admits.push(Admit::Hit(c.clone()));
+                        admits.push(Admit::Hit(c.clone(), "hit"));
                     } else if g.inflight.contains_key(&k) || pending.contains(&k) {
                         admits.push(Admit::Dedup(k));
+                    } else if let Some(c) = shared.durable.as_ref().and_then(|d| disk_lookup(d, k))
+                    {
+                        // spilled by an earlier run (possibly before a
+                        // restart): promote back into the memory LRU
+                        g.results.insert(k, c.clone());
+                        admits.push(Admit::Hit(c, "disk"));
                     } else {
                         pending.insert(k);
                         admits.push(Admit::Enqueue);
@@ -473,25 +826,37 @@ fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Result<(u16, JsonValue)
         };
         push_event(&mut rec, event("submitted"));
         obs::counter_add("serve.submitted", 1);
+        // journal the admission before the outcome records below; the
+        // `admitted` record carries the manifest so replay can re-run
+        let result_key = l.as_ref().ok().and_then(|l| l.result_key);
+        if let Some(d) = &shared.durable {
+            d.append(wal_admitted(id, &m, result_key));
+        }
         match admit {
             Admit::LoadError(e) => {
                 rec.status = JobStatus::Failed;
                 rec.cache = "none";
                 rec.error = Some(e.clone());
                 let mut ev = event("failed");
-                ev.push(("error".into(), JsonValue::Str(e)));
+                ev.push(("error".into(), JsonValue::Str(e.clone())));
                 push_event(&mut rec, ev);
                 obs::counter_add("serve.jobs_failed", 1);
+                if let Some(d) = &shared.durable {
+                    d.append(wal_failed(id, &e));
+                }
             }
-            Admit::Hit(c) => {
+            Admit::Hit(c, tag) => {
                 rec.status = JobStatus::Done;
-                rec.cache = "hit";
+                rec.cache = tag;
                 rec.rows = Some(c.rows);
                 rec.degraded = c.degraded;
                 push_event(&mut rec, event("cache_hit"));
                 push_event(&mut rec, event("done"));
                 obs::counter_add("serve.cache_hits", 1);
                 obs::counter_add("serve.jobs_done", 1);
+                if let Some(d) = &shared.durable {
+                    d.append(wal_done(id, result_key, rec.degraded, 0.0));
+                }
             }
             Admit::Dedup(k) => {
                 rec.cache = "dedup";
@@ -567,7 +932,7 @@ fn handle_result(shared: &Shared, id: &str, wait: bool) -> Result<(u16, JsonValu
     let id = parse_job_id(shared, id)?;
     let mut g = lock_inner(shared);
     if wait {
-        let deadline = Instant::now() + Duration::from_secs(600);
+        let deadline = Instant::now() + Duration::from_secs(shared.config.result_wait_secs);
         while !g.jobs[id].status.terminal() {
             if Instant::now() > deadline {
                 return Err(HttpError::conflict(format!("job {id} still running")));
@@ -638,6 +1003,7 @@ fn metrics_doc(shared: &Shared) -> JsonValue {
         obs::gauge_set("serve.queue_depth", g.queue.len() as f64);
         let inflight = g.jobs.iter().filter(|r| !r.status.terminal()).count();
         obs::gauge_set("serve.inflight", inflight as f64);
+        obs::gauge_set("serve.live_bytes", obs::alloc::current_bytes() as f64);
     }
     JsonValue::object(vec![
         ("schema".into(), JsonValue::Str("casyn.metrics.v1".into())),
@@ -707,6 +1073,9 @@ fn mark_running(shared: &Shared, job_id: usize) {
     if g.jobs[job_id].status == JobStatus::Queued {
         g.jobs[job_id].status = JobStatus::Running;
         push_event(&mut g.jobs[job_id], event("started"));
+        if let Some(d) = &shared.durable {
+            d.append(JsonValue::object(wal_rec("started", job_id)));
+        }
     }
     drop(g);
     shared.state_cv.notify_all();
@@ -802,6 +1171,19 @@ fn finish_job(shared: &Shared, t: &Task, jr: &BatchJobReport) {
             let rows = Arc::new(JsonValue::Array(s.rows.iter().map(k_row_json).collect()));
             if let Some(k) = t.result_key {
                 g.results.insert(k, CachedResult { rows: rows.clone(), degraded: s.degraded });
+                // spill to disk *before* the terminal journal record, so
+                // a replayed `done` implies the artifact should exist
+                // (replay recomputes if the write below failed)
+                if let Some(d) = &shared.durable {
+                    let doc = JsonValue::object(vec![
+                        ("schema".into(), JsonValue::Str("casyn.serve.cache.v1".into())),
+                        ("rows".into(), (*rows).clone()),
+                        ("degraded".into(), JsonValue::Bool(s.degraded)),
+                    ]);
+                    if let Err(e) = d.cache.put("job", k, &doc) {
+                        obs::log::warn(&format!("cache: spill of {k:016x} failed: {e}"));
+                    }
+                }
             }
             let followers = t.result_key.and_then(|k| g.inflight.remove(&k)).unwrap_or_default();
             for id in std::iter::once(t.job_id).chain(followers) {
@@ -812,6 +1194,9 @@ fn finish_job(shared: &Shared, t: &Task, jr: &BatchJobReport) {
                 rec.wall_ms = jr.wall_ms;
                 push_event(rec, event("done"));
                 obs::counter_add("serve.jobs_done", 1);
+                if let Some(d) = &shared.durable {
+                    d.append(wal_done(id, t.result_key, s.degraded, jr.wall_ms));
+                }
             }
         }
         Err(e) => {
@@ -830,6 +1215,13 @@ fn finish_job(shared: &Shared, t: &Task, jr: &BatchJobReport) {
                     if cancelled { "serve.jobs_cancelled" } else { "serve.jobs_failed" },
                     1,
                 );
+                if let Some(d) = &shared.durable {
+                    d.append(if cancelled {
+                        JsonValue::object(wal_rec("cancelled", id))
+                    } else {
+                        wal_failed(id, &e.to_string())
+                    });
+                }
             }
         }
     }
