@@ -12,6 +12,7 @@
 //! casyn submit <manifest.json> --server h:p       submit jobs to a running service
 //! casyn shutdown --server h:p                     gracefully drain a running service
 //! casyn loadgen [options]                         service throughput bench (BENCH_serve.json)
+//! casyn top <host:port> [options]                 live service dashboard (polls /stats)
 //!
 //! options:
 //!   --k <f>            congestion factor K (map; default 0.5)
@@ -82,6 +83,10 @@
 //!                      cache and conn (e.g. "wal:torn_write:2,conn:conn_drop:1")
 //!   --clients <n>      loadgen: concurrent client threads (default 2)
 //!   --designs <n>      loadgen: distinct synthetic designs (default 6)
+//!   --interval <s>     top: seconds between dashboard refreshes (default 1)
+//!   --frames <n>       top: frames to render before exiting, 0 = run
+//!                      until interrupted (default 0); --frames 1 prints
+//!                      one snapshot without clearing the screen
 //! ```
 //!
 //! The batch manifest is a JSON document, either a top-level array of
@@ -169,12 +174,14 @@ struct Args {
     mem_limit: u64,
     result_wait: u64,
     io_fault_plan: Option<FaultPlan>,
+    interval: f64,
+    frames: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: casyn <map|run|sweep|loop|batch|heatmap|diff|serve|submit|shutdown|loadgen> \
-         [<design.pla|design.blif|manifest.json|heatmap.json|run.json>] [options]"
+        "usage: casyn <map|run|sweep|loop|batch|heatmap|diff|serve|submit|shutdown|loadgen|top> \
+         [<design.pla|design.blif|manifest.json|heatmap.json|run.json|host:port>] [options]"
     );
     eprintln!("run `casyn help` for the option list");
     ExitCode::FAILURE
@@ -256,6 +263,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         mem_limit: 0,
         result_wait: 600,
         io_fault_plan: None,
+        interval: 1.0,
+        frames: 0,
     };
     let mut it = argv[1..].iter();
     while let Some(a) = it.next() {
@@ -365,6 +374,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.io_fault_plan = Some(plan);
             }
+            "--interval" => {
+                let v: f64 = next("--interval")?.parse().map_err(|e| format!("--interval: {e}"))?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err("--interval must be a positive number of seconds".into());
+                }
+                args.interval = v;
+            }
+            "--frames" => {
+                args.frames = next("--frames")?.parse().map_err(|e| format!("--frames: {e}"))?
+            }
             "--fault-plan" => args.fault_plan = Some(parse_fault_plan(&next("--fault-plan")?)?),
             "--crash-dir" => args.crash_dir = Some(next("--crash-dir")?),
             "--clock" => {
@@ -384,6 +403,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     // service commands have no input positional (submit's is the manifest)
     let no_input = matches!(args.command.as_str(), "help" | "serve" | "shutdown" | "loadgen");
+    if args.command == "top" && args.input.is_empty() {
+        return Err("top needs a server address (host:port)".into());
+    }
     if !no_input && args.input.is_empty() {
         return Err("missing input design".into());
     }
@@ -1050,10 +1072,121 @@ fn run_shutdown_command(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `casyn top <host:port>`: polls `GET /stats` on a running service and
+/// renders the windowed telemetry as a full-screen terminal dashboard.
+fn run_top_command(args: &Args) -> Result<(), String> {
+    let addr = args.input.as_str();
+    let mut frame = 0usize;
+    loop {
+        let (status, doc) = casyn_serve::request_json(addr, "GET", "/stats", None)?;
+        if status != 200 {
+            return Err(format!("{addr} /stats answered {status}"));
+        }
+        let text = format_top(&doc, addr);
+        // single-snapshot mode composes with pipes and CI logs, so it
+        // skips the ANSI clear that the live dashboard wants
+        if args.frames != 1 {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{text}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        frame += 1;
+        if args.frames != 0 && frame >= args.frames {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(args.interval));
+    }
+}
+
+/// Renders one `casyn.stats.v1` document as the `top` dashboard. Pure
+/// (document in, text out) so the layout is testable without a server.
+fn format_top(doc: &JsonValue, addr: &str) -> String {
+    let num = |path: &[&str]| -> Option<f64> {
+        let mut v = doc;
+        for p in path {
+            v = v.get(p)?;
+        }
+        v.as_f64()
+    };
+    let mut out = String::new();
+    let uptime = num(&["uptime_s"]).unwrap_or(0.0);
+    let version = doc.get("version").and_then(|v| v.as_str()).unwrap_or("?");
+    let degraded = doc.get("degraded").and_then(|v| v.as_bool()).unwrap_or(false);
+    out.push_str(&format!(
+        "casyn top - {addr}   up {uptime:.0} s   {version}{}\n",
+        if degraded { "   DEGRADED (shed in last 10s)" } else { "" }
+    ));
+    let rate = |w: &str| num(&["windows", w, "serve.jobs_done", "rate_per_s"]).unwrap_or(0.0);
+    out.push_str(&format!(
+        "jobs/sec      10s {:>7.2}   1m {:>7.2}   5m {:>7.2}\n",
+        rate("10s"),
+        rate("1m"),
+        rate("5m")
+    ));
+    // gauges: the 10s window's `last` is the freshest sampled value
+    let gauge = |k: &str| num(&["windows", "10s", k, "last"]).unwrap_or(0.0);
+    out.push_str(&format!(
+        "queue {:>5.0}   inflight {:>4.0}   live {:>8.1} MB\n",
+        gauge("serve.queue_depth"),
+        gauge("serve.inflight"),
+        gauge("serve.live_bytes") / (1024.0 * 1024.0)
+    ));
+    let delta = |k: &str| num(&["windows", "1m", k, "delta"]).unwrap_or(0.0);
+    let hits = delta("serve.cache_hits");
+    let computes = delta("serve.computes");
+    let hit_pct = if hits + computes > 0.0 { 100.0 * hits / (hits + computes) } else { 0.0 };
+    out.push_str(&format!(
+        "cache hits (1m) {hit_pct:>5.1}%   shed {:>4.0}   retries {:>4.0}   failed {:>4.0}\n",
+        delta("serve.shed"),
+        delta("retry.attempts"),
+        delta("serve.jobs_failed")
+    ));
+    // per-stage windowed percentiles: every *.wall_ms_hist key in the 1m
+    // window is a stage timed through obs::StageTimer
+    let mut stages: Vec<(String, f64, f64, f64)> = Vec::new();
+    if let Some(JsonValue::Object(keys)) = doc.get("windows").and_then(|w| w.get("1m")) {
+        for (k, v) in keys {
+            if let Some(stage) = k.strip_suffix(".wall_ms_hist") {
+                stages.push((
+                    stage.to_string(),
+                    v.get("p50").and_then(|x| x.as_f64()).unwrap_or(0.0),
+                    v.get("p95").and_then(|x| x.as_f64()).unwrap_or(0.0),
+                    v.get("p99").and_then(|x| x.as_f64()).unwrap_or(0.0),
+                ));
+            }
+        }
+    }
+    if !stages.is_empty() {
+        out.push_str(&format!(
+            "\n{:<22} {:>9} {:>9} {:>9}   (1m, wall ms)\n",
+            "stage", "p50", "p95", "p99"
+        ));
+        for (stage, p50, p95, p99) in &stages {
+            out.push_str(&format!("{stage:<22} {p50:>9.1} {p95:>9.1} {p99:>9.1}\n"));
+        }
+    }
+    // per-second sparklines, oldest to newest
+    if let Some(JsonValue::Object(series)) = doc.get("series") {
+        if !series.is_empty() {
+            out.push('\n');
+        }
+        for (k, v) in series {
+            let vals: Vec<f64> =
+                v.as_array().unwrap_or(&[]).iter().filter_map(|x| x.as_f64()).collect();
+            out.push_str(&format!("{k:<22} {}\n", casyn_flow::format_sparkline(&vals)));
+        }
+    }
+    out
+}
+
 /// Latency/throughput numbers for one loadgen round.
 struct LoadRound {
     wall_ms: f64,
     mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
     jobs_per_sec: f64,
     cache_hits: usize,
 }
@@ -1108,9 +1241,18 @@ fn loadgen_round(addr: &str, manifests: &[String], clients: usize) -> Result<Loa
     let lat = lat.into_inner().unwrap();
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let mean_ms = lat.iter().map(|(ms, _)| ms).sum::<f64>() / lat.len() as f64;
+    // the same log2 histogram the windowed /stats percentiles use, so
+    // BENCH_serve.json and a live `casyn top` agree on the math
+    let mut hist = obs::Histogram::new();
+    for (ms, _) in &lat {
+        hist.record(*ms);
+    }
     Ok(LoadRound {
         wall_ms,
         mean_ms,
+        p50_ms: hist.p50(),
+        p95_ms: hist.p95(),
+        p99_ms: hist.p99(),
         jobs_per_sec: lat.len() as f64 / (wall_ms / 1e3),
         cache_hits: lat.iter().filter(|(_, hit)| *hit).count(),
     })
@@ -1168,13 +1310,26 @@ fn run_loadgen_command(args: &Args) -> Result<(), String> {
     server.wait()?;
     let speedup = if warm.mean_ms > 0.0 { cold.mean_ms / warm.mean_ms } else { 0.0 };
     println!(
-        "cold: {:.1} jobs/s (mean {:.0} ms)   warm: {:.1} jobs/s (mean {:.1} ms)   speedup {speedup:.0}x",
-        cold.jobs_per_sec, cold.mean_ms, warm.jobs_per_sec, warm.mean_ms
+        "cold: {:.1} jobs/s (mean {:.0} ms, p50 {:.0} / p95 {:.0} / p99 {:.0})   \
+         warm: {:.1} jobs/s (mean {:.1} ms, p50 {:.1} / p95 {:.1} / p99 {:.1})   speedup {speedup:.0}x",
+        cold.jobs_per_sec,
+        cold.mean_ms,
+        cold.p50_ms,
+        cold.p95_ms,
+        cold.p99_ms,
+        warm.jobs_per_sec,
+        warm.mean_ms,
+        warm.p50_ms,
+        warm.p95_ms,
+        warm.p99_ms
     );
     let round_doc = |r: &LoadRound| {
         JsonValue::object(vec![
             ("wall_ms".into(), JsonValue::Number(r.wall_ms)),
             ("mean_ms".into(), JsonValue::Number(r.mean_ms)),
+            ("p50_ms".into(), JsonValue::Number(r.p50_ms)),
+            ("p95_ms".into(), JsonValue::Number(r.p95_ms)),
+            ("p99_ms".into(), JsonValue::Number(r.p99_ms)),
             ("jobs_per_sec".into(), JsonValue::Number(r.jobs_per_sec)),
             ("cache_hits".into(), JsonValue::Number(r.cache_hits as f64)),
         ])
@@ -1248,6 +1403,7 @@ fn run(args: &Args) -> Result<(), String> {
         "submit" => return run_submit_command(args),
         "shutdown" => return run_shutdown_command(args),
         "loadgen" => return run_loadgen_command(args),
+        "top" => return run_top_command(args),
         _ => {}
     }
     let pool = match args.jobs {
@@ -1549,6 +1705,107 @@ mod tests {
         assert!(parse_args(&sv(&["submit", "--server", "h:1"])).is_err());
         assert!(parse_args(&sv(&["loadgen", "--clients", "0"])).is_err());
         assert!(parse_args(&sv(&["loadgen", "--designs", "0"])).is_err());
+    }
+
+    #[test]
+    fn parse_top_flags() {
+        let a = parse_args(&sv(&["top", "127.0.0.1:7878", "--interval", "0.5", "--frames", "3"]))
+            .unwrap();
+        assert_eq!(a.command, "top");
+        assert_eq!(a.input, "127.0.0.1:7878");
+        assert_eq!(a.interval, 0.5);
+        assert_eq!(a.frames, 3);
+        // defaults: 1 s refresh, run until interrupted
+        let d = parse_args(&sv(&["top", "h:1"])).unwrap();
+        assert_eq!((d.interval, d.frames), (1.0, 0));
+        // the address positional is required, the interval must be positive
+        let e = parse_args(&sv(&["top"])).unwrap_err();
+        assert!(e.contains("server address"), "got: {e}");
+        assert!(parse_args(&sv(&["top", "h:1", "--interval", "0"])).is_err());
+        assert!(parse_args(&sv(&["top", "h:1", "--interval", "nope"])).is_err());
+    }
+
+    #[test]
+    fn format_top_renders_synthetic_stats() {
+        let win = |entries: Vec<(&str, JsonValue)>| {
+            JsonValue::object(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let counter = |delta: f64, rate: f64| {
+            win(vec![("delta", JsonValue::Number(delta)), ("rate_per_s", JsonValue::Number(rate))])
+        };
+        let doc = win(vec![
+            ("schema", JsonValue::Str("casyn.stats.v1".into())),
+            ("now_s", JsonValue::Number(90.0)),
+            ("uptime_s", JsonValue::Number(90.0)),
+            ("version", JsonValue::Str("0.1.0+gdeadbee".into())),
+            ("degraded", JsonValue::Bool(true)),
+            (
+                "windows",
+                win(vec![
+                    (
+                        "10s",
+                        win(vec![
+                            ("serve.jobs_done", counter(15.0, 1.5)),
+                            (
+                                "serve.queue_depth",
+                                win(vec![
+                                    ("last", JsonValue::Number(4.0)),
+                                    ("min", JsonValue::Number(0.0)),
+                                    ("max", JsonValue::Number(6.0)),
+                                ]),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "1m",
+                        win(vec![
+                            ("serve.jobs_done", counter(30.0, 0.5)),
+                            ("serve.cache_hits", counter(3.0, 0.05)),
+                            ("serve.computes", counter(9.0, 0.15)),
+                            (
+                                "flow.map.wall_ms_hist",
+                                win(vec![
+                                    ("count", JsonValue::Number(30.0)),
+                                    ("p50", JsonValue::Number(12.0)),
+                                    ("p95", JsonValue::Number(30.0)),
+                                    ("p99", JsonValue::Number(41.0)),
+                                ]),
+                            ),
+                        ]),
+                    ),
+                    ("5m", win(vec![("serve.jobs_done", counter(30.0, 0.1))])),
+                ]),
+            ),
+            (
+                "series",
+                win(vec![(
+                    "serve.jobs_done",
+                    JsonValue::Array(vec![
+                        JsonValue::Number(0.0),
+                        JsonValue::Number(2.0),
+                        JsonValue::Number(4.0),
+                    ]),
+                )]),
+            ),
+        ]);
+        let text = format_top(&doc, "127.0.0.1:7878");
+        assert!(text.contains("casyn top - 127.0.0.1:7878"), "got:\n{text}");
+        assert!(text.contains("up 90 s") && text.contains("0.1.0+gdeadbee"), "got:\n{text}");
+        assert!(text.contains("DEGRADED"), "got:\n{text}");
+        // window rates land in the jobs/sec row in 10s/1m/5m order
+        assert!(text.contains("10s    1.50   1m    0.50   5m    0.10"), "got:\n{text}");
+        assert!(text.contains("queue     4"), "got:\n{text}");
+        // 3 hits of 12 outcomes in the 1m window
+        assert!(text.contains("cache hits (1m)  25.0%"), "got:\n{text}");
+        // the stage table strips the histogram suffix
+        assert!(text.contains("flow.map") && !text.contains("wall_ms_hist"), "got:\n{text}");
+        assert!(text.contains("12.0") && text.contains("30.0") && text.contains("41.0"));
+        // the sparkline row renders one glyph per sample
+        let spark = text.lines().find(|l| l.starts_with("serve.jobs_done")).unwrap();
+        assert_eq!(spark.split_whitespace().last().unwrap().chars().count(), 3, "got: {spark}");
+        // a degraded=false doc drops the banner
+        let calm = win(vec![("degraded", JsonValue::Bool(false))]);
+        assert!(!format_top(&calm, "h:1").contains("DEGRADED"));
     }
 
     #[test]

@@ -77,8 +77,8 @@ pub use methodology::{
 };
 pub use report::{
     format_audit_table, format_congestion_heatmap, format_convergence_sparkline,
-    format_k_sweep_table, format_routing_table, format_sta_table, format_telemetry_table,
-    k_row_json,
+    format_k_sweep_table, format_routing_table, format_sparkline, format_sta_table,
+    format_telemetry_table, k_row_json,
 };
 pub use seq::{sequential_flow, simulate_mapped_seq, SeqFlowResult};
 pub use sweep::{

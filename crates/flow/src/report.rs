@@ -185,29 +185,37 @@ pub fn format_audit_table(title: &str, audit: &OverflowAudit, top: usize) -> Str
 /// route convergence: █▆▅▃▂▁▁ (7 iters, overflow 42.0 -> 0.0)
 /// ```
 pub fn format_convergence_sparkline(conv: &RouteConvergence) -> String {
-    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let series = conv.overflow_series();
     if series.is_empty() {
         return "route convergence: (no iterations)\n".to_string();
     }
+    format!(
+        "route convergence: {} ({} iters, overflow {:.1} -> {:.1})\n",
+        format_sparkline(&series),
+        series.len(),
+        series.first().copied().unwrap_or(0.0),
+        series.last().copied().unwrap_or(0.0)
+    )
+}
+
+/// Renders any numeric series as a one-line Unicode sparkline scaled to
+/// the series maximum (an all-zero series renders as a flat baseline).
+/// Shared by the convergence report above and the `casyn top` live
+/// dashboard.
+pub fn format_sparkline(series: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let max = series.iter().fold(0.0f64, |a, &b| a.max(b));
-    let spark: String = series
+    series
         .iter()
         .map(|&v| {
-            if max <= 0.0 {
+            if max <= 0.0 || !v.is_finite() || v <= 0.0 {
                 BARS[0]
             } else {
                 let idx = ((v / max) * (BARS.len() - 1) as f64).round() as usize;
                 BARS[idx.min(BARS.len() - 1)]
             }
         })
-        .collect();
-    format!(
-        "route convergence: {spark} ({} iters, overflow {:.1} -> {:.1})\n",
-        series.len(),
-        series.first().copied().unwrap_or(0.0),
-        series.last().copied().unwrap_or(0.0)
-    )
+        .collect()
 }
 
 /// Renders a congestion map as a bordered ASCII heatmap with the legend

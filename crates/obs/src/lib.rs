@@ -23,13 +23,16 @@
 pub mod alloc;
 pub mod json;
 pub mod log;
+pub mod prom;
 mod registry;
+pub mod timeseries;
 pub mod trace;
 
 pub use registry::{
     counter_add, delta, enabled, gauge_set, global, hist_record, reset, set_enabled, snapshot,
-    Histogram, MetricValue, Registry, Snapshot,
+    Histogram, MetricValue, Registry, Snapshot, HIST_BUCKETS,
 };
+pub use timeseries::SeriesStore;
 
 /// The counting allocator measuring every workspace crate (the
 /// `alloc-track` feature, on by default). See [`alloc`].
@@ -67,13 +70,16 @@ impl StageTimer {
         self.start.elapsed().as_secs_f64() * 1e3
     }
 
-    /// Stops the timer, records `<stage>.wall_ms` as a gauge when metrics
+    /// Stops the timer, records `<stage>.wall_ms` (last-run gauge) and
+    /// `<stage>.wall_ms_hist` (lifetime histogram, the source of the
+    /// windowed per-stage percentiles in [`timeseries`]) when metrics
     /// are enabled, and returns the elapsed milliseconds.
     pub fn finish(self) -> f64 {
         let ms = self.elapsed_ms();
         log::debug(&format!("stage {}: {:.3} ms", self.stage, ms));
         if enabled() {
             gauge_set(&format!("{}.wall_ms", self.stage), ms);
+            hist_record(&format!("{}.wall_ms_hist", self.stage), ms);
         }
         ms
     }

@@ -1,0 +1,351 @@
+//! Prometheus / OpenMetrics text exposition for registry snapshots.
+//!
+//! Renders a [`Snapshot`] (plus, optionally, windowed summaries from a
+//! [`SeriesStore`]) in the Prometheus text format, version 0.0.4:
+//! `# HELP` / `# TYPE` headers, one family per metric, samples sorted
+//! deterministically. Registry keys use the internal `stage.metric`
+//! convention; exposition names are the sanitized form prefixed with
+//! `casyn_` (`route.iterations` → `casyn_route_iterations_total`).
+//!
+//! A few families get canonical shapes instead of the mechanical
+//! translation, because dashboards key on them:
+//!
+//! - `serve.jobs_done/failed/cancelled` fold into one
+//!   `casyn_jobs_total{status="..."}` counter family;
+//! - `serve.cache_hits` becomes `casyn_cache_hits_total`;
+//! - every `<stage>.wall_ms_hist` histogram folds into one
+//!   `casyn_stage_wall_ms{stage="..."}` histogram family with
+//!   cumulative `le` buckets at the log₂ bounds.
+//!
+//! When a series store is supplied, window summaries ride along as
+//! window-labelled gauges: `casyn_<name>_rate{window="1m"}` for
+//! counters and `casyn_stage_wall_ms_p95{stage,window}` for stage
+//! histograms, so a scrape sees both lifetime totals and the live view.
+
+use crate::json::fmt_f64;
+use crate::registry::{Histogram, MetricValue, Snapshot};
+use crate::timeseries::{SeriesStore, WINDOWS};
+use std::fmt::Write as _;
+
+/// Suffix marking per-stage wall-clock histograms (fed by
+/// [`StageTimer`](crate::StageTimer)).
+pub const STAGE_WALL_SUFFIX: &str = ".wall_ms_hist";
+
+/// A registry key as an exposition-safe name: `[a-zA-Z0-9_]` survives,
+/// everything else becomes `_`, and a leading digit gains a `_` prefix.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+struct Family {
+    name: String,
+    kind: &'static str,
+    help: String,
+    samples: Vec<String>,
+}
+
+struct Renderer {
+    families: Vec<Family>,
+}
+
+impl Renderer {
+    fn new() -> Self {
+        Renderer { families: Vec::new() }
+    }
+
+    fn family(&mut self, name: &str, kind: &'static str, help: &str) -> &mut Family {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            kind,
+            help: help.to_string(),
+            samples: Vec::new(),
+        });
+        self.families.last_mut().unwrap()
+    }
+
+    fn sample(&mut self, family: &str, kind: &'static str, help: &str, labels: &str, v: f64) {
+        let name = family.to_string();
+        let f = self.family(&name, kind, help);
+        f.samples.push(format!("{name}{labels} {}", fmt_f64(v)));
+    }
+
+    /// A full Prometheus histogram: cumulative `le` buckets at the log₂
+    /// bounds (up to the highest populated bucket), `+Inf`, `_sum`,
+    /// `_count`. `labels` is the rendered label set without braces
+    /// (e.g. `stage="route"`), empty for none.
+    fn histogram(&mut self, family: &str, help: &str, labels: &str, h: &Histogram) {
+        let name = family.to_string();
+        let mut lines = Vec::new();
+        let last = h.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate().take(last + 1) {
+            cum += c;
+            let (_, hi) = Histogram::bucket_bounds(i);
+            lines.push(format!("{name}_bucket{} {cum}", with_label(labels, "le", &fmt_f64(hi))));
+        }
+        lines.push(format!("{name}_bucket{} {}", with_label(labels, "le", "+Inf"), h.count));
+        let braces = if labels.is_empty() { String::new() } else { format!("{{{labels}}}") };
+        lines.push(format!("{name}_sum{braces} {}", fmt_f64(h.sum)));
+        lines.push(format!("{name}_count{braces} {}", h.count));
+        let f = self.family(&name, "histogram", help);
+        f.samples.extend(lines);
+    }
+
+    fn render(mut self) -> String {
+        self.families.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut out = String::new();
+        for f in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", f.name, f.help);
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind);
+            for s in &f.samples {
+                let _ = writeln!(out, "{s}");
+            }
+        }
+        out
+    }
+}
+
+/// Appends `key="value"` to a rendered label set and wraps it in braces.
+fn with_label(labels: &str, key: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        format!("{{{labels},{key}=\"{value}\"}}")
+    }
+}
+
+/// The canonical family a registry key belongs to, when it has one:
+/// `(family, kind, help, labels)`.
+fn canonical(key: &str) -> Option<(&'static str, &'static str, &'static str, String)> {
+    let jobs = |status: &str| {
+        Some((
+            "casyn_jobs_total",
+            "counter",
+            "Jobs finished, by terminal status.",
+            format!("status=\"{status}\""),
+        ))
+    };
+    match key {
+        "serve.jobs_done" => jobs("done"),
+        "serve.jobs_failed" => jobs("failed"),
+        "serve.jobs_cancelled" => jobs("cancelled"),
+        "serve.cache_hits" => Some((
+            "casyn_cache_hits_total",
+            "counter",
+            "Submissions served from the artifact cache.",
+            String::new(),
+        )),
+        _ => None,
+    }
+}
+
+/// The stage name when `key` is a per-stage wall-clock histogram.
+fn stage_of(key: &str) -> Option<&str> {
+    key.strip_suffix(STAGE_WALL_SUFFIX)
+}
+
+/// Renders `snap` in the Prometheus text exposition format. With a
+/// `store`, windowed summary gauges (rates and stage percentiles) are
+/// appended, labelled by window; `now_s` is the store's current second.
+pub fn render(snap: &Snapshot, store: Option<(&SeriesStore, u64)>) -> String {
+    let mut r = Renderer::new();
+    for (key, v) in &snap.metrics {
+        match v {
+            MetricValue::Counter(n) => {
+                if let Some((fam, kind, help, labels)) = canonical(key) {
+                    let braces = format!("{{{labels}}}");
+                    let braces = if labels.is_empty() { String::new() } else { braces };
+                    r.sample(fam, kind, help, &braces, *n as f64);
+                } else {
+                    r.sample(
+                        &format!("casyn_{}_total", sanitize(key)),
+                        "counter",
+                        &format!("Lifetime count of `{key}`."),
+                        "",
+                        *n as f64,
+                    );
+                }
+            }
+            MetricValue::Gauge(g) => {
+                r.sample(
+                    &format!("casyn_{}", sanitize(key)),
+                    "gauge",
+                    &format!("Current value of `{key}`."),
+                    "",
+                    *g,
+                );
+            }
+            MetricValue::Histogram(h) => {
+                if let Some(stage) = stage_of(key) {
+                    r.histogram(
+                        "casyn_stage_wall_ms",
+                        "Per-stage wall-clock milliseconds.",
+                        &format!("stage=\"{stage}\""),
+                        h,
+                    );
+                } else {
+                    r.histogram(
+                        &format!("casyn_{}", sanitize(key)),
+                        &format!("Distribution of `{key}`."),
+                        "",
+                        h,
+                    );
+                }
+            }
+        }
+    }
+    if let Some((store, now_s)) = store {
+        render_windows(&mut r, snap, store, now_s);
+    }
+    r.render()
+}
+
+/// Window-labelled live summaries: per-counter rates and per-stage
+/// windowed percentiles, as gauges (they are recomputed every scrape).
+fn render_windows(r: &mut Renderer, snap: &Snapshot, store: &SeriesStore, now_s: u64) {
+    for (key, v) in &snap.metrics {
+        match v {
+            MetricValue::Counter(_) => {
+                let fam = format!("casyn_{}_rate", sanitize(key));
+                for (secs, label) in WINDOWS {
+                    let delta = store.counter_delta(now_s, secs, key);
+                    r.sample(
+                        &fam,
+                        "gauge",
+                        &format!("Per-second rate of `{key}` over the labelled window."),
+                        &with_label("", "window", label),
+                        delta as f64 / secs as f64,
+                    );
+                }
+            }
+            MetricValue::Histogram(_) => {
+                let Some(stage) = stage_of(key) else { continue };
+                for (secs, label) in WINDOWS {
+                    let Some(h) = store.hist_window(now_s, secs, key) else { continue };
+                    for (p, suffix) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                        r.sample(
+                            &format!("casyn_stage_wall_ms_{suffix}"),
+                            "gauge",
+                            "Windowed stage wall-clock percentile (ms).",
+                            &format!("{{stage=\"{stage}\",window=\"{label}\"}}"),
+                            h.percentile(p),
+                        );
+                    }
+                }
+            }
+            MetricValue::Gauge(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn sanitize_maps_keys_to_exposition_names() {
+        assert_eq!(sanitize("route.iterations"), "route_iterations");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn canonical_families_and_types_are_emitted() {
+        let reg = Registry::new();
+        reg.counter_add("serve.jobs_done", 5);
+        reg.counter_add("serve.jobs_failed", 1);
+        reg.counter_add("serve.cache_hits", 3);
+        reg.counter_add("route.iterations", 42);
+        reg.gauge_set("serve.queue_depth", 2.0);
+        let text = render(&reg.snapshot(), None);
+        assert!(text.contains("# TYPE casyn_jobs_total counter"), "{text}");
+        assert!(text.contains("casyn_jobs_total{status=\"done\"} 5"), "{text}");
+        assert!(text.contains("casyn_jobs_total{status=\"failed\"} 1"), "{text}");
+        assert!(text.contains("# TYPE casyn_cache_hits_total counter"), "{text}");
+        assert!(text.contains("casyn_cache_hits_total 3"), "{text}");
+        assert!(text.contains("casyn_route_iterations_total 42"), "{text}");
+        assert!(text.contains("# TYPE casyn_serve_queue_depth gauge"), "{text}");
+        assert!(text.contains("casyn_serve_queue_depth 2"), "{text}");
+        // exactly one TYPE line per family even with three statuses
+        assert_eq!(text.matches("# TYPE casyn_jobs_total").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn stage_histograms_expose_cumulative_le_buckets() {
+        let reg = Registry::new();
+        for v in [0.5, 3.0, 3.5, 12.0] {
+            reg.hist_record("route.wall_ms_hist", v);
+        }
+        let text = render(&reg.snapshot(), None);
+        assert!(text.contains("# TYPE casyn_stage_wall_ms histogram"), "{text}");
+        // cumulative: le=1 sees one sample, le=4 three, le=16 all four
+        assert!(text.contains("casyn_stage_wall_ms_bucket{stage=\"route\",le=\"1\"} 1"), "{text}");
+        assert!(text.contains("casyn_stage_wall_ms_bucket{stage=\"route\",le=\"4\"} 3"), "{text}");
+        assert!(text.contains("casyn_stage_wall_ms_bucket{stage=\"route\",le=\"16\"} 4"), "{text}");
+        assert!(
+            text.contains("casyn_stage_wall_ms_bucket{stage=\"route\",le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("casyn_stage_wall_ms_sum{stage=\"route\"} 19"), "{text}");
+        assert!(text.contains("casyn_stage_wall_ms_count{stage=\"route\"} 4"), "{text}");
+    }
+
+    #[test]
+    fn window_summaries_are_window_labelled_gauges() {
+        use crate::timeseries::SeriesStore;
+        let reg = Registry::new();
+        let ts = SeriesStore::new();
+        ts.observe(0, &reg.snapshot());
+        reg.counter_add("serve.submitted", 20);
+        reg.hist_record("route.wall_ms_hist", 8.0);
+        ts.observe(10, &reg.snapshot());
+        let text = render(&reg.snapshot(), Some((&ts, 10)));
+        assert!(text.contains("# TYPE casyn_serve_submitted_rate gauge"), "{text}");
+        assert!(text.contains("casyn_serve_submitted_rate{window=\"10s\"} 2"), "{text}");
+        assert!(
+            text.contains("casyn_stage_wall_ms_p95{stage=\"route\",window=\"1m\"} 8"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn exposition_lines_are_well_formed() {
+        let reg = Registry::new();
+        reg.counter_add("serve.jobs_done", 1);
+        reg.hist_record("place.wall_ms_hist", 2.0);
+        reg.gauge_set("serve.live_bytes", 1024.0);
+        for line in render(&reg.snapshot(), None).lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment: {line}"
+                );
+                continue;
+            }
+            let (name_labels, value) = line.rsplit_once(' ').expect("sample has value");
+            assert!(!name_labels.is_empty());
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf", "bad value in: {line}");
+            let name = name_labels.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad name in: {line}"
+            );
+            assert!(name.starts_with("casyn_"), "unprefixed family: {line}");
+        }
+    }
+}

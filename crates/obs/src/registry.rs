@@ -32,7 +32,10 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new() -> Self {
+    /// An empty histogram. Public so callers that already hold raw
+    /// samples (loadgen latencies, windowed merges) can reuse the same
+    /// bucket/percentile math instead of reimplementing it.
+    pub fn new() -> Self {
         Histogram {
             count: 0,
             sum: 0.0,
@@ -50,7 +53,8 @@ impl Histogram {
         ((v.log2().floor() as usize) + 1).min(HIST_BUCKETS - 1)
     }
 
-    fn record(&mut self, v: f64) {
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
@@ -69,7 +73,7 @@ impl Histogram {
 
     /// The value range bucket `i` covers: `[0, 1)` for bucket 0,
     /// `[2^(i-1), 2^i)` above.
-    fn bucket_bounds(i: usize) -> (f64, f64) {
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
         if i == 0 {
             (0.0, 1.0)
         } else {
@@ -122,6 +126,12 @@ impl Histogram {
     /// 99th-percentile estimate (see [`Histogram::percentile`]).
     pub fn p99(&self) -> f64 {
         self.percentile(0.99)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
     }
 }
 

@@ -1,0 +1,19 @@
+//! Embeds `git describe` output (when available) so `/healthz` can
+//! report exactly which tree the binary was built from. Failure is
+//! fine — release tarballs and vendored builds just report the crate
+//! version.
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    let describe = Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    println!("cargo:rustc-env=CASYN_GIT_DESCRIBE={describe}");
+}

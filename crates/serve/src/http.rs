@@ -38,6 +38,14 @@ impl Request {
     pub fn query_flag(&self, key: &str) -> bool {
         self.query.split('&').any(|p| p == key || p == format!("{key}=1"))
     }
+
+    /// The value of query parameter `key` (`?key=value`), if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|p| {
+            let (k, v) = p.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
 }
 
 /// A typed HTTP failure, rendered as a JSON error response.
@@ -174,7 +182,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
 }
 
 /// Writes a JSON response with `Content-Length` and `Connection: close`.
-pub fn respond_json(stream: &mut TcpStream, status: u16, doc: &JsonValue) -> std::io::Result<()> {
+/// Returns the body size in bytes (for the access log).
+pub fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    doc: &JsonValue,
+) -> std::io::Result<usize> {
     respond_json_with(stream, status, doc, &[])
 }
 
@@ -184,7 +197,7 @@ pub fn respond_json_with(
     status: u16,
     doc: &JsonValue,
     extra_headers: &[(String, String)],
-) -> std::io::Result<()> {
+) -> std::io::Result<usize> {
     let body = doc.to_string_pretty();
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n\
@@ -198,12 +211,33 @@ pub fn respond_json_with(
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
-    stream.flush()
+    stream.flush()?;
+    Ok(body.len())
+}
+
+/// Writes a plain-text response (the Prometheus exposition surface).
+/// Returns the body size in bytes.
+pub fn respond_text(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<usize> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    Ok(body.len())
 }
 
 /// Writes an [`HttpError`] as a JSON response (including its
-/// `Retry-After` header when set).
-pub fn respond_error(stream: &mut TcpStream, err: &HttpError) -> std::io::Result<()> {
+/// `Retry-After` header when set). Returns the body size in bytes.
+pub fn respond_error(stream: &mut TcpStream, err: &HttpError) -> std::io::Result<usize> {
     let mut doc = vec![
         ("error".into(), JsonValue::Str(err.message.clone())),
         ("status".into(), JsonValue::Number(err.status as f64)),
@@ -257,6 +291,15 @@ mod tests {
         assert!(r.query_flag("wait"));
         assert_eq!(r.header("host"), Some("x"));
         assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn query_param_extracts_values() {
+        let r = roundtrip("GET /metrics?format=prom&wait HTTP/1.1\r\nHost: x\r\n\r\n", 16).unwrap();
+        assert_eq!(r.query_param("format"), Some("prom"));
+        assert_eq!(r.query_param("wait"), None, "bare flags have no value");
+        assert_eq!(r.query_param("absent"), None);
+        assert!(r.query_flag("wait"));
     }
 
     #[test]

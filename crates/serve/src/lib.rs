@@ -16,7 +16,7 @@
 //!   errors and deterministic exponential backoff for idempotent GETs.
 //! * [`server`] — the service itself: job table, bounded admission
 //!   queue with backpressure, dispatcher, per-job event streams,
-//!   metrics endpoint, graceful drain, and (with a state directory) a
+//!   metrics endpoints, graceful drain, and (with a state directory) a
 //!   write-ahead job journal replayed on startup for crash recovery.
 //!
 //! ## Endpoints
@@ -27,9 +27,23 @@
 //! | GET  | `/jobs/<id>` | job status document |
 //! | GET  | `/jobs/<id>/result` | rows; `?wait=1` blocks until terminal |
 //! | GET  | `/jobs/<id>/events` | NDJSON stage-progress stream |
-//! | GET  | `/metrics` | casyn-obs registry snapshot |
-//! | GET  | `/healthz` | liveness probe |
+//! | GET  | `/metrics` | casyn-obs registry snapshot (JSON) |
+//! | GET  | `/metrics?format=prom` | Prometheus text exposition |
+//! | GET  | `/stats` | windowed 10s/1m/5m rates, percentiles, sparklines |
+//! | GET  | `/healthz` | liveness: uptime, version, queue depth, degraded |
 //! | POST | `/shutdown` | graceful drain (`{"mode": "cancel"}` for fast) |
+//!
+//! ## Live telemetry
+//!
+//! A background sampler snapshots the metrics registry (plus queue
+//! depth, live heap bytes and WAL lag) into an `obs::SeriesStore` once
+//! per second; `/stats` and `/metrics?format=prom` additionally sample
+//! on demand so scrapes never see stale windows. Every HTTP request
+//! carries a `request_id` (client-supplied `X-Request-Id` or generated)
+//! that flows through admission, the job journal, trace spans, the
+//! NDJSON event stream and the rate-limited access log, so one id
+//! correlates all surfaces. `casyn top <addr>` renders `/stats` as a
+//! live terminal dashboard.
 //!
 //! ## Content addressing
 //!
@@ -51,4 +65,4 @@ pub use client::{
     RetryPolicy,
 };
 pub use http::{HttpError, Request};
-pub use server::{ServeConfig, Server};
+pub use server::{version, ServeConfig, Server};

@@ -42,10 +42,19 @@ use casyn_obs::json::{JsonErrorKind, JsonLimits, JsonValue};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// The service version: crate version plus the git describe string when
+/// the build script could obtain one (`0.1.0+gabc1234`).
+pub fn version() -> String {
+    match option_env!("CASYN_GIT_DESCRIBE") {
+        Some(git) if !git.is_empty() => format!("{}+{git}", env!("CARGO_PKG_VERSION")),
+        _ => env!("CARGO_PKG_VERSION").to_string(),
+    }
+}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -136,6 +145,10 @@ impl JobStatus {
 struct JobRecord {
     name: String,
     design: String,
+    /// The id of the HTTP request that admitted this job; stamped into
+    /// every event line, journal record and span so one id correlates
+    /// the access log, NDJSON stream and trace.
+    request_id: String,
     status: JobStatus,
     /// How the result was (or will be) obtained: `"hit"`, `"dedup"`,
     /// `"miss"`, or `"bypass"` for fault-plan jobs that skip the cache.
@@ -163,6 +176,7 @@ type PrepSlot = Arc<Mutex<Option<Arc<Prepared>>>>;
 /// An admitted job waiting for (or being run by) the dispatcher.
 struct Task {
     job_id: usize,
+    request_id: String,
     mjob: ManifestJob,
     network: Network,
     fault: Option<FaultPlan>,
@@ -198,6 +212,26 @@ struct Shared {
     /// The WAL + disk cache pair behind `--state-dir`; `None` when the
     /// server runs memory-only.
     durable: Option<Durable>,
+    /// Windowed per-second series, fed by the sampler thread (and
+    /// refreshed on demand by `/stats` and `/metrics?format=prom`).
+    /// Seconds are measured from `started`, a monotonic clock.
+    store: obs::SeriesStore,
+    started: Instant,
+    /// Source of generated request ids (`r000001`, ...).
+    req_seq: AtomicU64,
+    /// Access-log rate limiter state (second, emitted, suppressed).
+    log_window: Mutex<LogWindow>,
+}
+
+/// Per-second access-log budget; above it lines are counted, not
+/// printed, so loadgen cannot drown the log.
+const ACCESS_LOG_MAX_PER_SEC: u32 = 50;
+
+#[derive(Default)]
+struct LogWindow {
+    sec: u64,
+    emitted: u32,
+    suppressed: u64,
 }
 
 fn lock_inner(shared: &Shared) -> MutexGuard<'_, Inner> {
@@ -244,6 +278,10 @@ impl Server {
             addr,
             config,
             durable,
+            store: obs::SeriesStore::new(),
+            started: Instant::now(),
+            req_seq: AtomicU64::new(0),
+            log_window: Mutex::new(LogWindow::default()),
         });
         let dispatcher = {
             let shared = shared.clone();
@@ -253,7 +291,11 @@ impl Server {
             let shared = shared.clone();
             thread::spawn(move || accept_loop(&shared, listener))
         };
-        Ok(Server { addr, shared, threads: vec![dispatcher, acceptor] })
+        let sampler = {
+            let shared = shared.clone();
+            thread::spawn(move || sampler_loop(&shared))
+        };
+        Ok(Server { addr, shared, threads: vec![dispatcher, acceptor, sampler] })
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -300,7 +342,67 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     }
 }
 
+/// The request's correlation id: a client-supplied `X-Request-Id`
+/// (sanitized, truncated) or a generated `r000001`-style sequence id.
+fn request_id(shared: &Shared, req: &Request) -> String {
+    match req.header("x-request-id") {
+        Some(v) if !v.is_empty() => v
+            .chars()
+            .take(64)
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect(),
+        _ => format!("r{:06}", shared.req_seq.fetch_add(1, Ordering::Relaxed) + 1),
+    }
+}
+
+/// One structured access-log line per HTTP request, rate-limited to
+/// [`ACCESS_LOG_MAX_PER_SEC`] so loadgen cannot drown stderr; the
+/// counters always fire, and suppressed lines surface as a per-second
+/// summary plus the `serve.log_suppressed` counter.
+fn access_log(
+    shared: &Shared,
+    rid: &str,
+    method: &str,
+    path: &str,
+    status: u16,
+    bytes: usize,
+    t0: Instant,
+) {
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    obs::counter_add("serve.http_requests", 1);
+    obs::hist_record("serve.request_ms", ms);
+    if !obs::log::enabled(obs::log::Level::Info) {
+        return;
+    }
+    let now_s = shared.started.elapsed().as_secs();
+    let suppressed = {
+        let mut w = shared.log_window.lock().unwrap_or_else(|p| p.into_inner());
+        if w.sec != now_s {
+            let prior = w.suppressed;
+            *w = LogWindow { sec: now_s, emitted: 0, suppressed: 0 };
+            if prior > 0 {
+                obs::log::info(&format!("access: {prior} lines suppressed under load"));
+            }
+        }
+        if w.emitted < ACCESS_LOG_MAX_PER_SEC {
+            w.emitted += 1;
+            false
+        } else {
+            w.suppressed += 1;
+            true
+        }
+    };
+    if suppressed {
+        obs::counter_add("serve.log_suppressed", 1);
+    } else {
+        obs::log::info(&format!(
+            "access {method} {path} {status} {bytes}B {ms:.1}ms request_id={rid}"
+        ));
+    }
+}
+
 fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let t0 = Instant::now();
     // read *and* write timeouts: a stalled client can neither starve the
     // parser nor pin a handler thread on an unread response or event
     // stream forever
@@ -310,10 +412,12 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
     let req = match http::read_request(&mut stream, shared.config.max_body_bytes) {
         Ok(r) => r,
         Err(e) => {
-            let _ = http::respond_error(&mut stream, &e);
+            let bytes = http::respond_error(&mut stream, &e).unwrap_or(0);
+            access_log(shared, "-", "?", "?", e.status, bytes, t0);
             return;
         }
     };
+    let rid = request_id(shared, &req);
     // chaos: drop the connection after the request is read but before
     // any response bytes are written — the client sees a clean close and
     // (for idempotent requests) retries
@@ -321,6 +425,7 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
         if plan.fire("conn") == Some(FaultKind::ConnDrop) {
             obs::counter_add("serve.conn_dropped", 1);
             let _ = stream.shutdown(std::net::Shutdown::Both);
+            access_log(shared, &rid, &req.method, &req.path, 0, 0, t0);
             return;
         }
     }
@@ -331,6 +436,7 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
     if let ["jobs", id, "events"] = seg_refs.as_slice() {
         if req.method == "GET" {
             handle_events(shared, &mut stream, id);
+            access_log(shared, &rid, &req.method, &req.path, 200, 0, t0);
             return;
         }
     }
@@ -340,10 +446,23 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
     // handler thread's response write and the client sees a bare close
     if seg_refs.as_slice() == ["shutdown"] && req.method == "POST" {
         handle_shutdown(shared, &mut stream, &req);
+        access_log(shared, &rid, &req.method, &req.path, 200, 0, t0);
+        return;
+    }
+    // the Prometheus exposition is the one text/plain surface
+    if seg_refs.as_slice() == ["metrics"]
+        && req.method == "GET"
+        && req.query_param("format") == Some("prom")
+    {
+        let now_s = sample_now(shared);
+        let text = obs::prom::render(&obs::snapshot(), Some((&shared.store, now_s)));
+        let bytes =
+            http::respond_text(&mut stream, 200, "text/plain; version=0.0.4", &text).unwrap_or(0);
+        access_log(shared, &rid, &req.method, &req.path, 200, bytes, t0);
         return;
     }
     let result: Result<(u16, JsonValue), HttpError> = match seg_refs.as_slice() {
-        ["jobs"] if req.method == "POST" => handle_submit(shared, &req),
+        ["jobs"] if req.method == "POST" => handle_submit(shared, &req, &rid),
         ["jobs"] => Err(HttpError::method_not_allowed()),
         ["jobs", id] if req.method == "GET" => handle_status(shared, id),
         ["jobs", _] => Err(HttpError::method_not_allowed()),
@@ -353,17 +472,21 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
         ["jobs", _, "result"] | ["jobs", _, "events"] => Err(HttpError::method_not_allowed()),
         ["metrics"] if req.method == "GET" => Ok((200, metrics_doc(shared))),
         ["metrics"] => Err(HttpError::method_not_allowed()),
-        ["healthz"] if req.method == "GET" => {
-            Ok((200, JsonValue::object(vec![("status".into(), JsonValue::Str("ok".into()))])))
-        }
+        ["stats"] if req.method == "GET" => Ok((200, stats_doc(shared))),
+        ["stats"] => Err(HttpError::method_not_allowed()),
+        ["healthz"] if req.method == "GET" => Ok((200, healthz_doc(shared))),
         ["healthz"] => Err(HttpError::method_not_allowed()),
         ["shutdown"] => Err(HttpError::method_not_allowed()),
         _ => Err(HttpError::not_found(format!("no such endpoint: {}", req.path))),
     };
-    let _ = match result {
-        Ok((status, doc)) => http::respond_json(&mut stream, status, &doc),
-        Err(e) => http::respond_error(&mut stream, &e),
+    let (status, bytes) = match result {
+        Ok((status, doc)) => {
+            let hdr = [("X-Request-Id".to_string(), rid.clone())];
+            (status, http::respond_json_with(&mut stream, status, &doc, &hdr).unwrap_or(0))
+        }
+        Err(e) => (e.status, http::respond_error(&mut stream, &e).unwrap_or(0)),
     };
+    access_log(shared, &rid, &req.method, &req.path, status, bytes, t0);
 }
 
 fn parse_job_id(shared: &Shared, id: &str) -> Result<usize, HttpError> {
@@ -448,9 +571,16 @@ fn load_and_key(m: &ManifestJob) -> Result<LoadedJob, String> {
 struct Durable {
     wal: Mutex<Wal>,
     cache: DiskCache,
+    /// When the last journal append succeeded; `serve.wal.lag_s` is the
+    /// age of this stamp, a proxy for "the journal is keeping up".
+    last_append: Mutex<Option<Instant>>,
 }
 
 impl Durable {
+    fn new(wal: Wal, cache: DiskCache) -> Durable {
+        Durable { wal: Mutex::new(wal), cache, last_append: Mutex::new(None) }
+    }
+
     /// Appends one lifecycle record, downgrading failures to a warning:
     /// an unwritable journal degrades durability, not availability. The
     /// journal wedges itself after a torn append (the tail is in an
@@ -460,7 +590,19 @@ impl Durable {
         if let Err(e) = wal.append(&rec) {
             obs::counter_add("serve.wal.errors", 1);
             obs::log::warn(&format!("wal: append failed ({e}); durability degraded"));
+        } else {
+            *self.last_append.lock().unwrap_or_else(|p| p.into_inner()) = Some(Instant::now());
         }
+    }
+
+    /// Seconds since the last successful journal append (0 before the
+    /// first one).
+    fn lag_s(&self) -> f64 {
+        self.last_append
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .map(|t| t.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
     }
 }
 
@@ -469,11 +611,13 @@ fn wal_rec(t: &str, job: usize) -> Vec<(String, JsonValue)> {
 }
 
 /// The `admitted` record: everything replay needs to re-run the job —
-/// its display identity, content address and full manifest entry.
-fn wal_admitted(id: usize, m: &ManifestJob, result_key: Option<u64>) -> JsonValue {
+/// its display identity, content address, admitting request id and full
+/// manifest entry.
+fn wal_admitted(id: usize, m: &ManifestJob, result_key: Option<u64>, rid: &str) -> JsonValue {
     let mut f = wal_rec("admitted", id);
     f.push(("name".into(), JsonValue::Str(m.name.clone())));
     f.push(("design".into(), JsonValue::Str(m.design.clone())));
+    f.push(("request_id".into(), JsonValue::Str(rid.to_string())));
     if let Some(k) = result_key {
         f.push(("result_key".into(), JsonValue::Str(format!("{k:016x}"))));
     }
@@ -511,6 +655,7 @@ fn disk_lookup(durable: &Durable, key: u64) -> Option<CachedResult> {
 struct Replayed {
     name: String,
     design: String,
+    request_id: String,
     status: JobStatus,
     error: Option<String>,
     degraded: bool,
@@ -570,6 +715,11 @@ fn recover_into(
             folded.push(Replayed {
                 name: r.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_string(),
                 design: r.get("design").and_then(JsonValue::as_str).unwrap_or("?").to_string(),
+                request_id: r
+                    .get("request_id")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
                 status: JobStatus::Queued,
                 error: None,
                 degraded: false,
@@ -601,11 +751,12 @@ fn recover_into(
         }
     }
 
-    let durable = Durable { wal: Mutex::new(cache_wal_open(&wal_path, fault)?), cache };
+    let durable = Durable::new(cache_wal_open(&wal_path, fault)?, cache);
     for (id, f) in folded.iter().enumerate() {
         let mut rec = JobRecord {
             name: f.name.clone(),
             design: f.design.clone(),
+            request_id: f.request_id.clone(),
             status: JobStatus::Queued,
             cache: "miss",
             rows: None,
@@ -707,6 +858,7 @@ fn requeue_replayed(
             obs::counter_add("serve.recovered", 1);
             inner.queue.push_back(Task {
                 job_id: id,
+                request_id: f.request_id.clone(),
                 mjob: m,
                 network: l.network,
                 fault: l.fault,
@@ -720,6 +872,9 @@ fn requeue_replayed(
 fn push_event(rec: &mut JobRecord, mut fields: Vec<(String, JsonValue)>) {
     let t_ms = rec.submitted.elapsed().as_secs_f64() * 1e3;
     fields.push(("t_ms".into(), JsonValue::Number(t_ms)));
+    if !rec.request_id.is_empty() {
+        fields.push(("request_id".into(), JsonValue::Str(rec.request_id.clone())));
+    }
     rec.events.push(JsonValue::object(fields).to_string_compact());
 }
 
@@ -737,7 +892,11 @@ enum Admit {
     Enqueue,
 }
 
-fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Result<(u16, JsonValue), HttpError> {
+fn handle_submit(
+    shared: &Arc<Shared>,
+    req: &Request,
+    rid: &str,
+) -> Result<(u16, JsonValue), HttpError> {
     // memory watchdog: shed before parsing the body into yet more heap
     let limit = shared.config.mem_limit_bytes;
     if limit > 0 {
@@ -815,6 +974,7 @@ fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Result<(u16, JsonValue)
         let mut rec = JobRecord {
             name: m.name.clone(),
             design: m.design.clone(),
+            request_id: rid.to_string(),
             status: JobStatus::Queued,
             cache: "miss",
             rows: None,
@@ -830,7 +990,7 @@ fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Result<(u16, JsonValue)
         // `admitted` record carries the manifest so replay can re-run
         let result_key = l.as_ref().ok().and_then(|l| l.result_key);
         if let Some(d) = &shared.durable {
-            d.append(wal_admitted(id, &m, result_key));
+            d.append(wal_admitted(id, &m, result_key, rid));
         }
         match admit {
             Admit::LoadError(e) => {
@@ -875,6 +1035,7 @@ fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Result<(u16, JsonValue)
                 }
                 g.queue.push_back(Task {
                     job_id: id,
+                    request_id: rid.to_string(),
                     mjob: m.clone(),
                     network: l.network,
                     fault: l.fault,
@@ -895,7 +1056,13 @@ fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Result<(u16, JsonValue)
     drop(g);
     shared.queue_cv.notify_all();
     shared.state_cv.notify_all();
-    Ok((202, JsonValue::object(vec![("jobs".into(), JsonValue::Array(out))])))
+    Ok((
+        202,
+        JsonValue::object(vec![
+            ("request_id".into(), JsonValue::Str(rid.to_string())),
+            ("jobs".into(), JsonValue::Array(out)),
+        ]),
+    ))
 }
 
 fn status_doc(rec: &JobRecord, id: usize, with_rows: bool) -> JsonValue {
@@ -903,6 +1070,7 @@ fn status_doc(rec: &JobRecord, id: usize, with_rows: bool) -> JsonValue {
         ("id".into(), JsonValue::Number(id as f64)),
         ("name".into(), JsonValue::Str(rec.name.clone())),
         ("design".into(), JsonValue::Str(rec.design.clone())),
+        ("request_id".into(), JsonValue::Str(rec.request_id.clone())),
         ("status".into(), JsonValue::Str(rec.status.as_str().into())),
         ("cache".into(), JsonValue::Str(rec.cache.into())),
         ("degraded".into(), JsonValue::Bool(rec.degraded)),
@@ -997,17 +1165,88 @@ fn handle_events(shared: &Shared, stream: &mut TcpStream, id: &str) {
     }
 }
 
-fn metrics_doc(shared: &Shared) -> JsonValue {
+/// Refreshes the server gauges (queue depth, inflight, live heap, WAL
+/// lag, uptime) and feeds the current registry snapshot into the
+/// windowed series at the current server second, which it returns.
+/// Called once per second by the sampler thread and on demand by every
+/// read surface, so a scrape never sees stale windows.
+fn sample_now(shared: &Shared) -> u64 {
+    let now_s = shared.started.elapsed().as_secs();
     {
         let g = lock_inner(shared);
         obs::gauge_set("serve.queue_depth", g.queue.len() as f64);
         let inflight = g.jobs.iter().filter(|r| !r.status.terminal()).count();
         obs::gauge_set("serve.inflight", inflight as f64);
-        obs::gauge_set("serve.live_bytes", obs::alloc::current_bytes() as f64);
     }
+    obs::gauge_set("serve.live_bytes", obs::alloc::current_bytes() as f64);
+    obs::gauge_set("serve.uptime_s", now_s as f64);
+    if let Some(d) = &shared.durable {
+        obs::gauge_set("serve.wal.lag_s", d.lag_s());
+    }
+    shared.store.observe(now_s, &obs::snapshot());
+    now_s
+}
+
+/// Background sampler: one observation per second until shutdown. The
+/// read surfaces also sample on demand, so this thread only guarantees
+/// the windows stay populated while nobody is scraping.
+fn sampler_loop(shared: &Arc<Shared>) {
+    while !shared.stop_accept.load(Ordering::SeqCst) {
+        sample_now(shared);
+        for _ in 0..5 {
+            if shared.stop_accept.load(Ordering::SeqCst) {
+                return;
+            }
+            thread::sleep(Duration::from_millis(200));
+        }
+    }
+}
+
+/// Keys `/stats` ships as raw per-second series for sparklines: job
+/// completion rate and the router's overflow trajectory.
+const SPARK_KEYS: [&str; 2] = ["serve.jobs_done", "route.overflow"];
+
+/// Seconds of per-second history `/stats` ships per sparkline key.
+const SPARK_LEN: usize = 60;
+
+fn metrics_doc(shared: &Shared) -> JsonValue {
+    sample_now(shared);
     JsonValue::object(vec![
         ("schema".into(), JsonValue::Str("casyn.metrics.v1".into())),
         ("metrics".into(), snapshot_json(&obs::snapshot())),
+    ])
+}
+
+/// The `casyn.stats.v1` document: windowed summaries from the series
+/// store plus identity fields (`uptime_s`, `version`, `degraded`).
+fn stats_doc(shared: &Shared) -> JsonValue {
+    let now_s = sample_now(shared);
+    let doc = shared.store.stats_json(now_s, &SPARK_KEYS, SPARK_LEN);
+    let JsonValue::Object(mut fields) = doc else { return doc };
+    fields.insert(2, ("uptime_s".into(), JsonValue::Number(now_s as f64)));
+    fields.insert(3, ("version".into(), JsonValue::Str(version())));
+    fields.insert(4, ("degraded".into(), JsonValue::Bool(shed_recently(shared, now_s))));
+    JsonValue::Object(fields)
+}
+
+/// Whether the mem-limit watchdog shed anything in the last 10 s
+/// window — the `degraded` flag `/healthz` and `/stats` report.
+fn shed_recently(shared: &Shared, now_s: u64) -> bool {
+    shared.store.counter_delta(now_s, 10, "serve.shed") > 0
+}
+
+/// `/healthz` enriched: uptime, version, queue depth and the degraded
+/// flag. `status` stays `"ok"` while the process serves — degradation
+/// is a separate signal, not an availability one.
+fn healthz_doc(shared: &Shared) -> JsonValue {
+    let now_s = sample_now(shared);
+    let queue_depth = lock_inner(shared).queue.len();
+    JsonValue::object(vec![
+        ("status".into(), JsonValue::Str("ok".into())),
+        ("uptime_s".into(), JsonValue::Number(now_s as f64)),
+        ("version".into(), JsonValue::Str(version())),
+        ("queue_depth".into(), JsonValue::Number(queue_depth as f64)),
+        ("degraded".into(), JsonValue::Bool(shed_recently(shared, now_s))),
     ])
 }
 
@@ -1137,6 +1376,11 @@ fn run_tasks(shared: &Arc<Shared>, pool: &Pool, tasks: &[Task]) {
     let runner = |j: &BatchJob| -> Result<JobSuccess, FlowError> {
         let ti: usize = j.name.parse().expect("batch job name is the task index");
         let t = &tasks[ti];
+        let mut sp = obs::trace::span("serve.job");
+        sp.attr_num("job", t.job_id as f64);
+        if !t.request_id.is_empty() {
+            sp.attr_str("request_id", &t.request_id);
+        }
         mark_running(shared, t.job_id);
         obs::counter_add("serve.computes", 1);
         if t.fault.is_some() {

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text exposition (format 0.0.4).
+
+Usage:
+    check_prom.py <url-or-file> [required-family ...]
+
+Fetches the exposition from an http(s) URL or reads it from a file,
+checks every line for well-formedness (comment discipline, metric-name
+syntax, parseable sample values, TYPE declared before samples, histogram
+`le` buckets monotone and capped by +Inf), and asserts that each listed
+required family is present with at least one sample. Exits non-zero with
+a per-line diagnostic on the first structural problem, so CI fails loud.
+
+Stdlib only — no prometheus client dependency.
+"""
+
+import re
+import sys
+import urllib.request
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABELS_RE = re.compile(r'^\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*\}$')
+SUFFIXES = ("_bucket", "_sum", "_count", "_total")
+
+
+def fail(lineno, line, why):
+    sys.stderr.write(f"check_prom: line {lineno}: {why}\n  {line}\n")
+    sys.exit(1)
+
+
+def base_family(name):
+    """Strips histogram/counter sample suffixes back to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float("nan") if text == "NaN" else float(text.replace("Inf", "inf"))
+    return float(text)
+
+
+def check(text, required):
+    typed = {}  # family -> declared type
+    sampled = set()  # family names that produced at least one sample
+    buckets = {}  # (family, labels-sans-le) -> last le bound seen
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                fail(lineno, line, "comment is neither # HELP nor # TYPE")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter",
+                    "gauge",
+                    "histogram",
+                    "summary",
+                    "untyped",
+                ):
+                    fail(lineno, line, "bad TYPE declaration")
+                if parts[2] in typed:
+                    fail(lineno, line, f"family {parts[2]} TYPE declared twice")
+                if parts[2] in sampled:
+                    fail(lineno, line, f"TYPE for {parts[2]} after its samples")
+                typed[parts[2]] = parts[3]
+            continue
+        m = re.match(r"^([^\s{]+)(\{[^}]*\})?\s+(\S+)(\s+\d+)?$", line)
+        if not m:
+            fail(lineno, line, "not `name{labels} value [timestamp]`")
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        if not NAME_RE.match(name):
+            fail(lineno, line, f"bad metric name {name!r}")
+        if labels and not LABELS_RE.match(labels):
+            fail(lineno, line, f"bad label syntax {labels!r}")
+        try:
+            parse_value(value)
+        except ValueError:
+            fail(lineno, line, f"unparseable sample value {value!r}")
+        family = base_family(name)
+        # counters may be typed either on the full `x_total` name (this
+        # repo's exposition) or on the bare `x` family (OpenMetrics style)
+        sans_total = name[: -len("_total")] if name.endswith("_total") else name
+        if family not in typed and name not in typed and sans_total not in typed:
+            fail(lineno, line, f"sample for {name} has no preceding # TYPE")
+        sampled.add(family)
+        sampled.add(name)
+        if name.endswith("_bucket"):
+            le = re.search(r'le="([^"]*)"', labels)
+            if not le:
+                fail(lineno, line, "_bucket sample without an le label")
+            bound = parse_value(le.group(1))
+            key = (family, re.sub(r'le="[^"]*",?', "", labels))
+            if key in buckets and not bound > buckets[key]:
+                fail(lineno, line, f"le={le.group(1)} not above previous bound")
+            buckets[key] = bound
+    for key, bound in buckets.items():
+        if bound != float("inf"):
+            sys.stderr.write(f"check_prom: histogram {key[0]} lacks an +Inf bucket\n")
+            sys.exit(1)
+    missing = [f for f in required if f not in sampled]
+    if missing:
+        sys.stderr.write(f"check_prom: required families missing: {', '.join(missing)}\n")
+        sys.stderr.write(f"  families present: {', '.join(sorted(typed))}\n")
+        sys.exit(1)
+    return len(sampled), len(typed)
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.stderr.write(__doc__)
+        sys.exit(2)
+    source = sys.argv[1]
+    required = sys.argv[2:] or [
+        "casyn_jobs_total",
+        "casyn_stage_wall_ms",
+        "casyn_cache_hits_total",
+    ]
+    if source.startswith(("http://", "https://")):
+        with urllib.request.urlopen(source, timeout=10) as r:
+            text = r.read().decode("utf-8")
+    else:
+        with open(source, encoding="utf-8") as f:
+            text = f.read()
+    samples, families = check(text, required)
+    print(f"check_prom: ok — {families} families, {samples} sampled names")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,237 @@
+//! End-to-end tests for the live telemetry surfaces: windowed `/stats`,
+//! the Prometheus text exposition, the enriched `/healthz` document and
+//! the request-id thread through submit, status and event streams.
+
+use casyn::netlist::bench::{random_pla, PlaGenConfig};
+use casyn::netlist::blif::to_blif;
+use casyn::obs::json::JsonValue;
+use casyn::serve::{client, request_json, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::sync::Mutex;
+
+/// The metrics registry is process-wide and `Server::start` enables it;
+/// tests that read counter deltas must not interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match OBS_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn start(config: ServeConfig) -> Server {
+    Server::start(ServeConfig { addr: "127.0.0.1:0".into(), ..config }).unwrap()
+}
+
+/// Single-job manifest with an inline BLIF source.
+fn manifest(name: &str, seed: u64, terms: usize, ks: &[f64]) -> String {
+    let pla = random_pla(&PlaGenConfig { terms, seed, ..Default::default() });
+    let blif = to_blif(&pla.to_network(), name);
+    JsonValue::object(vec![(
+        "jobs".into(),
+        JsonValue::Array(vec![JsonValue::object(vec![
+            ("name".into(), JsonValue::Str(name.into())),
+            ("source".into(), JsonValue::Str(blif)),
+            ("format".into(), JsonValue::Str("blif".into())),
+            ("ks".into(), JsonValue::Array(ks.iter().map(|&k| JsonValue::Number(k)).collect())),
+        ])]),
+    )])
+    .to_string_pretty()
+}
+
+fn submit_one(addr: &str, body: &str) -> i64 {
+    let (status, doc) = request_json(addr, "POST", "/jobs", Some(body)).unwrap();
+    assert_eq!(status, 202, "submit failed: {doc:?}");
+    let job = doc.get("jobs").and_then(|v| v.as_array()).and_then(|a| a.first()).unwrap();
+    job.get("id").and_then(|v| v.as_f64()).unwrap() as i64
+}
+
+fn result_wait(addr: &str, id: i64) -> JsonValue {
+    let (status, doc) =
+        request_json(addr, "GET", &format!("/jobs/{id}/result?wait=1"), None).unwrap();
+    assert_eq!(status, 200, "result fetch failed: {doc:?}");
+    doc
+}
+
+/// Sends raw bytes and returns the full response text *including the
+/// head*, which `client::raw` strips — needed to see response headers.
+fn raw_with_head(addr: &str, raw: &str) -> String {
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(raw.as_bytes()).unwrap();
+    let mut text = String::new();
+    s.read_to_string(&mut text).unwrap();
+    text
+}
+
+#[test]
+fn stats_exposes_windowed_activity_and_build_info() {
+    let _guard = lock();
+    let server = start(ServeConfig { workers: 2, ..Default::default() });
+    let addr = server.endpoint();
+    let id = submit_one(&addr, &manifest("stats", 17, 24, &[0.0, 1.0]));
+    result_wait(&addr, id);
+
+    let (status, doc) = request_json(&addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("casyn.stats.v1"));
+    assert!(doc.get("uptime_s").and_then(|v| v.as_f64()).is_some(), "{doc:?}");
+    let version = doc.get("version").and_then(|v| v.as_str()).unwrap();
+    assert!(version.starts_with(env!("CARGO_PKG_VERSION")), "version: {version}");
+    assert_eq!(doc.get("degraded").and_then(|v| v.as_bool()), Some(false));
+
+    // the finished job shows up as a 1m-window jobs_done delta, and the
+    // stage timers feed at least one windowed wall-ms histogram
+    let windows = doc.get("windows").unwrap();
+    for w in ["10s", "1m", "5m"] {
+        assert!(windows.get(w).is_some(), "missing window {w}");
+    }
+    let done = windows
+        .get("1m")
+        .and_then(|w| w.get("serve.jobs_done"))
+        .and_then(|v| v.get("delta"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    assert!(done >= 1.0, "jobs_done delta {done} in {doc:?}");
+    let JsonValue::Object(minute) = windows.get("1m").unwrap() else {
+        panic!("1m window is not an object");
+    };
+    let stage = minute.iter().find(|(k, _)| k.ends_with(".wall_ms_hist"));
+    let (_, hist) = stage.expect("no windowed stage histogram in the 1m window");
+    let p50 = hist.get("p50").and_then(|v| v.as_f64()).unwrap();
+    let p99 = hist.get("p99").and_then(|v| v.as_f64()).unwrap();
+    assert!(p50 >= 0.0 && p99 >= p50, "p50 {p50} p99 {p99}");
+
+    // the sparkline series is fixed-length, per second, oldest first
+    let series = doc.get("series").and_then(|s| s.get("serve.jobs_done")).unwrap();
+    assert_eq!(series.as_array().unwrap().len(), 60);
+
+    request_json(&addr, "POST", "/shutdown", None).unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn prom_exposition_has_canonical_families() {
+    let _guard = lock();
+    let server = start(ServeConfig { workers: 1, ..Default::default() });
+    let addr = server.endpoint();
+    // two identical submissions guarantee a cache hit alongside the compute
+    let m = manifest("prom", 23, 24, &[0.0]);
+    for _ in 0..2 {
+        let id = submit_one(&addr, &m);
+        result_wait(&addr, id);
+    }
+
+    let r = client::raw(&addr, "GET /metrics?format=prom HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    assert_eq!(r.status, 200);
+    let text = &r.body;
+    assert!(text.contains("# TYPE casyn_jobs_total counter"), "exposition:\n{text}");
+    assert!(text.contains("casyn_jobs_total{status=\"done\"}"), "exposition:\n{text}");
+    assert!(text.contains("# TYPE casyn_cache_hits_total counter"), "exposition:\n{text}");
+    assert!(text.contains("# TYPE casyn_stage_wall_ms histogram"), "exposition:\n{text}");
+    assert!(text.contains("casyn_stage_wall_ms_bucket{"), "exposition:\n{text}");
+    assert!(text.contains("le=\"+Inf\""), "exposition:\n{text}");
+    assert!(text.contains("casyn_stage_wall_ms_count{"), "exposition:\n{text}");
+    // windowed summaries ride along as window-labelled gauges
+    assert!(text.contains("window=\"1m\""), "exposition:\n{text}");
+    assert!(text.contains("casyn_stage_wall_ms_p95{"), "exposition:\n{text}");
+
+    // every non-comment line is `name{labels} value` or `name value`
+    for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let (metric, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(value.parse::<f64>().is_ok() || value == "+Inf", "bad value in: {line}");
+        let name = metric.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in: {line}"
+        );
+    }
+
+    request_json(&addr, "POST", "/shutdown", None).unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn request_id_flows_through_submit_status_and_events() {
+    let _guard = lock();
+    let server = start(ServeConfig { workers: 1, ..Default::default() });
+    let addr = server.endpoint();
+    let m = manifest("rid", 29, 16, &[0.0]);
+
+    // a client-supplied id is echoed as a response header and body field
+    let raw = format!(
+        "POST /jobs HTTP/1.1\r\nHost: t\r\nX-Request-Id: trace-me-42\r\n\
+         Content-Length: {}\r\n\r\n{m}",
+        m.len()
+    );
+    let full = raw_with_head(&addr, &raw);
+    let (head, body) = full.split_once("\r\n\r\n").unwrap();
+    assert!(head.contains("X-Request-Id: trace-me-42"), "head:\n{head}");
+    let doc = JsonValue::parse(body).unwrap();
+    assert_eq!(doc.get("request_id").and_then(|v| v.as_str()), Some("trace-me-42"));
+    let job = doc.get("jobs").and_then(|v| v.as_array()).and_then(|a| a.first()).unwrap();
+    let id = job.get("id").and_then(|v| v.as_f64()).unwrap() as i64;
+    result_wait(&addr, id);
+
+    // the job status document carries the admitting request's id
+    let (status, st) = request_json(&addr, "GET", &format!("/jobs/{id}"), None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(st.get("request_id").and_then(|v| v.as_str()), Some("trace-me-42"));
+
+    // ... and so does every NDJSON event for the job
+    let ev =
+        client::raw(&addr, &format!("GET /jobs/{id}/events HTTP/1.1\r\nHost: t\r\n\r\n")).unwrap();
+    assert_eq!(ev.status, 200);
+    let events: Vec<&str> = ev.body.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!events.is_empty());
+    for line in &events {
+        assert!(line.contains("\"request_id\":\"trace-me-42\""), "event without id: {line}");
+    }
+
+    // ids with unsafe characters are sanitized, absent ids are generated
+    let id2 = {
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nHost: t\r\nX-Request-Id: a b\"c\r\n\
+             Content-Length: {}\r\n\r\n{m}",
+            m.len()
+        );
+        let full = raw_with_head(&addr, &raw);
+        let body = full.split_once("\r\n\r\n").unwrap().1;
+        let doc = JsonValue::parse(body).unwrap();
+        let rid = doc.get("request_id").and_then(|v| v.as_str()).unwrap().to_string();
+        assert_eq!(rid, "a_b_c", "unsafe characters are replaced");
+        doc.get("jobs")
+            .and_then(|v| v.as_array())
+            .and_then(|a| a.first())
+            .and_then(|j| j.get("id"))
+            .and_then(|v| v.as_f64())
+            .unwrap() as i64
+    };
+    result_wait(&addr, id2);
+    let (_, doc) = request_json(&addr, "POST", "/jobs", Some(&m)).unwrap();
+    let rid = doc.get("request_id").and_then(|v| v.as_str()).unwrap();
+    assert!(rid.starts_with('r') && rid.len() == 7, "generated id: {rid}");
+
+    request_json(&addr, "POST", "/shutdown", None).unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn healthz_reports_uptime_version_queue_and_degraded() {
+    let _guard = lock();
+    let server = start(ServeConfig { workers: 1, ..Default::default() });
+    let addr = server.endpoint();
+
+    let (status, doc) = request_json(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+    assert!(doc.get("uptime_s").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+    let version = doc.get("version").and_then(|v| v.as_str()).unwrap();
+    assert!(version.starts_with(env!("CARGO_PKG_VERSION")), "version: {version}");
+    assert_eq!(doc.get("queue_depth").and_then(|v| v.as_f64()), Some(0.0));
+    assert_eq!(doc.get("degraded").and_then(|v| v.as_bool()), Some(false));
+
+    request_json(&addr, "POST", "/shutdown", None).unwrap();
+    server.wait().unwrap();
+}
